@@ -1,0 +1,47 @@
+// Small shared formatting helpers for the reproduction benches.
+
+#ifndef TSAD_BENCH_BENCH_UTIL_H_
+#define TSAD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tsad::bench {
+
+/// Prints a boxed section header.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", std::string(72, '=').c_str());
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", std::string(72, '=').c_str());
+}
+
+/// Renders a coarse ASCII sparkline of a series (for the paper's
+/// "visualize the data" recommendation, §4.3).
+inline std::string Sparkline(const std::vector<double>& x,
+                             std::size_t width = 70) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (x.empty()) return "";
+  double lo = x[0], hi = x[0];
+  for (double v : x) {
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  const double range = hi - lo > 1e-12 ? hi - lo : 1.0;
+  std::string out;
+  const std::size_t stride = x.size() / width + 1;
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    double peak = x[i];
+    for (std::size_t j = i; j < i + stride && j < x.size(); ++j) {
+      peak = x[j] > peak ? x[j] : peak;
+    }
+    const int level =
+        static_cast<int>((peak - lo) / range * 7.0 + 0.5);
+    out += kLevels[level < 0 ? 0 : (level > 7 ? 7 : level)];
+  }
+  return out;
+}
+
+}  // namespace tsad::bench
+
+#endif  // TSAD_BENCH_BENCH_UTIL_H_

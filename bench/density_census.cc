@@ -1,0 +1,78 @@
+// Reproduces the §2.3 density-flaw census across all four simulated
+// archives:
+//  * NASA D-2/M-1/M-2: > 1/2 of the test span is one labeled region;
+//    another group > 1/3.
+//  * SMD machine-2-5: 21 separate regions in a short span.
+//  * Yahoo A1: labeled regions sandwiching single normal points.
+// Plus the paper's prescription: the fraction of series with the ideal
+// single anomaly.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/density.h"
+#include "datasets/nasa.h"
+#include "datasets/numenta.h"
+#include "datasets/omni.h"
+#include "datasets/yahoo.h"
+
+namespace {
+
+void PrintCensus(const tsad::DensityCensus& census) {
+  std::printf("%-14s %7zu %9zu %8zu %9zu %9zu %8zu\n",
+              census.dataset_name.c_str(), census.stats.size(),
+              census.over_half, census.over_third, census.many_regions,
+              census.adjacent, census.single_anomaly);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsad;
+  bench::PrintHeader("§2.3 -- Unrealistic anomaly density census");
+
+  std::printf("%-14s %7s %9s %8s %9s %9s %8s\n", "dataset", "series",
+              ">1/2 blk", ">1/3 blk", ">=10 rgn", "adjacent", "single");
+
+  const YahooArchive yahoo = GenerateYahooArchive();
+  PrintCensus(CensusDensity(yahoo.a1));
+  PrintCensus(CensusDensity(yahoo.a2));
+  PrintCensus(CensusDensity(yahoo.a3));
+  PrintCensus(CensusDensity(yahoo.a4));
+
+  const NasaArchive nasa = GenerateNasaArchive();
+  PrintCensus(CensusDensity(nasa.channels));
+
+  PrintCensus(CensusDensity(GenerateNumentaDataset()));
+
+  // OMNI machines: census over their shared label tracks (dimension 0
+  // as the representative carrier).
+  const OmniArchive omni = GenerateOmniArchive();
+  BenchmarkDataset omni_tracks;
+  omni_tracks.name = "OMNI/SMD";
+  for (const MultivariateSeries& m : omni.machines) {
+    Result<LabeledSeries> dim = m.Dimension(0);
+    if (dim.ok()) omni_tracks.series.push_back(std::move(dim.value()));
+  }
+  PrintCensus(CensusDensity(omni_tracks));
+
+  // The named offenders.
+  std::printf("\nNamed offenders:\n");
+  for (const char* name : {"D-2", "M-1", "M-2"}) {
+    const LabeledSeries* ch = nasa.FindChannel(name);
+    if (ch != nullptr) {
+      const DensityStats s = AnalyzeDensity(*ch);
+      std::printf("  NASA %-4s: largest region covers %.0f%% of the test "
+                  "span\n", name, 100.0 * s.max_contiguous_fraction);
+    }
+  }
+  const MultivariateSeries* m25 = omni.FindMachine("machine-2-5");
+  if (m25 != nullptr) {
+    std::printf("  SMD machine-2-5: %zu separate regions within %zu "
+                "points\n", m25->anomalies().size(),
+                m25->anomalies().back().end - m25->anomalies().front().begin);
+  }
+  std::printf("\nPaper: 'the ideal number of anomalies in a single testing "
+              "time series is exactly one.'\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Fig 13: one minute of ECG with a single PVC; Telemanom
+// (AR-predictor variant, trained on the first 3,000 points with the
+// original error-smoothing + NDT pipeline) vs Discord (no training
+// data). Clean: both peak at the anomaly; with significant Gaussian
+// noise the Discord "provides less discrimination, but still peaks in
+// the right place. In contrast, Telemanom now peaks in the wrong
+// location."
+//
+// Extended per §4.2's recommendation: amplitude-scale, linear-trend and
+// baseline-wander sweeps expose each method's invariances.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/invariance.h"
+#include "datasets/physio.h"
+#include "detectors/discord.h"
+#include "detectors/telemanom.h"
+
+int main() {
+  using namespace tsad;
+  bench::PrintHeader("FIG 13 -- Invariance study: Telemanom vs Discord on ECG");
+
+  PhysioConfig cfg;
+  cfg.duration_sec = 60.0;  // 12,000 points at 200 Hz, as in the paper
+  LabeledSeries ecg = GenerateEcgWithPvc(cfg);
+  ecg.set_train_length(3000);  // Telemanom's training prefix
+  const AnomalyRegion pvc = ecg.anomalies().front();
+  std::printf("ECG (PVC at [%zu, %zu)):\n%s\n", pvc.begin, pvc.end,
+              bench::Sparkline(ecg.values()).c_str());
+
+  DiscordDetector discord(200);  // ~ one heartbeat
+  // Light error smoothing, matching the original Telemanom's settings
+  // (the paper ran "the original authors suggested settings"). The
+  // library default (alpha = 0.05) smooths ~20x harder and makes the
+  // prediction-error detector considerably more noise-robust than the
+  // paper's LSTM — see the ablation at the end.
+  TelemanomConfig tcfg;
+  tcfg.ewma_alpha = 0.5;
+  TelemanomDetector telemanom(tcfg);
+
+  // Show the two score tracks on the clean data (the figure's panels).
+  for (const AnomalyDetector* det :
+       std::vector<const AnomalyDetector*>{&discord, &telemanom}) {
+    Result<std::vector<double>> scores = det->Score(ecg);
+    if (scores.ok()) {
+      std::printf("\n%s score:\n%s\n", std::string(det->name()).c_str(),
+                  bench::Sparkline(*scores).c_str());
+    }
+  }
+
+  InvarianceConfig config;
+  config.levels = {0.0, 0.25, 0.5, 1.0, 2.0};
+  config.slop = 250;
+
+  const Perturbation sweeps[] = {
+      Perturbation::kGaussianNoise, Perturbation::kAmplitudeScale,
+      Perturbation::kLinearTrend, Perturbation::kBaselineWander};
+
+  for (Perturbation p : sweeps) {
+    config.perturbation = p;
+    const auto rows = RunInvarianceStudy(
+        ecg, {&discord, &telemanom}, config);
+    std::printf("\n--- %s sweep ---\n",
+                std::string(PerturbationName(p)).c_str());
+    std::printf("%8s  %-28s %10s %10s %14s\n", "level", "detector", "peak",
+                "correct?", "discrimination");
+    for (const InvarianceRow& row : rows) {
+      std::printf("%8.2f  %-28s %10zu %10s %14.2f\n", row.level,
+                  row.detector_name.c_str(), row.peak_location,
+                  row.peak_correct ? "YES" : "no", row.discrimination);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape (paper): clean -> both correct; heavy noise ->\n"
+      "Discord still correct with reduced discrimination, Telemanom's\n"
+      "peak wanders. Amplitude scaling never hurts the z-normalized\n"
+      "Discord.\n");
+
+  // Ablation: Telemanom's smoothing factor. Heavy smoothing (the
+  // library default) buys the prediction-error detector most of the
+  // noise robustness the paper found missing.
+  std::printf("\n--- ablation: Telemanom error-smoothing alpha, "
+              "noise level 2.0 ---\n");
+  config.perturbation = Perturbation::kGaussianNoise;
+  config.levels = {2.0};
+  for (double alpha : {0.8, 0.5, 0.2, 0.05}) {
+    TelemanomConfig ablate = tcfg;
+    ablate.ewma_alpha = alpha;
+    TelemanomDetector variant(ablate);
+    const auto rows = RunInvarianceStudy(ecg, {&variant}, config);
+    std::printf("  alpha=%.2f  peak %6zu  %s\n", alpha,
+                rows[0].peak_location,
+                rows[0].peak_correct ? "correct" : "WRONG location");
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Figs 4-7: the mislabeled-ground-truth gallery on the
+// simulated Yahoo A1 archive.
+//   Fig 4  A1-Real32: half-labeled constant region ("literally nothing
+//          has changed from A to B")
+//   Fig 5  A1-Real46: labeled dropout C with an identical unlabeled
+//          twin D
+//   Fig 6  A1-Real47: labeled region F statistically identical to ~48
+//          unlabeled rounded bottoms
+//   Fig 7  A1-Real67: over-precise label toggling after a regime change
+// plus the A1-Real13/15 duplicate pair. The audit runs blind — it does
+// not know what was planted — and we check it rediscovers everything.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/mislabel.h"
+#include "datasets/yahoo.h"
+
+int main() {
+  using namespace tsad;
+  bench::PrintHeader("FIGS 4-7 -- Mislabel audit of the simulated Yahoo A1");
+
+  const YahooArchive archive = GenerateYahooArchive();
+  const auto findings = AuditDatasetLabels(archive.a1);
+
+  std::printf("Planted defects:\n");
+  for (const PlantedDefect& d : archive.planted_defects) {
+    std::printf("  %-12s %-28s @ %zu\n", d.series_name.c_str(),
+                d.kind.c_str(), d.position);
+  }
+
+  std::printf("\nAudit findings (blind):\n");
+  std::size_t shown = 0;
+  for (const MislabelFinding& f : findings) {
+    std::printf("  [%-22s] %-12s %s\n",
+                std::string(MislabelKindName(f.kind)).c_str(),
+                f.series_name.c_str(), f.detail.c_str());
+    if (++shown >= 25) {
+      std::printf("  ... (%zu findings total)\n", findings.size());
+      break;
+    }
+  }
+
+  // Rediscovery scorecard.
+  auto rediscovered = [&](const std::string& series, MislabelKind kind,
+                          std::size_t position, std::size_t tol) {
+    for (const MislabelFinding& f : findings) {
+      if (f.kind != kind) continue;
+      // Duplicate findings are filed under the pair's first member but
+      // name both series in the detail.
+      if (kind == MislabelKind::kDuplicateSeries) {
+        if (f.detail.find("'" + series + "'") != std::string::npos) {
+          return true;
+        }
+        continue;
+      }
+      if (f.series_name != series) continue;
+      const std::size_t gap =
+          f.position > position ? f.position - position : position - f.position;
+      if (gap <= tol) return true;
+    }
+    return false;
+  };
+
+  std::printf("\nRediscovery scorecard:\n");
+  std::size_t score = 0, total = 0;
+  for (const PlantedDefect& d : archive.planted_defects) {
+    MislabelKind kind;
+    if (d.kind == "half-labeled-constant") {
+      kind = MislabelKind::kHalfLabeledConstant;
+    } else if (d.kind == "unlabeled-twin-dropout") {
+      kind = MislabelKind::kUnlabeledTwin;
+    } else if (d.kind == "false-positive-label") {
+      kind = MislabelKind::kUnlabeledTwin;  // F matches unlabeled bottoms
+    } else if (d.kind == "toggling-labels") {
+      kind = MislabelKind::kLabelToggling;
+    } else {
+      kind = MislabelKind::kDuplicateSeries;
+    }
+    ++total;
+    const bool ok = rediscovered(
+        d.series_name, kind, d.position,
+        d.kind == "false-positive-label" ? archive.a1.series[0].length()
+                                         : 40);
+    if (ok) ++score;
+    std::printf("  %-12s %-28s %s\n", d.series_name.c_str(), d.kind.c_str(),
+                ok ? "REDISCOVERED" : "missed");
+  }
+  std::printf("\n%zu / %zu planted defects rediscovered.\n", score, total);
+
+  // Fig 6's statistical argument for Real47: profile the labeled F
+  // region against other rounded bottoms.
+  for (const LabeledSeries& s : archive.a1.series) {
+    if (s.name() != "A1-Real47") continue;
+    const AnomalyRegion f = s.anomalies().back();
+    const RegionProfile labeled = ProfileRegion(s.values(), f.begin, f.end);
+    // A rounded bottom three periods later (period 30).
+    const RegionProfile other =
+        ProfileRegion(s.values(), f.begin + 90, f.end + 90);
+    std::printf("\nFig 6 check (A1-Real47): labeled F vs an unlabeled "
+                "bottom:\n");
+    std::printf("  mean      %10.3f vs %10.3f\n", labeled.mean, other.mean);
+    std::printf("  min       %10.3f vs %10.3f\n", labeled.min, other.min);
+    std::printf("  max       %10.3f vs %10.3f\n", labeled.max, other.max);
+    std::printf("  variance  %10.3f vs %10.3f\n", labeled.variance,
+                other.variance);
+    std::printf("  autocorr  %10.3f vs %10.3f\n", labeled.autocorr_lag1,
+                other.autocorr_lag1);
+    std::printf("  => 'there is simply nothing remarkable about it'\n");
+  }
+  return 0;
+}

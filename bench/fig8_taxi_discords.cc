@@ -1,0 +1,95 @@
+// Reproduces Fig 8: the time series discord score of the NYC Taxi
+// dataset, with peaks annotated against (a) the five official NAB
+// labels and (b) the real-but-unlabeled events the paper identifies
+// (Independence Day, Labor Day, Climate March, Comic Con, the Garner
+// grand-jury protests, the Millions March, MLK Day).
+//
+// The paper's conclusion: "it is possible that an algorithm that was
+// reported as performing very poorly, finding zero true positives and
+// multiple false positives, actually performed very well."
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "datasets/numenta.h"
+#include "detectors/discord.h"
+
+int main() {
+  using namespace tsad;
+  bench::PrintHeader("FIG 8 -- Discord score on the NYC Taxi data");
+
+  const TaxiData taxi = GenerateTaxiData();
+  std::printf("Taxi demand (215 days x 48 buckets):\n%s\n",
+              bench::Sparkline(taxi.series.values()).c_str());
+
+  const std::size_t m = taxi.buckets_per_day * 2;  // two-day windows
+  DiscordDetector detector(m);
+  Result<std::vector<double>> scores =
+      detector.Score(taxi.series.values(), 0);
+  if (!scores.ok()) {
+    std::printf("%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nDiscord score (m = %zu):\n%s\n", m,
+              bench::Sparkline(*scores).c_str());
+
+  Result<std::vector<Discord>> top =
+      detector.FindDiscords(taxi.series.values(), 12);
+  if (!top.ok()) {
+    std::printf("%s\n", top.status().ToString().c_str());
+    return 1;
+  }
+
+  auto annotate = [&](std::size_t position) -> std::string {
+    const std::size_t d_end = position + m;
+    for (const TaxiEvent& e : taxi.events) {
+      const std::size_t begin = e.day * taxi.buckets_per_day;
+      const std::size_t end =
+          begin + e.duration_days * taxi.buckets_per_day;
+      if (position < end + taxi.buckets_per_day &&
+          begin < d_end + taxi.buckets_per_day) {
+        return e.name + (e.officially_labeled ? "  [OFFICIAL LABEL]"
+                                              : "  [UNLABELED EVENT]");
+      }
+    }
+    return "(no known event)";
+  };
+
+  std::printf("\nTop discords, annotated:\n");
+  std::printf("%4s %9s %7s  %-40s\n", "#", "position", "day", "event");
+  for (std::size_t i = 0; i < top->size(); ++i) {
+    const Discord& d = (*top)[i];
+    std::printf("%4zu %9zu %7.1f  %-40s\n", i + 1, d.position,
+                static_cast<double>(d.position) /
+                    static_cast<double>(taxi.buckets_per_day),
+                annotate(d.position).c_str());
+  }
+
+  // Scorecard: how many unlabeled real events rank among the discords?
+  std::size_t official_hits = 0, unlabeled_hits = 0, unlabeled_total = 0;
+  for (const TaxiEvent& e : taxi.events) {
+    const std::size_t begin = e.day * taxi.buckets_per_day;
+    const std::size_t end = begin + e.duration_days * taxi.buckets_per_day;
+    bool hit = false;
+    for (const Discord& d : *top) {
+      if (d.position < end + taxi.buckets_per_day &&
+          begin < d.position + m + taxi.buckets_per_day) {
+        hit = true;
+        break;
+      }
+    }
+    if (e.officially_labeled) {
+      official_hits += hit;
+    } else {
+      ++unlabeled_total;
+      unlabeled_hits += hit;
+    }
+  }
+  std::printf("\nOfficial labels found: %zu / 5\n", official_hits);
+  std::printf("UNLABELED real events found: %zu / %zu\n", unlabeled_hits,
+              unlabeled_total);
+  std::printf("=> every unlabeled event a discord finds would be scored a "
+              "FALSE POSITIVE by the official ground truth.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// NAB-style streaming evaluation on the simulated Numenta datasets:
+// causal detectors only (the score at time t uses data up to t), scored
+// with the NAB sigmoidal windows under all three official profiles.
+// Ties together the streaming-discord substrate and the NAB scoring
+// module, and shows the §4.4 caveat in action: NAB numbers move a lot
+// with the profile, while the set of detections is identical.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "datasets/numenta.h"
+#include "detectors/control_chart.h"
+#include "detectors/moving_zscore.h"
+#include "detectors/streaming_discord.h"
+#include "scoring/nab.h"
+
+namespace {
+
+using namespace tsad;
+
+// Causal thresholding: a detection fires when the score exceeds
+// mean + 4*std of all PREVIOUS scores; refractory period suppresses
+// repeats. This mimics how a streaming deployment turns scores into
+// alerts without peeking ahead.
+std::vector<std::size_t> CausalDetections(const std::vector<double>& scores,
+                                          std::size_t burn_in,
+                                          std::size_t refractory) {
+  std::vector<std::size_t> detections;
+  long double sum = 0.0L, sq = 0.0L;
+  std::size_t count = 0, last_fire = 0;
+  bool fired_before = false;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (count >= burn_in) {
+      const double mean = static_cast<double>(sum / count);
+      const double var =
+          static_cast<double>(sq / count) - mean * mean;
+      const double sd = var > 0 ? std::sqrt(var) : 0.0;
+      if (scores[i] > mean + 4.0 * sd + 1e-12 &&
+          (!fired_before || i - last_fire > refractory)) {
+        detections.push_back(i);
+        last_fire = i;
+        fired_before = true;
+      }
+    }
+    sum += scores[i];
+    sq += static_cast<long double>(scores[i]) * scores[i];
+    ++count;
+  }
+  return detections;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("NAB-style streaming evaluation (simulated Numenta)");
+
+  const BenchmarkDataset dataset = GenerateNumentaDataset();
+
+  std::vector<std::unique_ptr<AnomalyDetector>> detectors;
+  detectors.push_back(std::make_unique<StreamingDiscordDetector>(96));
+  detectors.push_back(std::make_unique<MovingZScoreDetector>(96));
+  detectors.push_back(std::make_unique<PageHinkleyDetector>(0.05));
+
+  struct ProfileRow {
+    const char* name;
+    NabProfile profile;
+  };
+  const ProfileRow profiles[] = {
+      {"standard", NabStandardProfile()},
+      {"reward-low-FP", NabRewardLowFpProfile()},
+      {"reward-low-FN", NabRewardLowFnProfile()},
+  };
+
+  for (const auto& detector : detectors) {
+    std::printf("\n%s\n", std::string(detector->name()).c_str());
+    for (const LabeledSeries& s : dataset.series) {
+      Result<std::vector<double>> scores = detector->Score(s);
+      if (!scores.ok()) {
+        std::printf("  %-28s error: %s\n", s.name().c_str(),
+                    scores.status().ToString().c_str());
+        continue;
+      }
+      const auto detections =
+          CausalDetections(*scores, /*burn_in=*/400, /*refractory=*/96);
+      std::printf("  %-28s %2zu detection(s): ", s.name().c_str(),
+                  detections.size());
+      for (const ProfileRow& p : profiles) {
+        NabConfig config;
+        config.profile = p.profile;
+        Result<NabScore> score =
+            ComputeNabScore(s.anomalies(), detections, s.length(), config);
+        if (score.ok()) {
+          std::printf("%s %6.1f  ", p.name, score->normalized);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nSame detections, three NAB numbers per row -- the §4.4 point that\n"
+      "scoring functions need as much scrutiny as datasets. (And recall\n"
+      "Fig 8: on the taxi series the 'false positives' NAB punishes are\n"
+      "often real unlabeled events.)\n");
+  return 0;
+}

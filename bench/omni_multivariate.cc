@@ -1,0 +1,73 @@
+// Multivariate detection on the simulated OMNI/SMD archive: a simple
+// per-dimension moving z-score with max-aggregation versus the
+// OmniAnomaly-scale task, scored the way the deep papers score
+// (point-adjusted best F1) AND honestly (plain best F1). The paper's
+// §2.2 point concretely: on an archive where half the machines are
+// trivially easy, the simple baseline posts the kind of headline
+// numbers deep models report.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/series.h"
+#include "datasets/omni.h"
+#include "detectors/moving_zscore.h"
+#include "detectors/multivariate.h"
+#include "scoring/point_adjust.h"
+
+int main() {
+  using namespace tsad;
+  bench::PrintHeader(
+      "OMNI/SMD -- simple multivariate baseline, two scoring protocols");
+
+  const OmniArchive archive = GenerateOmniArchive();
+  MovingZScoreDetector base(60);
+
+  double pa_sum = 0.0, plain_sum = 0.0;
+  double pa_easy = 0.0, pa_hard = 0.0;
+  std::size_t counted = 0, easy_count = 0, hard_count = 0;
+
+  std::printf("%-16s %10s %10s\n", "machine", "plain F1", "pa F1");
+  for (const MultivariateSeries& machine : archive.machines) {
+    Result<std::vector<double>> scores = ScoreMultivariate(base, machine);
+    if (!scores.ok()) continue;
+    const std::vector<uint8_t> truth =
+        BinaryFromRegions(machine.anomalies(), machine.length());
+    Result<BestF1> plain = BestF1OverThresholds(truth, *scores);
+    Result<BestF1> adjusted = BestPointAdjustedF1(truth, *scores);
+    if (!plain.ok() || !adjusted.ok()) continue;
+    ++counted;
+    plain_sum += plain->f1;
+    pa_sum += adjusted->f1;
+    bool is_easy = false;
+    for (const std::string& name : archive.easy_machines) {
+      if (name == machine.name()) is_easy = true;
+    }
+    if (is_easy) {
+      pa_easy += adjusted->f1;
+      ++easy_count;
+    } else {
+      pa_hard += adjusted->f1;
+      ++hard_count;
+    }
+    std::printf("%-16s %10.3f %10.3f\n", machine.name().c_str(), plain->f1,
+                adjusted->f1);
+  }
+
+  const double c = static_cast<double>(counted);
+  std::printf("\nMeans over %zu machines:\n", counted);
+  std::printf("  plain best F1:          %.3f\n", plain_sum / c);
+  std::printf("  point-adjusted best F1: %.3f   <- the protocol the deep "
+              "papers report\n", pa_sum / c);
+  std::printf("  pa F1, easy machines:   %.3f (%zu machines)\n",
+              pa_easy / static_cast<double>(easy_count ? easy_count : 1),
+              easy_count);
+  std::printf("  pa F1, hard machines:   %.3f (%zu machines)\n",
+              pa_hard / static_cast<double>(hard_count ? hard_count : 1),
+              hard_count);
+  std::printf(
+      "\n=> a moving z-score from the 1960s posts ~0.9-class point-adjusted\n"
+      "F1 on the easy half -- the numbers that 'demonstrate' deep "
+      "progress.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Performance benchmarks for the matrix-profile substrate: MASS
+// distance profiles, the STOMP self-join, and the naive O(n^2 m)
+// reference. Establishes that the substrate scales as published
+// (n log n per MASS query, n^2 for the self-join).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/series.h"
+#include "substrates/matrix_profile.h"
+#include "substrates/sliding_window.h"
+
+namespace {
+
+tsad::Series RandomWalk(std::size_t n, uint64_t seed) {
+  tsad::Rng rng(seed);
+  tsad::Series x(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng.Gaussian();
+    x[i] = v;
+  }
+  return x;
+}
+
+void BM_MassDistanceProfile(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 128;
+  const tsad::Series x = RandomWalk(n, 1);
+  const tsad::Series query = tsad::Subsequence(x, n / 2, m);
+  const tsad::WindowStats stats = tsad::ComputeWindowStats(x, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::MassDistanceProfile(x, query, stats));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MassDistanceProfile)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_StompMatrixProfile(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tsad::Series x = RandomWalk(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StompMatrixProfile)->Range(1 << 10, 1 << 13)->Complexity();
+
+void BM_NaiveMatrixProfile(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tsad::Series x = RandomWalk(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfileNaive(x, 64));
+  }
+}
+BENCHMARK(BM_NaiveMatrixProfile)->Range(1 << 10, 1 << 11);
+
+void BM_WindowStats(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tsad::Series x = RandomWalk(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::ComputeWindowStats(x, 128));
+  }
+}
+BENCHMARK(BM_WindowStats)->Range(1 << 12, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

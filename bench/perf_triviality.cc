@@ -1,0 +1,60 @@
+// Performance benchmark for the Table 1 engine: the per-series
+// brute-force one-liner search (exact b sweep over the (form, k, c)
+// grid), plus the end-to-end 367-series archive analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/triviality.h"
+#include "datasets/generators.h"
+#include "datasets/yahoo.h"
+
+namespace {
+
+tsad::LabeledSeries SpikySeries(std::size_t n, uint64_t seed) {
+  tsad::Rng rng(seed);
+  tsad::Series x = tsad::GaussianNoise(n, 1.0, rng);
+  const tsad::AnomalyRegion r = tsad::InjectSpike(x, (3 * n) / 4, 20.0);
+  return tsad::LabeledSeries("bench", std::move(x), {r});
+}
+
+void BM_FindOneLiner(benchmark::State& state) {
+  const tsad::LabeledSeries series =
+      SpikySeries(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::FindOneLiner(series));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FindOneLiner)->Range(1 << 10, 1 << 15)->Complexity();
+
+void BM_FindOneLinerUnsolvable(benchmark::State& state) {
+  // Worst case: nothing solves, the full grid is searched.
+  tsad::Rng rng(2);
+  tsad::Series x =
+      tsad::GaussianNoise(static_cast<std::size_t>(state.range(0)), 1.0, rng);
+  tsad::LabeledSeries series("bench", std::move(x), {{100, 101}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::FindOneLiner(series));
+  }
+}
+BENCHMARK(BM_FindOneLinerUnsolvable)->Range(1 << 10, 1 << 14);
+
+void BM_Table1FullArchive(benchmark::State& state) {
+  const tsad::YahooArchive archive = tsad::GenerateYahooArchive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::AnalyzeTriviality(archive.all()));
+  }
+}
+BENCHMARK(BM_Table1FullArchive)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateYahooArchive(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::GenerateYahooArchive());
+  }
+}
+BENCHMARK(BM_GenerateYahooArchive)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

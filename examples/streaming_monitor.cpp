@@ -1,0 +1,81 @@
+// Scenario: a live monitoring loop. Points arrive one at a time; a
+// causal detector (streaming discord — the score at time t uses only
+// data up to t) raises alerts against a self-calibrated threshold, and
+// each alert is "triaged" the way the paper triages the taxi labels
+// (Fig 8): is it one of the events we know about, or something the
+// official ground truth never acknowledged?
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "tsad.h"
+
+int main() {
+  using namespace tsad;
+
+  // The stream: the simulated NYC taxi demand (215 days, 48 buckets/day).
+  const TaxiData taxi = GenerateTaxiData();
+  const Series& stream = taxi.series.values();
+  const std::size_t bucket = taxi.buckets_per_day;
+
+  std::printf("monitoring %zu buckets of taxi demand (%zu days)...\n\n",
+              stream.size(), stream.size() / bucket);
+
+  // Causal scores. (Computed in one call here; StreamingDiscordDetector
+  // is prefix-consistent — tests assert score(prefix) == score(full)
+  // on the shared prefix — so this equals a point-at-a-time loop.)
+  StreamingDiscordDetector detector(2 * bucket);
+  Result<std::vector<double>> scores = detector.Score(taxi.series);
+  if (!scores.ok()) {
+    std::printf("%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  // The alert loop: threshold = mean + 4*sigma of all PAST scores,
+  // refractory period of one day.
+  long double sum = 0.0L, sq = 0.0L;
+  std::size_t count = 0, last_alert = 0;
+  bool alerted_before = false;
+  std::size_t alerts = 0;
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    const double score = (*scores)[t];
+    if (count > 14 * bucket) {  // two-week probation
+      const double mean = static_cast<double>(sum / count);
+      const double var = static_cast<double>(sq / count) - mean * mean;
+      const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
+      const bool refractory = alerted_before && t - last_alert <= bucket;
+      if (score > mean + 4.0 * sd && !refractory) {
+        ++alerts;
+        last_alert = t;
+        alerted_before = true;
+        const double day = static_cast<double>(t) / static_cast<double>(bucket);
+        // Triage against the known event calendar.
+        std::string triage = "UNKNOWN -- investigate";
+        bool official = false;
+        for (const TaxiEvent& e : taxi.events) {
+          if (t + bucket >= e.day * bucket &&
+              t < (e.day + e.duration_days + 1) * bucket) {
+            triage = e.name;
+            official = e.officially_labeled;
+            break;
+          }
+        }
+        std::printf("ALERT day %6.1f (t=%5zu)  score %6.2f  %s%s\n", day, t,
+                    score, triage.c_str(),
+                    official ? "  [in the official ground truth]"
+                             : "  [NOT in the official ground truth]");
+      }
+    }
+    sum += score;
+    sq += static_cast<long double>(score) * score;
+    ++count;
+  }
+
+  std::printf("\n%zu alert(s) raised.\n", alerts);
+  std::printf(
+      "Note how several alerts correspond to real events the official\n"
+      "labels never acknowledged -- a deployed benchmark would have\n"
+      "scored them as false positives (the paper's Fig 8 argument).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "common/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsad {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  assert(n > 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = x[i + j];
+        const std::complex<double> v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : x) c *= inv_n;
+  }
+}
+
+std::vector<double> SlidingDotProductNaive(const std::vector<double>& t,
+                                           const std::vector<double>& q) {
+  const std::size_t n = t.size();
+  const std::size_t m = q.size();
+  if (m == 0 || m > n) return {};
+  std::vector<double> out(n - m + 1);
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j) acc += t[i + j] * q[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> SlidingDotProduct(const std::vector<double>& t,
+                                      const std::vector<double>& q) {
+  const std::size_t n = t.size();
+  const std::size_t m = q.size();
+  if (m == 0 || m > n) return {};
+  if (n < 64) return SlidingDotProductNaive(t, q);  // not worth the FFT
+
+  const std::size_t size = NextPowerOfTwo(n + m - 1);
+  std::vector<std::complex<double>> fa(size), fb(size);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = t[i];
+  // Reverse q so that convolution yields correlation.
+  for (std::size_t i = 0; i < m; ++i) fb[i] = q[m - 1 - i];
+
+  Fft(fa, /*inverse=*/false);
+  Fft(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < size; ++i) fa[i] *= fb[i];
+  Fft(fa, /*inverse=*/true);
+
+  // Valid correlation outputs live at offsets m-1 .. n-1.
+  std::vector<double> out(n - m + 1);
+  for (std::size_t i = 0; i + m <= n; ++i) out[i] = fa[i + m - 1].real();
+  return out;
+}
+
+}  // namespace tsad

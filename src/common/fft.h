@@ -1,0 +1,41 @@
+// FFT support for MASS (Mueen's Algorithm for Similarity Search), the
+// sliding-dot-product kernel under the matrix profile / discord
+// substrate.
+//
+// We implement an iterative radix-2 Cooley-Tukey transform and provide
+// power-of-two padding helpers; callers (MASS) pad to the next power of
+// two, so no Bluestein stage is needed.
+
+#ifndef TSAD_COMMON_FFT_H_
+#define TSAD_COMMON_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tsad {
+
+/// In-place iterative radix-2 FFT. Precondition: x.size() is a power of
+/// two (asserts). `inverse` applies the conjugate transform and the 1/N
+/// scaling.
+void Fft(std::vector<std::complex<double>>& x, bool inverse);
+
+/// Smallest power of two >= n (n = 0 maps to 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+/// Full linear cross-correlation-style sliding dot products via FFT:
+/// given series t (length n) and query q (length m <= n), returns the
+/// vector d of length n - m + 1 with
+///   d[i] = sum_{j=0}^{m-1} t[i + j] * q[j].
+/// Runs in O(n log n).
+std::vector<double> SlidingDotProduct(const std::vector<double>& t,
+                                      const std::vector<double>& q);
+
+/// Naive O(n*m) reference of SlidingDotProduct, used by tests and as a
+/// fallback for tiny inputs.
+std::vector<double> SlidingDotProductNaive(const std::vector<double>& t,
+                                           const std::vector<double>& q);
+
+}  // namespace tsad
+
+#endif  // TSAD_COMMON_FFT_H_

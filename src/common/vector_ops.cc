@@ -1,0 +1,235 @@
+#include "common/vector_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tsad {
+
+namespace {
+
+// Prefix sums with long-double accumulation: sums[i] = x[0]+...+x[i-1].
+std::vector<long double> PrefixSums(const std::vector<double>& x) {
+  std::vector<long double> sums(x.size() + 1, 0.0L);
+  for (std::size_t i = 0; i < x.size(); ++i) sums[i + 1] = sums[i] + x[i];
+  return sums;
+}
+
+std::vector<long double> PrefixSquareSums(const std::vector<double>& x) {
+  std::vector<long double> sums(x.size() + 1, 0.0L);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    sums[i + 1] = sums[i] + static_cast<long double>(x[i]) * x[i];
+  return sums;
+}
+
+// MATLAB-compatible centered window around i for window length k:
+// `before` elements into the past, `after` into the future, truncated
+// to [0, n). Returns [lo, hi) bounds.
+inline void CenteredWindow(std::size_t i, std::size_t n, std::size_t k,
+                           std::size_t* lo, std::size_t* hi) {
+  const std::size_t before = k / 2;
+  const std::size_t after = (k - 1) / 2;
+  *lo = i >= before ? i - before : 0;
+  *hi = std::min(n, i + after + 1);
+}
+
+}  // namespace
+
+std::vector<double> Diff(const std::vector<double>& x) {
+  if (x.size() < 2) return {};
+  std::vector<double> out(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) out[i] = x[i + 1] - x[i];
+  return out;
+}
+
+std::vector<double> Diff2(const std::vector<double>& x) { return Diff(Diff(x)); }
+
+std::vector<double> Abs(std::vector<double> x) {
+  for (double& v : x) v = std::fabs(v);
+  return x;
+}
+
+std::vector<double> MovMean(const std::vector<double>& x, std::size_t k) {
+  assert(k >= 1);
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  const auto sums = PrefixSums(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo, hi;
+    CenteredWindow(i, n, k, &lo, &hi);
+    out[i] = static_cast<double>((sums[hi] - sums[lo]) /
+                                 static_cast<long double>(hi - lo));
+  }
+  return out;
+}
+
+std::vector<double> MovStd(const std::vector<double>& x, std::size_t k) {
+  assert(k >= 1);
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  const auto sums = PrefixSums(x);
+  const auto sq = PrefixSquareSums(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo, hi;
+    CenteredWindow(i, n, k, &lo, &hi);
+    const std::size_t m = hi - lo;
+    if (m < 2) {
+      out[i] = 0.0;
+      continue;
+    }
+    const long double s = sums[hi] - sums[lo];
+    const long double ss = sq[hi] - sq[lo];
+    long double var = (ss - s * s / static_cast<long double>(m)) /
+                      static_cast<long double>(m - 1);
+    if (var < 0.0L) var = 0.0L;  // guard against catastrophic cancellation
+    out[i] = static_cast<double>(std::sqrt(static_cast<double>(var)));
+  }
+  return out;
+}
+
+std::vector<double> TrailingMean(const std::vector<double>& x, std::size_t k) {
+  assert(k >= 1);
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  const auto sums = PrefixSums(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i + 1 >= k ? i + 1 - k : 0;
+    out[i] = static_cast<double>((sums[i + 1] - sums[lo]) /
+                                 static_cast<long double>(i + 1 - lo));
+  }
+  return out;
+}
+
+std::vector<double> TrailingStd(const std::vector<double>& x, std::size_t k) {
+  assert(k >= 1);
+  const std::size_t n = x.size();
+  std::vector<double> out(n);
+  const auto sums = PrefixSums(x);
+  const auto sq = PrefixSquareSums(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i + 1 >= k ? i + 1 - k : 0;
+    const std::size_t m = i + 1 - lo;
+    if (m < 2) {
+      out[i] = 0.0;
+      continue;
+    }
+    const long double s = sums[i + 1] - sums[lo];
+    const long double ss = sq[i + 1] - sq[lo];
+    long double var = (ss - s * s / static_cast<long double>(m)) /
+                      static_cast<long double>(m - 1);
+    if (var < 0.0L) var = 0.0L;
+    out[i] = static_cast<double>(std::sqrt(static_cast<double>(var)));
+  }
+  return out;
+}
+
+std::vector<double> CumSum(const std::vector<double>& x) {
+  std::vector<double> out(x.size());
+  long double acc = 0.0L;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    out[i] = static_cast<double>(acc);
+  }
+  return out;
+}
+
+void ZNormalizeInPlace(std::vector<double>& x) {
+  if (x.empty()) return;
+  long double sum = 0.0L, sq = 0.0L;
+  for (double v : x) {
+    sum += v;
+    sq += static_cast<long double>(v) * v;
+  }
+  const long double n = static_cast<long double>(x.size());
+  const double mean = static_cast<double>(sum / n);
+  long double var = sq / n - (sum / n) * (sum / n);
+  if (var < 0.0L) var = 0.0L;
+  const double sd = std::sqrt(static_cast<double>(var));
+  if (sd < 1e-12) {
+    for (double& v : x) v -= mean;
+  } else {
+    for (double& v : x) v = (v - mean) / sd;
+  }
+}
+
+std::vector<double> ZNormalize(std::vector<double> x) {
+  ZNormalizeInPlace(x);
+  return x;
+}
+
+std::vector<double> MinMaxScale(std::vector<double> x, double lo, double hi) {
+  if (x.empty()) return x;
+  const auto [mn_it, mx_it] = std::minmax_element(x.begin(), x.end());
+  const double mn = *mn_it, mx = *mx_it;
+  const double range = mx - mn;
+  if (range < 1e-300) {
+    for (double& v : x) v = lo;
+    return x;
+  }
+  for (double& v : x) v = lo + (v - mn) / range * (hi - lo);
+  return x;
+}
+
+std::size_t ArgMax(const std::vector<double>& x) {
+  assert(!x.empty());
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+std::size_t ArgMin(const std::vector<double>& x) {
+  assert(!x.empty());
+  return static_cast<std::size_t>(
+      std::min_element(x.begin(), x.end()) - x.begin());
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(std::vector<double> x, double factor) {
+  for (double& v : x) v *= factor;
+  return x;
+}
+
+std::vector<double> PadLeft(const std::vector<double>& x, std::size_t pad,
+                            double value) {
+  std::vector<double> out;
+  out.reserve(x.size() + pad);
+  out.assign(pad, value);
+  out.insert(out.end(), x.begin(), x.end());
+  return out;
+}
+
+std::vector<std::size_t> IndicesAbove(const std::vector<double>& x,
+                                      double threshold) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > threshold) idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<double> Ewma(const std::vector<double>& x, double alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+  std::vector<double> out(x.size());
+  if (x.empty()) return out;
+  out[0] = x[0];
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    out[i] = alpha * x[i] + (1.0 - alpha) * out[i - 1];
+  }
+  return out;
+}
+
+}  // namespace tsad

@@ -1,0 +1,93 @@
+// Vectorized primitive operations mirroring the MATLAB built-ins the
+// paper's "one-liner" detectors are made of: diff, abs, movmean,
+// movstd, plus the usual supporting cast (cumsum, z-normalization,
+// argmax, ...).
+//
+// Semantics deliberately follow MATLAB where the paper depends on them:
+//  * Diff(x) has length n-1, Diff(x)[i] = x[i+1] - x[i].
+//  * MovMean(x, k) / MovStd(x, k) are centered moving windows of length
+//    k, truncated at the boundaries (MATLAB's default 'Endpoints'
+//    behaviour), output length n.
+//  * MovStd uses the unbiased (n-1) normalization like MATLAB's default.
+
+#ifndef TSAD_COMMON_VECTOR_OPS_H_
+#define TSAD_COMMON_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsad {
+
+/// First difference: out[i] = x[i+1] - x[i]; length n-1 (empty if n<2).
+std::vector<double> Diff(const std::vector<double>& x);
+
+/// Second difference: Diff(Diff(x)); length n-2 (empty if n<3).
+std::vector<double> Diff2(const std::vector<double>& x);
+
+/// Element-wise absolute value.
+std::vector<double> Abs(std::vector<double> x);
+
+/// Centered moving mean with window length k (k >= 1), truncated
+/// windows at the boundaries. MATLAB-compatible: for even k the window
+/// extends one element further into the past than the future.
+std::vector<double> MovMean(const std::vector<double>& x, std::size_t k);
+
+/// Centered moving standard deviation (unbiased, N-1 normalization,
+/// 0 for singleton windows), truncated at boundaries; MATLAB-compatible
+/// window alignment.
+std::vector<double> MovStd(const std::vector<double>& x, std::size_t k);
+
+/// Trailing (causal) moving mean over the last k samples (fewer at the
+/// start). Used by streaming-style detectors.
+std::vector<double> TrailingMean(const std::vector<double>& x, std::size_t k);
+
+/// Trailing (causal) moving standard deviation (unbiased) over the last
+/// k samples.
+std::vector<double> TrailingStd(const std::vector<double>& x, std::size_t k);
+
+/// Cumulative sum; out[i] = x[0] + ... + x[i].
+std::vector<double> CumSum(const std::vector<double>& x);
+
+/// Z-normalizes x in place to zero mean, unit (population) standard
+/// deviation. If the std is ~0 the series is centered only.
+void ZNormalizeInPlace(std::vector<double>& x);
+
+/// Returns a z-normalized copy of x.
+std::vector<double> ZNormalize(std::vector<double> x);
+
+/// Min-max scales x into [lo, hi]. Constant series map to lo.
+std::vector<double> MinMaxScale(std::vector<double> x, double lo, double hi);
+
+/// Index of the maximum element. Precondition: x non-empty (asserts).
+std::size_t ArgMax(const std::vector<double>& x);
+
+/// Index of the minimum element. Precondition: x non-empty (asserts).
+std::size_t ArgMin(const std::vector<double>& x);
+
+/// Element-wise a + b. Precondition: equal sizes (asserts).
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Element-wise a - b. Precondition: equal sizes (asserts).
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Element-wise scalar multiply.
+std::vector<double> Scale(std::vector<double> x, double factor);
+
+/// Pads `x` on the left with `pad` copies of `value` (used to restore
+/// alignment after Diff so scores line up with the original series).
+std::vector<double> PadLeft(const std::vector<double>& x, std::size_t pad,
+                            double value);
+
+/// Indices i where x[i] > threshold.
+std::vector<std::size_t> IndicesAbove(const std::vector<double>& x,
+                                      double threshold);
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; out[0] = x[0].
+std::vector<double> Ewma(const std::vector<double>& x, double alpha);
+
+}  // namespace tsad
+
+#endif  // TSAD_COMMON_VECTOR_OPS_H_

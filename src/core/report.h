@@ -1,0 +1,41 @@
+// Markdown rendering for benchmark audits — §4.3's "visualize the data"
+// recommendation turned into an artifact: one self-contained .md file
+// with the verdict, the four flaw sections, per-series tables, and
+// ASCII sparklines of the worst offenders.
+
+#ifndef TSAD_CORE_REPORT_H_
+#define TSAD_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/series.h"
+#include "common/status.h"
+#include "core/benchmark_audit.h"
+
+namespace tsad {
+
+struct ReportConfig {
+  /// How many of the flagged series get a sparkline panel.
+  std::size_t max_panels = 6;
+  /// Sparkline width in characters.
+  std::size_t sparkline_width = 72;
+};
+
+/// Renders a full Markdown report of the audit. `dataset` must be the
+/// dataset the audit was computed from (for the sparkline panels).
+std::string RenderAuditReport(const BenchmarkAudit& audit,
+                              const BenchmarkDataset& dataset,
+                              const ReportConfig& config = {});
+
+/// Renders and writes the report to `path`.
+Status WriteAuditReport(const BenchmarkAudit& audit,
+                        const BenchmarkDataset& dataset,
+                        const std::string& path,
+                        const ReportConfig& config = {});
+
+/// A one-line ASCII sparkline of a series (shared with the benches).
+std::string AsciiSparkline(const Series& values, std::size_t width = 72);
+
+}  // namespace tsad
+
+#endif  // TSAD_CORE_REPORT_H_

@@ -1,0 +1,133 @@
+#include "datasets/domains.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datasets/generators.h"
+
+namespace tsad {
+
+namespace {
+constexpr double kTwoPi = 6.28318530717958647692;
+}  // namespace
+
+Series InsectWingbeat(std::size_t n, Rng& rng) {
+  // Carrier ~ 25-sample period ("400 Hz at 10 kHz"), second and third
+  // harmonics, and a slow envelope modelling temperature drift.
+  const double period = rng.Uniform(22.0, 28.0);
+  const double phase = rng.Uniform(0.0, kTwoPi);
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double envelope =
+        1.0 + 0.25 * std::sin(kTwoPi * t / (static_cast<double>(n) / 3.0)) +
+        0.1 * std::sin(kTwoPi * t / 977.0);
+    const double fundamental = std::sin(kTwoPi * t / period + phase);
+    const double h2 = 0.4 * std::sin(2.0 * kTwoPi * t / period + 1.3 * phase);
+    const double h3 = 0.15 * std::sin(3.0 * kTwoPi * t / period + 0.4);
+    x[i] = envelope * (fundamental + h2 + h3) + rng.Gaussian(0.0, 0.02);
+  }
+  return x;
+}
+
+Series RobotJointTelemetry(std::size_t n, Rng& rng) {
+  // Pick-and-place cycles: accelerate, cruise, decelerate, dwell;
+  // gear-mesh ripple rides on the moving phases.
+  const std::size_t cycle = static_cast<std::size_t>(rng.UniformInt(180, 240));
+  Series x;
+  x.reserve(n + cycle);
+  while (x.size() < n) {
+    const std::size_t move = (cycle * 2) / 5;
+    const std::size_t dwell = cycle / 5;
+    const double reach = rng.Uniform(0.95, 1.05);
+    // Move out (s-curve), dwell, move back, dwell.
+    for (std::size_t i = 0; i < move; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(move);
+      const double s = t * t * (3.0 - 2.0 * t);  // smoothstep position
+      const double ripple = 0.01 * std::sin(kTwoPi * t * 12.0);
+      x.push_back(reach * s + ripple + rng.Gaussian(0.0, 0.004));
+    }
+    for (std::size_t i = 0; i < dwell; ++i) {
+      x.push_back(reach + rng.Gaussian(0.0, 0.004));
+    }
+    for (std::size_t i = 0; i < move; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(move);
+      const double s = 1.0 - t * t * (3.0 - 2.0 * t);
+      const double ripple = 0.01 * std::sin(kTwoPi * t * 12.0);
+      x.push_back(reach * s + ripple + rng.Gaussian(0.0, 0.004));
+    }
+    for (std::size_t i = 0; i < dwell; ++i) {
+      x.push_back(rng.Gaussian(0.0, 0.004));
+    }
+  }
+  x.resize(n);
+  return x;
+}
+
+Series IndustrialProcessValue(std::size_t n, Rng& rng) {
+  // Setpoint plateaus changed every ~1500 points with controlled ramps
+  // between them; PID wiggle and sensor noise on top. Plateau changes
+  // appear throughout, so they are "normal" for train and test alike.
+  Series x;
+  x.reserve(n + 64);
+  double level = rng.Uniform(40.0, 60.0);
+  while (x.size() < n) {
+    const std::size_t hold =
+        static_cast<std::size_t>(rng.UniformInt(1000, 2000));
+    for (std::size_t i = 0; i < hold && x.size() < n; ++i) {
+      const double wiggle =
+          0.4 * std::sin(kTwoPi * static_cast<double>(x.size()) / 147.0);
+      x.push_back(level + wiggle + rng.Gaussian(0.0, 0.15));
+    }
+    // Controlled ramp to the next setpoint over ~120 points.
+    const double next = level + rng.Uniform(-4.0, 4.0);
+    for (std::size_t i = 0; i < 120 && x.size() < n; ++i) {
+      const double t = static_cast<double>(i) / 120.0;
+      x.push_back(level + (next - level) * t + rng.Gaussian(0.0, 0.15));
+    }
+    level = next;
+  }
+  x.resize(n);
+  return x;
+}
+
+Series PedestrianCounts(std::size_t n, Rng& rng) {
+  // Hourly counts: daily profile x weekly factor, Poisson sampling.
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t hour = i % 24;
+    const std::size_t day = (i / 24) % 7;
+    const double t = static_cast<double>(hour) / 24.0;
+    const double commute =
+        std::exp(-std::pow((t - 0.35) * 7.0, 2.0)) +
+        std::exp(-std::pow((t - 0.72) * 7.0, 2.0));
+    const double base = 20.0 + 180.0 * commute;
+    const double weekday = day >= 5 ? 0.55 : 1.0;
+    x[i] = static_cast<double>(rng.Poisson(base * weekday));
+  }
+  return x;
+}
+
+Series SpacecraftTelemetry(std::size_t n, Rng& rng) {
+  // Orbital thermal cycling (two superimposed periods) with occasional
+  // commanded mode changes that shift the operating level; mode changes
+  // recur so they are normal behavior.
+  const double orbit = rng.Uniform(400.0, 600.0);
+  Series x(n);
+  double mode_level = 0.0;
+  std::size_t next_mode_change =
+      static_cast<std::size_t>(rng.UniformInt(800, 1600));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == next_mode_change) {
+      mode_level = rng.Uniform(-0.3, 0.3);
+      next_mode_change += static_cast<std::size_t>(rng.UniformInt(800, 1600));
+    }
+    const double t = static_cast<double>(i);
+    x[i] = mode_level + std::sin(kTwoPi * t / orbit) +
+           0.3 * std::sin(kTwoPi * t / (orbit / 7.3) + 0.8) +
+           rng.Gaussian(0.0, 0.03);
+  }
+  return x;
+}
+
+}  // namespace tsad

@@ -1,0 +1,42 @@
+// Anomaly-free base signals from the domains the UCR archive spans
+// (§3: "medicine, sports, entomology, industry, space science,
+// robotics, etc."). Each generator returns a clean series meant to be
+// fed to MakeUcrDataset (synthetic insertion, §3.2); the physiology and
+// gait modules cover the out-of-band-confirmed naturals (§3.1).
+
+#ifndef TSAD_DATASETS_DOMAINS_H_
+#define TSAD_DATASETS_DOMAINS_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/series.h"
+
+namespace tsad {
+
+/// Entomology: an insect wingbeat waveform — a carrier near the
+/// wingbeat frequency with harmonics and a slow amplitude envelope
+/// (temperature / posture), in the spirit of the paper's mosquito
+/// examples (§1, §4.2).
+Series InsectWingbeat(std::size_t n, Rng& rng);
+
+/// Robotics: joint telemetry of a pick-and-place cycle — trapezoidal
+/// position profile per cycle plus gear-mesh ripple and encoder noise.
+Series RobotJointTelemetry(std::size_t n, Rng& rng);
+
+/// Industry: a digital-historian process value — setpoint plateaus with
+/// slow drifts, PID-like wiggle and sensor noise (the AspenTech story's
+/// habitat, §3).
+Series IndustrialProcessValue(std::size_t n, Rng& rng);
+
+/// Urban sensing: pedestrian counts with daily/weekly structure and
+/// Poisson-flavored noise (the paper's reference [12] domain).
+Series PedestrianCounts(std::size_t n, Rng& rng);
+
+/// Space science: spacecraft bus telemetry — quasi-periodic thermal
+/// cycling with mode-dependent levels.
+Series SpacecraftTelemetry(std::size_t n, Rng& rng);
+
+}  // namespace tsad
+
+#endif  // TSAD_DATASETS_DOMAINS_H_

@@ -1,0 +1,87 @@
+#include "detectors/control_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace tsad {
+
+namespace {
+
+// Reference mean/std: training prefix when present, robust estimates
+// otherwise (so the anomaly cannot contaminate the baseline).
+void ReferenceStats(const Series& series, std::size_t train_length,
+                    double* mu, double* sigma) {
+  if (train_length >= 8 && train_length <= series.size()) {
+    const Series train(series.begin(),
+                       series.begin() +
+                           static_cast<std::ptrdiff_t>(train_length));
+    *mu = Mean(train);
+    *sigma = StdDev(train);
+  } else {
+    *mu = Median(Series(series));
+    *sigma = 1.4826 * Mad(series);
+  }
+  if (*sigma < 1e-9) *sigma = 1e-9;
+}
+
+}  // namespace
+
+EwmaChartDetector::EwmaChartDetector(double lambda) : lambda_(lambda) {
+  lambda_ = std::clamp(lambda_, 1e-3, 1.0);
+  std::ostringstream n;
+  n << "EWMAChart[lambda=" << lambda_ << "]";
+  name_ = n.str();
+}
+
+Result<std::vector<double>> EwmaChartDetector::Score(
+    const Series& series, std::size_t train_length) const {
+  const std::size_t n = series.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  double mu, sigma;
+  ReferenceStats(series, train_length, &mu, &sigma);
+
+  const double var_factor = lambda_ / (2.0 - lambda_);
+  double ewma = mu;
+  double decay = 1.0;  // (1 - lambda)^(2i)
+  const double decay_step = (1.0 - lambda_) * (1.0 - lambda_);
+  for (std::size_t i = 0; i < n; ++i) {
+    ewma = lambda_ * series[i] + (1.0 - lambda_) * ewma;
+    decay *= decay_step;
+    const double se = sigma * std::sqrt(var_factor * (1.0 - decay));
+    scores[i] = std::fabs(ewma - mu) / std::max(1e-12, se);
+  }
+  return scores;
+}
+
+PageHinkleyDetector::PageHinkleyDetector(double delta) : delta_(delta) {
+  std::ostringstream n;
+  n << "PageHinkley[delta=" << delta_ << "]";
+  name_ = n.str();
+}
+
+Result<std::vector<double>> PageHinkleyDetector::Score(
+    const Series& series, std::size_t train_length) const {
+  const std::size_t n = series.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  double mu, sigma;
+  ReferenceStats(series, train_length, &mu, &sigma);
+
+  double cum = 0.0, cum_min = 0.0, cum_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (series[i] - mu) / sigma;
+    cum += z - delta_;
+    cum_min = std::min(cum_min, cum);
+    cum_max = std::max(cum_max, cum);
+    // Upward drift pushes cum above its running minimum; downward drift
+    // pulls it below its running maximum.
+    scores[i] = std::max(cum - cum_min, cum_max - cum);
+  }
+  return scores;
+}
+
+}  // namespace tsad

@@ -1,0 +1,62 @@
+// Classic statistical-process-control detectors — more of the
+// "decades-old simple methods" (§4.5) that belong on any leaderboard
+// next to deep models:
+//
+//  * EWMA control chart (Roberts, 1959): an exponentially weighted
+//    moving average tracked against control limits derived from the
+//    training/robust reference.
+//  * Page-Hinkley test (Page, 1954): a one-sided cumulative deviation
+//    statistic with a built-in minimum, the classic drift detector.
+
+#ifndef TSAD_DETECTORS_CONTROL_CHART_H_
+#define TSAD_DETECTORS_CONTROL_CHART_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// EWMA chart: score[i] = |ewma[i] - mu| / (sigma * limit[i]) where
+/// limit is the exact time-dependent EWMA standard error
+/// sqrt(lambda/(2-lambda) * (1 - (1-lambda)^(2i))). Scores above 1
+/// correspond to points outside the classic L-sigma control limits
+/// when multiplied by L.
+class EwmaChartDetector : public AnomalyDetector {
+ public:
+  /// `lambda` in (0, 1]: the EWMA smoothing factor (0.2 is the
+  /// textbook default).
+  explicit EwmaChartDetector(double lambda = 0.2);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+ private:
+  double lambda_;
+  std::string name_;
+};
+
+/// Page-Hinkley: m_t = sum_{i<=t} (x_i - mean - delta); score[i] =
+/// max over both one-sided statistics (m_t - min m, max m - m_t),
+/// normalized by sigma. Detects sustained drifts rather than point
+/// outliers.
+class PageHinkleyDetector : public AnomalyDetector {
+ public:
+  /// `delta` is the magnitude tolerance in sigma units.
+  explicit PageHinkleyDetector(double delta = 0.05);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+ private:
+  double delta_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_CONTROL_CHART_H_

@@ -1,0 +1,55 @@
+#include "detectors/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace tsad {
+
+CusumDetector::CusumDetector(double drift, double reset_threshold)
+    : drift_(drift), reset_threshold_(reset_threshold) {
+  std::ostringstream n;
+  n << "CUSUM[drift=" << drift_;
+  if (reset_threshold_ > 0.0) n << ",reset=" << reset_threshold_;
+  n << "]";
+  name_ = n.str();
+}
+
+Result<std::vector<double>> CusumDetector::Score(
+    const Series& series, std::size_t train_length) const {
+  const std::size_t n = series.size();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+
+  // Reference statistics: training prefix if provided, else robust
+  // whole-series estimates (median / scaled MAD) so that the anomaly
+  // itself does not contaminate the reference.
+  double mu, sigma;
+  if (train_length >= 8 && train_length <= n) {
+    const Series train(series.begin(),
+                       series.begin() + static_cast<std::ptrdiff_t>(train_length));
+    mu = Mean(train);
+    sigma = StdDev(train);
+  } else {
+    mu = Median(Series(series));
+    sigma = 1.4826 * Mad(series);  // MAD -> sigma under normality
+  }
+  if (sigma < 1e-9) sigma = 1e-9;
+
+  double s_pos = 0.0, s_neg = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = (series[i] - mu) / sigma;
+    s_pos = std::max(0.0, s_pos + z - drift_);
+    s_neg = std::max(0.0, s_neg - z - drift_);
+    scores[i] = std::max(s_pos, s_neg);
+    if (reset_threshold_ > 0.0 && scores[i] > reset_threshold_) {
+      s_pos = 0.0;
+      s_neg = 0.0;
+    }
+  }
+  return scores;
+}
+
+}  // namespace tsad

@@ -1,0 +1,42 @@
+// Two-sided CUSUM change detector (Page, Biometrika 1957) — the paper's
+// opening citation ("papers dating back to the dawn of computer
+// science") and the canonical pre-deep-learning changepoint method.
+
+#ifndef TSAD_DETECTORS_CUSUM_H_
+#define TSAD_DETECTORS_CUSUM_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// Two-sided CUSUM on standardized residuals. The reference mean/std is
+/// estimated from the training prefix when available, otherwise from
+/// the whole series (robustly, via median/MAD).
+///
+/// S+[i] = max(0, S+[i-1] + z[i] - drift)
+/// S-[i] = max(0, S-[i-1] - z[i] - drift)
+/// score[i] = max(S+[i], S-[i])
+class CusumDetector : public AnomalyDetector {
+ public:
+  /// `drift` is the slack parameter kappa (typically 0.5 sigma). The
+  /// statistic is reset to zero whenever it exceeds `reset_threshold`
+  /// (0 disables resets), which keeps the score track localized instead
+  /// of saturating after the first change.
+  explicit CusumDetector(double drift = 0.5, double reset_threshold = 0.0);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+ private:
+  double drift_;
+  double reset_threshold_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_CUSUM_H_

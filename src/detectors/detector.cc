@@ -1,0 +1,40 @@
+#include "detectors/detector.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace tsad {
+
+std::size_t PredictLocation(const std::vector<double>& scores,
+                            std::size_t test_start) {
+  if (scores.empty() || test_start >= scores.size()) return kNoPrediction;
+  std::size_t best = test_start;
+  for (std::size_t i = test_start + 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<AnomalyRegion> RegionsFromScores(const std::vector<double>& scores,
+                                             double threshold) {
+  return RegionsFromBinary(PredictionsFromScores(scores, threshold));
+}
+
+std::vector<uint8_t> PredictionsFromScores(const std::vector<double>& scores,
+                                           double threshold) {
+  std::vector<uint8_t> out(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] > threshold ? 1 : 0;
+  }
+  return out;
+}
+
+double Discrimination(const std::vector<double>& scores) {
+  if (scores.empty()) return 0.0;
+  const double sd = StdDev(scores);
+  if (sd < 1e-12) return 0.0;
+  return (Max(scores) - Mean(scores)) / sd;
+}
+
+}  // namespace tsad

@@ -1,0 +1,51 @@
+#include "detectors/discord.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tsad {
+
+DiscordDetector::DiscordDetector(std::size_t m)
+    : m_(m), name_("Discord[m=" + std::to_string(m) + "]") {}
+
+std::vector<double> ProfileToPointScores(const std::vector<double>& profile,
+                                         std::size_t m, std::size_t n) {
+  std::vector<double> scores(n, 0.0);
+  if (profile.empty() || m == 0) return scores;
+  // Sliding-window maximum over windows of length m via monotone deque:
+  // point i is covered by profile entries j in [i-m+1, i].
+  std::deque<std::size_t> dq;  // indices into profile, decreasing values
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t hi = std::min(i, profile.size() - 1);
+    // Push new profile entries that start covering point i.
+    // Entry j covers points [j, j+m). New entries when j == i (if valid).
+    if (i < profile.size()) {
+      while (!dq.empty() && profile[dq.back()] <= profile[i]) dq.pop_back();
+      dq.push_back(i);
+    }
+    // Drop entries that no longer cover point i (j + m <= i).
+    while (!dq.empty() && dq.front() + m <= i) dq.pop_front();
+    if (!dq.empty()) {
+      scores[i] = profile[dq.front()];
+    } else if (hi < profile.size()) {
+      scores[i] = profile[hi];
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<double>> DiscordDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  Result<MatrixProfile> mp = ComputeMatrixProfile(series, m_);
+  if (!mp.ok()) return mp.status();
+  return ProfileToPointScores(mp->distances, m_, series.size());
+}
+
+Result<std::vector<Discord>> DiscordDetector::FindDiscords(
+    const Series& series, std::size_t k) const {
+  Result<MatrixProfile> mp = ComputeMatrixProfile(series, m_);
+  if (!mp.ok()) return mp.status();
+  return TopDiscords(*mp, k);
+}
+
+}  // namespace tsad

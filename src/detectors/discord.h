@@ -1,0 +1,55 @@
+// Time series discord detector (Yankov, Keogh & Rebbapragada ICDM'07,
+// via the matrix profile of Yeh et al. ICDM'16). This is the
+// "decades-old simple idea" the paper holds up against deep models in
+// Figs 8 and 13: the subsequence farthest from its nearest neighbor is
+// the anomaly.
+
+#ifndef TSAD_DETECTORS_DISCORD_H_
+#define TSAD_DETECTORS_DISCORD_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// Scores every point by the matrix-profile value of the subsequences
+/// covering it (maximum over covering windows), so the score track has
+/// the full series length and peaks across the anomalous region.
+///
+/// Uses no training data — like the paper's Fig 13 setup ("Discord uses
+/// no training data").
+class DiscordDetector : public AnomalyDetector {
+ public:
+  /// `m` is the subsequence length — the one genuine parameter of the
+  /// method. The matrix profile uses the conventional m/2 exclusion
+  /// zone.
+  explicit DiscordDetector(std::size_t m);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  /// The top-k discords of a series (convenience wrapper over the
+  /// substrate; used by the taxi audit in Fig 8).
+  Result<std::vector<Discord>> FindDiscords(const Series& series,
+                                            std::size_t k) const;
+
+  std::size_t subsequence_length() const { return m_; }
+
+ private:
+  std::size_t m_;
+  std::string name_;
+};
+
+/// Expands a matrix profile (length n-m+1) to a per-point score track
+/// (length n): each point receives the maximum profile value over the
+/// windows containing it. Exposed for reuse by MERLIN.
+std::vector<double> ProfileToPointScores(const std::vector<double>& profile,
+                                         std::size_t m, std::size_t n);
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_DISCORD_H_

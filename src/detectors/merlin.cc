@@ -1,0 +1,185 @@
+#include "detectors/merlin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+#include "common/vector_ops.h"
+#include "detectors/discord.h"
+
+namespace tsad {
+
+namespace {
+
+// True nearest-neighbor distance of the subsequence at `pos` using a
+// MASS distance profile with an exclusion zone of m/2 around pos.
+double TrueNnDistance(const Series& series, std::size_t pos, std::size_t m,
+                      const WindowStats& stats, std::size_t* nn_out) {
+  const std::vector<double> profile =
+      MassDistanceProfile(series, Subsequence(series, pos, m), stats);
+  const std::size_t exclusion = m / 2;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_j = kNoNeighbor;
+  for (std::size_t j = 0; j < profile.size(); ++j) {
+    const std::size_t gap = pos > j ? pos - j : j - pos;
+    if (gap <= exclusion) continue;
+    if (profile[j] < best) {
+      best = profile[j];
+      best_j = j;
+    }
+  }
+  if (nn_out != nullptr) *nn_out = best_j;
+  return best;
+}
+
+}  // namespace
+
+DragResult DragTopDiscord(const Series& series, std::size_t m, double r) {
+  DragResult result;
+  const std::size_t count = NumSubsequences(series.size(), m);
+  if (m < 2 || count < 2) return result;
+  const std::size_t exclusion = m / 2;
+
+  // Phase 1: candidate selection. A candidate is a subsequence that
+  // might have NN distance >= r. When a new subsequence comes within r
+  // of a candidate, both are disqualified as discords at radius r (the
+  // candidate is removed; the newcomer is not added).
+  std::vector<std::size_t> candidates;
+  std::vector<std::vector<double>> cand_znorm;  // cached z-normed copies
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> zi = ZNormalize(Subsequence(series, i, m));
+    bool is_candidate = true;
+    for (std::size_t c = 0; c < candidates.size();) {
+      const std::size_t j = candidates[c];
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap <= exclusion) {
+        ++c;  // trivial match: ignore, keep candidate
+        continue;
+      }
+      if (EuclideanDistance(zi, cand_znorm[c]) < r) {
+        // Mutual disqualification.
+        candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(c));
+        cand_znorm.erase(cand_znorm.begin() + static_cast<std::ptrdiff_t>(c));
+        is_candidate = false;
+        // Keep scanning: the newcomer may eliminate more candidates.
+        continue;
+      }
+      ++c;
+    }
+    if (is_candidate) {
+      candidates.push_back(i);
+      cand_znorm.push_back(std::move(zi));
+    }
+  }
+  if (candidates.empty()) return result;  // r too large
+
+  // Phase 2: refinement — exact NN distance for each survivor.
+  const WindowStats stats = ComputeWindowStats(series, m);
+  double best = -1.0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::size_t nn = kNoNeighbor;
+    const double d = TrueNnDistance(series, candidates[c], m, stats, &nn);
+    if (d >= r && d > best) {
+      best = d;
+      result.discord.position = candidates[c];
+      result.discord.distance = d;
+      result.discord.nearest_neighbor = nn;
+      result.found = true;
+    }
+  }
+  return result;
+}
+
+Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
+                                               std::size_t min_length,
+                                               std::size_t max_length) {
+  if (min_length < 4 || min_length > max_length) {
+    return Status::InvalidArgument("bad MERLIN length range [" +
+                                   std::to_string(min_length) + ", " +
+                                   std::to_string(max_length) + "]");
+  }
+  if (NumSubsequences(series.size(), max_length) < 2 * max_length) {
+    return Status::InvalidArgument(
+        "series too short for MERLIN at max_length " +
+        std::to_string(max_length));
+  }
+
+  std::vector<LengthDiscord> out;
+  std::vector<double> recent;  // recent discord distances for r seeding
+  double prev_distance = -1.0;
+
+  for (std::size_t m = min_length; m <= max_length; ++m) {
+    // Seed r per the MERLIN schedule: 2*sqrt(m) for the first length,
+    // then slightly below the previous length's discord distance, and
+    // once >= 5 lengths are done, mean - 2*std of the last five.
+    double r;
+    if (prev_distance < 0.0) {
+      r = 2.0 * std::sqrt(static_cast<double>(m));
+    } else if (recent.size() >= 5) {
+      std::vector<double> window(recent.end() - 5, recent.end());
+      r = Mean(window) - 2.0 * StdDev(window);
+      if (r <= 0.0) r = prev_distance * 0.99;
+    } else {
+      r = prev_distance * 0.99;
+    }
+
+    DragResult drag;
+    int attempts = 0;
+    for (; attempts < 100; ++attempts) {
+      drag = DragTopDiscord(series, m, r);
+      if (drag.found) break;
+      r *= (prev_distance < 0.0) ? 0.5 : 0.99;  // MERLIN's backoff
+      if (r < 1e-6) break;
+    }
+    if (!drag.found) {
+      // Fail-safe: exact discord via the matrix profile.
+      Result<MatrixProfile> mp = ComputeMatrixProfile(series, m);
+      if (!mp.ok()) return mp.status();
+      const std::vector<Discord> top = TopDiscords(*mp, 1);
+      if (top.empty()) {
+        return Status::Internal("no discord found at length " +
+                                std::to_string(m));
+      }
+      drag.discord = top.front();
+      drag.found = true;
+    }
+
+    LengthDiscord ld;
+    ld.length = m;
+    ld.position = drag.discord.position;
+    ld.distance = drag.discord.distance;
+    ld.normalized = drag.discord.distance / std::sqrt(static_cast<double>(m));
+    out.push_back(ld);
+
+    prev_distance = drag.discord.distance;
+    recent.push_back(drag.discord.distance);
+  }
+  return out;
+}
+
+MerlinDetector::MerlinDetector(std::size_t min_length, std::size_t max_length)
+    : min_length_(min_length),
+      max_length_(max_length),
+      name_("MERLIN[" + std::to_string(min_length) + ".." +
+            std::to_string(max_length) + "]") {}
+
+Result<std::vector<double>> MerlinDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  Result<std::vector<LengthDiscord>> sweep =
+      MerlinSweep(series, min_length_, max_length_);
+  if (!sweep.ok()) return sweep.status();
+
+  std::vector<double> scores(series.size(), 0.0);
+  for (const LengthDiscord& d : *sweep) {
+    // Spread each discord's normalized distance over the points it
+    // covers; keep the max across lengths.
+    const std::size_t end = std::min(series.size(), d.position + d.length);
+    for (std::size_t i = d.position; i < end; ++i) {
+      scores[i] = std::max(scores[i], d.normalized);
+    }
+  }
+  return scores;
+}
+
+}  // namespace tsad

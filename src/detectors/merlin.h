@@ -1,0 +1,69 @@
+// MERLIN-style parameter-free discord discovery (Nakamura et al.,
+// ICDM 2020, the paper's reference [18]): finds the top discord at
+// every subsequence length in a range, so the user does not have to
+// guess the window size.
+//
+// Built from the DRAG candidate-selection algorithm (Yankov, Keogh &
+// Rebbapragada, ICDM 2007 [20]):
+//   Phase 1 scans the series once keeping a set of candidate
+//   subsequences whose nearest neighbor might be at distance >= r;
+//   Phase 2 refines each candidate's true nearest-neighbor distance
+//   with a MASS distance profile. MERLIN then adapts r across lengths
+//   so each DRAG call succeeds quickly.
+
+#ifndef TSAD_DETECTORS_MERLIN_H_
+#define TSAD_DETECTORS_MERLIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "detectors/detector.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// Discord at a specific subsequence length.
+struct LengthDiscord {
+  std::size_t length = 0;       // subsequence length m
+  std::size_t position = 0;     // start index of the discord
+  double distance = 0.0;        // z-normalized NN distance
+  double normalized = 0.0;      // distance / sqrt(m), comparable across m
+};
+
+/// DRAG: the top-1 discord of `series` at length m, given the guess r.
+/// Succeeds iff the true top discord's NN distance is >= r; on success
+/// `found` is true and the discord fields are filled.
+struct DragResult {
+  bool found = false;
+  Discord discord;
+};
+DragResult DragTopDiscord(const Series& series, std::size_t m, double r);
+
+/// MERLIN sweep: top discord for every m in [min_length, max_length].
+/// Returns InvalidArgument on a bad range or a series too short for
+/// max_length.
+Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
+                                               std::size_t min_length,
+                                               std::size_t max_length);
+
+/// Detector adapter: the per-point score is the maximum
+/// length-normalized discord coverage across the swept lengths, making
+/// MERLIN usable in the common evaluation pipeline.
+class MerlinDetector : public AnomalyDetector {
+ public:
+  MerlinDetector(std::size_t min_length, std::size_t max_length);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+ private:
+  std::size_t min_length_;
+  std::size_t max_length_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_MERLIN_H_

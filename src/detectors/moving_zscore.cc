@@ -1,0 +1,42 @@
+#include "detectors/moving_zscore.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsad {
+
+MovingZScoreDetector::MovingZScoreDetector(std::size_t window, double min_std)
+    : window_(std::max<std::size_t>(2, window)),
+      min_std_(min_std),
+      name_("MovingZScore[w=" + std::to_string(window_) + "]") {}
+
+Result<std::vector<double>> MovingZScoreDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  const std::size_t n = series.size();
+  std::vector<double> scores(n, 0.0);
+  if (n <= window_) return scores;
+
+  // Rolling sums over the trailing window [i - window_, i).
+  long double sum = 0.0L, sq = 0.0L;
+  for (std::size_t i = 0; i < window_; ++i) {
+    sum += series[i];
+    sq += static_cast<long double>(series[i]) * series[i];
+  }
+  const long double w = static_cast<long double>(window_);
+  for (std::size_t i = window_; i < n; ++i) {
+    const long double mean = sum / w;
+    long double var = sq / w - mean * mean;
+    if (var < 0.0L) var = 0.0L;
+    const double sd =
+        std::max(min_std_, std::sqrt(static_cast<double>(var)));
+    scores[i] = std::fabs(series[i] - static_cast<double>(mean)) / sd;
+    // Slide the window.
+    const double out = series[i - window_];
+    sum += series[i] - out;
+    sq += static_cast<long double>(series[i]) * series[i] -
+          static_cast<long double>(out) * out;
+  }
+  return scores;
+}
+
+}  // namespace tsad

@@ -1,0 +1,38 @@
+// Classic trailing moving z-score detector — the kind of "decades-old
+// simple method" (§4.5) that the paper argues should be the baseline
+// any new proposal must beat.
+
+#ifndef TSAD_DETECTORS_MOVING_ZSCORE_H_
+#define TSAD_DETECTORS_MOVING_ZSCORE_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// Scores each point by |x[i] - mean| / std over the trailing window of
+/// `window` points (excluding x[i] itself). The first `window` points
+/// receive score 0 (insufficient history).
+class MovingZScoreDetector : public AnomalyDetector {
+ public:
+  /// `window` must be >= 2. `min_std` floors the denominator so flat
+  /// history does not produce infinite scores.
+  explicit MovingZScoreDetector(std::size_t window, double min_std = 1e-9);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  std::size_t window() const { return window_; }
+
+ private:
+  std::size_t window_;
+  double min_std_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_MOVING_ZSCORE_H_

@@ -1,0 +1,81 @@
+#include "detectors/multivariate.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "common/vector_ops.h"
+
+namespace tsad {
+
+std::string_view ScoreAggregationName(ScoreAggregation aggregation) {
+  switch (aggregation) {
+    case ScoreAggregation::kMax:
+      return "max";
+    case ScoreAggregation::kMean:
+      return "mean";
+  }
+  return "?";
+}
+
+Result<std::vector<double>> ScoreMultivariate(const AnomalyDetector& detector,
+                                              const MultivariateSeries& machine,
+                                              ScoreAggregation aggregation) {
+  const std::size_t n = machine.length();
+  if (machine.num_dimensions() == 0 || n == 0) {
+    return Status::InvalidArgument("empty multivariate series");
+  }
+  std::vector<double> aggregated(n, 0.0);
+  std::size_t used = 0;
+  Status first_error = Status::OK();
+  for (std::size_t d = 0; d < machine.num_dimensions(); ++d) {
+    Result<std::vector<double>> scores =
+        detector.Score(machine.dimensions()[d], machine.train_length());
+    if (!scores.ok()) {
+      if (first_error.ok()) first_error = scores.status();
+      continue;
+    }
+    // Z-scale so heterogeneous channels contribute comparably.
+    std::vector<double> z = ZNormalize(std::move(scores.value()));
+    ++used;
+    switch (aggregation) {
+      case ScoreAggregation::kMax:
+        for (std::size_t i = 0; i < n; ++i) {
+          aggregated[i] = used == 1 ? z[i] : std::max(aggregated[i], z[i]);
+        }
+        break;
+      case ScoreAggregation::kMean:
+        for (std::size_t i = 0; i < n; ++i) aggregated[i] += z[i];
+        break;
+    }
+  }
+  if (used == 0) {
+    return first_error.ok()
+               ? Status::Internal("no dimension produced scores")
+               : first_error;
+  }
+  if (aggregation == ScoreAggregation::kMean) {
+    for (double& v : aggregated) v /= static_cast<double>(used);
+  }
+  return aggregated;
+}
+
+Result<std::vector<AnomalyRegion>> DetectMultivariateRegions(
+    const AnomalyDetector& detector, const MultivariateSeries& machine,
+    double z_threshold, ScoreAggregation aggregation) {
+  Result<std::vector<double>> scores =
+      ScoreMultivariate(detector, machine, aggregation);
+  if (!scores.ok()) return scores.status();
+  // Threshold over the test span only.
+  const std::size_t start = std::min(machine.train_length(), scores->size());
+  const std::vector<double> test(scores->begin() +
+                                     static_cast<std::ptrdiff_t>(start),
+                                 scores->end());
+  const double threshold = Mean(test) + z_threshold * StdDev(test);
+  std::vector<uint8_t> flags(scores->size(), 0);
+  for (std::size_t i = start; i < scores->size(); ++i) {
+    flags[i] = (*scores)[i] > threshold ? 1 : 0;
+  }
+  return RegionsFromBinary(flags);
+}
+
+}  // namespace tsad

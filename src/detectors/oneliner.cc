@@ -1,0 +1,93 @@
+#include "detectors/oneliner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/vector_ops.h"
+
+namespace tsad {
+
+std::string_view OneLinerFormName(OneLinerForm form) {
+  switch (form) {
+    case OneLinerForm::kEq3:
+      return "(3)";
+    case OneLinerForm::kEq4:
+      return "(4)";
+    case OneLinerForm::kEq5:
+      return "(5)";
+    case OneLinerForm::kEq6:
+      return "(6)";
+  }
+  return "?";
+}
+
+std::string OneLinerParams::ToMatlab() const {
+  const std::string lhs = use_abs ? "abs(diff(TS))" : "diff(TS)";
+  std::ostringstream out;
+  out << lhs << " > ";
+  bool need_plus = false;
+  if (use_movmean) {
+    out << "movmean(" << lhs << "," << k << ")";
+    need_plus = true;
+  }
+  if (c != 0.0) {
+    if (need_plus) out << " + ";
+    out << c << "*movstd(" << lhs << "," << k << ")";
+    need_plus = true;
+  }
+  if (b != 0.0 || !need_plus) {
+    if (need_plus) out << " + ";
+    out << b;
+  }
+  return out.str();
+}
+
+namespace {
+
+// Shared evaluation: returns the margin (lhs - rhs) in the diff domain,
+// length n-1.
+std::vector<double> DiffDomainMargin(const Series& series,
+                                     const OneLinerParams& params) {
+  std::vector<double> d = Diff(series);
+  if (params.use_abs) d = Abs(std::move(d));
+  std::vector<double> rhs(d.size(), params.b);
+  if (params.use_movmean) {
+    const std::vector<double> mm = MovMean(d, std::max<std::size_t>(1, params.k));
+    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += mm[i];
+  }
+  if (params.c != 0.0) {
+    const std::vector<double> ms = MovStd(d, std::max<std::size_t>(1, params.k));
+    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += params.c * ms[i];
+  }
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] -= rhs[i];
+  return d;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EvaluateOneLiner(const Series& series,
+                                      const OneLinerParams& params) {
+  std::vector<uint8_t> flags(series.size(), 0);
+  if (series.size() < 2) return flags;
+  const std::vector<double> margin = DiffDomainMargin(series, params);
+  for (std::size_t i = 0; i < margin.size(); ++i) {
+    if (margin[i] > 0.0) flags[i + 1] = 1;
+  }
+  return flags;
+}
+
+std::vector<double> OneLinerMargin(const Series& series,
+                                   const OneLinerParams& params) {
+  if (series.size() < 2) return std::vector<double>(series.size(), 0.0);
+  std::vector<double> margin = DiffDomainMargin(series, params);
+  const double floor_value =
+      margin.empty() ? 0.0 : *std::min_element(margin.begin(), margin.end());
+  return PadLeft(margin, 1, floor_value);
+}
+
+Result<std::vector<double>> OneLinerDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  return OneLinerMargin(series, params_);
+}
+
+}  // namespace tsad

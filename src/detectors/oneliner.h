@@ -1,0 +1,97 @@
+// The paper's "one-liner" detector family: equations (1)-(6) of §2.2.
+//
+// The general forms, in the paper's MATLAB notation, are
+//
+//   (1)  abs(diff(TS)) > u*movmean(abs(diff(TS)),k)
+//                        + c*movstd(abs(diff(TS)),k) + b
+//   (2)      diff(TS)  > u*movmean(diff(TS),k)
+//                        + c*movstd(diff(TS),k) + b
+//
+// with u in {0, 1}, window k, coefficient c and offset b. The
+// simplified derived forms are
+//
+//   (3)  abs(diff(TS)) > b                          (u = 0, c = 0)
+//   (4)  abs(diff(TS)) > movmean(...) + c*movstd(...) + b   (u = 1)
+//   (5)      diff(TS)  > b                          (u = 0, c = 0)
+//   (6)      diff(TS)  > movmean(...) + c*movstd(...) + b   (u = 1)
+//
+// A one-liner predicate flags points in the diff domain; we align the
+// flag/score for diff index i to original-series index i + 1 (the point
+// whose arrival created the jump).
+
+#ifndef TSAD_DETECTORS_ONELINER_H_
+#define TSAD_DETECTORS_ONELINER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// Which equation family a parameter setting instantiates.
+enum class OneLinerForm {
+  kEq3,  // abs(diff) > b
+  kEq4,  // abs(diff) > movmean + c*movstd + b
+  kEq5,  // diff > b
+  kEq6,  // diff > movmean + c*movstd + b
+};
+
+std::string_view OneLinerFormName(OneLinerForm form);
+
+/// Full parameterization of equations (1)/(2).
+struct OneLinerParams {
+  bool use_abs = true;      // abs(diff(TS)) [eq 1/3/4] vs diff(TS) [eq 2/5/6]
+  bool use_movmean = false;  // u
+  std::size_t k = 5;        // moving-window length (only if u=1 or c!=0)
+  double c = 0.0;           // coefficient on movstd
+  double b = 0.0;           // offset
+
+  /// Classifies these parameters into the simplified form taxonomy.
+  OneLinerForm form() const {
+    if (use_abs) return (!use_movmean && c == 0.0) ? OneLinerForm::kEq3
+                                                   : OneLinerForm::kEq4;
+    return (!use_movmean && c == 0.0) ? OneLinerForm::kEq5
+                                      : OneLinerForm::kEq6;
+  }
+
+  /// Renders the parameter setting as the MATLAB one-liner it encodes,
+  /// e.g. "abs(diff(TS)) > movmean(abs(diff(TS)),5) + 3.1*movstd(...,5) + 0.2".
+  std::string ToMatlab() const;
+};
+
+/// Evaluates a one-liner predicate. Returns a binary flag per point of
+/// the original series (length n; index 0 is never flagged since diff
+/// shortens by one).
+std::vector<uint8_t> EvaluateOneLiner(const Series& series,
+                                      const OneLinerParams& params);
+
+/// Margin scores for the same predicate: score[i] = lhs - rhs aligned to
+/// the original series (index 0 gets the minimum margin). Positive where
+/// the predicate fires; usable as a generic anomaly score.
+std::vector<double> OneLinerMargin(const Series& series,
+                                   const OneLinerParams& params);
+
+/// AnomalyDetector adapter so one-liners can run through the generic
+/// evaluation pipeline next to Discord/Telemanom.
+class OneLinerDetector : public AnomalyDetector {
+ public:
+  explicit OneLinerDetector(OneLinerParams params)
+      : params_(params), name_("OneLiner[" + params.ToMatlab() + "]") {}
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  const OneLinerParams& params() const { return params_; }
+
+ private:
+  OneLinerParams params_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_ONELINER_H_

@@ -1,0 +1,160 @@
+#include "detectors/registry.h"
+
+#include <charconv>
+#include <map>
+
+#include "detectors/control_chart.h"
+#include "detectors/cusum.h"
+#include "detectors/discord.h"
+#include "detectors/merlin.h"
+#include "detectors/moving_zscore.h"
+#include "detectors/naive.h"
+#include "detectors/oneliner.h"
+#include "detectors/seasonal_esd.h"
+#include "detectors/semisup_discord.h"
+#include "detectors/spectral_residual.h"
+#include "detectors/streaming_discord.h"
+#include "detectors/telemanom.h"
+
+namespace tsad {
+
+namespace {
+
+using Params = std::map<std::string, double>;
+
+// Parses "name:key=value,key=value" into name + params.
+Status ParseSpec(const std::string& spec, std::string* name, Params* params) {
+  const std::size_t colon = spec.find(':');
+  *name = spec.substr(0, colon);
+  if (name->empty()) return Status::InvalidArgument("empty detector name");
+  if (colon == std::string::npos) return Status::OK();
+
+  std::string_view rest = std::string_view(spec).substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("bad parameter '" + std::string(pair) +
+                                     "' (want key=value)");
+    }
+    const std::string key(pair.substr(0, eq));
+    const std::string_view value = pair.substr(eq + 1);
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      return Status::InvalidArgument("bad numeric value '" +
+                                     std::string(value) + "' for key '" + key +
+                                     "'");
+    }
+    (*params)[key] = v;
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+  }
+  return Status::OK();
+}
+
+// Pops a parameter (with default); leftover keys are reported as errors
+// by Finish().
+class ParamReader {
+ public:
+  explicit ParamReader(Params params) : params_(std::move(params)) {}
+
+  double Get(const std::string& key, double fallback) {
+    auto it = params_.find(key);
+    if (it == params_.end()) return fallback;
+    const double v = it->second;
+    params_.erase(it);
+    return v;
+  }
+  std::size_t GetSize(const std::string& key, std::size_t fallback) {
+    return static_cast<std::size_t>(
+        Get(key, static_cast<double>(fallback)));
+  }
+
+  Status Finish(const std::string& detector) const {
+    if (params_.empty()) return Status::OK();
+    return Status::InvalidArgument("unknown parameter '" +
+                                   params_.begin()->first + "' for detector '" +
+                                   detector + "'");
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<AnomalyDetector>> MakeDetector(
+    const std::string& spec) {
+  std::string name;
+  Params params;
+  TSAD_RETURN_IF_ERROR(ParseSpec(spec, &name, &params));
+  ParamReader reader(std::move(params));
+  std::unique_ptr<AnomalyDetector> detector;
+
+  if (name == "discord") {
+    detector = std::make_unique<DiscordDetector>(reader.GetSize("m", 128));
+  } else if (name == "semisup") {
+    detector =
+        std::make_unique<SemiSupervisedDiscordDetector>(reader.GetSize("m", 128));
+  } else if (name == "streaming") {
+    const std::size_t m = reader.GetSize("m", 128);
+    detector = std::make_unique<StreamingDiscordDetector>(
+        m, reader.GetSize("burnin", 0));
+  } else if (name == "merlin") {
+    const std::size_t min = reader.GetSize("min", 48);
+    const std::size_t max = reader.GetSize("max", 96);
+    detector = std::make_unique<MerlinDetector>(min, max);
+  } else if (name == "telemanom") {
+    TelemanomConfig config;
+    config.ar_order = reader.GetSize("ar", config.ar_order);
+    config.ewma_alpha = reader.Get("alpha", config.ewma_alpha);
+    config.ridge = reader.Get("ridge", config.ridge);
+    detector = std::make_unique<TelemanomDetector>(config);
+  } else if (name == "zscore") {
+    detector = std::make_unique<MovingZScoreDetector>(reader.GetSize("w", 64));
+  } else if (name == "cusum") {
+    detector = std::make_unique<CusumDetector>(reader.Get("drift", 0.5),
+                                               reader.Get("reset", 0.0));
+  } else if (name == "ewma") {
+    detector = std::make_unique<EwmaChartDetector>(reader.Get("lambda", 0.2));
+  } else if (name == "pagehinkley") {
+    detector = std::make_unique<PageHinkleyDetector>(reader.Get("delta", 0.05));
+  } else if (name == "maxdiff") {
+    detector = std::make_unique<MaxAbsDiffDetector>();
+  } else if (name == "constantrun") {
+    detector = std::make_unique<ConstantRunDetector>(reader.GetSize("min", 3));
+  } else if (name == "lastpoint") {
+    detector = std::make_unique<LastPointDetector>();
+  } else if (name == "sesd") {
+    detector = std::make_unique<SeasonalEsdDetector>(reader.GetSize("p", 0));
+  } else if (name == "sr") {
+    detector = std::make_unique<SpectralResidualDetector>(
+        reader.GetSize("q", 3), reader.GetSize("z", 21));
+  } else if (name == "oneliner") {
+    OneLinerParams p;
+    p.use_abs = reader.Get("abs", 1.0) != 0.0;
+    p.use_movmean = reader.Get("u", 0.0) != 0.0;
+    p.k = reader.GetSize("k", 5);
+    p.c = reader.Get("c", 0.0);
+    p.b = reader.Get("b", 0.0);
+    detector = std::make_unique<OneLinerDetector>(p);
+  } else {
+    return Status::NotFound("unknown detector '" + name +
+                            "'; known: discord semisup streaming merlin "
+                            "telemanom zscore cusum ewma pagehinkley maxdiff "
+                            "constantrun lastpoint oneliner sesd sr");
+  }
+  TSAD_RETURN_IF_ERROR(reader.Finish(name));
+  return detector;
+}
+
+std::vector<std::string> RegisteredDetectorNames() {
+  return {"discord",  "semisup", "streaming",   "merlin",
+          "telemanom", "zscore", "cusum",       "ewma",
+          "pagehinkley", "maxdiff", "constantrun", "lastpoint",
+          "oneliner", "sesd", "sr"};
+}
+
+}  // namespace tsad

@@ -1,0 +1,44 @@
+// Detector registry: constructs any of the library's detectors from a
+// textual spec like "discord:m=128" or "telemanom:ar=32,alpha=0.2".
+// Used by the CLI tool and handy for experiment configs.
+//
+// Spec grammar:  <name>[:key=value[,key=value]...]
+// Unknown names or keys are InvalidArgument; every parameter has the
+// detector's documented default.
+//
+//   discord        m (window, default 128)
+//   semisup        m (default 128)
+//   streaming      m (default 128), burnin (default 4m)
+//   merlin         min (default 48), max (default 96)
+//   telemanom      ar (default 32), alpha (default 0.05), ridge (1e-3)
+//   zscore         w (default 64)
+//   cusum          drift (default 0.5), reset (default 0 = off)
+//   ewma           lambda (default 0.2)
+//   pagehinkley    delta (default 0.05)
+//   maxdiff        -
+//   constantrun    min (default 3)
+//   lastpoint      -
+//   oneliner       abs (0/1, default 1), u (0/1, default 0),
+//                  k (default 5), c (default 0), b (default 0)
+
+#ifndef TSAD_DETECTORS_REGISTRY_H_
+#define TSAD_DETECTORS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// Builds a detector from a spec string (see grammar above).
+Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& spec);
+
+/// The registered detector names, for --help output.
+std::vector<std::string> RegisteredDetectorNames();
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_REGISTRY_H_

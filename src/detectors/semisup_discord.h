@@ -1,0 +1,40 @@
+// Semi-supervised discord detector: scores each test subsequence by its
+// z-normalized distance to the nearest subsequence of the anomaly-free
+// TRAINING prefix (an AB-join against the training data). This is the
+// natural detector for UCR-archive-style datasets, where a training
+// prefix is part of the contract (§3 of the paper): anything the
+// training data never exhibited scores high, while behaviors present in
+// training — like the gait data's turnaround slow-downs — score low by
+// construction.
+
+#ifndef TSAD_DETECTORS_SEMISUP_DISCORD_H_
+#define TSAD_DETECTORS_SEMISUP_DISCORD_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+/// Nearest-neighbor-to-training distance, spread over covered points
+/// like DiscordDetector. Requires train_length >= 2*m; returns
+/// FailedPrecondition otherwise.
+class SemiSupervisedDiscordDetector : public AnomalyDetector {
+ public:
+  explicit SemiSupervisedDiscordDetector(std::size_t m);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  std::size_t subsequence_length() const { return m_; }
+
+ private:
+  std::size_t m_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_SEMISUP_DISCORD_H_

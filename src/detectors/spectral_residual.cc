@@ -1,0 +1,69 @@
+#include "detectors/spectral_residual.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/fft.h"
+#include "common/vector_ops.h"
+
+namespace tsad {
+
+std::vector<double> SpectralResidualSaliency(const Series& series,
+                                             std::size_t spectrum_window) {
+  const std::size_t n = series.size();
+  if (n < 8) return std::vector<double>(n, 0.0);
+  const std::size_t size = NextPowerOfTwo(n);
+
+  std::vector<std::complex<double>> freq(size, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) freq[i] = series[i];
+  // Pad by repeating the last value to soften the wrap-around edge.
+  for (std::size_t i = n; i < size; ++i) freq[i] = series[n - 1];
+  Fft(freq, /*inverse=*/false);
+
+  // Log-amplitude spectrum and its local average.
+  std::vector<double> log_amp(size), phase(size);
+  for (std::size_t k = 0; k < size; ++k) {
+    log_amp[k] = std::log(std::abs(freq[k]) + 1e-12);
+    phase[k] = std::arg(freq[k]);
+  }
+  const std::vector<double> smoothed =
+      MovMean(log_amp, std::max<std::size_t>(1, spectrum_window));
+
+  // Back-transform exp(residual) * e^{i*phase}.
+  for (std::size_t k = 0; k < size; ++k) {
+    const double residual = log_amp[k] - smoothed[k];
+    const double amp = std::exp(residual);
+    freq[k] = std::polar(amp, phase[k]);
+  }
+  Fft(freq, /*inverse=*/true);
+
+  std::vector<double> saliency(n);
+  for (std::size_t i = 0; i < n; ++i) saliency[i] = std::abs(freq[i]);
+  return saliency;
+}
+
+SpectralResidualDetector::SpectralResidualDetector(std::size_t spectrum_window,
+                                                   std::size_t score_window)
+    : spectrum_window_(spectrum_window), score_window_(score_window) {
+  name_ = "SpectralResidual[q=" + std::to_string(spectrum_window_) +
+          ",z=" + std::to_string(score_window_) + "]";
+}
+
+Result<std::vector<double>> SpectralResidualDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  const std::vector<double> saliency =
+      SpectralResidualSaliency(series, spectrum_window_);
+  // Normalize against the trailing local average of the saliency map
+  // (the paper's score: (S - mean) / mean over the previous z points).
+  const std::vector<double> local =
+      TrailingMean(saliency, std::max<std::size_t>(1, score_window_));
+  std::vector<double> scores(saliency.size(), 0.0);
+  for (std::size_t i = 0; i < saliency.size(); ++i) {
+    const double base = std::max(1e-9, local[i]);
+    scores[i] = std::max(0.0, (saliency[i] - base) / base);
+  }
+  return scores;
+}
+
+}  // namespace tsad

@@ -1,0 +1,33 @@
+#include "detectors/streaming_discord.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+StreamingDiscordDetector::StreamingDiscordDetector(std::size_t m,
+                                                   std::size_t burn_in)
+    : m_(m),
+      burn_in_(burn_in == 0 ? 4 * m : burn_in),
+      name_("StreamingDiscord[m=" + std::to_string(m) + "]") {}
+
+Result<std::vector<double>> StreamingDiscordDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  Result<MatrixProfile> left = ComputeLeftMatrixProfile(series, m_);
+  if (!left.ok()) return left.status();
+
+  // Causal alignment: the profile entry starting at j describes the
+  // window [j, j+m) and becomes known at its END, point j+m-1.
+  std::vector<double> scores(series.size(), 0.0);
+  for (std::size_t j = 0; j < left->size(); ++j) {
+    const std::size_t at = j + m_ - 1;
+    if (at < burn_in_) continue;
+    const double d = left->distances[j];
+    if (std::isfinite(d)) scores[at] = d;
+  }
+  return scores;
+}
+
+}  // namespace tsad

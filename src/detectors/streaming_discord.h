@@ -1,0 +1,43 @@
+// Streaming (causal) discord detector: each point is scored by the
+// left-matrix-profile value of the subsequence ENDING at it — the
+// distance to the nearest past subsequence at the moment the window
+// completes. Unlike the offline DiscordDetector, the score at time t
+// uses only data up to t, which is the streaming setting the Numenta
+// benchmark (§2.2, Fig 2) was built for.
+//
+// The first occurrence of any new behavior scores high and later
+// repetitions score low — so on warm-up data the track is noisy by
+// nature, and callers should treat the first few hundred points as
+// burn-in (the NAB probationary period).
+
+#ifndef TSAD_DETECTORS_STREAMING_DISCORD_H_
+#define TSAD_DETECTORS_STREAMING_DISCORD_H_
+
+#include <cstddef>
+
+#include "detectors/detector.h"
+
+namespace tsad {
+
+class StreamingDiscordDetector : public AnomalyDetector {
+ public:
+  /// `m` is the subsequence length; `burn_in` points at the start are
+  /// forced to score 0 (default: 4*m).
+  explicit StreamingDiscordDetector(std::size_t m, std::size_t burn_in = 0);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  std::size_t subsequence_length() const { return m_; }
+
+ private:
+  std::size_t m_;
+  std::size_t burn_in_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_STREAMING_DISCORD_H_

@@ -1,0 +1,229 @@
+#include "detectors/telemanom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/vector_ops.h"
+
+namespace tsad {
+
+namespace {
+
+// Solves the symmetric positive-definite system A w = b in place via
+// Gaussian elimination with partial pivoting (A is small: order+1).
+// Returns false if the system is numerically singular.
+bool SolveLinearSystem(std::vector<std::vector<double>>& a,
+                       std::vector<double>& b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a[i][c] * b[c];
+    b[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ArPredictor> ArPredictor::Fit(const Series& train, std::size_t order,
+                                     double ridge) {
+  if (order == 0) return Status::InvalidArgument("AR order must be >= 1");
+  if (train.size() < order + 9) {
+    return Status::InvalidArgument(
+        "training series too short: need > order + 8 = " +
+        std::to_string(order + 8) + " points, have " +
+        std::to_string(train.size()));
+  }
+
+  // Design matrix rows: [1, x[t-1], ..., x[t-order]] -> target x[t].
+  // Normal equations: (X^T X + ridge*I') w = X^T y, with no penalty on
+  // the intercept.
+  const std::size_t p = order + 1;  // intercept + lags
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+
+  std::vector<double> row(p);
+  for (std::size_t t = order; t < train.size(); ++t) {
+    row[0] = 1.0;
+    for (std::size_t j = 0; j < order; ++j) row[j + 1] = train[t - 1 - j];
+    const double y = train[t];
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += row[i] * y;
+      for (std::size_t j = i; j < p; ++j) xtx[i][j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+  }
+  for (std::size_t i = 1; i < p; ++i) xtx[i][i] += ridge;
+
+  std::vector<double> w = xty;
+  if (!SolveLinearSystem(xtx, w)) {
+    return Status::Internal("AR fit: singular normal equations");
+  }
+  const double intercept = w[0];
+  w.erase(w.begin());
+  return ArPredictor(order, std::move(w), intercept);
+}
+
+std::vector<double> ArPredictor::Predict(const Series& series) const {
+  std::vector<double> pred(series.size());
+  const std::size_t warmup = std::min(order_, series.size());
+  for (std::size_t i = 0; i < warmup; ++i) pred[i] = series[i];
+  for (std::size_t t = order_; t < series.size(); ++t) {
+    double acc = intercept_;
+    for (std::size_t j = 0; j < order_; ++j) {
+      acc += weights_[j] * series[t - 1 - j];
+    }
+    pred[t] = acc;
+  }
+  return pred;
+}
+
+NdtThreshold SelectNdtThreshold(const std::vector<double>& errors,
+                                double z_min, double z_max, double z_step) {
+  NdtThreshold best;
+  const double mu = Mean(errors);
+  const double sigma = StdDev(errors);
+  best.epsilon = mu + 3.0 * sigma;  // fallback
+  best.z = 3.0;
+  best.objective = -1.0;
+  if (errors.empty() || sigma < 1e-15) return best;
+
+  for (double z = z_min; z <= z_max + 1e-9; z += z_step) {
+    const double eps = mu + z * sigma;
+    // Partition errors by the candidate threshold.
+    std::vector<double> below;
+    below.reserve(errors.size());
+    std::size_t num_above = 0, num_sequences = 0;
+    bool in_run = false;
+    for (double e : errors) {
+      if (e > eps) {
+        ++num_above;
+        if (!in_run) {
+          ++num_sequences;
+          in_run = true;
+        }
+      } else {
+        below.push_back(e);
+        in_run = false;
+      }
+    }
+    if (num_above == 0 || below.empty()) continue;
+    const double delta_mean = mu - Mean(below);
+    const double delta_std = sigma - StdDev(below);
+    const double objective =
+        (delta_mean / mu + delta_std / sigma) /
+        (static_cast<double>(num_above) +
+         static_cast<double>(num_sequences) * static_cast<double>(num_sequences));
+    if (objective > best.objective) {
+      best.objective = objective;
+      best.epsilon = eps;
+      best.z = z;
+    }
+  }
+  return best;
+}
+
+TelemanomDetector::TelemanomDetector(TelemanomConfig config)
+    : config_(config) {
+  std::ostringstream n;
+  n << "Telemanom[AR(" << config_.ar_order << "),alpha=" << config_.ewma_alpha
+    << "]";
+  name_ = n.str();
+}
+
+Result<std::vector<double>> TelemanomDetector::Score(
+    const Series& series, std::size_t train_length) const {
+  if (train_length <= config_.ar_order + 8) {
+    return Status::FailedPrecondition(
+        "Telemanom requires a training prefix longer than ar_order + 8 (" +
+        std::to_string(config_.ar_order + 8) + "); got " +
+        std::to_string(train_length));
+  }
+  if (train_length > series.size()) {
+    return Status::InvalidArgument("train_length exceeds series length");
+  }
+  const Series train(series.begin(),
+                     series.begin() + static_cast<std::ptrdiff_t>(train_length));
+  Result<ArPredictor> predictor =
+      ArPredictor::Fit(train, config_.ar_order, config_.ridge);
+  if (!predictor.ok()) return predictor.status();
+
+  const std::vector<double> pred = predictor->Predict(series);
+  std::vector<double> errors(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    errors[i] = std::fabs(series[i] - pred[i]);
+  }
+  return Ewma(errors, config_.ewma_alpha);
+}
+
+Result<std::vector<AnomalyRegion>> TelemanomDetector::DetectRegions(
+    const Series& series, std::size_t train_length) const {
+  Result<std::vector<double>> scores = Score(series, train_length);
+  if (!scores.ok()) return scores.status();
+
+  // Threshold selection runs on the test-span errors only (the training
+  // prefix is anomaly-free by contract).
+  const std::vector<double> test_errors(
+      scores->begin() + static_cast<std::ptrdiff_t>(train_length),
+      scores->end());
+  const NdtThreshold threshold = SelectNdtThreshold(
+      test_errors, config_.z_min, config_.z_max, config_.z_step);
+
+  std::vector<uint8_t> flags(series.size(), 0);
+  for (std::size_t i = train_length; i < series.size(); ++i) {
+    if ((*scores)[i] > threshold.epsilon) flags[i] = 1;
+  }
+  std::vector<AnomalyRegion> regions = RegionsFromBinary(flags);
+
+  // Pruning (Hundman et al. §3.2): rank candidate regions by their peak
+  // error; drop a region when its peak is within prune_ratio of the
+  // next-lower maximum (i.e., it does not stand out).
+  if (config_.prune_ratio > 0.0 && !regions.empty()) {
+    std::vector<double> peaks(regions.size());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      double peak = 0.0;
+      for (std::size_t i = regions[r].begin; i < regions[r].end; ++i) {
+        peak = std::max(peak, (*scores)[i]);
+      }
+      peaks[r] = peak;
+    }
+    // Highest non-anomalous smoothed error in the test span.
+    double floor_error = 0.0;
+    for (std::size_t i = train_length; i < series.size(); ++i) {
+      if (!flags[i]) floor_error = std::max(floor_error, (*scores)[i]);
+    }
+    std::vector<AnomalyRegion> kept;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (peaks[r] > floor_error * (1.0 + config_.prune_ratio)) {
+        kept.push_back(regions[r]);
+      }
+    }
+    regions = std::move(kept);
+  }
+  return regions;
+}
+
+}  // namespace tsad

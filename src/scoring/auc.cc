@@ -1,0 +1,98 @@
+#include "scoring/auc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsad {
+
+namespace {
+
+Status CheckInputs(const std::vector<uint8_t>& truth,
+                   const std::vector<double>& scores, std::size_t* positives) {
+  if (truth.size() != scores.size()) {
+    return Status::InvalidArgument("truth/score length mismatch");
+  }
+  std::size_t pos = 0;
+  for (uint8_t t : truth) pos += t != 0 ? 1 : 0;
+  if (pos == 0 || pos == truth.size()) {
+    return Status::InvalidArgument(
+        "AUC undefined: need at least one positive and one negative");
+  }
+  *positives = pos;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> RocAuc(const std::vector<uint8_t>& truth,
+                      const std::vector<double>& scores) {
+  std::size_t positives = 0;
+  TSAD_RETURN_IF_ERROR(CheckInputs(truth, scores, &positives));
+  const std::size_t n = truth.size();
+  const std::size_t negatives = n - positives;
+
+  // Midranks of the scores.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = midrank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (truth[k]) positive_rank_sum += rank[k];
+  }
+  const double p = static_cast<double>(positives);
+  const double u = positive_rank_sum - p * (p + 1.0) / 2.0;
+  return u / (p * static_cast<double>(negatives));
+}
+
+Result<double> PrAuc(const std::vector<uint8_t>& truth,
+                     const std::vector<double>& scores) {
+  std::size_t positives = 0;
+  TSAD_RETURN_IF_ERROR(CheckInputs(truth, scores, &positives));
+  const std::size_t n = truth.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  // Average precision with tie groups: all points sharing a score enter
+  // together; their contribution uses the group-end precision.
+  double ap = 0.0;
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    std::size_t group_tp = 0, group_fp = 0;
+    while (j < n && scores[order[j]] == scores[order[i]]) {
+      if (truth[order[j]]) {
+        ++group_tp;
+      } else {
+        ++group_fp;
+      }
+      ++j;
+    }
+    tp += group_tp;
+    fp += group_fp;
+    if (group_tp > 0) {
+      const double precision =
+          static_cast<double>(tp) / static_cast<double>(tp + fp);
+      ap += precision * static_cast<double>(group_tp);
+    }
+    i = j;
+  }
+  return ap / static_cast<double>(positives);
+}
+
+}  // namespace tsad

@@ -1,0 +1,31 @@
+// Threshold-free scoring: ROC-AUC and PR-AUC (average precision) over
+// raw score tracks. These avoid the omniscient-threshold problem of
+// best-F1 sweeps but — as the paper's §2 analysis implies — still
+// inherit every label flaw: an unlabeled twin (Fig 5) caps the
+// achievable AUC of a GOOD detector, which the auc bench demonstrates.
+
+#ifndef TSAD_SCORING_AUC_H_
+#define TSAD_SCORING_AUC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsad {
+
+/// ROC-AUC via the Mann-Whitney statistic with midrank tie handling.
+/// Returns InvalidArgument on length mismatch or when either class is
+/// empty (AUC undefined).
+Result<double> RocAuc(const std::vector<uint8_t>& truth,
+                      const std::vector<double>& scores);
+
+/// Area under the precision-recall curve (average precision: sum of
+/// precision at each positive, in descending-score order, with ties
+/// grouped). Same preconditions as RocAuc.
+Result<double> PrAuc(const std::vector<uint8_t>& truth,
+                     const std::vector<double>& scores);
+
+}  // namespace tsad
+
+#endif  // TSAD_SCORING_AUC_H_

@@ -1,0 +1,294 @@
+#include "substrates/matrix_profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/fft.h"
+#include "common/stats.h"
+#include "common/vector_ops.h"
+
+namespace tsad {
+
+namespace {
+
+// Subsequences whose std is this small RELATIVE to their mean magnitude
+// are treated as "flat". The threshold must be relative: rolling-sum
+// cancellation noise scales with the square of the values, so an
+// absolute epsilon misclassifies exactly-constant runs at large levels.
+constexpr double kFlatSigmaRel = 1e-7;
+
+inline bool IsFlat(double mean, double std) {
+  return std < kFlatSigmaRel * (1.0 + std::fabs(mean));
+}
+
+// Pairwise z-normalized distance from the dot product qt of two
+// length-m subsequences with the given means/stds, using the SCAMP
+// convention for flat subsequences.
+inline double PairDistance(double qt, double mean_a, double std_a,
+                           double mean_b, double std_b, std::size_t m) {
+  const double dm = static_cast<double>(m);
+  const bool flat_a = IsFlat(mean_a, std_a);
+  const bool flat_b = IsFlat(mean_b, std_b);
+  if (flat_a && flat_b) return 0.0;
+  if (flat_a || flat_b) return std::sqrt(2.0 * dm);
+  double corr = (qt - dm * mean_a * mean_b) / (dm * std_a * std_b);
+  corr = std::clamp(corr, -1.0, 1.0);
+  return std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - corr)));
+}
+
+}  // namespace
+
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query,
+                                        const WindowStats& stats) {
+  const std::size_t m = query.size();
+  const std::size_t count = NumSubsequences(series.size(), m);
+  assert(stats.size() == count);
+  if (count == 0) return {};
+
+  const std::vector<double> qt = SlidingDotProduct(series, query);
+  const double mean_q = Mean(query);
+  const double std_q = StdDev(query);
+
+  std::vector<double> dist(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    dist[i] =
+        PairDistance(qt[i], mean_q, std_q, stats.means[i], stats.stds[i], m);
+  }
+  return dist;
+}
+
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query) {
+  return MassDistanceProfile(series, query,
+                             ComputeWindowStats(series, query.size()));
+}
+
+Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
+                                           std::size_t m,
+                                           std::size_t exclusion) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  const std::size_t count = NumSubsequences(series.size(), m);
+  if (count < 2) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m));
+  }
+  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
+  if (exclusion >= count - 1) {
+    return Status::InvalidArgument(
+        "exclusion zone " + std::to_string(exclusion) +
+        " leaves no candidate neighbors for " + std::to_string(count) +
+        " subsequences");
+  }
+
+  const WindowStats stats = ComputeWindowStats(series, m);
+
+  MatrixProfile mp;
+  mp.subsequence_length = m;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, kNoNeighbor);
+
+  // STOMP: row i holds qt[j] = dot(series[i, i+m), series[j, j+m)).
+  // Row 0 comes from one FFT pass; each later row is an O(1)-per-entry
+  // update from the previous row. first_row is retained to seed
+  // qt_row[0] of every subsequent row (by symmetry qt_i[0] = qt_0[i]).
+  const std::vector<double> first_row =
+      SlidingDotProduct(series, Subsequence(series, 0, m));
+  std::vector<double> qt_row = first_row;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      // Update in place, right to left, reusing qt_row from row i-1.
+      for (std::size_t j = count - 1; j > 0; --j) {
+        qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
+                    series[j + m - 1] * series[i + m - 1];
+      }
+      qt_row[0] = first_row[i];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = kNoNeighbor;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap <= exclusion) continue;
+      const double d = PairDistance(qt_row[j], stats.means[i], stats.stds[i],
+                                    stats.means[j], stats.stds[j], m);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    mp.distances[i] = best;
+    mp.indices[i] = best_j;
+  }
+  return mp;
+}
+
+Result<MatrixProfile> ComputeMatrixProfileNaive(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  const std::size_t count = NumSubsequences(series.size(), m);
+  if (count < 2) {
+    return Status::InvalidArgument("series too short for naive profile");
+  }
+  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
+  if (exclusion >= count - 1) {
+    return Status::InvalidArgument("exclusion zone too large");
+  }
+
+  MatrixProfile mp;
+  mp.subsequence_length = m;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, kNoNeighbor);
+
+  std::vector<std::vector<double>> subs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    subs[i] = ZNormalize(Subsequence(series, i, m));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap <= exclusion) continue;
+      const double d = EuclideanDistance(subs[i], subs[j]);
+      if (d < mp.distances[i]) {
+        mp.distances[i] = d;
+        mp.indices[i] = j;
+      }
+    }
+  }
+  return mp;
+}
+
+Result<MatrixProfile> ComputeLeftMatrixProfile(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  const std::size_t count = NumSubsequences(series.size(), m);
+  if (count < 2) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m));
+  }
+  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
+
+  const WindowStats stats = ComputeWindowStats(series, m);
+  MatrixProfile mp;
+  mp.subsequence_length = m;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, kNoNeighbor);
+
+  const std::vector<double> first_row =
+      SlidingDotProduct(series, Subsequence(series, 0, m));
+  std::vector<double> qt_row = first_row;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      for (std::size_t j = count - 1; j > 0; --j) {
+        qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
+                    series[j + m - 1] * series[i + m - 1];
+      }
+      qt_row[0] = first_row[i];
+    }
+    if (i < exclusion + 1) continue;  // no eligible past neighbor
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = kNoNeighbor;
+    for (std::size_t j = 0; j + exclusion + 1 <= i; ++j) {
+      const double d = PairDistance(qt_row[j], stats.means[i], stats.stds[i],
+                                    stats.means[j], stats.stds[j], m);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    mp.distances[i] = best;
+    mp.indices[i] = best_j;
+  }
+  return mp;
+}
+
+Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
+                                    const std::vector<double>& reference_series,
+                                    std::size_t m) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  const std::size_t nq = NumSubsequences(query_series.size(), m);
+  const std::size_t nr = NumSubsequences(reference_series.size(), m);
+  if (nq == 0 || nr == 0) {
+    return Status::InvalidArgument(
+        "AB-join needs at least one length-" + std::to_string(m) +
+        " subsequence on each side");
+  }
+
+  const WindowStats query_stats = ComputeWindowStats(query_series, m);
+  const WindowStats ref_stats = ComputeWindowStats(reference_series, m);
+
+  MatrixProfile mp;
+  mp.subsequence_length = m;
+  mp.distances.assign(nq, std::numeric_limits<double>::infinity());
+  mp.indices.assign(nq, kNoNeighbor);
+
+  // Row 0: dot products of the first query subsequence against every
+  // reference subsequence; first column: dot products of every query
+  // subsequence against the first reference subsequence.
+  const std::vector<double> first_row =
+      SlidingDotProduct(reference_series, Subsequence(query_series, 0, m));
+  const std::vector<double> first_col =
+      SlidingDotProduct(query_series, Subsequence(reference_series, 0, m));
+  std::vector<double> qt_row = first_row;
+
+  for (std::size_t i = 0; i < nq; ++i) {
+    if (i > 0) {
+      for (std::size_t j = nr - 1; j > 0; --j) {
+        qt_row[j] = qt_row[j - 1] -
+                    reference_series[j - 1] * query_series[i - 1] +
+                    reference_series[j + m - 1] * query_series[i + m - 1];
+      }
+      qt_row[0] = first_col[i];
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = kNoNeighbor;
+    for (std::size_t j = 0; j < nr; ++j) {
+      const double d =
+          PairDistance(qt_row[j], query_stats.means[i], query_stats.stds[i],
+                       ref_stats.means[j], ref_stats.stds[j], m);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    mp.distances[i] = best;
+    mp.indices[i] = best_j;
+  }
+  return mp;
+}
+
+std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,
+                                 std::size_t exclusion) {
+  if (exclusion == std::numeric_limits<std::size_t>::max()) {
+    exclusion = profile.subsequence_length;
+  }
+  std::vector<Discord> discords;
+  std::vector<bool> eligible(profile.size(), true);
+  for (std::size_t round = 0; round < k; ++round) {
+    double best = -1.0;
+    std::size_t best_i = kNoNeighbor;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (!eligible[i]) continue;
+      if (!std::isfinite(profile.distances[i])) continue;
+      if (profile.distances[i] > best) {
+        best = profile.distances[i];
+        best_i = i;
+      }
+    }
+    if (best_i == kNoNeighbor) break;
+    Discord d;
+    d.position = best_i;
+    d.distance = best;
+    d.nearest_neighbor = profile.indices[best_i];
+    discords.push_back(d);
+    const std::size_t lo = best_i > exclusion ? best_i - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), best_i + exclusion + 1);
+    for (std::size_t i = lo; i < hi; ++i) eligible[i] = false;
+  }
+  return discords;
+}
+
+}  // namespace tsad

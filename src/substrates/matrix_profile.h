@@ -1,0 +1,109 @@
+// Matrix profile substrate: MASS distance profiles and a STOMP-style
+// O(n^2) self-join, the machinery behind the time series discord
+// detector the paper uses in Figs 8 and 13 (Yeh et al. ICDM'16,
+// Yankov/Keogh ICDM'07).
+//
+// All distances are z-normalized Euclidean distances between length-m
+// subsequences. Near-constant subsequences are handled with the SCAMP
+// convention: two flat subsequences are at distance 0; a flat vs. a
+// non-flat subsequence is maximally distant (2*sqrt(m) bound... we use
+// sqrt(2m), the maximum attainable z-normalized distance).
+
+#ifndef TSAD_SUBSTRATES_MATRIX_PROFILE_H_
+#define TSAD_SUBSTRATES_MATRIX_PROFILE_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+
+/// The matrix profile of a series for subsequence length m: for every
+/// subsequence, the z-normalized distance to (and the index of) its
+/// nearest non-trivial-match neighbor.
+struct MatrixProfile {
+  std::vector<double> distances;       // length n - m + 1
+  std::vector<std::size_t> indices;    // nearest-neighbor index per entry
+  std::size_t subsequence_length = 0;  // m
+
+  std::size_t size() const { return distances.size(); }
+};
+
+/// Sentinel for "no valid neighbor" (exclusion covered everything).
+inline constexpr std::size_t kNoNeighbor =
+    std::numeric_limits<std::size_t>::max();
+
+/// MASS: z-normalized distance profile of `query` against every
+/// subsequence of `series` in O(n log n). `stats` must be
+/// ComputeWindowStats(series, query.size()).
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query,
+                                        const WindowStats& stats);
+
+/// Convenience overload computing the window stats internally.
+std::vector<double> MassDistanceProfile(const std::vector<double>& series,
+                                        const std::vector<double>& query);
+
+/// STOMP self-join in O(n^2) time / O(n) memory per row. The exclusion
+/// zone suppresses trivial matches: neighbor j of subsequence i is only
+/// considered when |i - j| > exclusion. The conventional zone m/2 is
+/// used when `exclusion` is SIZE_MAX.
+///
+/// Returns InvalidArgument if m < 2 or there are fewer than 2
+/// subsequences or the exclusion zone leaves some subsequence with no
+/// candidate neighbor at all.
+Result<MatrixProfile> ComputeMatrixProfile(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+/// Naive O(n^2 m) reference implementation, for tests.
+Result<MatrixProfile> ComputeMatrixProfileNaive(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+/// LEFT matrix profile: for every subsequence, the distance to its
+/// nearest neighbor strictly in the PAST (j <= i - exclusion - 1).
+/// This is the causal/streaming variant (STAMPI-style): a subsequence
+/// unlike anything seen before scores high the moment it completes,
+/// which is the setting the Numenta benchmark targets. Entries with no
+/// eligible left neighbor (the first `exclusion + 1` subsequences) get
+/// +inf distance and kNoNeighbor.
+Result<MatrixProfile> ComputeLeftMatrixProfile(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+/// AB-join: for every length-m subsequence of `query_series`, the
+/// z-normalized distance to (and index of) its nearest neighbor among
+/// the subsequences of `reference_series`. No exclusion zone applies —
+/// the two series are distinct by contract. This is the substrate for
+/// semi-supervised detection ("how far is each test subsequence from
+/// everything seen in training?").
+///
+/// Runs in O(|query| * |reference| log |reference| / m) via one MASS
+/// pass per query subsequence... implemented as a STOMP-style row
+/// recurrence in O(|query| * |reference|).
+Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
+                                    const std::vector<double>& reference_series,
+                                    std::size_t m);
+
+/// A discord: the subsequence whose nearest-neighbor distance is
+/// largest (i.e., the argmax of the matrix profile).
+struct Discord {
+  std::size_t position = 0;          // start index of the subsequence
+  double distance = 0.0;             // its nearest-neighbor distance
+  std::size_t nearest_neighbor = 0;  // index of that neighbor
+};
+
+/// Extracts the top-k discords from a matrix profile, suppressing
+/// overlaps: after taking a discord at p, positions within `exclusion`
+/// of p are ineligible (default exclusion: m).
+std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,
+                                 std::size_t exclusion =
+                                     std::numeric_limits<std::size_t>::max());
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_MATRIX_PROFILE_H_

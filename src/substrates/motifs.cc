@@ -1,0 +1,88 @@
+#include "substrates/motifs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tsad {
+
+Result<std::vector<Motif>> TopMotifs(const Series& series,
+                                     const MatrixProfile& profile,
+                                     std::size_t k, const MotifConfig& config) {
+  if (profile.size() == 0 || profile.subsequence_length == 0) {
+    return Status::InvalidArgument("empty matrix profile");
+  }
+  const std::size_t m = profile.subsequence_length;
+  const std::size_t exclusion =
+      config.exclusion == 0 ? m : config.exclusion;
+  const WindowStats stats = ComputeWindowStats(series, m);
+
+  std::vector<bool> eligible(profile.size(), true);
+  auto exclude_around = [&](std::size_t center) {
+    const std::size_t lo = center > exclusion ? center - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), center + exclusion + 1);
+    for (std::size_t i = lo; i < hi; ++i) eligible[i] = false;
+  };
+
+  std::vector<Motif> motifs;
+  for (std::size_t round = 0; round < k; ++round) {
+    // The motif pair = the eligible profile entry with the SMALLEST
+    // nearest-neighbor distance whose neighbor is also eligible.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_i = kNoNeighbor;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (!eligible[i]) continue;
+      const std::size_t j = profile.indices[i];
+      if (j == kNoNeighbor || !eligible[j]) continue;
+      if (profile.distances[i] < best) {
+        best = profile.distances[i];
+        best_i = i;
+      }
+    }
+    if (best_i == kNoNeighbor || !std::isfinite(best)) break;
+
+    Motif motif;
+    motif.first = best_i;
+    motif.second = profile.indices[best_i];
+    motif.distance = best;
+
+    // Additional occurrences: a MASS pass within the motif radius. The
+    // floor absorbs FFT round-off when the pair is exactly identical
+    // (best ~ 0 but other exact copies measure ~1e-6).
+    const double radius = std::max(1e-3 * std::sqrt(2.0 * m),
+                                   config.radius_factor * best);
+    const std::vector<double> dist = MassDistanceProfile(
+        series, Subsequence(series, motif.first, m), stats);
+    for (std::size_t j = 0; j < dist.size(); ++j) {
+      if (!eligible[j]) continue;
+      const std::size_t gap_first =
+          j > motif.first ? j - motif.first : motif.first - j;
+      const std::size_t gap_second =
+          j > motif.second ? j - motif.second : motif.second - j;
+      if (gap_first <= exclusion || gap_second <= exclusion) continue;
+      if (dist[j] <= radius) motif.neighbors.push_back(j);
+    }
+    // Keep neighbors non-overlapping among themselves.
+    std::vector<std::size_t> pruned;
+    for (std::size_t j : motif.neighbors) {
+      if (pruned.empty() || j - pruned.back() > exclusion) pruned.push_back(j);
+    }
+    motif.neighbors = std::move(pruned);
+
+    exclude_around(motif.first);
+    exclude_around(motif.second);
+    for (std::size_t j : motif.neighbors) exclude_around(j);
+    motifs.push_back(std::move(motif));
+  }
+  return motifs;
+}
+
+Result<std::vector<Motif>> FindMotifs(const Series& series, std::size_t m,
+                                      std::size_t k,
+                                      const MotifConfig& config) {
+  Result<MatrixProfile> profile = ComputeMatrixProfile(series, m);
+  if (!profile.ok()) return profile.status();
+  return TopMotifs(series, *profile, k, config);
+}
+
+}  // namespace tsad

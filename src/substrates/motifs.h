@@ -1,0 +1,52 @@
+// Motif discovery on the matrix profile — the other half of the
+// substrate the paper's reference [4] (Yeh et al., "Matrix Profile I:
+// ... Motifs, Discords and Shapelets") unifies. Motifs are the most
+// similar non-trivial subsequence pairs; the mislabel auditor's
+// "unlabeled twin" logic is motif discovery pointed at a labeled
+// region, and the archive builder uses motifs to verify that injected
+// anomalies did NOT accidentally create a repeated pattern.
+
+#ifndef TSAD_SUBSTRATES_MOTIFS_H_
+#define TSAD_SUBSTRATES_MOTIFS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/series.h"
+#include "common/status.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// A motif: the pair of mutually-close subsequences plus any further
+/// neighbors within `radius` of the first member.
+struct Motif {
+  std::size_t first = 0;     // start index of one member
+  std::size_t second = 0;    // start index of the closest other member
+  double distance = 0.0;     // z-normalized distance between them
+  std::vector<std::size_t> neighbors;  // additional occurrences
+};
+
+struct MotifConfig {
+  /// Neighbors are counted within radius_factor * (pair distance).
+  double radius_factor = 2.0;
+  /// Overlap suppression between motifs, in points (default: m).
+  std::size_t exclusion = 0;
+};
+
+/// Extracts the top-k motifs from a precomputed matrix profile of
+/// `series`. Each motif's members and neighbors are excluded before the
+/// next motif is selected, so the k motifs describe distinct shapes.
+Result<std::vector<Motif>> TopMotifs(const Series& series,
+                                     const MatrixProfile& profile,
+                                     std::size_t k,
+                                     const MotifConfig& config = {});
+
+/// Convenience: computes the profile internally.
+Result<std::vector<Motif>> FindMotifs(const Series& series, std::size_t m,
+                                      std::size_t k,
+                                      const MotifConfig& config = {});
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_MOTIFS_H_

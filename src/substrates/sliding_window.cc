@@ -1,0 +1,56 @@
+#include "substrates/sliding_window.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsad {
+
+WindowStats ComputeWindowStats(const std::vector<double>& x, std::size_t m) {
+  WindowStats stats;
+  const std::size_t n = x.size();
+  if (m == 0 || m > n) return stats;
+  const std::size_t count = n - m + 1;
+  stats.means.resize(count);
+  stats.stds.resize(count);
+
+  std::vector<long double> sums(n + 1, 0.0L), sq(n + 1, 0.0L);
+  for (std::size_t i = 0; i < n; ++i) {
+    sums[i + 1] = sums[i] + x[i];
+    sq[i + 1] = sq[i] + static_cast<long double>(x[i]) * x[i];
+  }
+  const long double dm = static_cast<long double>(m);
+  for (std::size_t i = 0; i < count; ++i) {
+    const long double s = sums[i + m] - sums[i];
+    const long double ss = sq[i + m] - sq[i];
+    const long double mean = s / dm;
+    long double var = ss / dm - mean * mean;
+    if (var < 0.0L) var = 0.0L;
+    stats.means[i] = static_cast<double>(mean);
+    stats.stds[i] = std::sqrt(static_cast<double>(var));
+  }
+  return stats;
+}
+
+std::vector<double> Subsequence(const std::vector<double>& x,
+                                std::size_t start, std::size_t m) {
+  assert(start + m <= x.size());
+  return std::vector<double>(
+      x.begin() + static_cast<std::ptrdiff_t>(start),
+      x.begin() + static_cast<std::ptrdiff_t>(start + m));
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> FindConstantRuns(
+    const std::vector<double>& x, std::size_t min_length, double tolerance) {
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && std::fabs(x[j] - x[j - 1]) <= tolerance) ++j;
+    if (j - i >= min_length) runs.emplace_back(i, j);
+    i = j;
+  }
+  return runs;
+}
+
+}  // namespace tsad

@@ -1,0 +1,41 @@
+# End-to-end CLI smoke: generate -> triviality -> detect -> audit+report.
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(COMMAND ${TSAD_CLI} generate taxi --out ${WORK_DIR}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${out}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/nyc_taxi.csv)
+  message(FATAL_ERROR "generate did not write nyc_taxi.csv")
+endif()
+
+execute_process(COMMAND ${TSAD_CLI} detect ${WORK_DIR}/nyc_taxi.csv
+                        --detector zscore:w=96
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "detect failed: ${out}")
+endif()
+string(FIND "${out}" "peak" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "detect output missing peak: ${out}")
+endif()
+
+# audit exits 2 on a flawed dataset by design; accept 0 or 2.
+execute_process(COMMAND ${TSAD_CLI} audit ${WORK_DIR}/nyc_taxi.csv
+                        --report ${WORK_DIR}/report.md
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT (rc EQUAL 0 OR rc EQUAL 2))
+  message(FATAL_ERROR "audit failed with ${rc}: ${out}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/report.md)
+  message(FATAL_ERROR "audit did not write the report")
+endif()
+
+execute_process(COMMAND ${TSAD_CLI} triviality ${WORK_DIR}/nyc_taxi.csv
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT (rc EQUAL 0 OR rc EQUAL 2))
+  message(FATAL_ERROR "triviality failed with ${rc}: ${out}")
+endif()
+file(REMOVE_RECURSE ${WORK_DIR})

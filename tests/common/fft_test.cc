@@ -1,0 +1,121 @@
+#include "common/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tsad {
+namespace {
+
+TEST(NextPowerOfTwoTest, KnownValues) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(5);
+  std::vector<std::complex<double>> x(256);
+  for (auto& c : x) c = {rng.Gaussian(), rng.Gaussian()};
+  const auto original = x;
+  Fft(x, /*inverse=*/false);
+  Fft(x, /*inverse=*/true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, DeltaTransformsToConstant) {
+  std::vector<std::complex<double>> x(64, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  Fft(x, false);
+  for (const auto& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, PureToneHasSingleBin) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> x(n);
+  const std::size_t freq = 9;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = {std::cos(2.0 * 3.14159265358979 * static_cast<double>(freq * i) /
+                     static_cast<double>(n)),
+            0.0};
+  }
+  Fft(x, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double mag = std::abs(x[k]);
+    if (k == freq || k == n - freq) {
+      EXPECT_NEAR(mag, static_cast<double>(n) / 2.0, 1e-6);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SlidingDotProductTest, MatchesNaiveOnRandomData) {
+  Rng rng(11);
+  std::vector<double> t(500), q(37);
+  for (double& v : t) v = rng.Gaussian();
+  for (double& v : q) v = rng.Gaussian();
+  const auto fast = SlidingDotProduct(t, q);
+  const auto naive = SlidingDotProductNaive(t, q);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST(SlidingDotProductTest, HandlesDegenerateSizes) {
+  EXPECT_TRUE(SlidingDotProduct({1, 2}, {}).empty());
+  EXPECT_TRUE(SlidingDotProduct({1}, {1, 2}).empty());
+  const auto one = SlidingDotProduct({2, 3, 4}, {5});
+  EXPECT_EQ(one, (std::vector<double>{10, 15, 20}));
+}
+
+TEST(SlidingDotProductTest, QueryEqualsSeries) {
+  const std::vector<double> t = {1, 2, 3};
+  const auto out = SlidingDotProduct(t, t);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 14.0, 1e-12);
+}
+
+// Property: for many (n, m) shapes the FFT path agrees with the naive
+// path, including sizes around the small-input cutoff.
+class SlidingDotShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SlidingDotShapes, FastMatchesNaive) {
+  const auto [n, m] = GetParam();
+  Rng rng(n * 1000 + m);
+  std::vector<double> t(n), q(m);
+  for (double& v : t) v = rng.Uniform(-10, 10);
+  for (double& v : q) v = rng.Uniform(-10, 10);
+  const auto fast = SlidingDotProduct(t, q);
+  const auto naive = SlidingDotProductNaive(t, q);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlidingDotShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{8, 3},
+                      std::pair<std::size_t, std::size_t>{63, 63},
+                      std::pair<std::size_t, std::size_t>{64, 1},
+                      std::pair<std::size_t, std::size_t>{65, 64},
+                      std::pair<std::size_t, std::size_t>{100, 10},
+                      std::pair<std::size_t, std::size_t>{1000, 100},
+                      std::pair<std::size_t, std::size_t>{1023, 511}));
+
+}  // namespace
+}  // namespace tsad

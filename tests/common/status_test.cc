@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::InvalidArgument("window too small");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: window too small");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsThenPropagates() {
+  TSAD_RETURN_IF_ERROR(Status::IOError("disk gone"));
+  return Status::OK();  // unreachable
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  const Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+Status SucceedsThrough() {
+  TSAD_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached the end");
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOnOk) {
+  EXPECT_EQ(SucceedsThrough().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,165 @@
+#include "common/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tsad {
+namespace {
+
+TEST(DiffTest, MatlabSemantics) {
+  EXPECT_EQ(Diff({3, 1, 4, 1, 5}), (std::vector<double>{-2, 3, -3, 4}));
+  EXPECT_TRUE(Diff({7}).empty());
+  EXPECT_TRUE(Diff({}).empty());
+}
+
+TEST(Diff2Test, SecondDifference) {
+  EXPECT_EQ(Diff2({1, 2, 4, 7, 11}), (std::vector<double>{1, 1, 1}));
+  EXPECT_TRUE(Diff2({1, 2}).empty());
+}
+
+TEST(AbsTest, ElementWise) {
+  EXPECT_EQ(Abs({-1, 2, -3}), (std::vector<double>{1, 2, 3}));
+}
+
+// MATLAB reference: movmean(1:6, 3) = [1.5 2 3 4 5 5.5]
+TEST(MovMeanTest, MatchesMatlabOddWindow) {
+  const auto out = MovMean({1, 2, 3, 4, 5, 6}, 3);
+  const std::vector<double> expected = {1.5, 2, 3, 4, 5, 5.5};
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-12) << "i=" << i;
+  }
+}
+
+// MATLAB reference: movmean(1:6, 4) = [1.5 2 2.5 3.5 4.5 5]
+TEST(MovMeanTest, MatchesMatlabEvenWindow) {
+  const auto out = MovMean({1, 2, 3, 4, 5, 6}, 4);
+  const std::vector<double> expected = {1.5, 2, 2.5, 3.5, 4.5, 5};
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST(MovMeanTest, WindowOneIsIdentity) {
+  const std::vector<double> x = {3, 1, 4, 1, 5};
+  EXPECT_EQ(MovMean(x, 1), x);
+}
+
+// MATLAB reference: movstd(1:5, 3) = [0.7071 1 1 1 0.7071]
+TEST(MovStdTest, MatchesMatlab) {
+  const auto out = MovStd({1, 2, 3, 4, 5}, 3);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(out[0], std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(out[1], 1.0, 1e-9);
+  EXPECT_NEAR(out[2], 1.0, 1e-9);
+  EXPECT_NEAR(out[4], std::sqrt(0.5), 1e-9);
+}
+
+TEST(MovStdTest, ConstantSeriesIsZero) {
+  for (double v : MovStd(std::vector<double>(50, 3.25), 7)) {
+    EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+}
+
+TEST(TrailingMeanTest, UsesOnlyHistory) {
+  const auto out = TrailingMean({2, 4, 6, 8}, 2);
+  EXPECT_NEAR(out[0], 2.0, 1e-12);
+  EXPECT_NEAR(out[1], 3.0, 1e-12);
+  EXPECT_NEAR(out[2], 5.0, 1e-12);
+  EXPECT_NEAR(out[3], 7.0, 1e-12);
+}
+
+TEST(TrailingStdTest, SingletonWindowIsZero) {
+  const auto out = TrailingStd({5, 7, 9}, 3);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[1], std::sqrt(2.0), 1e-9);
+}
+
+TEST(CumSumTest, RunningTotals) {
+  EXPECT_EQ(CumSum({1, 2, 3}), (std::vector<double>{1, 3, 6}));
+}
+
+TEST(ZNormalizeTest, ZeroMeanUnitStd) {
+  Rng rng(1);
+  std::vector<double> x(500);
+  for (double& v : x) v = rng.Uniform(-5, 20);
+  const auto z = ZNormalize(x);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-9);
+  EXPECT_NEAR(StdDev(z), 1.0, 1e-9);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesCenteredOnly) {
+  const auto z = ZNormalize(std::vector<double>(10, 4.0));
+  for (double v : z) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(MinMaxScaleTest, MapsToRange) {
+  const auto out = MinMaxScale({0, 5, 10}, -1, 1);
+  EXPECT_NEAR(out[0], -1.0, 1e-12);
+  EXPECT_NEAR(out[1], 0.0, 1e-12);
+  EXPECT_NEAR(out[2], 1.0, 1e-12);
+}
+
+TEST(ArgMaxMinTest, FindsExtremes) {
+  EXPECT_EQ(ArgMax({1, 9, 3}), 1u);
+  EXPECT_EQ(ArgMin({1, 9, -3}), 2u);
+}
+
+TEST(AddSubtractScaleTest, ElementWiseArithmetic) {
+  EXPECT_EQ(Add({1, 2}, {3, 4}), (std::vector<double>{4, 6}));
+  EXPECT_EQ(Subtract({3, 4}, {1, 1}), (std::vector<double>{2, 3}));
+  EXPECT_EQ(Scale({1, 2}, 2.5), (std::vector<double>{2.5, 5}));
+}
+
+TEST(PadLeftTest, PrependsValue) {
+  EXPECT_EQ(PadLeft({1, 2}, 2, -7),
+            (std::vector<double>{-7, -7, 1, 2}));
+}
+
+TEST(IndicesAboveTest, StrictThreshold) {
+  EXPECT_EQ(IndicesAbove({1, 5, 2, 5}, 2.0),
+            (std::vector<std::size_t>{1, 3}));
+  EXPECT_TRUE(IndicesAbove({1, 2}, 2.0).empty());
+}
+
+TEST(EwmaTest, SmoothsTowardSignal) {
+  const auto out = Ewma({0, 10, 10, 10}, 0.5);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[1], 5.0, 1e-12);
+  EXPECT_NEAR(out[2], 7.5, 1e-12);
+  EXPECT_NEAR(out[3], 8.75, 1e-12);
+}
+
+// Property sweep: movmean/movstd agree with direct window computation
+// for many window sizes.
+class MovWindowProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MovWindowProperty, AgreesWithDirectComputation) {
+  const std::size_t k = GetParam();
+  Rng rng(k);
+  std::vector<double> x(200);
+  for (double& v : x) v = rng.Gaussian(3.0, 2.0);
+  const auto mm = MovMean(x, k);
+  const auto ms = MovStd(x, k);
+  for (std::size_t i = 0; i < x.size(); i += 17) {
+    const std::size_t before = k / 2, after = (k - 1) / 2;
+    const std::size_t lo = i >= before ? i - before : 0;
+    const std::size_t hi = std::min(x.size(), i + after + 1);
+    const std::vector<double> window(x.begin() + static_cast<long>(lo),
+                                     x.begin() + static_cast<long>(hi));
+    EXPECT_NEAR(mm[i], Mean(window), 1e-9) << "k=" << k << " i=" << i;
+    EXPECT_NEAR(ms[i], SampleStdDev(window), 1e-9) << "k=" << k << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MovWindowProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 21, 50, 101,
+                                           199, 200, 250));
+
+}  // namespace
+}  // namespace tsad

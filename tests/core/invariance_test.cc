@@ -1,0 +1,111 @@
+#include "core/invariance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "datasets/physio.h"
+#include "detectors/discord.h"
+#include "detectors/moving_zscore.h"
+
+namespace tsad {
+namespace {
+
+LabeledSeries ShortEcg() {
+  PhysioConfig cfg;
+  cfg.duration_sec = 25.0;
+  LabeledSeries ecg = GenerateEcgWithPvc(cfg);
+  ecg.set_train_length(1000);
+  return ecg;
+}
+
+TEST(PerturbTest, LevelZeroIsIdentity) {
+  const LabeledSeries ecg = ShortEcg();
+  const LabeledSeries same =
+      Perturb(ecg, Perturbation::kGaussianNoise, 0.0, 1);
+  EXPECT_EQ(same.values(), ecg.values());
+}
+
+TEST(PerturbTest, NoiseRaisesVariance) {
+  const LabeledSeries ecg = ShortEcg();
+  const LabeledSeries noisy =
+      Perturb(ecg, Perturbation::kGaussianNoise, 1.0, 1);
+  EXPECT_GT(StdDev(noisy.values()), 1.3 * StdDev(ecg.values()));
+  EXPECT_EQ(noisy.anomalies(), ecg.anomalies());  // labels untouched
+}
+
+TEST(PerturbTest, AmplitudeScaleMultiplies) {
+  const LabeledSeries ecg = ShortEcg();
+  const LabeledSeries scaled =
+      Perturb(ecg, Perturbation::kAmplitudeScale, 1.0, 1);
+  EXPECT_NEAR(scaled.values()[500], 2.0 * ecg.values()[500], 1e-9);
+}
+
+TEST(PerturbTest, TrendAddsRamp) {
+  const LabeledSeries ecg = ShortEcg();
+  const LabeledSeries trended =
+      Perturb(ecg, Perturbation::kLinearTrend, 2.0, 1);
+  const double rise = (trended.values().back() - ecg.values().back()) -
+                      (trended.values().front() - ecg.values().front());
+  EXPECT_NEAR(rise, 2.0 * StdDev(ecg.values()), 1e-6);
+}
+
+TEST(PerturbTest, DeterministicNoise) {
+  const LabeledSeries ecg = ShortEcg();
+  EXPECT_EQ(Perturb(ecg, Perturbation::kGaussianNoise, 0.5, 7).values(),
+            Perturb(ecg, Perturbation::kGaussianNoise, 0.5, 7).values());
+}
+
+TEST(PerturbationNameTest, AllNamed) {
+  EXPECT_EQ(PerturbationName(Perturbation::kGaussianNoise), "gaussian-noise");
+  EXPECT_EQ(PerturbationName(Perturbation::kBaselineWander),
+            "baseline-wander");
+}
+
+TEST(InvarianceStudyTest, DiscordSurvivesCleanAndModerateNoise) {
+  const LabeledSeries ecg = ShortEcg();
+  DiscordDetector discord(200);
+  InvarianceConfig config;
+  config.levels = {0.0, 0.25};
+  config.slop = 250;
+  const auto rows = RunInvarianceStudy(ecg, {&discord}, config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].peak_correct) << "clean peak at "
+                                    << rows[0].peak_location;
+  EXPECT_TRUE(rows[1].peak_correct);
+  // Discrimination degrades (or at best stays) under noise — the
+  // Fig 13 observation.
+  EXPECT_LE(rows[1].discrimination, rows[0].discrimination * 1.2);
+}
+
+TEST(InvarianceStudyTest, RowsCoverEveryDetectorAndLevel) {
+  const LabeledSeries ecg = ShortEcg();
+  DiscordDetector discord(200);
+  MovingZScoreDetector zscore(100);
+  InvarianceConfig config;
+  config.levels = {0.0, 0.5, 1.0};
+  const auto rows = RunInvarianceStudy(ecg, {&discord, &zscore}, config);
+  EXPECT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].detector_name, std::string(discord.name()));
+  EXPECT_EQ(rows[1].detector_name, std::string(zscore.name()));
+  EXPECT_DOUBLE_EQ(rows[0].level, 0.0);
+  EXPECT_DOUBLE_EQ(rows[4].level, 1.0);
+}
+
+TEST(InvarianceStudyTest, AmplitudeScaleIsHarmlessForZNormMethods) {
+  // Discords are z-normalized: scaling the signal must not move the
+  // peak (§4.2 invariances).
+  const LabeledSeries ecg = ShortEcg();
+  DiscordDetector discord(200);
+  InvarianceConfig config;
+  config.levels = {0.0, 3.0};
+  config.perturbation = Perturbation::kAmplitudeScale;
+  config.slop = 250;
+  const auto rows = RunInvarianceStudy(ecg, {&discord}, config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].peak_correct);
+  EXPECT_TRUE(rows[1].peak_correct);
+  EXPECT_NEAR(rows[0].discrimination, rows[1].discrimination, 0.5);
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,84 @@
+#include "core/run_to_failure.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/yahoo.h"
+
+namespace tsad {
+namespace {
+
+BenchmarkDataset DatasetWithPositions(const std::vector<double>& positions) {
+  BenchmarkDataset d;
+  d.name = "synthetic";
+  const std::size_t n = 1000;
+  for (double p : positions) {
+    const std::size_t begin = static_cast<std::size_t>(p * (n - 2));
+    d.series.emplace_back("s", Series(n, 0.0),
+                          std::vector<AnomalyRegion>{{begin, begin + 1}});
+  }
+  return d;
+}
+
+TEST(RunToFailureTest, UniformPositionsLookUnbiased) {
+  std::vector<double> uniform;
+  for (int i = 0; i < 100; ++i) uniform.push_back((i + 0.5) / 100.0);
+  const RunToFailureReport report =
+      AnalyzeRunToFailure(DatasetWithPositions(uniform));
+  EXPECT_EQ(report.num_series, 100u);
+  EXPECT_NEAR(report.mean_position, 0.5, 0.05);
+  EXPECT_NEAR(report.fraction_in_last_quintile, 0.2, 0.05);
+  EXPECT_LT(report.ks_statistic, 0.1);
+}
+
+TEST(RunToFailureTest, EndLoadedPositionsAreFlagged) {
+  std::vector<double> biased;
+  for (int i = 0; i < 100; ++i) biased.push_back(0.8 + 0.19 * (i / 100.0));
+  const RunToFailureReport report =
+      AnalyzeRunToFailure(DatasetWithPositions(biased));
+  EXPECT_GT(report.mean_position, 0.8);
+  EXPECT_GT(report.fraction_in_last_quintile, 0.9);
+  EXPECT_GT(report.ks_statistic, 0.5);
+  // Decile histogram concentrates in the last two bins.
+  EXPECT_EQ(report.decile_counts[0], 0u);
+  EXPECT_GT(report.decile_counts[8] + report.decile_counts[9], 90u);
+}
+
+TEST(RunToFailureTest, LastPointHitRate) {
+  // Anomalies at 95% of a 1000-pt series: the final point is within the
+  // default 100-pt slop.
+  const RunToFailureReport late =
+      AnalyzeRunToFailure(DatasetWithPositions({0.95, 0.97}));
+  EXPECT_DOUBLE_EQ(late.last_point_hit_rate, 1.0);
+  const RunToFailureReport early =
+      AnalyzeRunToFailure(DatasetWithPositions({0.2, 0.4}));
+  EXPECT_DOUBLE_EQ(early.last_point_hit_rate, 0.0);
+}
+
+TEST(RunToFailureTest, UsesTheLastAnomalyOfEach) {
+  BenchmarkDataset d;
+  d.series.emplace_back(
+      "multi", Series(1000, 0.0),
+      std::vector<AnomalyRegion>{{100, 101}, {900, 901}});
+  const RunToFailureReport report = AnalyzeRunToFailure(d);
+  ASSERT_EQ(report.last_anomaly_positions.size(), 1u);
+  EXPECT_NEAR(report.last_anomaly_positions[0], 0.9, 0.01);
+}
+
+TEST(RunToFailureTest, SkipsUnlabeledSeries) {
+  BenchmarkDataset d;
+  d.series.emplace_back("empty", Series(100, 0.0),
+                        std::vector<AnomalyRegion>{});
+  const RunToFailureReport report = AnalyzeRunToFailure(d);
+  EXPECT_EQ(report.num_series, 0u);
+}
+
+TEST(RunToFailureTest, SimulatedYahooA1ShowsTheFig10Skew) {
+  const YahooArchive archive = GenerateYahooArchive();
+  const RunToFailureReport report = AnalyzeRunToFailure(archive.a1);
+  EXPECT_GT(report.mean_position, 0.55);
+  EXPECT_GT(report.fraction_in_last_quintile, 0.30);
+  EXPECT_GT(report.ks_statistic, 0.2);  // clearly not uniform
+}
+
+}  // namespace
+}  // namespace tsad

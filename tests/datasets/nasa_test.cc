@@ -1,0 +1,93 @@
+#include "datasets/nasa.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/density.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+namespace {
+
+TEST(NasaArchiveTest, ValidatesAndHasTrainSplits) {
+  const NasaArchive archive = GenerateNasaArchive();
+  EXPECT_GE(archive.channels.size(), 10u);
+  EXPECT_TRUE(archive.channels.Validate().ok());
+  for (const LabeledSeries& s : archive.channels.series) {
+    EXPECT_GT(s.train_length(), 0u) << s.name();
+  }
+}
+
+TEST(NasaArchiveTest, FindChannelByName) {
+  const NasaArchive archive = GenerateNasaArchive();
+  EXPECT_NE(archive.FindChannel("G-1"), nullptr);
+  EXPECT_NE(archive.FindChannel("D-2"), nullptr);
+  EXPECT_EQ(archive.FindChannel("no-such"), nullptr);
+}
+
+TEST(NasaArchiveTest, G1HasOneLabelAndTwoUnlabeledTwins) {
+  // Fig 9: one labeled frozen segment, two identical unlabeled ones.
+  const NasaArchive archive = GenerateNasaArchive();
+  const LabeledSeries* g1 = archive.FindChannel("G-1");
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1->anomalies().size(), 1u);
+  ASSERT_EQ(archive.g1_unlabeled_freezes.size(), 2u);
+  // The unlabeled freezes are really there (constant runs) and really
+  // unlabeled.
+  const auto runs = FindConstantRuns(g1->values(), 50, 1e-12);
+  EXPECT_GE(runs.size(), 3u);
+  for (std::size_t pos : archive.g1_unlabeled_freezes) {
+    EXPECT_FALSE(g1->IsAnomalous(pos + 10));
+    bool in_run = false;
+    for (const auto& [begin, end] : runs) {
+      if (pos >= begin && pos < end) in_run = true;
+    }
+    EXPECT_TRUE(in_run) << "freeze at " << pos;
+  }
+}
+
+TEST(NasaArchiveTest, DensityFlawChannelsExceedHalfTheTestSpan) {
+  // §2.3: "more than half the test data ... marked as anomalies. For
+  // example, NASA datasets D-2, M-1 and M-2."
+  const NasaArchive archive = GenerateNasaArchive();
+  for (const char* name : {"D-2", "M-1", "M-2"}) {
+    const LabeledSeries* channel = archive.FindChannel(name);
+    ASSERT_NE(channel, nullptr) << name;
+    const DensityStats stats = AnalyzeDensity(*channel);
+    EXPECT_GT(stats.max_contiguous_fraction, 0.5) << name;
+  }
+  const LabeledSeries* d5 = archive.FindChannel("D-5");
+  ASSERT_NE(d5, nullptr);
+  const DensityStats stats = AnalyzeDensity(*d5);
+  EXPECT_GT(stats.max_contiguous_fraction, 1.0 / 3.0);
+  EXPECT_LT(stats.max_contiguous_fraction, 0.5);
+}
+
+TEST(NasaArchiveTest, MagnitudeJumpChannelsAreWildlyOutOfRange) {
+  const NasaArchive archive = GenerateNasaArchive();
+  const LabeledSeries* p1 = archive.FindChannel("P-1");
+  ASSERT_NE(p1, nullptr);
+  const AnomalyRegion r = p1->anomalies().front();
+  double peak = 0.0;
+  for (std::size_t i = r.begin; i < r.end; ++i) {
+    peak = std::max(peak, std::fabs(p1->values()[i]));
+  }
+  double normal_peak = 0.0;
+  for (std::size_t i = 0; i < r.begin; ++i) {
+    normal_peak = std::max(normal_peak, std::fabs(p1->values()[i]));
+  }
+  EXPECT_GT(peak, 5.0 * normal_peak);  // "orders of magnitude"
+}
+
+TEST(NasaArchiveTest, Deterministic) {
+  const NasaArchive a = GenerateNasaArchive();
+  const NasaArchive b = GenerateNasaArchive();
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    EXPECT_EQ(a.channels.series[i].values(), b.channels.series[i].values());
+  }
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,107 @@
+#include "datasets/numenta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace tsad {
+namespace {
+
+TEST(TaxiDataTest, CoversTheNabDateRange) {
+  const TaxiData taxi = GenerateTaxiData();
+  // 2014-07-01 .. 2015-01-31 = 215 days of 48 half-hour buckets.
+  EXPECT_EQ(taxi.series.length(), 215u * 48u);
+  EXPECT_EQ(taxi.buckets_per_day, 48u);
+  EXPECT_TRUE(taxi.series.Validate().ok());
+}
+
+TEST(TaxiDataTest, ExactlyFiveOfficialLabels) {
+  const TaxiData taxi = GenerateTaxiData();
+  EXPECT_EQ(taxi.series.anomalies().size(), 5u);
+  std::size_t official = 0;
+  for (const TaxiEvent& e : taxi.events) official += e.officially_labeled;
+  EXPECT_EQ(official, 5u);
+}
+
+TEST(TaxiDataTest, AtLeastSevenUnlabeledRealEvents) {
+  // §2.4: "at least seven more events that are equally worthy of being
+  // labeled anomalies."
+  const TaxiData taxi = GenerateTaxiData();
+  std::size_t unlabeled = 0;
+  for (const TaxiEvent& e : taxi.events) {
+    if (!e.officially_labeled) ++unlabeled;
+  }
+  EXPECT_GE(unlabeled, 7u);
+  EXPECT_EQ(taxi.all_event_regions.size(), taxi.events.size());
+}
+
+TEST(TaxiDataTest, EventsActuallyPerturbDemand) {
+  const TaxiData taxi = GenerateTaxiData();
+  const Series& x = taxi.series.values();
+  for (const TaxiEvent& e : taxi.events) {
+    if (e.demand_factor > 0.95 && e.demand_factor < 1.05) continue;
+    const std::size_t begin = e.day * taxi.buckets_per_day;
+    const Series event_day(x.begin() + static_cast<long>(begin),
+                           x.begin() + static_cast<long>(begin + 48));
+    // Compare with the same weekday one week earlier (or later for
+    // early events).
+    const std::size_t ref_day = e.day >= 7 ? e.day - 7 : e.day + 7;
+    const std::size_t ref = ref_day * taxi.buckets_per_day;
+    const Series ref_series(x.begin() + static_cast<long>(ref),
+                            x.begin() + static_cast<long>(ref + 48));
+    const double ratio = Mean(event_day) / Mean(ref_series);
+    if (e.demand_factor < 1.0) {
+      EXPECT_LT(ratio, 0.97) << e.name;
+    } else {
+      EXPECT_GT(ratio, 1.03) << e.name;
+    }
+  }
+}
+
+TEST(TaxiDataTest, HasDailySeasonality) {
+  const TaxiData taxi = GenerateTaxiData();
+  EXPECT_GT(Autocorrelation(taxi.series.values(), 48), 0.5);
+}
+
+TEST(ArtSpikeDensityTest, AnomalyRegionHasDenserSpikes) {
+  const LabeledSeries s = GenerateArtSpikeDensity();
+  ASSERT_EQ(s.anomalies().size(), 1u);
+  const AnomalyRegion r = s.anomalies().front();
+  auto count_spikes = [&](std::size_t lo, std::size_t hi) {
+    std::size_t spikes = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (s.values()[i] > 0.5) ++spikes;
+    }
+    return spikes;
+  };
+  const double normal_rate =
+      static_cast<double>(count_spikes(0, r.begin)) /
+      static_cast<double>(r.begin);
+  const double anomaly_rate =
+      static_cast<double>(count_spikes(r.begin, r.end)) /
+      static_cast<double>(r.length());
+  EXPECT_GT(anomaly_rate, 2.0 * normal_rate);
+}
+
+TEST(AdExchangeTest, SpikesAreLabeled) {
+  const LabeledSeries s = GenerateAdExchange();
+  EXPECT_GE(s.anomalies().size(), 2u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(NumentaDatasetTest, BundlesAllThree) {
+  const BenchmarkDataset d = GenerateNumentaDataset();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(NumentaDatasetTest, Deterministic) {
+  const BenchmarkDataset a = GenerateNumentaDataset();
+  const BenchmarkDataset b = GenerateNumentaDataset();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.series[i].values(), b.series[i].values());
+  }
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,97 @@
+#include "datasets/omni.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace tsad {
+namespace {
+
+TEST(OmniArchiveTest, TwentyEightMachinesOf38Dimensions) {
+  const OmniArchive archive = GenerateOmniArchive();
+  EXPECT_EQ(archive.machines.size(), 28u);
+  for (const MultivariateSeries& m : archive.machines) {
+    EXPECT_EQ(m.num_dimensions(), 38u) << m.name();
+    EXPECT_TRUE(m.Validate().ok()) << m.name();
+    EXPECT_GE(m.anomalies().size(), 1u) << m.name();
+  }
+}
+
+TEST(OmniArchiveTest, SmdNamingScheme) {
+  const OmniArchive archive = GenerateOmniArchive();
+  EXPECT_NE(archive.FindMachine("machine-1-1"), nullptr);
+  EXPECT_NE(archive.FindMachine("machine-2-9"), nullptr);
+  EXPECT_NE(archive.FindMachine("machine-3-11"), nullptr);
+  EXPECT_EQ(archive.FindMachine("machine-9-9"), nullptr);
+}
+
+TEST(OmniArchiveTest, Machine25Has21PackedRegions) {
+  // §2.3: "SDM exemplar machine-2-5 has 21 separate anomalies marked in
+  // a short region."
+  const OmniArchive archive = GenerateOmniArchive();
+  const MultivariateSeries* m = archive.FindMachine("machine-2-5");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->anomalies().size(), 21u);
+  const std::size_t span =
+      m->anomalies().back().end - m->anomalies().front().begin;
+  EXPECT_LT(span, 800u);
+}
+
+TEST(OmniArchiveTest, Sdm311Dimension19CarriesALevelShift) {
+  // Fig 1 setup: dimension 19 shifts hard during the incident.
+  const OmniArchive archive = GenerateOmniArchive();
+  const MultivariateSeries* m = archive.FindMachine("machine-3-11");
+  ASSERT_NE(m, nullptr);
+  Result<LabeledSeries> dim19 = m->Dimension(19);
+  ASSERT_TRUE(dim19.ok());
+  const AnomalyRegion r = dim19->anomalies().front();
+  const Series& x = dim19->values();
+  const Series before(x.begin() + static_cast<long>(r.begin) - 200,
+                      x.begin() + static_cast<long>(r.begin));
+  const Series inside(x.begin() + static_cast<long>(r.begin),
+                      x.begin() + static_cast<long>(r.end));
+  EXPECT_GT(std::fabs(Mean(inside) - Mean(before)),
+            5.0 * StdDev(before));
+}
+
+TEST(OmniArchiveTest, AboutHalfTheMachinesAreEasy) {
+  // §2.2: "Of the twenty-eight example problems in this data archive,
+  // at least half are this easy."
+  const OmniArchive archive = GenerateOmniArchive();
+  EXPECT_GE(archive.easy_machines.size(), 14u);
+}
+
+TEST(OmniArchiveTest, AnomaliesLiveInTheTestSpan) {
+  const OmniArchive archive = GenerateOmniArchive();
+  for (const MultivariateSeries& m : archive.machines) {
+    for (const AnomalyRegion& r : m.anomalies()) {
+      EXPECT_GE(r.begin, m.train_length()) << m.name();
+    }
+  }
+}
+
+TEST(OmniArchiveTest, Deterministic) {
+  const OmniArchive a = GenerateOmniArchive();
+  const OmniArchive b = GenerateOmniArchive();
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (std::size_t i = 0; i < a.machines.size(); ++i) {
+    EXPECT_EQ(a.machines[i].dimensions()[0], b.machines[i].dimensions()[0]);
+  }
+}
+
+TEST(OmniConfigTest, SmallConfigRespected) {
+  OmniConfig config;
+  config.num_machines = 4;
+  config.num_dimensions = 6;
+  config.machine_length = 1200;
+  config.train_length = 300;
+  const OmniArchive archive = GenerateOmniArchive(config);
+  EXPECT_EQ(archive.machines.size(), 4u);
+  EXPECT_EQ(archive.machines[0].num_dimensions(), 6u);
+  EXPECT_EQ(archive.machines[0].length(), 1200u);
+}
+
+}  // namespace
+}  // namespace tsad

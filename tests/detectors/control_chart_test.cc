@@ -1,0 +1,108 @@
+#include "detectors/control_chart.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+TEST(EwmaChartTest, FlagsSustainedShift) {
+  Rng rng(1);
+  Series x = GaussianNoise(1500, 1.0, rng);
+  for (std::size_t i = 1000; i < 1500; ++i) x[i] += 2.0;
+  EwmaChartDetector detector(0.2);
+  Result<std::vector<double>> scores = detector.Score(x, 500);
+  ASSERT_TRUE(scores.ok());
+  // Inside the shift, the statistic blows past the textbook 3-sigma
+  // control limit; before it, it mostly stays below.
+  EXPECT_GT((*scores)[1100], 3.0);
+  double pre_max = 0.0;
+  for (std::size_t i = 100; i < 950; ++i) {
+    pre_max = std::max(pre_max, (*scores)[i]);
+  }
+  EXPECT_LT(pre_max, (*scores)[1100]);
+}
+
+TEST(EwmaChartTest, QuietDataStaysInControl) {
+  Rng rng(2);
+  const Series x = GaussianNoise(3000, 1.0, rng);
+  EwmaChartDetector detector(0.2);
+  Result<std::vector<double>> scores = detector.Score(x, 500);
+  ASSERT_TRUE(scores.ok());
+  std::size_t out_of_control = 0;
+  for (double s : *scores) out_of_control += s > 3.0 ? 1 : 0;
+  // 3-sigma exceedances should be rare on in-control data.
+  EXPECT_LT(out_of_control, 30u);
+}
+
+TEST(EwmaChartTest, LambdaOneReducesToShewhart) {
+  // lambda = 1: the EWMA is the raw sample, the limit is sigma.
+  Series x(200, 5.0);
+  x[150] = 9.0;  // 4-sigma-ish spike relative to reference
+  EwmaChartDetector detector(1.0);
+  Result<std::vector<double>> scores = detector.Score(x, 100);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 100), 150u);
+}
+
+TEST(EwmaChartTest, EmptyAndConstantInputsAreSafe) {
+  EwmaChartDetector detector(0.2);
+  Result<std::vector<double>> empty = detector.Score({}, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  Result<std::vector<double>> constant =
+      detector.Score(Series(100, 2.0), 0);
+  ASSERT_TRUE(constant.ok());
+  for (double s : *constant) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(PageHinkleyTest, DetectsUpwardDrift) {
+  Rng rng(3);
+  Series x = GaussianNoise(2000, 1.0, rng);
+  // Slow drift beginning at 1200: 0.01 sigma per step.
+  for (std::size_t i = 1200; i < 2000; ++i) {
+    x[i] += 0.01 * static_cast<double>(i - 1200);
+  }
+  PageHinkleyDetector detector(0.05);
+  Result<std::vector<double>> scores = detector.Score(x, 600);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1900], 5.0 * (*scores)[1100]);
+}
+
+TEST(PageHinkleyTest, DetectsDownwardDrift) {
+  Rng rng(4);
+  Series x = GaussianNoise(2000, 1.0, rng);
+  for (std::size_t i = 1200; i < 2000; ++i) {
+    x[i] -= 0.01 * static_cast<double>(i - 1200);
+  }
+  PageHinkleyDetector detector(0.05);
+  Result<std::vector<double>> scores = detector.Score(x, 600);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[1900], 5.0 * (*scores)[1100]);
+}
+
+TEST(PageHinkleyTest, StationaryDataScoresLow) {
+  Rng rng(5);
+  const Series x = GaussianNoise(2000, 1.0, rng);
+  PageHinkleyDetector detector(0.05);
+  Result<std::vector<double>> scores = detector.Score(x, 600);
+  ASSERT_TRUE(scores.ok());
+  // Under stationarity the statistic behaves like the range of a
+  // slightly-drift-corrected random walk: O(sqrt(n)), far below the
+  // O(n) growth a genuine drift produces.
+  const double bound =
+      4.0 * std::sqrt(static_cast<double>(x.size()));  // ~179 for n=2000
+  for (double s : *scores) EXPECT_LT(s, bound);
+}
+
+TEST(ControlChartTest, NamesIncludeParameters) {
+  EXPECT_EQ(EwmaChartDetector(0.25).name(), "EWMAChart[lambda=0.25]");
+  EXPECT_EQ(PageHinkleyDetector(0.1).name(), "PageHinkley[delta=0.1]");
+}
+
+}  // namespace
+}  // namespace tsad

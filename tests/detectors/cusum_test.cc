@@ -1,0 +1,83 @@
+#include "detectors/cusum.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+TEST(CusumTest, DetectsUpwardMeanShift) {
+  Rng rng(1);
+  Series x = GaussianNoise(1000, 1.0, rng);
+  for (std::size_t i = 600; i < 1000; ++i) x[i] += 3.0;
+  CusumDetector detector(0.5);
+  Result<std::vector<double>> scores = detector.Score(x, 300);
+  ASSERT_TRUE(scores.ok());
+  // The statistic should be low before the change and climb after it.
+  EXPECT_LT((*scores)[590], 10.0);
+  EXPECT_GT((*scores)[650], 20.0);
+}
+
+TEST(CusumTest, DetectsDownwardShiftViaNegativeSide) {
+  Rng rng(2);
+  Series x = GaussianNoise(800, 1.0, rng);
+  for (std::size_t i = 500; i < 800; ++i) x[i] -= 3.0;
+  CusumDetector detector(0.5);
+  Result<std::vector<double>> scores = detector.Score(x, 200);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[550], 20.0);
+}
+
+TEST(CusumTest, StaysLowOnStationaryData) {
+  Rng rng(3);
+  const Series x = GaussianNoise(1000, 1.0, rng);
+  CusumDetector detector(0.5);
+  Result<std::vector<double>> scores = detector.Score(x, 300);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_LT(s, 15.0);
+}
+
+TEST(CusumTest, RobustReferenceWithoutTrainingPrefix) {
+  // Without a training prefix the reference uses median/MAD, so the
+  // anomaly does not contaminate the baseline.
+  Rng rng(4);
+  Series x = GaussianNoise(500, 1.0, rng);
+  for (std::size_t i = 400; i < 500; ++i) x[i] += 8.0;
+  CusumDetector detector(0.5);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[450], 50.0);
+}
+
+TEST(CusumTest, ResetLocalizesTheScore) {
+  Rng rng(5);
+  Series x = GaussianNoise(900, 1.0, rng);
+  // A transient burst, then back to normal.
+  for (std::size_t i = 300; i < 330; ++i) x[i] += 6.0;
+  CusumDetector with_reset(0.5, /*reset_threshold=*/25.0);
+  Result<std::vector<double>> scores = with_reset.Score(x, 150);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[320], 15.0);  // fires inside the burst
+  EXPECT_LT((*scores)[800], 15.0);  // resets afterwards
+}
+
+TEST(CusumTest, EmptySeriesIsFine) {
+  CusumDetector detector;
+  Result<std::vector<double>> scores = detector.Score({}, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(scores->empty());
+}
+
+TEST(CusumTest, ConstantSeriesDoesNotDivideByZero) {
+  CusumDetector detector;
+  Result<std::vector<double>> scores = detector.Score(Series(100, 5.0), 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,56 @@
+#include "detectors/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+TEST(PredictLocationTest, ArgmaxOverTestSpan) {
+  // Global max is at 1, but the test span starts at 3.
+  const std::vector<double> scores = {0, 9, 0, 1, 5, 2};
+  EXPECT_EQ(PredictLocation(scores, 0), 1u);
+  EXPECT_EQ(PredictLocation(scores, 3), 4u);
+  EXPECT_EQ(PredictLocation(scores, 5), 5u);
+}
+
+TEST(PredictLocationTest, DegenerateInputs) {
+  EXPECT_EQ(PredictLocation({}, 0), kNoPrediction);
+  EXPECT_EQ(PredictLocation({1, 2}, 5), kNoPrediction);
+}
+
+TEST(PredictLocationTest, TiesGoToEarliest) {
+  EXPECT_EQ(PredictLocation({1, 3, 3, 3}, 0), 1u);
+}
+
+TEST(RegionsFromScoresTest, ThresholdsIntoRegions) {
+  const auto regions = RegionsFromScores({0, 2, 2, 0, 3, 0}, 1.0);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions[0], (AnomalyRegion{1, 3}));
+  EXPECT_EQ(regions[1], (AnomalyRegion{4, 5}));
+}
+
+TEST(PredictionsFromScoresTest, StrictlyAbove) {
+  EXPECT_EQ(PredictionsFromScores({0.5, 1.0, 1.5}, 1.0),
+            (std::vector<uint8_t>{0, 0, 1}));
+}
+
+TEST(DiscriminationTest, PeakyTrackScoresHigh) {
+  std::vector<double> flat(100, 1.0);
+  EXPECT_DOUBLE_EQ(Discrimination(flat), 0.0);
+
+  std::vector<double> peaky(100, 0.0);
+  peaky[50] = 10.0;
+  EXPECT_GT(Discrimination(peaky), 5.0);
+
+  // A noisy track with no structure discriminates poorly.
+  std::vector<double> two_level(100);
+  for (std::size_t i = 0; i < 100; ++i) two_level[i] = i % 2 ? 1.0 : -1.0;
+  EXPECT_LT(Discrimination(two_level), 1.5);
+}
+
+TEST(DiscriminationTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Discrimination({}), 0.0);
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,88 @@
+#include "detectors/discord.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/physio.h"
+
+namespace tsad {
+namespace {
+
+Series PeriodicWithWeirdCycle(std::size_t n, std::size_t weird_at) {
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 40.0);
+  }
+  // Distort one cycle's shape without changing its amplitude much.
+  for (std::size_t i = weird_at; i < weird_at + 40 && i < n; ++i) {
+    const double t = static_cast<double>(i - weird_at) / 40.0;
+    x[i] = std::sin(2.0 * 3.14159265 * t * 3.0) * 0.8;
+  }
+  return x;
+}
+
+TEST(ProfileToPointScoresTest, CoversFullLengthWithWindowMax) {
+  const std::vector<double> profile = {1, 5, 2};
+  const auto scores = ProfileToPointScores(profile, 2, 4);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);  // covered by window 0 only
+  EXPECT_DOUBLE_EQ(scores[1], 5.0);  // max(window 0, window 1)
+  EXPECT_DOUBLE_EQ(scores[2], 5.0);  // max(window 1, window 2)
+  EXPECT_DOUBLE_EQ(scores[3], 2.0);  // window 2 only
+}
+
+TEST(ProfileToPointScoresTest, DegenerateInputs) {
+  EXPECT_TRUE(ProfileToPointScores({}, 4, 0).empty());
+  const auto scores = ProfileToPointScores({}, 4, 5);
+  EXPECT_EQ(scores, std::vector<double>(5, 0.0));
+}
+
+TEST(DiscordDetectorTest, FindsTheWeirdCycle) {
+  const Series x = PeriodicWithWeirdCycle(2000, 1200);
+  DiscordDetector detector(40);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), x.size());
+  const std::size_t peak = PredictLocation(*scores, 0);
+  EXPECT_GE(peak + 80, 1200u);
+  EXPECT_LE(peak, 1280u);
+}
+
+TEST(DiscordDetectorTest, FindsPvcInEcg) {
+  PhysioConfig cfg;
+  cfg.duration_sec = 30.0;
+  const LabeledSeries ecg = GenerateEcgWithPvc(cfg);
+  DiscordDetector detector(200);  // ~ one beat at 200 Hz
+  Result<std::vector<double>> scores = detector.Score(ecg.values(), 0);
+  ASSERT_TRUE(scores.ok());
+  const std::size_t peak = PredictLocation(*scores, 0);
+  const AnomalyRegion& pvc = ecg.anomalies().front();
+  EXPECT_GE(peak + 250, pvc.begin);
+  EXPECT_LE(peak, pvc.end + 250);
+}
+
+TEST(DiscordDetectorTest, PropagatesSubstrateErrors) {
+  DiscordDetector detector(64);
+  Result<std::vector<double>> scores = detector.Score(Series(10, 1.0), 0);
+  EXPECT_FALSE(scores.ok());
+}
+
+TEST(DiscordDetectorTest, FindDiscordsReturnsRanked) {
+  const Series x = PeriodicWithWeirdCycle(2000, 700);
+  DiscordDetector detector(40);
+  Result<std::vector<Discord>> discords = detector.FindDiscords(x, 3);
+  ASSERT_TRUE(discords.ok());
+  ASSERT_GE(discords->size(), 1u);
+  EXPECT_GE((*discords)[0].position + 40, 700u);
+  EXPECT_LE((*discords)[0].position, 740u);
+}
+
+TEST(DiscordDetectorTest, NameIncludesWindow) {
+  DiscordDetector detector(128);
+  EXPECT_EQ(detector.name(), "Discord[m=128]");
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,98 @@
+#include "detectors/merlin.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tsad {
+namespace {
+
+Series PeriodicWithDistortedCycle(std::size_t n, std::size_t weird_at,
+                                  std::size_t weird_len, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 50.0) +
+           rng.Gaussian(0.0, 0.02);
+  }
+  for (std::size_t i = weird_at; i < weird_at + weird_len && i < n; ++i) {
+    const double t =
+        static_cast<double>(i - weird_at) / static_cast<double>(weird_len);
+    x[i] = 0.9 * std::sin(2.0 * 3.14159265 * t * 4.0) + rng.Gaussian(0.0, 0.02);
+  }
+  return x;
+}
+
+TEST(DragTest, FindsDiscordWhenRIsFeasible) {
+  const Series x = PeriodicWithDistortedCycle(1500, 900, 50, 1);
+  const DragResult drag = DragTopDiscord(x, 50, /*r=*/1.0);
+  ASSERT_TRUE(drag.found);
+  EXPECT_GE(drag.discord.position + 60, 900u);
+  EXPECT_LE(drag.discord.position, 960u);
+  EXPECT_GE(drag.discord.distance, 1.0);
+}
+
+TEST(DragTest, FailsWhenRIsTooLarge) {
+  const Series x = PeriodicWithDistortedCycle(1500, 900, 50, 2);
+  // No subsequence is 2*sqrt(2m) from everything (beyond the max
+  // possible z-normalized distance), so DRAG must report failure.
+  const DragResult drag =
+      DragTopDiscord(x, 50, 3.0 * std::sqrt(2.0 * 50.0));
+  EXPECT_FALSE(drag.found);
+}
+
+TEST(DragTest, AgreesWithMatrixProfileDiscord) {
+  const Series x = PeriodicWithDistortedCycle(1200, 600, 50, 3);
+  const std::size_t m = 50;
+  Result<MatrixProfile> mp = ComputeMatrixProfile(x, m);
+  ASSERT_TRUE(mp.ok());
+  const auto exact = TopDiscords(*mp, 1);
+  ASSERT_EQ(exact.size(), 1u);
+  const DragResult drag = DragTopDiscord(x, m, exact[0].distance * 0.9);
+  ASSERT_TRUE(drag.found);
+  EXPECT_EQ(drag.discord.position, exact[0].position);
+  EXPECT_NEAR(drag.discord.distance, exact[0].distance, 1e-6);
+}
+
+TEST(MerlinSweepTest, EveryLengthReportsTheAnomalyRegion) {
+  const Series x = PeriodicWithDistortedCycle(1500, 800, 50, 4);
+  Result<std::vector<LengthDiscord>> sweep = MerlinSweep(x, 40, 60);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->size(), 21u);  // lengths 40..60 inclusive
+  std::size_t hits = 0;
+  for (const LengthDiscord& d : *sweep) {
+    EXPECT_EQ(d.normalized,
+              d.distance / std::sqrt(static_cast<double>(d.length)));
+    if (d.position + d.length + 30 > 800 && d.position < 880) ++hits;
+  }
+  // The distorted cycle should dominate at (nearly) every length.
+  EXPECT_GE(hits, 18u);
+}
+
+TEST(MerlinSweepTest, RejectsBadRanges) {
+  const Series x(500, 1.0);
+  EXPECT_FALSE(MerlinSweep(x, 2, 10).ok());    // min too small
+  EXPECT_FALSE(MerlinSweep(x, 60, 40).ok());   // inverted
+  EXPECT_FALSE(MerlinSweep(x, 40, 400).ok());  // series too short
+}
+
+TEST(MerlinDetectorTest, ScoreTrackPeaksAtAnomaly) {
+  const Series x = PeriodicWithDistortedCycle(1500, 1000, 50, 5);
+  MerlinDetector detector(45, 55);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), x.size());
+  const std::size_t peak = PredictLocation(*scores, 0);
+  EXPECT_GE(peak + 60, 1000u);
+  EXPECT_LE(peak, 1110u);
+}
+
+TEST(MerlinDetectorTest, NameDescribesRange) {
+  MerlinDetector detector(32, 64);
+  EXPECT_EQ(detector.name(), "MERLIN[32..64]");
+}
+
+}  // namespace
+}  // namespace tsad

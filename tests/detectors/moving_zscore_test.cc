@@ -1,0 +1,70 @@
+#include "detectors/moving_zscore.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+TEST(MovingZScoreTest, SpikeGetsTopScore) {
+  Rng rng(1);
+  Series x = GaussianNoise(1000, 1.0, rng);
+  x[700] += 15.0;
+  MovingZScoreDetector detector(50);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), x.size());
+  EXPECT_EQ(PredictLocation(*scores, 0), 700u);
+  EXPECT_GT((*scores)[700], 8.0);
+}
+
+TEST(MovingZScoreTest, WarmupRegionIsZero) {
+  Rng rng(2);
+  const Series x = GaussianNoise(100, 1.0, rng);
+  MovingZScoreDetector detector(30);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_DOUBLE_EQ((*scores)[i], 0.0);
+}
+
+TEST(MovingZScoreTest, FlatHistoryDoesNotExplode) {
+  Series x(200, 3.0);
+  x[150] = 4.0;
+  MovingZScoreDetector detector(50);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_EQ(PredictLocation(*scores, 0), 150u);
+}
+
+TEST(MovingZScoreTest, ShortSeriesAllZero) {
+  MovingZScoreDetector detector(50);
+  Result<std::vector<double>> scores = detector.Score(Series(10, 1.0), 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(MovingZScoreTest, WindowFloorsAtTwo) {
+  MovingZScoreDetector detector(0);
+  EXPECT_EQ(detector.window(), 2u);
+}
+
+TEST(MovingZScoreTest, AdaptsToLevelShifts) {
+  // After a level shift, the detector re-adapts: late points at the new
+  // level score low again.
+  Rng rng(3);
+  Series x = GaussianNoise(600, 1.0, rng);
+  for (std::size_t i = 300; i < 600; ++i) x[i] += 20.0;
+  MovingZScoreDetector detector(50);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT((*scores)[300], 10.0);   // the shift itself
+  EXPECT_LT((*scores)[500], 5.0);    // re-adapted
+}
+
+}  // namespace
+}  // namespace tsad

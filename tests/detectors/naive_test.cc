@@ -1,0 +1,66 @@
+#include "detectors/naive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+TEST(LastPointTest, OnlyFinalIndexScores) {
+  LastPointDetector detector;
+  Result<std::vector<double>> scores = detector.Score(Series(10, 1.0), 0);
+  ASSERT_TRUE(scores.ok());
+  for (std::size_t i = 0; i + 1 < scores->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*scores)[i], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(scores->back(), 1.0);
+}
+
+TEST(LastPointTest, EmptySeries) {
+  LastPointDetector detector;
+  Result<std::vector<double>> scores = detector.Score({}, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(scores->empty());
+}
+
+TEST(MaxAbsDiffTest, ScoresAreAbsoluteJumps) {
+  MaxAbsDiffDetector detector;
+  Result<std::vector<double>> scores = detector.Score({1, 4, 2, 2}, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(*scores, (std::vector<double>{0, 3, 2, 0}));
+}
+
+TEST(ConstantRunTest, ScoresRunLength) {
+  ConstantRunDetector detector(3);
+  const Series x = {1, 2, 5, 5, 5, 5, 2, 1, 3, 3};
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[2], 4.0);
+  EXPECT_DOUBLE_EQ((*scores)[5], 4.0);
+  EXPECT_DOUBLE_EQ((*scores)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*scores)[8], 0.0);  // run of 2 < min_run 3
+}
+
+TEST(ConstantRunTest, ImplementsTheNasaOneLiner) {
+  // §2.2: "we can flag an anomaly if, say, three consecutive values are
+  // the same" — dynamic telemetry that freezes.
+  Series x;
+  for (int i = 0; i < 200; ++i) x.push_back(std::sin(i * 0.3));
+  for (int i = 0; i < 50; ++i) x.push_back(x.back());
+  for (int i = 0; i < 200; ++i) x.push_back(std::sin(i * 0.3));
+  ConstantRunDetector detector(3);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  const std::size_t peak = PredictLocation(*scores, 0);
+  EXPECT_GE(peak, 199u);
+  EXPECT_LT(peak, 251u);
+}
+
+TEST(ConstantRunTest, NameIncludesMinRun) {
+  ConstantRunDetector detector(5);
+  EXPECT_EQ(detector.name(), "ConstantRun[min=5]");
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,159 @@
+#include "detectors/oneliner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+TEST(OneLinerFormTest, ClassificationMatchesPaperNumbering) {
+  OneLinerParams p;
+  p.use_abs = true;
+  p.use_movmean = false;
+  p.c = 0.0;
+  EXPECT_EQ(p.form(), OneLinerForm::kEq3);
+  p.use_movmean = true;
+  EXPECT_EQ(p.form(), OneLinerForm::kEq4);
+  p.use_abs = false;
+  p.use_movmean = false;
+  EXPECT_EQ(p.form(), OneLinerForm::kEq5);
+  p.c = 2.0;
+  EXPECT_EQ(p.form(), OneLinerForm::kEq6);
+}
+
+TEST(OneLinerFormTest, Names) {
+  EXPECT_EQ(OneLinerFormName(OneLinerForm::kEq3), "(3)");
+  EXPECT_EQ(OneLinerFormName(OneLinerForm::kEq6), "(6)");
+}
+
+TEST(ToMatlabTest, RendersReadableExpressions) {
+  OneLinerParams p;
+  p.use_abs = true;
+  p.use_movmean = false;
+  p.c = 0.0;
+  p.b = 2.5;
+  EXPECT_EQ(p.ToMatlab(), "abs(diff(TS)) > 2.5");
+
+  p.use_movmean = true;
+  p.k = 7;
+  p.c = 3.0;
+  p.b = 0.0;
+  EXPECT_EQ(p.ToMatlab(),
+            "abs(diff(TS)) > movmean(abs(diff(TS)),7) + "
+            "3*movstd(abs(diff(TS)),7)");
+}
+
+TEST(EvaluateOneLinerTest, Eq3FlagsSpikes) {
+  Series x(200, 10.0);
+  x[120] = 25.0;  // spike: |diff| = 15 at indices 119 and 120
+  OneLinerParams p;
+  p.use_abs = true;
+  p.use_movmean = false;
+  p.c = 0.0;
+  p.b = 5.0;
+  const auto flags = EvaluateOneLiner(x, p);
+  ASSERT_EQ(flags.size(), x.size());
+  EXPECT_TRUE(flags[120]);  // the jump up, aligned to the spike point
+  EXPECT_TRUE(flags[121]);  // the jump back down
+  EXPECT_FALSE(flags[119]);
+  EXPECT_FALSE(flags[0]);
+  std::size_t total = 0;
+  for (uint8_t f : flags) total += f;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(EvaluateOneLinerTest, Eq5IsSignSensitive) {
+  Series x(200, 10.0);
+  x[60] = 25.0;   // up-spike: +15 then -15
+  x[140] = -5.0;  // down-spike: -15 then +15
+  OneLinerParams p;
+  p.use_abs = false;
+  p.use_movmean = false;
+  p.c = 0.0;
+  p.b = 5.0;
+  const auto flags = EvaluateOneLiner(x, p);
+  EXPECT_TRUE(flags[60]);    // positive jump into the up-spike
+  EXPECT_FALSE(flags[61]);   // the recovery down-jump is negative
+  EXPECT_FALSE(flags[140]);  // the drop is negative
+  EXPECT_TRUE(flags[141]);   // the recovery up-jump fires
+}
+
+TEST(EvaluateOneLinerTest, ShortSeriesNeverFlags) {
+  OneLinerParams p;
+  const auto flags = EvaluateOneLiner({5.0}, p);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_FALSE(flags[0]);
+}
+
+TEST(OneLinerMarginTest, AlignsWithFlags) {
+  Rng rng(1);
+  Series x = GaussianNoise(500, 1.0, rng);
+  x[250] += 20.0;
+  OneLinerParams p;
+  p.use_abs = true;
+  p.use_movmean = true;
+  p.k = 21;
+  p.c = 3.0;
+  p.b = 0.0;
+  const auto flags = EvaluateOneLiner(x, p);
+  const auto margin = OneLinerMargin(x, p);
+  ASSERT_EQ(margin.size(), x.size());
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    EXPECT_EQ(flags[i] != 0, margin[i] > 0.0) << "i=" << i;
+  }
+}
+
+TEST(OneLinerMarginTest, Index0GetsFloorValue) {
+  Series x = {0, 1, 0, 1, 0};
+  OneLinerParams p;
+  p.use_abs = false;
+  p.use_movmean = false;
+  p.c = 0.0;
+  p.b = 0.0;
+  const auto margin = OneLinerMargin(x, p);
+  // Index 0 is padding: must be the minimum so it is never the argmax.
+  for (std::size_t i = 1; i < margin.size(); ++i) {
+    EXPECT_LE(margin[0], margin[i]);
+  }
+}
+
+TEST(OneLinerDetectorTest, ImplementsDetectorInterface) {
+  OneLinerParams p;
+  p.use_abs = true;
+  p.b = 1.0;
+  OneLinerDetector detector(p);
+  EXPECT_NE(detector.name().find("OneLiner"), std::string_view::npos);
+
+  Series x(300, 5.0);
+  x[200] = 50.0;
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 0), 200u);
+}
+
+// Property: equation (1) with u=0, c=0 degenerates to equation (3) --
+// the margin must be identical for any data.
+class OneLinerDegeneracy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OneLinerDegeneracy, FullFormDegeneratesToSimplified) {
+  Rng rng(GetParam());
+  const Series x = GaussianNoise(256, 2.0, rng);
+  OneLinerParams full;
+  full.use_abs = true;
+  full.use_movmean = false;
+  full.c = 0.0;
+  full.k = 21;  // irrelevant when u=0, c=0
+  full.b = 1.5;
+  OneLinerParams simplified = full;
+  simplified.k = 3;  // different k must not matter
+  EXPECT_EQ(OneLinerMargin(x, full), OneLinerMargin(x, simplified));
+  EXPECT_EQ(EvaluateOneLiner(x, full), EvaluateOneLiner(x, simplified));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneLinerDegeneracy,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,75 @@
+#include "detectors/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+TEST(RegistryTest, EveryRegisteredNameConstructsWithDefaults) {
+  for (const std::string& name : RegisteredDetectorNames()) {
+    Result<std::unique_ptr<AnomalyDetector>> detector = MakeDetector(name);
+    ASSERT_TRUE(detector.ok()) << name << ": "
+                               << detector.status().ToString();
+    EXPECT_FALSE((*detector)->name().empty());
+  }
+}
+
+TEST(RegistryTest, ParametersAreApplied) {
+  Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("discord:m=77");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::string((*d)->name()), "Discord[m=77]");
+
+  Result<std::unique_ptr<AnomalyDetector>> z = MakeDetector("zscore:w=33");
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(std::string((*z)->name()), "MovingZScore[w=33]");
+
+  Result<std::unique_ptr<AnomalyDetector>> m =
+      MakeDetector("merlin:min=32,max=48");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(std::string((*m)->name()), "MERLIN[32..48]");
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("lstm");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, UnknownParameterRejected) {
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("discord:window=5");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryTest, MalformedSpecsRejected) {
+  EXPECT_FALSE(MakeDetector("").ok());
+  EXPECT_FALSE(MakeDetector("discord:m").ok());
+  EXPECT_FALSE(MakeDetector("discord:m=abc").ok());
+  EXPECT_FALSE(MakeDetector("discord:=5").ok());
+}
+
+TEST(RegistryTest, ConstructedDetectorActuallyDetects) {
+  Rng rng(1);
+  Series x = GaussianNoise(1000, 1.0, rng);
+  const AnomalyRegion r = InjectSpike(x, 700, 20.0);
+  Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("zscore:w=50");
+  ASSERT_TRUE(d.ok());
+  Result<std::vector<double>> scores = (*d)->Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 0), r.begin);
+}
+
+TEST(RegistryTest, OnelinerSpecBuildsConfiguredPredicate) {
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("oneliner:abs=1,u=1,k=21,c=3,b=0.5");
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(std::string((*d)->name()).find("movmean(abs(diff(TS)),21)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsad

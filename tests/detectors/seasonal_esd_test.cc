@@ -1,0 +1,104 @@
+#include "detectors/seasonal_esd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+Series SeasonalWithSpike(std::size_t n, std::size_t period,
+                         std::size_t spike_at, double magnitude,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Series x = Mix({Sinusoid(n, static_cast<double>(period), 2.0, 0.3),
+                  LinearTrend(n, 10.0, 0.002),
+                  GaussianNoise(n, 0.1, rng)});
+  InjectSpike(x, spike_at, magnitude);
+  return x;
+}
+
+TEST(DecomposeSeasonalTest, RecoversTheSeasonalShape) {
+  const std::size_t period = 48;
+  Rng rng(1);
+  const Series x = Mix({Sinusoid(2000, 48.0, 2.0, 0.0),
+                        GaussianNoise(2000, 0.05, rng)});
+  Result<SeasonalDecomposition> d = DecomposeSeasonal(x, period);
+  ASSERT_TRUE(d.ok());
+  // The seasonal component tracks the sinusoid away from the edges.
+  double worst = 0.0;
+  for (std::size_t i = 200; i < 1800; ++i) {
+    const double expected =
+        2.0 * std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 48.0);
+    worst = std::max(worst, std::fabs(d->seasonal[i] - expected));
+  }
+  EXPECT_LT(worst, 0.35);
+  // Residuals are small noise.
+  const Series mid(d->residual.begin() + 200, d->residual.begin() + 1800);
+  EXPECT_LT(StdDev(mid), 0.15);
+}
+
+TEST(DecomposeSeasonalTest, RejectsBadPeriods) {
+  const Series x(100, 1.0);
+  EXPECT_FALSE(DecomposeSeasonal(x, 1).ok());
+  EXPECT_FALSE(DecomposeSeasonal(x, 51).ok());
+}
+
+TEST(EstimatePeriodTest, FindsPlantedPeriod) {
+  Rng rng(2);
+  const Series x = Mix({Sinusoid(3000, 60.0, 1.0, 0.0),
+                        GaussianNoise(3000, 0.05, rng)});
+  const std::size_t period = EstimatePeriod(x);
+  EXPECT_NEAR(static_cast<double>(period), 60.0, 3.0);
+}
+
+TEST(EstimatePeriodTest, ReturnsZeroOnNoise) {
+  Rng rng(3);
+  const Series x = GaussianNoise(2000, 1.0, rng);
+  EXPECT_EQ(EstimatePeriod(x), 0u);
+}
+
+TEST(SeasonalEsdTest, FindsSpikeOnSeasonalTrendedData) {
+  const Series x = SeasonalWithSpike(3000, 48, 2100, 3.0, 4);
+  SeasonalEsdDetector detector(48);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 100), 2100u);
+  EXPECT_GT((*scores)[2100], 10.0);
+}
+
+TEST(SeasonalEsdTest, AutoPeriodWorks) {
+  const Series x = SeasonalWithSpike(3000, 48, 1700, 3.0, 5);
+  SeasonalEsdDetector detector;  // period = 0 -> estimate
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 100), 1700u);
+}
+
+TEST(SeasonalEsdTest, SeasonalExtremesAreNotAnomalies) {
+  // The whole point of deseasonalizing: the crest of every cycle must
+  // NOT outscore the injected spike, even though it is the local max.
+  const Series x = SeasonalWithSpike(3000, 48, 2100, 2.5, 6);
+  SeasonalEsdDetector detector(48);
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  double crest_score = 0.0;
+  for (std::size_t i = 500; i < 600; ++i) {
+    crest_score = std::max(crest_score, (*scores)[i]);
+  }
+  EXPECT_GT((*scores)[2100], 3.0 * crest_score);
+}
+
+TEST(SeasonalEsdTest, ShortSeriesScoresZero) {
+  SeasonalEsdDetector detector(4);
+  Result<std::vector<double>> scores = detector.Score(Series(8, 1.0), 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace tsad

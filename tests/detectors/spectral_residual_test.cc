@@ -1,0 +1,88 @@
+#include "detectors/spectral_residual.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "datasets/generators.h"
+#include "scoring/ucr_score.h"
+
+namespace tsad {
+namespace {
+
+TEST(SaliencyTest, PeaksAtASpike) {
+  Rng rng(1);
+  Series x = Mix({Sinusoid(2048, 100.0, 1.0, 0.0),
+                  GaussianNoise(2048, 0.02, rng)});
+  InjectSpike(x, 1500, 2.0);
+  const auto saliency = SpectralResidualSaliency(x);
+  ASSERT_EQ(saliency.size(), x.size());
+  // Judge away from the boundary (spectral methods smear at the edges).
+  std::size_t best = 100;
+  for (std::size_t i = 100; i + 100 < saliency.size(); ++i) {
+    if (saliency[i] > saliency[best]) best = i;
+  }
+  EXPECT_NEAR(static_cast<double>(best), 1500.0, 8.0);
+}
+
+TEST(SaliencyTest, SpikeSharpensTheSaliencyMapVsSmoothSignal) {
+  // A pure tone has no locally surprising point, so its saliency map is
+  // far less peaked (max/mean over the interior) than the same tone
+  // with one spike.
+  Series smooth = Sinusoid(1024, 64.0, 1.0, 0.0);
+  Series spiked = smooth;
+  InjectSpike(spiked, 700, 2.0);
+  auto peakiness = [](const std::vector<double>& saliency) {
+    const Series mid(saliency.begin() + 100, saliency.end() - 100);
+    return Max(mid) / (Mean(mid) + 1e-9);
+  };
+  EXPECT_GT(peakiness(SpectralResidualSaliency(spiked)),
+            2.0 * peakiness(SpectralResidualSaliency(smooth)));
+}
+
+TEST(SaliencyTest, TinyInputsAreSafe) {
+  EXPECT_EQ(SpectralResidualSaliency({1, 2, 3}).size(), 3u);
+}
+
+TEST(SpectralResidualTest, FindsSpikeOnSeasonalData) {
+  Rng rng(2);
+  Series x = Mix({Sinusoid(4000, 80.0, 1.0, 0.4),
+                  GaussianNoise(4000, 0.03, rng)});
+  InjectSpike(x, 2600, 1.5);
+  SpectralResidualDetector detector;
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  const std::size_t peak = PredictLocation(*scores, 200);
+  EXPECT_TRUE(UcrCorrect({2600, 2601}, peak)) << "peak=" << peak;
+}
+
+TEST(SpectralResidualTest, FindsDropout) {
+  Rng rng(3);
+  Series x = Mix({Sinusoid(4000, 120.0, 1.0, 0.0),
+                  GaussianNoise(4000, 0.03, rng)});
+  InjectDropout(x, 3000, 3, -4.0);
+  SpectralResidualDetector detector;
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  const std::size_t peak = PredictLocation(*scores, 200);
+  EXPECT_TRUE(UcrCorrect({3000, 3003}, peak)) << "peak=" << peak;
+}
+
+TEST(SpectralResidualTest, ScoresAreNonNegative) {
+  Rng rng(4);
+  const Series x = GaussianNoise(1000, 1.0, rng);
+  SpectralResidualDetector detector;
+  Result<std::vector<double>> scores = detector.Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(SpectralResidualTest, NameCarriesParameters) {
+  SpectralResidualDetector detector(5, 31);
+  EXPECT_EQ(detector.name(), "SpectralResidual[q=5,z=31]");
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,110 @@
+#include "scoring/auc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tsad {
+namespace {
+
+TEST(RocAucTest, PerfectSeparationIsOne) {
+  Result<double> auc = RocAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(RocAucTest, InvertedSeparationIsZero) {
+  Result<double> auc = RocAuc({1, 1, 0, 0}, {0.1, 0.2, 0.8, 0.9});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(RocAucTest, RandomScoresAreNearHalf) {
+  Rng rng(1);
+  std::vector<uint8_t> truth(5000);
+  std::vector<double> scores(5000);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Bernoulli(0.1) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  Result<double> auc = RocAuc(truth, scores);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(*auc, 0.5, 0.05);
+}
+
+TEST(RocAucTest, TiesGetMidrankTreatment) {
+  // All scores equal: AUC must be exactly 0.5.
+  Result<double> auc = RocAuc({1, 0, 1, 0}, {0.5, 0.5, 0.5, 0.5});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(RocAucTest, KnownPartialValue) {
+  // truth 1 at scores {0.9, 0.4}; truth 0 at {0.6, 0.1}.
+  // Pairs: (0.9>0.6), (0.9>0.1), (0.4<0.6), (0.4>0.1) -> 3/4.
+  Result<double> auc = RocAuc({1, 0, 1, 0}, {0.9, 0.6, 0.4, 0.1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.75);
+}
+
+TEST(RocAucTest, RejectsDegenerateClasses) {
+  EXPECT_FALSE(RocAuc({1, 1}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(RocAuc({0, 0}, {0.5, 0.6}).ok());
+  EXPECT_FALSE(RocAuc({1, 0}, {0.5}).ok());
+}
+
+TEST(PrAucTest, PerfectSeparationIsOne) {
+  Result<double> ap = PrAuc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_DOUBLE_EQ(*ap, 1.0);
+}
+
+TEST(PrAucTest, KnownValue) {
+  // Descending: 0.9(P), 0.6(N), 0.4(P), 0.1(N).
+  // AP = (1/1 + 2/3) / 2 = 5/6.
+  Result<double> ap = PrAuc({1, 0, 1, 0}, {0.9, 0.6, 0.4, 0.1});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(*ap, 5.0 / 6.0, 1e-12);
+}
+
+TEST(PrAucTest, RandomScoresApproachPrevalence) {
+  Rng rng(2);
+  std::vector<uint8_t> truth(10000);
+  std::vector<double> scores(10000);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = rng.Bernoulli(0.2) ? 1 : 0;
+    scores[i] = rng.NextDouble();
+  }
+  Result<double> ap = PrAuc(truth, scores);
+  ASSERT_TRUE(ap.ok());
+  EXPECT_NEAR(*ap, 0.2, 0.05);  // baseline AP = positive prevalence
+}
+
+TEST(PrAucTest, AllTiedEqualsPrevalence) {
+  Result<double> ap = PrAuc({1, 0, 0, 0}, {0.5, 0.5, 0.5, 0.5});
+  ASSERT_TRUE(ap.ok());
+  EXPECT_DOUBLE_EQ(*ap, 0.25);
+}
+
+TEST(AucLabelFlawTest, UnlabeledTwinCapsAGoodDetectorsAuc) {
+  // The paper's Fig 5 pathology, quantified: a detector that correctly
+  // scores BOTH identical dropouts high cannot reach AUC 1 against
+  // labels that only acknowledge one of them.
+  const std::size_t n = 1000;
+  std::vector<uint8_t> truth(n, 0);
+  std::vector<double> scores(n, 0.0);
+  truth[300] = 1;          // labeled dropout
+  scores[300] = 1.0;
+  scores[700] = 1.0;       // identical unlabeled twin, honestly flagged
+  Result<double> flawed = RocAuc(truth, scores);
+  ASSERT_TRUE(flawed.ok());
+  EXPECT_LT(*flawed, 1.0);
+  // With honest labels the same detector is perfect.
+  truth[700] = 1;
+  Result<double> honest = RocAuc(truth, scores);
+  ASSERT_TRUE(honest.ok());
+  EXPECT_DOUBLE_EQ(*honest, 1.0);
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,89 @@
+#include "scoring/nab.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+TEST(NabTest, PerfectEarlyDetectionScoresNear100) {
+  const std::vector<AnomalyRegion> anomalies = {{500, 510}};
+  // Detect exactly at the window's left edge region.
+  Result<NabScore> score = ComputeNabScore(anomalies, {460}, 1000);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->detected_windows, 1u);
+  EXPECT_EQ(score->false_positives, 0u);
+  EXPECT_GT(score->normalized, 85.0);
+}
+
+TEST(NabTest, NullDetectorScoresZero) {
+  Result<NabScore> score = ComputeNabScore({{500, 510}}, {}, 1000);
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(score->normalized, 0.0, 1e-9);
+  EXPECT_EQ(score->detected_windows, 0u);
+}
+
+TEST(NabTest, LateDetectionScoresLessThanEarly) {
+  const std::vector<AnomalyRegion> anomalies = {{500, 502}};
+  Result<NabScore> early = ComputeNabScore(anomalies, {470}, 1000);
+  Result<NabScore> late = ComputeNabScore(anomalies, {540}, 1000);
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(early->detected_windows, 1u);
+  EXPECT_EQ(late->detected_windows, 1u);
+  EXPECT_GT(early->normalized, late->normalized);
+}
+
+TEST(NabTest, FalsePositivesCost) {
+  const std::vector<AnomalyRegion> anomalies = {{500, 510}};
+  Result<NabScore> clean = ComputeNabScore(anomalies, {500}, 1000);
+  Result<NabScore> noisy =
+      ComputeNabScore(anomalies, {500, 100, 200, 900}, 1000);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->false_positives, 3u);
+  EXPECT_LT(noisy->normalized, clean->normalized);
+}
+
+TEST(NabTest, OnlyFirstDetectionPerWindowCounts) {
+  const std::vector<AnomalyRegion> anomalies = {{500, 510}};
+  Result<NabScore> once = ComputeNabScore(anomalies, {500}, 1000);
+  Result<NabScore> many =
+      ComputeNabScore(anomalies, {500, 501, 502, 503}, 1000);
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(many.ok());
+  EXPECT_NEAR(once->normalized, many->normalized, 1e-9);
+}
+
+TEST(NabTest, ProfilesChangePenalties) {
+  const std::vector<AnomalyRegion> anomalies = {{500, 510}};
+  const std::vector<std::size_t> detections = {500, 100};
+  NabConfig standard;
+  standard.profile = NabStandardProfile();
+  NabConfig low_fp;
+  low_fp.profile = NabRewardLowFpProfile();
+  Result<NabScore> s = ComputeNabScore(anomalies, detections, 1000, standard);
+  Result<NabScore> l = ComputeNabScore(anomalies, detections, 1000, low_fp);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_LT(l->normalized, s->normalized);  // FP costs more
+}
+
+TEST(NabTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeNabScore({}, {}, 0).ok());
+  EXPECT_FALSE(ComputeNabScore({{1, 2}}, {99}, 10).ok());
+}
+
+TEST(NabTest, MultipleWindowsEachScored) {
+  const std::vector<AnomalyRegion> anomalies = {{200, 210}, {700, 710}};
+  Result<NabScore> one = ComputeNabScore(anomalies, {200}, 1000);
+  Result<NabScore> both = ComputeNabScore(anomalies, {200, 700}, 1000);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(one->total_windows, 2u);
+  EXPECT_EQ(one->detected_windows, 1u);
+  EXPECT_EQ(both->detected_windows, 2u);
+  EXPECT_GT(both->normalized, one->normalized);
+}
+
+}  // namespace
+}  // namespace tsad

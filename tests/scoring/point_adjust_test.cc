@@ -1,0 +1,62 @@
+#include "scoring/point_adjust.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+TEST(PointAdjustTest, OneHitExpandsToWholeRegion) {
+  const std::vector<uint8_t> truth = {0, 1, 1, 1, 1, 0};
+  const std::vector<uint8_t> pred = {0, 0, 0, 1, 0, 0};
+  const auto adjusted = PointAdjustPredictions(truth, pred);
+  EXPECT_EQ(adjusted, (std::vector<uint8_t>{0, 1, 1, 1, 1, 0}));
+}
+
+TEST(PointAdjustTest, MissedRegionStaysMissed) {
+  const std::vector<uint8_t> truth = {1, 1, 0, 1, 1};
+  const std::vector<uint8_t> pred = {0, 0, 0, 0, 1};
+  const auto adjusted = PointAdjustPredictions(truth, pred);
+  EXPECT_EQ(adjusted, (std::vector<uint8_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(PointAdjustTest, FalsePositivesAreKept) {
+  const std::vector<uint8_t> truth = {0, 0, 0};
+  const std::vector<uint8_t> pred = {0, 1, 0};
+  EXPECT_EQ(PointAdjustPredictions(truth, pred), pred);
+}
+
+TEST(PointAdjustConfusionTest, InflatesRecallDramatically) {
+  // The §2.3 pathology: a huge labeled region + one lucky point.
+  std::vector<uint8_t> truth(1000, 0), pred(1000, 0);
+  for (std::size_t i = 200; i < 700; ++i) truth[i] = 1;  // 500-pt region
+  pred[450] = 1;  // one lucky hit
+  Result<Confusion> raw = ComputeConfusion(truth, pred);
+  Result<Confusion> adjusted = ComputePointAdjustedConfusion(truth, pred);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_NEAR(raw->recall(), 1.0 / 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(adjusted->recall(), 1.0);  // 500x inflation
+  EXPECT_DOUBLE_EQ(adjusted->f1(), 1.0);
+}
+
+TEST(BestPointAdjustedF1Test, BeatsPlainBestF1) {
+  std::vector<uint8_t> truth(200, 0);
+  for (std::size_t i = 50; i < 150; ++i) truth[i] = 1;
+  std::vector<double> scores(200, 0.0);
+  scores[100] = 1.0;   // single score spike inside the region
+  scores[180] = 0.5;   // distractor outside
+  Result<BestF1> plain = BestF1OverThresholds(truth, scores);
+  Result<BestF1> adjusted = BestPointAdjustedF1(truth, scores);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_GT(adjusted->f1, plain->f1);
+  EXPECT_DOUBLE_EQ(adjusted->f1, 1.0);
+}
+
+TEST(BestPointAdjustedF1Test, RejectsLengthMismatch) {
+  EXPECT_FALSE(BestPointAdjustedF1({1}, {0.5, 0.2}).ok());
+  EXPECT_FALSE(ComputePointAdjustedConfusion({1}, {1, 0}).ok());
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,162 @@
+#include "substrates/matrix_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/series.h"
+#include "common/vector_ops.h"
+
+namespace tsad {
+namespace {
+
+Series SineWithSpike(std::size_t n, std::size_t spike_at) {
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * 3.14159265 * static_cast<double>(i) / 50.0);
+  }
+  x[spike_at] += 5.0;
+  return x;
+}
+
+TEST(MassTest, ExactMatchHasZeroDistance) {
+  Rng rng(2);
+  Series x(400);
+  for (double& v : x) v = rng.Gaussian();
+  const std::size_t m = 32;
+  const auto query = Subsequence(x, 100, m);
+  const auto profile = MassDistanceProfile(x, query);
+  ASSERT_EQ(profile.size(), x.size() - m + 1);
+  EXPECT_NEAR(profile[100], 0.0, 1e-6);
+  // Every entry is a valid z-normalized distance: within [0, 2*sqrt(m)].
+  for (double d : profile) {
+    EXPECT_GE(d, -1e-9);
+    EXPECT_LE(d, 2.0 * std::sqrt(static_cast<double>(m)) + 1e-9);
+  }
+}
+
+TEST(MassTest, ScaledOffsetCopiesAlsoMatch) {
+  Rng rng(3);
+  Series x(300);
+  for (double& v : x) v = rng.Gaussian();
+  // Plant an affine copy of x[40, 72) at 200.
+  for (std::size_t i = 0; i < 32; ++i) x[200 + i] = 3.0 * x[40 + i] + 11.0;
+  const auto profile = MassDistanceProfile(x, Subsequence(x, 40, 32));
+  EXPECT_NEAR(profile[200], 0.0, 1e-6);  // z-norm kills scale & offset
+}
+
+TEST(MassTest, FlatVsNonFlatConvention) {
+  Series x(100, 1.0);
+  for (std::size_t i = 50; i < 100; ++i) {
+    x[i] = std::sin(static_cast<double>(i));
+  }
+  const std::size_t m = 16;
+  const Series flat_query(m, 3.0);
+  const auto profile = MassDistanceProfile(x, flat_query);
+  // Flat query vs flat region: 0. Flat query vs dynamic region: sqrt(2m).
+  EXPECT_NEAR(profile[0], 0.0, 1e-9);
+  EXPECT_NEAR(profile[70], std::sqrt(2.0 * m), 1e-9);
+}
+
+TEST(MatrixProfileTest, StompMatchesNaive) {
+  Rng rng(7);
+  Series x(256);
+  for (double& v : x) v = rng.Gaussian();
+  const std::size_t m = 16;
+  Result<MatrixProfile> fast = ComputeMatrixProfile(x, m);
+  Result<MatrixProfile> naive = ComputeMatrixProfileNaive(x, m);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(naive.ok());
+  ASSERT_EQ(fast->size(), naive->size());
+  for (std::size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_NEAR(fast->distances[i], naive->distances[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST(MatrixProfileTest, DiscordPeaksAtPlantedAnomaly) {
+  const Series x = SineWithSpike(1000, 600);
+  Result<MatrixProfile> mp = ComputeMatrixProfile(x, 50);
+  ASSERT_TRUE(mp.ok());
+  const auto discords = TopDiscords(*mp, 1);
+  ASSERT_EQ(discords.size(), 1u);
+  // The top discord must cover the spike at 600.
+  EXPECT_GE(discords[0].position + 50, 600u);
+  EXPECT_LE(discords[0].position, 600u);
+}
+
+TEST(MatrixProfileTest, RejectsBadArguments) {
+  EXPECT_FALSE(ComputeMatrixProfile({1, 2, 3}, 1).ok());       // m < 2
+  EXPECT_FALSE(ComputeMatrixProfile({1, 2, 3}, 3).ok());       // 1 subsequence
+  Series x(100, 0.0);
+  EXPECT_FALSE(ComputeMatrixProfile(x, 10, 95).ok());          // huge exclusion
+}
+
+TEST(MatrixProfileTest, ExclusionZonePreventsTrivialMatches) {
+  Rng rng(9);
+  Series x(300);
+  for (double& v : x) v = rng.Gaussian();
+  Result<MatrixProfile> mp = ComputeMatrixProfile(x, 20);
+  ASSERT_TRUE(mp.ok());
+  for (std::size_t i = 0; i < mp->size(); ++i) {
+    ASSERT_NE(mp->indices[i], kNoNeighbor);
+    const std::size_t j = mp->indices[i];
+    const std::size_t gap = i > j ? i - j : j - i;
+    EXPECT_GT(gap, 10u) << "trivial match at i=" << i;  // m/2 = 10
+  }
+}
+
+TEST(TopDiscordsTest, SuppressesOverlaps) {
+  const Series x = SineWithSpike(1000, 500);
+  Result<MatrixProfile> mp = ComputeMatrixProfile(x, 50);
+  ASSERT_TRUE(mp.ok());
+  const auto discords = TopDiscords(*mp, 3);
+  ASSERT_GE(discords.size(), 2u);
+  for (std::size_t a = 0; a < discords.size(); ++a) {
+    for (std::size_t b = a + 1; b < discords.size(); ++b) {
+      const std::size_t gap = discords[a].position > discords[b].position
+                                  ? discords[a].position - discords[b].position
+                                  : discords[b].position - discords[a].position;
+      EXPECT_GT(gap, 50u);
+    }
+  }
+  // Ranked by decreasing distance.
+  for (std::size_t a = 1; a < discords.size(); ++a) {
+    EXPECT_GE(discords[a - 1].distance, discords[a].distance);
+  }
+}
+
+TEST(TopDiscordsTest, KLargerThanAvailable) {
+  Rng rng(10);
+  Series x(120);
+  for (double& v : x) v = rng.Gaussian();
+  Result<MatrixProfile> mp = ComputeMatrixProfile(x, 16);
+  ASSERT_TRUE(mp.ok());
+  const auto discords = TopDiscords(*mp, 100);
+  EXPECT_LT(discords.size(), 100u);  // exhausts eligible positions
+  EXPECT_GE(discords.size(), 1u);
+}
+
+// Property sweep: STOMP == naive across subsequence lengths.
+class ProfileLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProfileLengths, StompMatchesNaive) {
+  const std::size_t m = GetParam();
+  Rng rng(m);
+  Series x(200);
+  for (double& v : x) v = rng.Uniform(-1, 1);
+  Result<MatrixProfile> fast = ComputeMatrixProfile(x, m);
+  Result<MatrixProfile> naive = ComputeMatrixProfileNaive(x, m);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(naive.ok());
+  for (std::size_t i = 0; i < fast->size(); ++i) {
+    EXPECT_NEAR(fast->distances[i], naive->distances[i], 1e-6)
+        << "m=" << m << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ProfileLengths,
+                         ::testing::Values(2, 3, 4, 8, 16, 33, 64, 99));
+
+}  // namespace
+}  // namespace tsad

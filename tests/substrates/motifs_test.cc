@@ -1,0 +1,117 @@
+#include "substrates/motifs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+
+namespace tsad {
+namespace {
+
+// Noise with a distinctive shape planted at the given positions.
+Series NoiseWithPlantedShape(std::size_t n,
+                             const std::vector<std::size_t>& positions,
+                             uint64_t seed) {
+  Rng rng(seed);
+  Series x = GaussianNoise(n, 1.0, rng);
+  for (std::size_t pos : positions) {
+    for (std::size_t i = 0; i < 40 && pos + i < n; ++i) {
+      const double t = static_cast<double>(i) / 40.0;
+      x[pos + i] = 4.0 * std::sin(2.0 * 3.14159265 * t * 2.0) *
+                   std::exp(-1.5 * t);
+    }
+  }
+  return x;
+}
+
+TEST(MotifsTest, FindsThePlantedPair) {
+  const Series x = NoiseWithPlantedShape(2000, {400, 1300}, 1);
+  Result<std::vector<Motif>> motifs = FindMotifs(x, 40, 1);
+  ASSERT_TRUE(motifs.ok()) << motifs.status().ToString();
+  ASSERT_EQ(motifs->size(), 1u);
+  const Motif& m = (*motifs)[0];
+  const std::size_t a = std::min(m.first, m.second);
+  const std::size_t b = std::max(m.first, m.second);
+  EXPECT_NEAR(static_cast<double>(a), 400.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(b), 1300.0, 5.0);
+  EXPECT_LT(m.distance, 1.0);  // near-identical occurrences
+}
+
+TEST(MotifsTest, NeighborsCollectAllOccurrences) {
+  const Series x = NoiseWithPlantedShape(3000, {300, 1200, 2100, 2700}, 2);
+  Result<std::vector<Motif>> motifs = FindMotifs(x, 40, 1);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 1u);
+  // The pair covers two occurrences; the other two appear as neighbors.
+  EXPECT_EQ((*motifs)[0].neighbors.size(), 2u);
+}
+
+TEST(MotifsTest, DistinctMotifsDoNotOverlap) {
+  // Two different shapes, each planted twice.
+  Rng rng(3);
+  Series x = GaussianNoise(3000, 0.5, rng);
+  for (std::size_t pos : {300u, 1500u}) {  // shape A
+    for (std::size_t i = 0; i < 40; ++i) {
+      x[pos + i] = 3.0 * std::sin(2.0 * 3.14159265 * i / 40.0);
+    }
+  }
+  for (std::size_t pos : {800u, 2300u}) {  // shape B (sharper)
+    for (std::size_t i = 0; i < 40; ++i) {
+      x[pos + i] = (i % 8 < 4) ? 3.0 : -3.0;
+    }
+  }
+  Result<std::vector<Motif>> motifs = FindMotifs(x, 40, 2);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 2u);
+  // Members of different motifs stay apart.
+  for (std::size_t pos :
+       {(*motifs)[0].first, (*motifs)[0].second}) {
+    for (std::size_t other :
+         {(*motifs)[1].first, (*motifs)[1].second}) {
+      const std::size_t gap = pos > other ? pos - other : other - pos;
+      EXPECT_GT(gap, 40u);
+    }
+  }
+}
+
+TEST(MotifsTest, RanksByCloseness) {
+  // An exact repetition must outrank an approximate one.
+  Rng rng(4);
+  Series x = GaussianNoise(2500, 0.3, rng);
+  // Exact pair.
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double v = 2.0 * std::sin(2.0 * 3.14159265 * i / 25.0);
+    x[200 + i] = v;
+    x[900 + i] = v;
+  }
+  // Noisier pair of a different shape.
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double v = 2.0 * std::cos(2.0 * 3.14159265 * i / 10.0);
+    x[1500 + i] = v + rng.Gaussian(0.0, 0.25);
+    x[2100 + i] = v + rng.Gaussian(0.0, 0.25);
+  }
+  Result<std::vector<Motif>> motifs = FindMotifs(x, 50, 2);
+  ASSERT_TRUE(motifs.ok());
+  ASSERT_EQ(motifs->size(), 2u);
+  EXPECT_LT((*motifs)[0].distance, (*motifs)[1].distance);
+  const std::size_t first = std::min((*motifs)[0].first, (*motifs)[0].second);
+  EXPECT_NEAR(static_cast<double>(first), 200.0, 5.0);
+}
+
+TEST(MotifsTest, KLargerThanAvailableStopsGracefully) {
+  Rng rng(5);
+  const Series x = GaussianNoise(400, 1.0, rng);
+  Result<std::vector<Motif>> motifs = FindMotifs(x, 32, 50);
+  ASSERT_TRUE(motifs.ok());
+  EXPECT_LT(motifs->size(), 50u);
+}
+
+TEST(MotifsTest, EmptyProfileRejected) {
+  MatrixProfile empty;
+  EXPECT_FALSE(TopMotifs(Series(10, 0.0), empty, 1).ok());
+}
+
+}  // namespace
+}  // namespace tsad

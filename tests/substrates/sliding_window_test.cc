@@ -1,0 +1,71 @@
+#include "substrates/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tsad {
+namespace {
+
+TEST(WindowStatsTest, MatchesDirectComputation) {
+  Rng rng(1);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.Gaussian(5.0, 2.0);
+  const std::size_t m = 24;
+  const WindowStats stats = ComputeWindowStats(x, m);
+  ASSERT_EQ(stats.size(), x.size() - m + 1);
+  for (std::size_t i = 0; i < stats.size(); i += 13) {
+    const auto sub = Subsequence(x, i, m);
+    EXPECT_NEAR(stats.means[i], Mean(sub), 1e-9);
+    EXPECT_NEAR(stats.stds[i], StdDev(sub), 1e-9);
+  }
+}
+
+TEST(WindowStatsTest, DegenerateSizes) {
+  EXPECT_EQ(ComputeWindowStats({1, 2, 3}, 0).size(), 0u);
+  EXPECT_EQ(ComputeWindowStats({1, 2, 3}, 4).size(), 0u);
+  EXPECT_EQ(ComputeWindowStats({1, 2, 3}, 3).size(), 1u);
+}
+
+TEST(SubsequenceTest, CopiesCorrectRange) {
+  EXPECT_EQ(Subsequence({0, 1, 2, 3, 4}, 1, 3), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(NumSubsequencesTest, Arithmetic) {
+  EXPECT_EQ(NumSubsequences(10, 3), 8u);
+  EXPECT_EQ(NumSubsequences(10, 10), 1u);
+  EXPECT_EQ(NumSubsequences(10, 11), 0u);
+  EXPECT_EQ(NumSubsequences(10, 0), 0u);
+}
+
+TEST(FindConstantRunsTest, FindsExactRuns) {
+  const std::vector<double> x = {1, 1, 1, 2, 3, 3, 3, 3, 4};
+  const auto runs = FindConstantRuns(x, 3, 0.0);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(runs[1], (std::pair<std::size_t, std::size_t>{4, 8}));
+}
+
+TEST(FindConstantRunsTest, ToleranceAllowsDrift) {
+  const std::vector<double> x = {1.0, 1.05, 1.1, 5.0};
+  EXPECT_TRUE(FindConstantRuns(x, 3, 0.01).empty());
+  const auto runs = FindConstantRuns(x, 3, 0.06);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].second, 3u);
+}
+
+TEST(FindConstantRunsTest, WholeSeriesConstant) {
+  const auto runs = FindConstantRuns(std::vector<double>(10, 7.0), 5, 0.0);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<std::size_t, std::size_t>{0, 10}));
+}
+
+TEST(FindConstantRunsTest, MinLengthFilters) {
+  const std::vector<double> x = {1, 1, 2, 2, 2, 3};
+  EXPECT_EQ(FindConstantRuns(x, 3, 0.0).size(), 1u);
+  EXPECT_EQ(FindConstantRuns(x, 2, 0.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,251 @@
+// tsad — command-line interface to the library.
+//
+//   tsad generate <yahoo|taxi|nasa|archive> [--seed N] [--out DIR]
+//       Write the simulated archives / the multi-domain UCR archive as
+//       CSV files for inspection and external tooling.
+//   tsad audit <file.csv...>
+//       Run the four-flaw benchmark audit (§2) on labeled series.
+//   tsad triviality <file.csv...>
+//       Definition-1 check: report the solving one-liner, if any.
+//   tsad detect <file.csv> [--detector SPEC]
+//       Score a series and report the predicted anomaly location
+//       (default detector: discord:m=128).
+//   tsad table1 [--seed N]
+//       Reproduce Table 1 on the simulated Yahoo archive.
+//   tsad list-detectors
+//
+// CSV format: the library's own (see common/csv.h).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tsad.h"
+#include "detectors/registry.h"
+
+namespace {
+
+using namespace tsad;
+
+struct Args {
+  std::vector<std::string> positional;
+  uint64_t seed = 42;
+  std::string out = ".";
+  std::string detector = "discord:m=128";
+  std::string report;  // audit: optional markdown report path
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--out" && i + 1 < argc) {
+      args.out = argv[++i];
+    } else if (arg == "--detector" && i + 1 < argc) {
+      args.detector = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      args.report = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  tsad generate <yahoo|taxi|nasa|archive> [--seed N] [--out DIR]\n"
+      "  tsad audit <file.csv...> [--report FILE.md]\n"
+      "  tsad triviality <file.csv...>\n"
+      "  tsad detect <file.csv> [--detector SPEC]\n"
+      "  tsad table1 [--seed N]\n"
+      "  tsad list-detectors\n");
+  return 1;
+}
+
+int WriteDataset(const BenchmarkDataset& dataset, const std::string& dir) {
+  int written = 0;
+  for (const LabeledSeries& s : dataset.series) {
+    const std::string path = dir + "/" + s.name() + ".csv";
+    const Status status = WriteSeriesCsv(s, path);
+    if (status.ok()) {
+      ++written;
+    } else {
+      std::printf("  %s: %s\n", path.c_str(), status.ToString().c_str());
+    }
+  }
+  return written;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  std::error_code ec;
+  std::filesystem::create_directories(args.out, ec);
+  if (ec) {
+    std::printf("cannot create %s: %s\n", args.out.c_str(),
+                ec.message().c_str());
+    return 1;
+  }
+  const std::string& what = args.positional[0];
+  int written = 0;
+  if (what == "yahoo") {
+    YahooConfig config;
+    config.seed = args.seed;
+    const YahooArchive archive = GenerateYahooArchive(config);
+    for (const BenchmarkDataset* d : archive.all()) {
+      written += WriteDataset(*d, args.out);
+    }
+  } else if (what == "taxi") {
+    NumentaConfig config;
+    config.seed = args.seed;
+    const TaxiData taxi = GenerateTaxiData(config);
+    if (WriteSeriesCsv(taxi.series, args.out + "/nyc_taxi.csv").ok()) {
+      ++written;
+    }
+  } else if (what == "nasa") {
+    NasaConfig config;
+    config.seed = args.seed;
+    written += WriteDataset(GenerateNasaArchive(config).channels, args.out);
+  } else if (what == "archive") {
+    const UcrArchive archive = BuildFullArchive(args.seed);
+    for (const LabeledSeries& s : archive.datasets) {
+      if (WriteSeriesCsv(s, args.out + "/" + s.name() + ".csv").ok()) {
+        ++written;
+      }
+    }
+  } else {
+    return Usage();
+  }
+  std::printf("%d file(s) written to %s/\n", written, args.out.c_str());
+  return 0;
+}
+
+Result<BenchmarkDataset> LoadDataset(const std::vector<std::string>& paths) {
+  BenchmarkDataset dataset;
+  dataset.name = "cli input";
+  for (const std::string& path : paths) {
+    Result<LabeledSeries> series = ReadSeriesCsv(path);
+    if (!series.ok()) return series.status();
+    TSAD_RETURN_IF_ERROR(series->Validate());
+    dataset.series.push_back(std::move(series.value()));
+  }
+  if (dataset.series.empty()) {
+    return Status::InvalidArgument("no input files");
+  }
+  return dataset;
+}
+
+int CmdAudit(const Args& args) {
+  Result<BenchmarkDataset> dataset = LoadDataset(args.positional);
+  if (!dataset.ok()) {
+    std::printf("%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const BenchmarkAudit audit = AuditBenchmark(*dataset, AuditConfig{});
+  std::printf("%s", FormatAudit(audit).c_str());
+  if (!args.report.empty()) {
+    const Status written = WriteAuditReport(audit, *dataset, args.report);
+    if (written.ok()) {
+      std::printf("report written to %s\n", args.report.c_str());
+    } else {
+      std::printf("%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return audit.irretrievably_flawed ? 2 : 0;
+}
+
+int CmdTriviality(const Args& args) {
+  Result<BenchmarkDataset> dataset = LoadDataset(args.positional);
+  if (!dataset.ok()) {
+    std::printf("%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  int exit_code = 0;
+  for (const LabeledSeries& s : dataset->series) {
+    const TrivialitySolution sol = FindOneLiner(s);
+    if (sol.solved) {
+      std::printf("%-40s TRIVIAL: %s\n", s.name().c_str(),
+                  sol.params.ToMatlab().c_str());
+      exit_code = 2;
+    } else {
+      std::printf("%-40s not one-liner solvable\n", s.name().c_str());
+    }
+  }
+  return exit_code;
+}
+
+int CmdDetect(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  Result<LabeledSeries> series = ReadSeriesCsv(args.positional[0]);
+  if (!series.ok()) {
+    std::printf("%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<AnomalyDetector>> detector =
+      MakeDetector(args.detector);
+  if (!detector.ok()) {
+    std::printf("%s\n", detector.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<double>> scores = (*detector)->Score(*series);
+  if (!scores.ok()) {
+    std::printf("detector failed: %s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t peak = PredictLocation(*scores, series->train_length());
+  std::printf("detector : %s\n",
+              std::string((*detector)->name()).c_str());
+  std::printf("peak     : %zu (score %.4f)\n", peak,
+              peak == kNoPrediction ? 0.0 : (*scores)[peak]);
+  if (series->anomalies().size() == 1) {
+    Result<UcrSeriesOutcome> outcome = ScoreUcrSeries(*series, peak);
+    if (outcome.ok()) {
+      std::printf("UCR check: %s (label [%zu, %zu))\n",
+                  outcome->correct ? "CORRECT" : "incorrect",
+                  outcome->anomaly.begin, outcome->anomaly.end);
+    }
+  }
+  return 0;
+}
+
+int CmdTable1(const Args& args) {
+  YahooConfig config;
+  config.seed = args.seed;
+  const YahooArchive archive = GenerateYahooArchive(config);
+  const TrivialityReport report = AnalyzeTriviality(archive.all());
+  for (const DatasetTriviality& row : report.datasets) {
+    std::printf("%-10s %3zu / %3zu  (%.1f%%)\n", row.dataset_name.c_str(),
+                row.solved, row.total, row.solved_percent());
+  }
+  std::printf("%-10s %3zu / %3zu  (%.1f%%)\n", "Total", report.solved,
+              report.total, report.solved_percent());
+  return 0;
+}
+
+int CmdListDetectors() {
+  for (const std::string& name : RegisteredDetectorNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "audit") return CmdAudit(args);
+  if (command == "triviality") return CmdTriviality(args);
+  if (command == "detect") return CmdDetect(args);
+  if (command == "table1") return CmdTable1(args);
+  if (command == "list-detectors") return CmdListDetectors();
+  return Usage();
+}
