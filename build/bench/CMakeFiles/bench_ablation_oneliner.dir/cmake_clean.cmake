@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oneliner.dir/ablation_oneliner.cc.o"
+  "CMakeFiles/bench_ablation_oneliner.dir/ablation_oneliner.cc.o.d"
+  "bench_ablation_oneliner"
+  "bench_ablation_oneliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oneliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_audit_summary.dir/audit_summary.cc.o"
+  "CMakeFiles/bench_audit_summary.dir/audit_summary.cc.o.d"
+  "bench_audit_summary"
+  "bench_audit_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_audit_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_density_census.dir/density_census.cc.o"
+  "CMakeFiles/bench_density_census.dir/density_census.cc.o.d"
+  "bench_density_census"
+  "bench_density_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_density_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_run_to_failure.dir/fig10_run_to_failure.cc.o"
+  "CMakeFiles/bench_fig10_run_to_failure.dir/fig10_run_to_failure.cc.o.d"
+  "bench_fig10_run_to_failure"
+  "bench_fig10_run_to_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_run_to_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

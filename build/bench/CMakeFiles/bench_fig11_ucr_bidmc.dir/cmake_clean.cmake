@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ucr_bidmc.dir/fig11_ucr_bidmc.cc.o"
+  "CMakeFiles/bench_fig11_ucr_bidmc.dir/fig11_ucr_bidmc.cc.o.d"
+  "bench_fig11_ucr_bidmc"
+  "bench_fig11_ucr_bidmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ucr_bidmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

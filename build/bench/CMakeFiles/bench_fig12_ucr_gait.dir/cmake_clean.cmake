@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ucr_gait.dir/fig12_ucr_gait.cc.o"
+  "CMakeFiles/bench_fig12_ucr_gait.dir/fig12_ucr_gait.cc.o.d"
+  "bench_fig12_ucr_gait"
+  "bench_fig12_ucr_gait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ucr_gait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

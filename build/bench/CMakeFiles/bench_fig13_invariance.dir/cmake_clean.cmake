@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_invariance.dir/fig13_invariance.cc.o"
+  "CMakeFiles/bench_fig13_invariance.dir/fig13_invariance.cc.o.d"
+  "bench_fig13_invariance"
+  "bench_fig13_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_omni_oneliners.dir/fig1_omni_oneliners.cc.o"
+  "CMakeFiles/bench_fig1_omni_oneliners.dir/fig1_omni_oneliners.cc.o.d"
+  "bench_fig1_omni_oneliners"
+  "bench_fig1_omni_oneliners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_omni_oneliners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

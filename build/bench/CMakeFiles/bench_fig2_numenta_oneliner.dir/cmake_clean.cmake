@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_numenta_oneliner.dir/fig2_numenta_oneliner.cc.o"
+  "CMakeFiles/bench_fig2_numenta_oneliner.dir/fig2_numenta_oneliner.cc.o.d"
+  "bench_fig2_numenta_oneliner"
+  "bench_fig2_numenta_oneliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_numenta_oneliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

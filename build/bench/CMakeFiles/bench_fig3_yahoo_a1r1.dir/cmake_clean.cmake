@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_yahoo_a1r1.dir/fig3_yahoo_a1r1.cc.o"
+  "CMakeFiles/bench_fig3_yahoo_a1r1.dir/fig3_yahoo_a1r1.cc.o.d"
+  "bench_fig3_yahoo_a1r1"
+  "bench_fig3_yahoo_a1r1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_yahoo_a1r1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

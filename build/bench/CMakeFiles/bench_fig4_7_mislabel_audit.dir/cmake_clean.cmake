@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_7_mislabel_audit.dir/fig4_7_mislabel_audit.cc.o"
+  "CMakeFiles/bench_fig4_7_mislabel_audit.dir/fig4_7_mislabel_audit.cc.o.d"
+  "bench_fig4_7_mislabel_audit"
+  "bench_fig4_7_mislabel_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_7_mislabel_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

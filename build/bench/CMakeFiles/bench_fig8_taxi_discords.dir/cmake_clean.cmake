@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_taxi_discords.dir/fig8_taxi_discords.cc.o"
+  "CMakeFiles/bench_fig8_taxi_discords.dir/fig8_taxi_discords.cc.o.d"
+  "bench_fig8_taxi_discords"
+  "bench_fig8_taxi_discords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_taxi_discords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nasa_frozen.dir/fig9_nasa_frozen.cc.o"
+  "CMakeFiles/bench_fig9_nasa_frozen.dir/fig9_nasa_frozen.cc.o.d"
+  "bench_fig9_nasa_frozen"
+  "bench_fig9_nasa_frozen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nasa_frozen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_archive_leaderboard.dir/full_archive_leaderboard.cc.o"
+  "CMakeFiles/bench_full_archive_leaderboard.dir/full_archive_leaderboard.cc.o.d"
+  "bench_full_archive_leaderboard"
+  "bench_full_archive_leaderboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_archive_leaderboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nab_streaming.dir/nab_streaming.cc.o"
+  "CMakeFiles/bench_nab_streaming.dir/nab_streaming.cc.o.d"
+  "bench_nab_streaming"
+  "bench_nab_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nab_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

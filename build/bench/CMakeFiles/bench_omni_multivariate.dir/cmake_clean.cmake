@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_omni_multivariate.dir/omni_multivariate.cc.o"
+  "CMakeFiles/bench_omni_multivariate.dir/omni_multivariate.cc.o.d"
+  "bench_omni_multivariate"
+  "bench_omni_multivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_omni_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

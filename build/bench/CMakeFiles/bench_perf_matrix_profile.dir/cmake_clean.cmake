@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_matrix_profile.dir/perf_matrix_profile.cc.o"
+  "CMakeFiles/bench_perf_matrix_profile.dir/perf_matrix_profile.cc.o.d"
+  "bench_perf_matrix_profile"
+  "bench_perf_matrix_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_matrix_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

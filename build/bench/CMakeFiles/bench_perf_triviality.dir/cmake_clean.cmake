@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_triviality.dir/perf_triviality.cc.o"
+  "CMakeFiles/bench_perf_triviality.dir/perf_triviality.cc.o.d"
+  "bench_perf_triviality"
+  "bench_perf_triviality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_triviality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_yahoo_oneliner.dir/table1_yahoo_oneliner.cc.o"
+  "CMakeFiles/bench_table1_yahoo_oneliner.dir/table1_yahoo_oneliner.cc.o.d"
+  "bench_table1_yahoo_oneliner"
+  "bench_table1_yahoo_oneliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_yahoo_oneliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

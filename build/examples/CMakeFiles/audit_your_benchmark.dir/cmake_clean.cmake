@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_your_benchmark.dir/audit_your_benchmark.cpp.o"
+  "CMakeFiles/audit_your_benchmark.dir/audit_your_benchmark.cpp.o.d"
+  "audit_your_benchmark"
+  "audit_your_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_your_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for audit_your_benchmark.
+# This may be replaced when dependencies are built.

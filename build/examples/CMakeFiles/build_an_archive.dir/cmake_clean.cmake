@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_an_archive.dir/build_an_archive.cpp.o"
+  "CMakeFiles/build_an_archive.dir/build_an_archive.cpp.o.d"
+  "build_an_archive"
+  "build_an_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_an_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_detectors.dir/evaluate_detectors.cpp.o"
+  "CMakeFiles/evaluate_detectors.dir/evaluate_detectors.cpp.o.d"
+  "evaluate_detectors"
+  "evaluate_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/tsad.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/fft.cc" "src/CMakeFiles/tsad.dir/common/fft.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/fft.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tsad.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/series.cc" "src/CMakeFiles/tsad.dir/common/series.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/series.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tsad.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tsad.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/status.cc.o.d"
+  "/root/repo/src/common/vector_ops.cc" "src/CMakeFiles/tsad.dir/common/vector_ops.cc.o" "gcc" "src/CMakeFiles/tsad.dir/common/vector_ops.cc.o.d"
+  "/root/repo/src/core/benchmark_audit.cc" "src/CMakeFiles/tsad.dir/core/benchmark_audit.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/benchmark_audit.cc.o.d"
+  "/root/repo/src/core/density.cc" "src/CMakeFiles/tsad.dir/core/density.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/density.cc.o.d"
+  "/root/repo/src/core/invariance.cc" "src/CMakeFiles/tsad.dir/core/invariance.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/invariance.cc.o.d"
+  "/root/repo/src/core/mislabel.cc" "src/CMakeFiles/tsad.dir/core/mislabel.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/mislabel.cc.o.d"
+  "/root/repo/src/core/relabel.cc" "src/CMakeFiles/tsad.dir/core/relabel.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/relabel.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/tsad.dir/core/report.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/report.cc.o.d"
+  "/root/repo/src/core/run_to_failure.cc" "src/CMakeFiles/tsad.dir/core/run_to_failure.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/run_to_failure.cc.o.d"
+  "/root/repo/src/core/triviality.cc" "src/CMakeFiles/tsad.dir/core/triviality.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/triviality.cc.o.d"
+  "/root/repo/src/core/ucr_archive.cc" "src/CMakeFiles/tsad.dir/core/ucr_archive.cc.o" "gcc" "src/CMakeFiles/tsad.dir/core/ucr_archive.cc.o.d"
+  "/root/repo/src/datasets/domains.cc" "src/CMakeFiles/tsad.dir/datasets/domains.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/domains.cc.o.d"
+  "/root/repo/src/datasets/gait.cc" "src/CMakeFiles/tsad.dir/datasets/gait.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/gait.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/tsad.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/nasa.cc" "src/CMakeFiles/tsad.dir/datasets/nasa.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/nasa.cc.o.d"
+  "/root/repo/src/datasets/numenta.cc" "src/CMakeFiles/tsad.dir/datasets/numenta.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/numenta.cc.o.d"
+  "/root/repo/src/datasets/omni.cc" "src/CMakeFiles/tsad.dir/datasets/omni.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/omni.cc.o.d"
+  "/root/repo/src/datasets/physio.cc" "src/CMakeFiles/tsad.dir/datasets/physio.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/physio.cc.o.d"
+  "/root/repo/src/datasets/yahoo.cc" "src/CMakeFiles/tsad.dir/datasets/yahoo.cc.o" "gcc" "src/CMakeFiles/tsad.dir/datasets/yahoo.cc.o.d"
+  "/root/repo/src/detectors/control_chart.cc" "src/CMakeFiles/tsad.dir/detectors/control_chart.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/control_chart.cc.o.d"
+  "/root/repo/src/detectors/cusum.cc" "src/CMakeFiles/tsad.dir/detectors/cusum.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/cusum.cc.o.d"
+  "/root/repo/src/detectors/detector.cc" "src/CMakeFiles/tsad.dir/detectors/detector.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/detector.cc.o.d"
+  "/root/repo/src/detectors/discord.cc" "src/CMakeFiles/tsad.dir/detectors/discord.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/discord.cc.o.d"
+  "/root/repo/src/detectors/merlin.cc" "src/CMakeFiles/tsad.dir/detectors/merlin.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/merlin.cc.o.d"
+  "/root/repo/src/detectors/moving_zscore.cc" "src/CMakeFiles/tsad.dir/detectors/moving_zscore.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/moving_zscore.cc.o.d"
+  "/root/repo/src/detectors/multivariate.cc" "src/CMakeFiles/tsad.dir/detectors/multivariate.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/multivariate.cc.o.d"
+  "/root/repo/src/detectors/naive.cc" "src/CMakeFiles/tsad.dir/detectors/naive.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/naive.cc.o.d"
+  "/root/repo/src/detectors/oneliner.cc" "src/CMakeFiles/tsad.dir/detectors/oneliner.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/oneliner.cc.o.d"
+  "/root/repo/src/detectors/registry.cc" "src/CMakeFiles/tsad.dir/detectors/registry.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/registry.cc.o.d"
+  "/root/repo/src/detectors/seasonal_esd.cc" "src/CMakeFiles/tsad.dir/detectors/seasonal_esd.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/seasonal_esd.cc.o.d"
+  "/root/repo/src/detectors/semisup_discord.cc" "src/CMakeFiles/tsad.dir/detectors/semisup_discord.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/semisup_discord.cc.o.d"
+  "/root/repo/src/detectors/spectral_residual.cc" "src/CMakeFiles/tsad.dir/detectors/spectral_residual.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/spectral_residual.cc.o.d"
+  "/root/repo/src/detectors/streaming_discord.cc" "src/CMakeFiles/tsad.dir/detectors/streaming_discord.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/streaming_discord.cc.o.d"
+  "/root/repo/src/detectors/telemanom.cc" "src/CMakeFiles/tsad.dir/detectors/telemanom.cc.o" "gcc" "src/CMakeFiles/tsad.dir/detectors/telemanom.cc.o.d"
+  "/root/repo/src/scoring/auc.cc" "src/CMakeFiles/tsad.dir/scoring/auc.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/auc.cc.o.d"
+  "/root/repo/src/scoring/confusion.cc" "src/CMakeFiles/tsad.dir/scoring/confusion.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/confusion.cc.o.d"
+  "/root/repo/src/scoring/nab.cc" "src/CMakeFiles/tsad.dir/scoring/nab.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/nab.cc.o.d"
+  "/root/repo/src/scoring/point_adjust.cc" "src/CMakeFiles/tsad.dir/scoring/point_adjust.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/point_adjust.cc.o.d"
+  "/root/repo/src/scoring/range_pr.cc" "src/CMakeFiles/tsad.dir/scoring/range_pr.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/range_pr.cc.o.d"
+  "/root/repo/src/scoring/ucr_score.cc" "src/CMakeFiles/tsad.dir/scoring/ucr_score.cc.o" "gcc" "src/CMakeFiles/tsad.dir/scoring/ucr_score.cc.o.d"
+  "/root/repo/src/substrates/matrix_profile.cc" "src/CMakeFiles/tsad.dir/substrates/matrix_profile.cc.o" "gcc" "src/CMakeFiles/tsad.dir/substrates/matrix_profile.cc.o.d"
+  "/root/repo/src/substrates/motifs.cc" "src/CMakeFiles/tsad.dir/substrates/motifs.cc.o" "gcc" "src/CMakeFiles/tsad.dir/substrates/motifs.cc.o.d"
+  "/root/repo/src/substrates/sliding_window.cc" "src/CMakeFiles/tsad.dir/substrates/sliding_window.cc.o" "gcc" "src/CMakeFiles/tsad.dir/substrates/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_audit_test.dir/core/benchmark_audit_test.cc.o"
+  "CMakeFiles/benchmark_audit_test.dir/core/benchmark_audit_test.cc.o.d"
+  "benchmark_audit_test"
+  "benchmark_audit_test.pdb"
+  "benchmark_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

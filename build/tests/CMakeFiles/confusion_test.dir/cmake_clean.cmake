@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confusion_test.dir/scoring/confusion_test.cc.o"
+  "CMakeFiles/confusion_test.dir/scoring/confusion_test.cc.o.d"
+  "confusion_test"
+  "confusion_test.pdb"
+  "confusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

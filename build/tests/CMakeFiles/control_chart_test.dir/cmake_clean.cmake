@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_chart_test.dir/detectors/control_chart_test.cc.o"
+  "CMakeFiles/control_chart_test.dir/detectors/control_chart_test.cc.o.d"
+  "control_chart_test"
+  "control_chart_test.pdb"
+  "control_chart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_chart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

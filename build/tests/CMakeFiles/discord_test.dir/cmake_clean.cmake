@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discord_test.dir/detectors/discord_test.cc.o"
+  "CMakeFiles/discord_test.dir/detectors/discord_test.cc.o.d"
+  "discord_test"
+  "discord_test.pdb"
+  "discord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

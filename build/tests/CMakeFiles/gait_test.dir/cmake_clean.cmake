@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gait_test.dir/datasets/gait_test.cc.o"
+  "CMakeFiles/gait_test.dir/datasets/gait_test.cc.o.d"
+  "gait_test"
+  "gait_test.pdb"
+  "gait_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gait_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

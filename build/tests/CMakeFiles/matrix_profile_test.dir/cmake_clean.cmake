@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_profile_test.dir/substrates/matrix_profile_test.cc.o"
+  "CMakeFiles/matrix_profile_test.dir/substrates/matrix_profile_test.cc.o.d"
+  "matrix_profile_test"
+  "matrix_profile_test.pdb"
+  "matrix_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mislabel_test.dir/core/mislabel_test.cc.o"
+  "CMakeFiles/mislabel_test.dir/core/mislabel_test.cc.o.d"
+  "mislabel_test"
+  "mislabel_test.pdb"
+  "mislabel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mislabel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motifs_test.dir/substrates/motifs_test.cc.o"
+  "CMakeFiles/motifs_test.dir/substrates/motifs_test.cc.o.d"
+  "motifs_test"
+  "motifs_test.pdb"
+  "motifs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motifs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moving_zscore_test.dir/detectors/moving_zscore_test.cc.o"
+  "CMakeFiles/moving_zscore_test.dir/detectors/moving_zscore_test.cc.o.d"
+  "moving_zscore_test"
+  "moving_zscore_test.pdb"
+  "moving_zscore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moving_zscore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nab_test.dir/scoring/nab_test.cc.o"
+  "CMakeFiles/nab_test.dir/scoring/nab_test.cc.o.d"
+  "nab_test"
+  "nab_test.pdb"
+  "nab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasa_test.dir/datasets/nasa_test.cc.o"
+  "CMakeFiles/nasa_test.dir/datasets/nasa_test.cc.o.d"
+  "nasa_test"
+  "nasa_test.pdb"
+  "nasa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

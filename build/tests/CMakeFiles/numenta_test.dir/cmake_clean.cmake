@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numenta_test.dir/datasets/numenta_test.cc.o"
+  "CMakeFiles/numenta_test.dir/datasets/numenta_test.cc.o.d"
+  "numenta_test"
+  "numenta_test.pdb"
+  "numenta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numenta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oneliner_test.dir/detectors/oneliner_test.cc.o"
+  "CMakeFiles/oneliner_test.dir/detectors/oneliner_test.cc.o.d"
+  "oneliner_test"
+  "oneliner_test.pdb"
+  "oneliner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oneliner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physio_test.dir/datasets/physio_test.cc.o"
+  "CMakeFiles/physio_test.dir/datasets/physio_test.cc.o.d"
+  "physio_test"
+  "physio_test.pdb"
+  "physio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_adjust_test.dir/scoring/point_adjust_test.cc.o"
+  "CMakeFiles/point_adjust_test.dir/scoring/point_adjust_test.cc.o.d"
+  "point_adjust_test"
+  "point_adjust_test.pdb"
+  "point_adjust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_adjust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

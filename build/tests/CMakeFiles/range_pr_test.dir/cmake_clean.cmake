@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_pr_test.dir/scoring/range_pr_test.cc.o"
+  "CMakeFiles/range_pr_test.dir/scoring/range_pr_test.cc.o.d"
+  "range_pr_test"
+  "range_pr_test.pdb"
+  "range_pr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_pr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_to_failure_test.dir/core/run_to_failure_test.cc.o"
+  "CMakeFiles/run_to_failure_test.dir/core/run_to_failure_test.cc.o.d"
+  "run_to_failure_test"
+  "run_to_failure_test.pdb"
+  "run_to_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_to_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

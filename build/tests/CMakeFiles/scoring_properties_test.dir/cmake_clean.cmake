@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_properties_test.dir/scoring/scoring_properties_test.cc.o"
+  "CMakeFiles/scoring_properties_test.dir/scoring/scoring_properties_test.cc.o.d"
+  "scoring_properties_test"
+  "scoring_properties_test.pdb"
+  "scoring_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonal_esd_test.dir/detectors/seasonal_esd_test.cc.o"
+  "CMakeFiles/seasonal_esd_test.dir/detectors/seasonal_esd_test.cc.o.d"
+  "seasonal_esd_test"
+  "seasonal_esd_test.pdb"
+  "seasonal_esd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonal_esd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

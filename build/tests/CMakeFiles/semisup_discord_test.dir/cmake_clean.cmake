@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisup_discord_test.dir/detectors/semisup_discord_test.cc.o"
+  "CMakeFiles/semisup_discord_test.dir/detectors/semisup_discord_test.cc.o.d"
+  "semisup_discord_test"
+  "semisup_discord_test.pdb"
+  "semisup_discord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisup_discord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_residual_test.dir/detectors/spectral_residual_test.cc.o"
+  "CMakeFiles/spectral_residual_test.dir/detectors/spectral_residual_test.cc.o.d"
+  "spectral_residual_test"
+  "spectral_residual_test.pdb"
+  "spectral_residual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_residual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_discord_test.dir/detectors/streaming_discord_test.cc.o"
+  "CMakeFiles/streaming_discord_test.dir/detectors/streaming_discord_test.cc.o.d"
+  "streaming_discord_test"
+  "streaming_discord_test.pdb"
+  "streaming_discord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_discord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

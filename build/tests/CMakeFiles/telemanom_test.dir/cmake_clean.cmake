@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemanom_test.dir/detectors/telemanom_test.cc.o"
+  "CMakeFiles/telemanom_test.dir/detectors/telemanom_test.cc.o.d"
+  "telemanom_test"
+  "telemanom_test.pdb"
+  "telemanom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemanom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

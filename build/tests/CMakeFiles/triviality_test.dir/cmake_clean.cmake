@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triviality_test.dir/core/triviality_test.cc.o"
+  "CMakeFiles/triviality_test.dir/core/triviality_test.cc.o.d"
+  "triviality_test"
+  "triviality_test.pdb"
+  "triviality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triviality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

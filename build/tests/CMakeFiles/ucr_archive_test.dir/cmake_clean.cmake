@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_archive_test.dir/core/ucr_archive_test.cc.o"
+  "CMakeFiles/ucr_archive_test.dir/core/ucr_archive_test.cc.o.d"
+  "ucr_archive_test"
+  "ucr_archive_test.pdb"
+  "ucr_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

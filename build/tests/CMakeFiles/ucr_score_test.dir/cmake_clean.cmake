@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_score_test.dir/scoring/ucr_score_test.cc.o"
+  "CMakeFiles/ucr_score_test.dir/scoring/ucr_score_test.cc.o.d"
+  "ucr_score_test"
+  "ucr_score_test.pdb"
+  "ucr_score_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_score_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yahoo_test.dir/datasets/yahoo_test.cc.o"
+  "CMakeFiles/yahoo_test.dir/datasets/yahoo_test.cc.o.d"
+  "yahoo_test"
+  "yahoo_test.pdb"
+  "yahoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yahoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsad_cli.dir/tsad_cli.cc.o"
+  "CMakeFiles/tsad_cli.dir/tsad_cli.cc.o.d"
+  "tsad"
+  "tsad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsad_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
