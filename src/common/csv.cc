@@ -119,9 +119,8 @@ Status WriteSeriesCsv(const LabeledSeries& series, const std::string& path) {
 }
 
 Result<LabeledSeries> ReadSeriesCsv(const std::string& path) {
-  Result<std::string> text = ReadFileToString(path);
-  if (!text.ok()) return text.status();
-  return SeriesFromCsv(text.value());
+  TSAD_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return SeriesFromCsv(text);
 }
 
 std::string ValuesToText(const Series& values) {
@@ -160,9 +159,8 @@ Status WriteValuesText(const Series& values, const std::string& path) {
 }
 
 Result<Series> ReadValuesText(const std::string& path) {
-  Result<std::string> text = ReadFileToString(path);
-  if (!text.ok()) return text.status();
-  return ValuesFromText(text.value());
+  TSAD_ASSIGN_OR_RETURN(const std::string text, ReadFileToString(path));
+  return ValuesFromText(text);
 }
 
 }  // namespace tsad

@@ -30,6 +30,8 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kIOError = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a human-readable name for a status code ("OK",
@@ -74,6 +76,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -159,6 +167,23 @@ class Result {
     if (!tsad_return_if_error_s.ok())                \
       return tsad_return_if_error_s;                 \
   } while (0)
+
+#define TSAD_STATUS_CONCAT_INNER_(a, b) a##b
+#define TSAD_STATUS_CONCAT_(a, b) TSAD_STATUS_CONCAT_INNER_(a, b)
+
+/// Unwraps a Result<T> into `lhs` (which may be a declaration, e.g.
+/// `TSAD_ASSIGN_OR_RETURN(auto mp, ComputeMatrixProfile(x, m))`),
+/// early-returning the error status on failure. Usable in functions
+/// returning Status or Result<U>. Replaces the repeated
+/// `if (!r.ok()) return r.status();` pattern.
+#define TSAD_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  TSAD_ASSIGN_OR_RETURN_IMPL_(                                           \
+      TSAD_STATUS_CONCAT_(tsad_assign_or_return_, __LINE__), lhs, expr)
+
+#define TSAD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
 
 }  // namespace tsad
 

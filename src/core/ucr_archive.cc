@@ -235,9 +235,8 @@ Result<LabeledSeries> MakeCalibratedUcrDataset(
 
   double lo = 0.02, hi = 8.0, scale = 1.0;
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-    Result<LabeledSeries> made = attempt(scale);
-    if (!made.ok()) return made.status();
-    const UcrDifficulty rated = RateDifficulty(*made);
+    TSAD_ASSIGN_OR_RETURN(LabeledSeries made, attempt(scale));
+    const UcrDifficulty rated = RateDifficulty(made);
     if (rated == target) return made;
     // Larger magnitude -> easier. Move toward the target.
     const bool too_easy = static_cast<int>(rated) < static_cast<int>(target);

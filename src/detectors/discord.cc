@@ -36,16 +36,16 @@ std::vector<double> ProfileToPointScores(const std::vector<double>& profile,
 
 Result<std::vector<double>> DiscordDetector::Score(
     const Series& series, std::size_t /*train_length*/) const {
-  Result<MatrixProfile> mp = ComputeMatrixProfile(series, m_);
-  if (!mp.ok()) return mp.status();
-  return ProfileToPointScores(mp->distances, m_, series.size());
+  TSAD_ASSIGN_OR_RETURN(const MatrixProfile mp,
+                        ComputeMatrixProfile(series, m_));
+  return ProfileToPointScores(mp.distances, m_, series.size());
 }
 
 Result<std::vector<Discord>> DiscordDetector::FindDiscords(
     const Series& series, std::size_t k) const {
-  Result<MatrixProfile> mp = ComputeMatrixProfile(series, m_);
-  if (!mp.ok()) return mp.status();
-  return TopDiscords(*mp, k);
+  TSAD_ASSIGN_OR_RETURN(const MatrixProfile mp,
+                        ComputeMatrixProfile(series, m_));
+  return TopDiscords(mp, k);
 }
 
 }  // namespace tsad

@@ -134,9 +134,9 @@ Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
     }
     if (!drag.found) {
       // Fail-safe: exact discord via the matrix profile.
-      Result<MatrixProfile> mp = ComputeMatrixProfile(series, m);
-      if (!mp.ok()) return mp.status();
-      const std::vector<Discord> top = TopDiscords(*mp, 1);
+      TSAD_ASSIGN_OR_RETURN(const MatrixProfile mp,
+                            ComputeMatrixProfile(series, m));
+      const std::vector<Discord> top = TopDiscords(mp, 1);
       if (top.empty()) {
         return Status::Internal("no discord found at length " +
                                 std::to_string(m));
@@ -166,12 +166,11 @@ MerlinDetector::MerlinDetector(std::size_t min_length, std::size_t max_length)
 
 Result<std::vector<double>> MerlinDetector::Score(
     const Series& series, std::size_t /*train_length*/) const {
-  Result<std::vector<LengthDiscord>> sweep =
-      MerlinSweep(series, min_length_, max_length_);
-  if (!sweep.ok()) return sweep.status();
+  TSAD_ASSIGN_OR_RETURN(const std::vector<LengthDiscord> sweep,
+                        MerlinSweep(series, min_length_, max_length_));
 
   std::vector<double> scores(series.size(), 0.0);
-  for (const LengthDiscord& d : *sweep) {
+  for (const LengthDiscord& d : sweep) {
     // Spread each discord's normalized distance over the points it
     // covers; keep the max across lengths.
     const std::size_t end = std::min(series.size(), d.position + d.length);

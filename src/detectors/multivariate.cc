@@ -62,18 +62,17 @@ Result<std::vector<double>> ScoreMultivariate(const AnomalyDetector& detector,
 Result<std::vector<AnomalyRegion>> DetectMultivariateRegions(
     const AnomalyDetector& detector, const MultivariateSeries& machine,
     double z_threshold, ScoreAggregation aggregation) {
-  Result<std::vector<double>> scores =
-      ScoreMultivariate(detector, machine, aggregation);
-  if (!scores.ok()) return scores.status();
+  TSAD_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                        ScoreMultivariate(detector, machine, aggregation));
   // Threshold over the test span only.
-  const std::size_t start = std::min(machine.train_length(), scores->size());
-  const std::vector<double> test(scores->begin() +
+  const std::size_t start = std::min(machine.train_length(), scores.size());
+  const std::vector<double> test(scores.begin() +
                                      static_cast<std::ptrdiff_t>(start),
-                                 scores->end());
+                                 scores.end());
   const double threshold = Mean(test) + z_threshold * StdDev(test);
-  std::vector<uint8_t> flags(scores->size(), 0);
-  for (std::size_t i = start; i < scores->size(); ++i) {
-    flags[i] = (*scores)[i] > threshold ? 1 : 0;
+  std::vector<uint8_t> flags(scores.size(), 0);
+  for (std::size_t i = start; i < scores.size(); ++i) {
+    flags[i] = scores[i] > threshold ? 1 : 0;
   }
   return RegionsFromBinary(flags);
 }

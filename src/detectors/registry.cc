@@ -1,6 +1,8 @@
 #include "detectors/registry.h"
 
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <map>
 
 #include "detectors/control_chart.h"
@@ -15,6 +17,7 @@
 #include "detectors/spectral_residual.h"
 #include "detectors/streaming_discord.h"
 #include "detectors/telemanom.h"
+#include "robustness/resilient.h"
 
 namespace tsad {
 
@@ -85,8 +88,36 @@ class ParamReader {
 
 }  // namespace
 
+namespace {
+
+constexpr std::string_view kResilientPrefix = "resilient:";
+
+// Builds the full hardened pipeline around `inner_spec`: the primary
+// detector, its simplified-configuration retry (when the spec has
+// anything to simplify) and the moving z-score fallback.
+Result<std::unique_ptr<AnomalyDetector>> MakeResilient(
+    const std::string& inner_spec) {
+  TSAD_ASSIGN_OR_RETURN(std::unique_ptr<AnomalyDetector> inner,
+                        MakeDetector(inner_spec));
+  std::unique_ptr<AnomalyDetector> simplified;
+  const std::string simplified_spec = SimplifyDetectorSpec(inner_spec);
+  if (simplified_spec != inner_spec) {
+    TSAD_ASSIGN_OR_RETURN(simplified, MakeDetector(simplified_spec));
+  }
+  TSAD_ASSIGN_OR_RETURN(std::unique_ptr<AnomalyDetector> fallback,
+                        MakeDetector("zscore:w=64"));
+  return std::unique_ptr<AnomalyDetector>(std::make_unique<ResilientDetector>(
+      std::move(inner), ResilientConfig{}, std::move(simplified),
+      std::move(fallback)));
+}
+
+}  // namespace
+
 Result<std::unique_ptr<AnomalyDetector>> MakeDetector(
     const std::string& spec) {
+  if (spec.rfind(kResilientPrefix, 0) == 0) {
+    return MakeResilient(spec.substr(kResilientPrefix.size()));
+  }
   std::string name;
   Params params;
   TSAD_RETURN_IF_ERROR(ParseSpec(spec, &name, &params));
@@ -155,6 +186,51 @@ std::vector<std::string> RegisteredDetectorNames() {
           "telemanom", "zscore", "cusum",       "ewma",
           "pagehinkley", "maxdiff", "constantrun", "lastpoint",
           "oneliner", "sesd", "sr"};
+}
+
+std::string SimplifyDetectorSpec(const std::string& spec) {
+  if (spec.rfind(kResilientPrefix, 0) == 0) {
+    return std::string(kResilientPrefix) +
+           SimplifyDetectorSpec(spec.substr(kResilientPrefix.size()));
+  }
+  std::string name;
+  Params params;
+  if (!ParseSpec(spec, &name, &params).ok()) return spec;
+
+  bool changed = false;
+  // Halves `key` (starting from the registry default when absent),
+  // never dropping below `floor`.
+  const auto halve = [&](const std::string& key, double fallback,
+                         double floor) {
+    const auto it = params.find(key);
+    const double v = it != params.end() ? it->second : fallback;
+    const double halved = std::max(floor, std::floor(v / 2.0));
+    if (halved < v) {
+      params[key] = halved;
+      changed = true;
+    }
+  };
+  if (name == "discord" || name == "semisup" || name == "streaming") {
+    halve("m", 128, 16);
+  } else if (name == "merlin") {
+    halve("min", 48, 8);
+    halve("max", 96, 16);
+  } else if (name == "telemanom") {
+    halve("ar", 32, 4);
+  } else if (name == "zscore") {
+    halve("w", 64, 4);
+  }
+  if (!changed) return spec;
+
+  std::string out = name;
+  char sep = ':';
+  char buf[64];
+  for (const auto& [key, value] : params) {
+    std::snprintf(buf, sizeof(buf), "%c%s=%g", sep, key.c_str(), value);
+    out += buf;
+    sep = ',';
+  }
+  return out;
 }
 
 }  // namespace tsad

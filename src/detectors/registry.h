@@ -20,6 +20,12 @@
 //   lastpoint      -
 //   oneliner       abs (0/1, default 1), u (0/1, default 0),
 //                  k (default 5), c (default 0), b (default 0)
+//
+// Any spec may be wrapped as `resilient:<spec>` (e.g.
+// `resilient:discord:m=128`) to get the hardened pipeline of
+// robustness/resilient.h: input sanitization, score sanitization, one
+// retry with a simplified configuration (see SimplifyDetectorSpec) and
+// graceful degradation to a moving z-score fallback.
 
 #ifndef TSAD_DETECTORS_REGISTRY_H_
 #define TSAD_DETECTORS_REGISTRY_H_
@@ -38,6 +44,12 @@ Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& spec);
 
 /// The registered detector names, for --help output.
 std::vector<std::string> RegisteredDetectorNames();
+
+/// A cheaper configuration of the same detector, used as the
+/// retry-once stage of the resilient wrapper: window-like parameters
+/// (m, w, ar, max) are halved down to sane floors. Returns the spec
+/// unchanged for detectors with nothing to simplify.
+std::string SimplifyDetectorSpec(const std::string& spec);
 
 }  // namespace tsad
 

@@ -78,9 +78,9 @@ Result<std::vector<double>> SeasonalEsdDetector::Score(
   if (period == 0) period = EstimatePeriod(series);
   std::vector<double> residual;
   if (period >= 2 && period * 2 <= n) {
-    Result<SeasonalDecomposition> d = DecomposeSeasonal(series, period);
-    if (!d.ok()) return d.status();
-    residual = std::move(d->residual);
+    TSAD_ASSIGN_OR_RETURN(SeasonalDecomposition d,
+                          DecomposeSeasonal(series, period));
+    residual = std::move(d.residual);
   } else {
     // No usable seasonality: detrend only.
     const std::vector<double> trend = MovMean(series, 25);

@@ -26,9 +26,9 @@ Result<std::vector<double>> SemiSupervisedDiscordDetector::Score(
   // track covers every point; training-span subsequences trivially
   // match themselves and score ~0, which is correct (they are normal
   // by contract).
-  Result<MatrixProfile> join = ComputeAbJoin(series, train, m_);
-  if (!join.ok()) return join.status();
-  return ProfileToPointScores(join->distances, m_, series.size());
+  TSAD_ASSIGN_OR_RETURN(const MatrixProfile join,
+                        ComputeAbJoin(series, train, m_));
+  return ProfileToPointScores(join.distances, m_, series.size());
 }
 
 }  // namespace tsad

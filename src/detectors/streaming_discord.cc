@@ -15,16 +15,16 @@ StreamingDiscordDetector::StreamingDiscordDetector(std::size_t m,
 
 Result<std::vector<double>> StreamingDiscordDetector::Score(
     const Series& series, std::size_t /*train_length*/) const {
-  Result<MatrixProfile> left = ComputeLeftMatrixProfile(series, m_);
-  if (!left.ok()) return left.status();
+  TSAD_ASSIGN_OR_RETURN(const MatrixProfile left,
+                        ComputeLeftMatrixProfile(series, m_));
 
   // Causal alignment: the profile entry starting at j describes the
   // window [j, j+m) and becomes known at its END, point j+m-1.
   std::vector<double> scores(series.size(), 0.0);
-  for (std::size_t j = 0; j < left->size(); ++j) {
+  for (std::size_t j = 0; j < left.size(); ++j) {
     const std::size_t at = j + m_ - 1;
     if (at < burn_in_) continue;
-    const double d = left->distances[j];
+    const double d = left.distances[j];
     if (std::isfinite(d)) scores[at] = d;
   }
   return scores;

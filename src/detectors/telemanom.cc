@@ -167,11 +167,11 @@ Result<std::vector<double>> TelemanomDetector::Score(
   }
   const Series train(series.begin(),
                      series.begin() + static_cast<std::ptrdiff_t>(train_length));
-  Result<ArPredictor> predictor =
-      ArPredictor::Fit(train, config_.ar_order, config_.ridge);
-  if (!predictor.ok()) return predictor.status();
+  TSAD_ASSIGN_OR_RETURN(const ArPredictor predictor,
+                        ArPredictor::Fit(train, config_.ar_order,
+                                         config_.ridge));
 
-  const std::vector<double> pred = predictor->Predict(series);
+  const std::vector<double> pred = predictor.Predict(series);
   std::vector<double> errors(series.size());
   for (std::size_t i = 0; i < series.size(); ++i) {
     errors[i] = std::fabs(series[i] - pred[i]);

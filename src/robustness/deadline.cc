@@ -1,0 +1,46 @@
+#include "robustness/deadline.h"
+
+#include <algorithm>
+
+namespace tsad {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The active deadline for this thread. A flag instead of optional<> so
+// the thread_local is trivially constructible/destructible.
+thread_local bool g_deadline_active = false;
+thread_local Clock::time_point g_deadline;
+
+}  // namespace
+
+DeadlineScope::DeadlineScope(std::chrono::nanoseconds budget)
+    : previous_(g_deadline), had_previous_(g_deadline_active) {
+  Clock::time_point mine = Clock::now() + budget;
+  if (had_previous_) mine = std::min(mine, previous_);  // only tighten
+  g_deadline = mine;
+  g_deadline_active = true;
+}
+
+DeadlineScope::~DeadlineScope() {
+  g_deadline = previous_;
+  g_deadline_active = had_previous_;
+}
+
+bool DeadlineActive() { return g_deadline_active; }
+
+Status CheckDeadline() {
+  if (!g_deadline_active || Clock::now() < g_deadline) return Status::OK();
+  return Status::DeadlineExceeded("cooperative deadline expired");
+}
+
+std::chrono::nanoseconds DeadlineRemaining() {
+  if (!g_deadline_active) return std::chrono::nanoseconds::max();
+  const auto left = g_deadline - Clock::now();
+  return left.count() > 0 ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                left)
+                          : std::chrono::nanoseconds::zero();
+}
+
+}  // namespace tsad

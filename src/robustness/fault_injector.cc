@@ -1,0 +1,167 @@
+#include "robustness/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace tsad {
+
+namespace {
+
+// Scale for magnitude-based faults, taken over the finite entries only
+// so that stacked missing-marker faults do not poison later ones.
+double FiniteStd(const Series& x) {
+  Series finite;
+  finite.reserve(x.size());
+  for (double v : x) {
+    if (std::isfinite(v)) finite.push_back(v);
+  }
+  const double sd = StdDev(finite);
+  return sd > 0.0 ? sd : 1.0;
+}
+
+// Start index of a width-`w` window placed uniformly at random.
+std::size_t RandomStart(std::size_t n, std::size_t w, Rng& rng) {
+  if (w >= n) return 0;
+  return static_cast<std::size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(n - w)));
+}
+
+void ApplyOne(Series& x, const FaultSpec& fault, Rng& rng) {
+  const std::size_t n = x.size();
+  if (n == 0 || fault.severity <= 0.0) return;
+  const double severity = std::min(fault.severity, 1.0);
+
+  switch (fault.type) {
+    case FaultType::kNanMissing:
+      for (double& v : x) {
+        if (rng.Bernoulli(severity)) {
+          v = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      break;
+    case FaultType::kSentinelMissing:
+      for (double& v : x) {
+        if (rng.Bernoulli(severity)) v = fault.sentinel;
+      }
+      break;
+    case FaultType::kDropout: {
+      const std::size_t w = std::max<std::size_t>(
+          1, static_cast<std::size_t>(severity * static_cast<double>(n)));
+      const std::size_t begin = RandomStart(n, w, rng);
+      const std::size_t end = std::min(n, begin + w);
+      for (std::size_t i = begin; i < end; ++i) {
+        x[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    }
+    case FaultType::kStuckAt: {
+      const std::size_t w = std::max<std::size_t>(
+          2, static_cast<std::size_t>(severity * static_cast<double>(n)));
+      const std::size_t begin = RandomStart(n, w, rng);
+      const std::size_t end = std::min(n, begin + w);
+      for (std::size_t i = begin + 1; i < end; ++i) x[i] = x[begin];
+      break;
+    }
+    case FaultType::kSpikeBurst: {
+      const double sd = FiniteStd(x);
+      const std::size_t count = std::max<std::size_t>(
+          1, static_cast<std::size_t>(severity * static_cast<double>(n)));
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+        const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+        if (std::isfinite(x[i])) {
+          x[i] += sign * sd * rng.Uniform(6.0, 10.0);
+        }
+      }
+      break;
+    }
+    case FaultType::kClipping: {
+      Series finite;
+      finite.reserve(n);
+      for (double v : x) {
+        if (std::isfinite(v)) finite.push_back(v);
+      }
+      if (finite.size() < 2) break;
+      const double lo = Quantile(finite, severity / 2.0);
+      const double hi = Quantile(finite, 1.0 - severity / 2.0);
+      for (double& v : x) {
+        if (std::isfinite(v)) v = std::clamp(v, lo, hi);
+      }
+      break;
+    }
+    case FaultType::kQuantization: {
+      const double step = severity * FiniteStd(x);
+      if (step <= 0.0) break;
+      for (double& v : x) {
+        if (std::isfinite(v)) v = std::round(v / step) * step;
+      }
+      break;
+    }
+    case FaultType::kAdditiveNoise: {
+      const double sd = FiniteStd(x);
+      for (double& v : x) {
+        if (std::isfinite(v)) v += rng.Gaussian(0.0, fault.severity * sd);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<FaultType>& AllFaultTypes() {
+  static const std::vector<FaultType> kAll = {
+      FaultType::kNanMissing, FaultType::kSentinelMissing,
+      FaultType::kDropout,    FaultType::kStuckAt,
+      FaultType::kSpikeBurst, FaultType::kClipping,
+      FaultType::kQuantization, FaultType::kAdditiveNoise,
+  };
+  return kAll;
+}
+
+std::string_view FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNanMissing:
+      return "nan-missing";
+    case FaultType::kSentinelMissing:
+      return "sentinel-missing";
+    case FaultType::kDropout:
+      return "dropout-gap";
+    case FaultType::kStuckAt:
+      return "stuck-at";
+    case FaultType::kSpikeBurst:
+      return "spike-burst";
+    case FaultType::kClipping:
+      return "clipping";
+    case FaultType::kQuantization:
+      return "quantization";
+    case FaultType::kAdditiveNoise:
+      return "additive-noise";
+  }
+  return "?";
+}
+
+Series FaultInjector::Apply(const Series& clean) const {
+  Series out = clean;
+  Rng master(seed_);
+  // One forked stream per fault: appending a fault never changes the
+  // realization of the ones before it.
+  for (std::size_t k = 0; k < faults_.size(); ++k) {
+    Rng stream = master.Fork(k);
+    ApplyOne(out, faults_[k], stream);
+  }
+  return out;
+}
+
+LabeledSeries FaultInjector::Apply(const LabeledSeries& clean) const {
+  LabeledSeries out = clean;
+  out.mutable_values() = Apply(clean.values());
+  return out;
+}
+
+}  // namespace tsad

@@ -1,0 +1,85 @@
+// Seeded, composable fault injection over Series / LabeledSeries.
+//
+// Generalizes the Fig 13 noise study into a full fault matrix: where
+// the invariance harness sweeps one perturbation family at increasing
+// levels, the FaultInjector models the concrete data pathologies §3 of
+// the paper says production data actually exhibits — NaN and -9999
+// missing markers, dropout gaps, flatlined (stuck-at) sensors, spike
+// bursts, ADC clipping and quantization — each parameterized by a
+// severity in [0, 1] and driven by an explicit seed so every corrupted
+// series is bit-reproducible.
+
+#ifndef TSAD_ROBUSTNESS_FAULT_INJECTOR_H_
+#define TSAD_ROBUSTNESS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/series.h"
+#include "robustness/sanitize.h"
+
+namespace tsad {
+
+/// The fault taxonomy. Severity semantics per type are documented on
+/// FaultSpec::severity.
+enum class FaultType {
+  kNanMissing,       // i.i.d. points replaced by NaN
+  kSentinelMissing,  // i.i.d. points replaced by the -9999-style marker
+  kDropout,          // one contiguous gap of NaN (a dead feed)
+  kStuckAt,          // one contiguous run frozen at its first value
+  kSpikeBurst,       // scattered large +/- spikes
+  kClipping,         // saturation at inner quantiles (ADC/range limits)
+  kQuantization,     // values rounded to a coarse grid (low-bit ADC)
+  kAdditiveNoise,    // i.i.d. Gaussian noise, Fig 13 style
+};
+
+/// All eight fault types, in enum order.
+const std::vector<FaultType>& AllFaultTypes();
+
+std::string_view FaultTypeName(FaultType type);
+
+/// One fault to apply.
+struct FaultSpec {
+  FaultType type = FaultType::kNanMissing;
+
+  /// Interpretation by type, always scaling monotonically with damage:
+  ///  * kNanMissing / kSentinelMissing: per-point corruption probability
+  ///  * kDropout / kStuckAt: gap/run width as a fraction of the series
+  ///  * kSpikeBurst: fraction of points spiked (at least 1 if > 0)
+  ///  * kClipping: total quantile mass clipped (severity/2 per tail)
+  ///  * kQuantization: grid step in units of the series std
+  ///  * kAdditiveNoise: noise std in units of the series std
+  double severity = 0.1;
+
+  /// Marker value written by kSentinelMissing.
+  double sentinel = kDefaultSentinel;
+};
+
+/// Applies faults in the order they were added. Deterministic: the
+/// output depends only on (seed, fault list, input).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector& Add(FaultSpec spec) {
+    faults_.push_back(spec);
+    return *this;
+  }
+  const std::vector<FaultSpec>& faults() const { return faults_; }
+
+  /// Returns a corrupted copy. severity == 0 faults are no-ops.
+  Series Apply(const Series& clean) const;
+
+  /// Corrupts the values; name, labels and training split are kept —
+  /// ground truth describes the underlying process, not the damage.
+  LabeledSeries Apply(const LabeledSeries& clean) const;
+
+ private:
+  uint64_t seed_;
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_ROBUSTNESS_FAULT_INJECTOR_H_

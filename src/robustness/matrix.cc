@@ -1,0 +1,122 @@
+#include "robustness/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace tsad {
+
+namespace {
+
+bool AllFinite(const std::vector<double>& x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool PeakWithinSlop(std::size_t peak, const LabeledSeries& series,
+                    std::size_t slop) {
+  if (peak == kNoPrediction || series.anomalies().empty()) return false;
+  const AnomalyRegion& a = series.anomalies().front();
+  const std::size_t lo = a.begin > slop ? a.begin - slop : 0;
+  return peak >= lo && peak < a.end + slop;
+}
+
+}  // namespace
+
+std::vector<RobustnessCase> DefaultFaultMatrix(
+    const std::vector<double>& severities) {
+  std::vector<RobustnessCase> cases;
+  for (FaultType fault : AllFaultTypes()) {
+    for (double severity : severities) {
+      cases.push_back({fault, severity});
+    }
+  }
+  return cases;
+}
+
+std::vector<RobustnessCell> RunRobustnessMatrix(
+    const LabeledSeries& series,
+    const std::vector<const AnomalyDetector*>& detectors,
+    const RobustnessConfig& config) {
+  std::vector<RobustnessCell> cells;
+  for (const AnomalyDetector* detector : detectors) {
+    const Result<std::vector<double>> clean = detector->Score(series);
+    const std::size_t clean_peak =
+        clean.ok() ? PredictLocation(*clean, series.train_length())
+                   : kNoPrediction;
+    for (std::size_t ci = 0; ci < config.cases.size(); ++ci) {
+      const RobustnessCase& c = config.cases[ci];
+      RobustnessCell cell;
+      cell.detector = std::string(detector->name());
+      cell.fault = c.fault;
+      cell.severity = c.severity;
+      // Seeded off the case index so every detector faces the same
+      // fault realization — the columns stay comparable.
+      FaultInjector injector(config.seed + 1 + ci);
+      injector.Add({c.fault, c.severity, kDefaultSentinel});
+      const LabeledSeries faulted = injector.Apply(series);
+
+      Result<std::vector<double>> scores = detector->Score(faulted);
+      if (!scores.ok()) {
+        cell.status = scores.status();
+        cells.push_back(std::move(cell));
+        continue;
+      }
+      cell.survived =
+          scores->size() == faulted.length() && AllFinite(*scores);
+      if (cell.survived) {
+        const std::size_t peak =
+            PredictLocation(*scores, faulted.train_length());
+        if (clean.ok() && clean->size() == scores->size()) {
+          cell.score_correlation = PearsonCorrelation(*clean, *scores);
+        }
+        if (peak != kNoPrediction && clean_peak != kNoPrediction) {
+          cell.peak_drift =
+              peak > clean_peak ? peak - clean_peak : clean_peak - peak;
+        }
+        cell.peak_correct = PeakWithinSlop(peak, faulted, config.slop);
+        cell.discrimination = Discrimination(*scores);
+      } else {
+        cell.status = Status::Internal("non-finite or short score track");
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+std::string FormatRobustnessTable(const std::vector<RobustnessCell>& cells) {
+  std::string out;
+  char line[256];
+  std::string current;
+  for (const RobustnessCell& cell : cells) {
+    if (cell.detector != current) {
+      current = cell.detector;
+      std::snprintf(line, sizeof(line),
+                    "\n%-28s %8s  %5s  %6s  %6s  %5s  %6s\n",
+                    current.c_str(), "fault", "sev", "corr", "drift", "peak",
+                    "disc");
+      out += line;
+      out += std::string(78, '-') + "\n";
+    }
+    if (cell.survived) {
+      std::snprintf(line, sizeof(line),
+                    "%-28s %16s  %4.0f%%  %6.3f  %6zu  %5s  %6.2f\n", "",
+                    std::string(FaultTypeName(cell.fault)).c_str(),
+                    cell.severity * 100.0, cell.score_correlation,
+                    cell.peak_drift, cell.peak_correct ? "hit" : "MISS",
+                    cell.discrimination);
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %16s  %4.0f%%  %s\n", "",
+                    std::string(FaultTypeName(cell.fault)).c_str(),
+                    cell.severity * 100.0, cell.status.ToString().c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tsad

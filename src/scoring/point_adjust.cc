@@ -52,13 +52,13 @@ Result<BestF1> BestPointAdjustedF1(const std::vector<uint8_t>& truth,
   for (double t : thresholds) {
     std::vector<uint8_t> pred(scores.size());
     for (std::size_t i = 0; i < scores.size(); ++i) pred[i] = scores[i] >= t;
-    Result<Confusion> c = ComputePointAdjustedConfusion(truth, pred);
-    if (!c.ok()) return c.status();
-    const double f1 = c->f1();
+    TSAD_ASSIGN_OR_RETURN(const Confusion c,
+                          ComputePointAdjustedConfusion(truth, pred));
+    const double f1 = c.f1();
     if (f1 > best.f1) {
       best.f1 = f1;
       best.threshold = t;
-      best.confusion = *c;
+      best.confusion = c;
     }
   }
   return best;

@@ -7,10 +7,17 @@
 #include "common/fft.h"
 #include "common/stats.h"
 #include "common/vector_ops.h"
+#include "robustness/deadline.h"
 
 namespace tsad {
 
 namespace {
+
+// How many O(count) STOMP rows run between cooperative deadline polls.
+// A row of a few thousand entries costs microseconds, so this bounds
+// watchdog latency to well under a millisecond while keeping the clock
+// read off the hot path.
+constexpr std::size_t kDeadlinePollRows = 64;
 
 // Subsequences whose std is this small RELATIVE to their mean magnitude
 // are treated as "flat". The threshold must be relative: rolling-sum
@@ -99,6 +106,7 @@ Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
   std::vector<double> qt_row = first_row;
 
   for (std::size_t i = 0; i < count; ++i) {
+    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
     if (i > 0) {
       // Update in place, right to left, reusing qt_row from row i-1.
       for (std::size_t j = count - 1; j > 0; --j) {
@@ -147,6 +155,7 @@ Result<MatrixProfile> ComputeMatrixProfileNaive(
     subs[i] = ZNormalize(Subsequence(series, i, m));
   }
   for (std::size_t i = 0; i < count; ++i) {
+    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
     for (std::size_t j = 0; j < count; ++j) {
       const std::size_t gap = i > j ? i - j : j - i;
       if (gap <= exclusion) continue;
@@ -181,6 +190,7 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
       SlidingDotProduct(series, Subsequence(series, 0, m));
   std::vector<double> qt_row = first_row;
   for (std::size_t i = 0; i < count; ++i) {
+    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
     if (i > 0) {
       for (std::size_t j = count - 1; j > 0; --j) {
         qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
@@ -235,6 +245,7 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
   std::vector<double> qt_row = first_row;
 
   for (std::size_t i = 0; i < nq; ++i) {
+    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
     if (i > 0) {
       for (std::size_t j = nr - 1; j > 0; --j) {
         qt_row[j] = qt_row[j - 1] -

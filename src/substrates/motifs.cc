@@ -80,9 +80,9 @@ Result<std::vector<Motif>> TopMotifs(const Series& series,
 Result<std::vector<Motif>> FindMotifs(const Series& series, std::size_t m,
                                       std::size_t k,
                                       const MotifConfig& config) {
-  Result<MatrixProfile> profile = ComputeMatrixProfile(series, m);
-  if (!profile.ok()) return profile.status();
-  return TopMotifs(series, *profile, k, config);
+  TSAD_ASSIGN_OR_RETURN(const MatrixProfile profile,
+                        ComputeMatrixProfile(series, m));
+  return TopMotifs(series, profile, k, config);
 }
 
 }  // namespace tsad

@@ -52,6 +52,12 @@
 #include "scoring/range_pr.h"      // IWYU pragma: export
 #include "scoring/ucr_score.h"     // IWYU pragma: export
 
+#include "robustness/deadline.h"        // IWYU pragma: export
+#include "robustness/fault_injector.h"  // IWYU pragma: export
+#include "robustness/matrix.h"          // IWYU pragma: export
+#include "robustness/resilient.h"       // IWYU pragma: export
+#include "robustness/sanitize.h"        // IWYU pragma: export
+
 #include "core/benchmark_audit.h"  // IWYU pragma: export
 #include "core/density.h"          // IWYU pragma: export
 #include "core/invariance.h"       // IWYU pragma: export

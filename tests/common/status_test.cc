@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace tsad {
@@ -91,6 +94,65 @@ Status SucceedsThrough() {
 
 TEST(ReturnIfErrorTest, PassesThroughOnOk) {
   EXPECT_EQ(SucceedsThrough().code(), StatusCode::kInternal);
+}
+
+Result<int> ParseEven(int value) {
+  if (value % 2 != 0) return Status::InvalidArgument("odd");
+  return value;
+}
+
+Result<int> DoubleTheEven(int value) {
+  TSAD_ASSIGN_OR_RETURN(const int even, ParseEven(value));
+  return even * 2;
+}
+
+TEST(AssignOrReturnTest, AssignsOnOk) {
+  const Result<int> r = DoubleTheEven(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 8);
+}
+
+TEST(AssignOrReturnTest, PropagatesErrorStatus) {
+  const Result<int> r = DoubleTheEven(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "odd");
+}
+
+Result<std::string> ConcatTwice(Result<std::string> (*make)()) {
+  // Two expansions in one function exercise the __LINE__-based unique
+  // temporary names.
+  TSAD_ASSIGN_OR_RETURN(const std::string first, make());
+  TSAD_ASSIGN_OR_RETURN(const std::string second, make());
+  return first + second;
+}
+
+TEST(AssignOrReturnTest, MultipleUsesInOneFunction) {
+  const Result<std::string> r =
+      ConcatTwice(+[]() -> Result<std::string> { return std::string("ab"); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "abab");
+}
+
+TEST(AssignOrReturnTest, DeclaresNewVariableOrAssignsExisting) {
+  std::vector<int> sink;
+  const Status s = [&]() -> Status {
+    TSAD_ASSIGN_OR_RETURN(sink, Result<std::vector<int>>({1, 2, 3}));
+    return Status::OK();
+  }();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(sink, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusTest, RobustnessCodesRoundTrip) {
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(deadline.ToString().find("DeadlineExceeded"), std::string::npos);
+
+  const Status exhausted = Status::ResourceExhausted("too damaged");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(exhausted.ToString().find("ResourceExhausted"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -22,6 +22,20 @@ TEST(PredictLocationTest, TiesGoToEarliest) {
   EXPECT_EQ(PredictLocation({1, 3, 3, 3}, 0), 1u);
 }
 
+TEST(PredictLocationTest, TestStartAtBoundaries) {
+  // test_start == size is already out of range; size - 1 leaves exactly
+  // one candidate.
+  EXPECT_EQ(PredictLocation({4, 2, 9}, 3), kNoPrediction);
+  EXPECT_EQ(PredictLocation({4, 2, 9}, 2), 2u);
+  EXPECT_EQ(PredictLocation({4, 9, 2}, 2), 2u);  // even when not the max
+}
+
+TEST(PredictLocationTest, AllEqualScoresPickEarliestTestPoint) {
+  const std::vector<double> flat(10, 1.0);
+  EXPECT_EQ(PredictLocation(flat, 0), 0u);
+  EXPECT_EQ(PredictLocation(flat, 7), 7u);
+}
+
 TEST(RegionsFromScoresTest, ThresholdsIntoRegions) {
   const auto regions = RegionsFromScores({0, 2, 2, 0, 3, 0}, 1.0);
   ASSERT_EQ(regions.size(), 2u);
@@ -50,6 +64,16 @@ TEST(DiscriminationTest, PeakyTrackScoresHigh) {
 
 TEST(DiscriminationTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(Discrimination({}), 0.0);
+}
+
+TEST(DiscriminationTest, ConstantTracksCarryNoSignal) {
+  // Constant tracks of any length and level — including the
+  // single-point and two-point degenerate cases where the std is zero —
+  // must report zero discrimination, not NaN or inf.
+  EXPECT_DOUBLE_EQ(Discrimination({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Discrimination({3.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Discrimination(std::vector<double>(1000, -7.5)), 0.0);
+  EXPECT_DOUBLE_EQ(Discrimination(std::vector<double>(5, 0.0)), 0.0);
 }
 
 }  // namespace

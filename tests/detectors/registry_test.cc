@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "datasets/generators.h"
+#include "robustness/resilient.h"
 
 namespace tsad {
 namespace {
@@ -61,6 +62,57 @@ TEST(RegistryTest, ConstructedDetectorActuallyDetects) {
   Result<std::vector<double>> scores = (*d)->Score(x, 0);
   ASSERT_TRUE(scores.ok());
   EXPECT_EQ(PredictLocation(*scores, 0), r.begin);
+}
+
+TEST(RegistryTest, ResilientPrefixWrapsInnerDetector) {
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("resilient:discord:m=128");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(std::string((*d)->name()), "resilient(Discord[m=128])");
+
+  const auto* resilient = dynamic_cast<const ResilientDetector*>(d->get());
+  ASSERT_NE(resilient, nullptr);
+  EXPECT_EQ(std::string(resilient->inner().name()), "Discord[m=128]");
+}
+
+TEST(RegistryTest, ResilientPrefixRejectsBadInner) {
+  EXPECT_FALSE(MakeDetector("resilient:").ok());
+  EXPECT_FALSE(MakeDetector("resilient:nosuchdetector").ok());
+  EXPECT_FALSE(MakeDetector("resilient:discord:m=abc").ok());
+}
+
+TEST(RegistryTest, ResilientDetectorStillDetectsCleanData) {
+  Rng rng(2);
+  Series x = GaussianNoise(1000, 1.0, rng);
+  const AnomalyRegion r = InjectSpike(x, 700, 20.0);
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("resilient:zscore:w=50");
+  ASSERT_TRUE(d.ok());
+  Result<std::vector<double>> scores = (*d)->Score(x, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(PredictLocation(*scores, 0), r.begin);
+}
+
+TEST(SimplifyDetectorSpecTest, HalvesWindowLikeParameters) {
+  EXPECT_EQ(SimplifyDetectorSpec("discord:m=128"), "discord:m=64");
+  EXPECT_EQ(SimplifyDetectorSpec("zscore:w=64"), "zscore:w=32");
+}
+
+TEST(SimplifyDetectorSpecTest, RespectsFloors) {
+  // Already at (or below) the floor: nothing left to simplify, the
+  // spec comes back unchanged.
+  EXPECT_EQ(SimplifyDetectorSpec("discord:m=16"), "discord:m=16");
+  EXPECT_EQ(SimplifyDetectorSpec("zscore:w=4"), "zscore:w=4");
+}
+
+TEST(SimplifyDetectorSpecTest, ParameterlessSpecsPassThrough) {
+  EXPECT_EQ(SimplifyDetectorSpec("sr"), "sr");
+  EXPECT_EQ(SimplifyDetectorSpec("cusum"), "cusum");
+}
+
+TEST(SimplifyDetectorSpecTest, RecursesThroughResilientPrefix) {
+  EXPECT_EQ(SimplifyDetectorSpec("resilient:discord:m=128"),
+            "resilient:discord:m=64");
 }
 
 TEST(RegistryTest, OnelinerSpecBuildsConfiguredPredicate) {

@@ -148,6 +148,36 @@ TEST(DegenerateInputsTest, AllDetectorsHandleTinyAndEmptySeries) {
   }
 }
 
+// Every registered detector, wrapped in the resilient pipeline, must
+// handle §3-style contamination — scattered NaN and -9999 markers plus
+// a dropout gap — by either refusing with a clean Status or emitting a
+// full-length, all-finite score track. Never a crash, never a NaN out.
+class ContaminatedSeriesFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContaminatedSeriesFuzz, ResilientWrapperNeverCrashesOrEmitsNaN) {
+  Rng rng(GetParam());
+  Series x = Mix({Sinusoid(1500, 75.0, 1.0, 0.2),
+                  GaussianNoise(1500, 0.2, rng)});
+  InjectSmoothHump(x, 1100, 40, 1.5);
+
+  FaultInjector injector(GetParam() + 5000);
+  injector.Add({FaultType::kNanMissing, 0.05, kDefaultSentinel})
+      .Add({FaultType::kSentinelMissing, 0.05, kDefaultSentinel})
+      .Add({FaultType::kDropout, 0.05, kDefaultSentinel});
+  const Series dirty = injector.Apply(x);
+
+  for (const std::string& name : RegisteredDetectorNames()) {
+    Result<std::unique_ptr<AnomalyDetector>> d =
+        MakeDetector("resilient:" + name);
+    ASSERT_TRUE(d.ok()) << name;
+    ExpectFiniteScores((*d)->Score(dirty, 400), dirty.size(),
+                       ("resilient:" + name).c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContaminatedSeriesFuzz,
+                         ::testing::Range<uint64_t>(1, 6));
+
 TEST(DegenerateInputsTest, ConstantSeriesEverywhere) {
   const Series flat(500, 3.14);
   for (const std::string& name : RegisteredDetectorNames()) {

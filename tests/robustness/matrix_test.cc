@@ -1,0 +1,84 @@
+#include "robustness/matrix.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "tsad.h"
+
+namespace tsad {
+namespace {
+
+LabeledSeries SmallFixture() {
+  Rng rng(21);
+  Series x = Mix({Sinusoid(1200, 60.0, 1.0, 0.0),
+                  GaussianNoise(1200, 0.1, rng)});
+  const AnomalyRegion anomaly = InjectSmoothHump(x, 900, 40, 1.5);
+  return LabeledSeries("matrix-fixture", std::move(x), {anomaly}, 400);
+}
+
+TEST(RobustnessMatrixTest, DefaultMatrixCoversEveryFault) {
+  const std::vector<RobustnessCase> cases = DefaultFaultMatrix({0.05, 0.1});
+  EXPECT_EQ(cases.size(), AllFaultTypes().size() * 2);
+}
+
+TEST(RobustnessMatrixTest, CellsCoverDetectorsTimesCases) {
+  const LabeledSeries series = SmallFixture();
+  Result<std::unique_ptr<AnomalyDetector>> a = MakeDetector("zscore:w=32");
+  Result<std::unique_ptr<AnomalyDetector>> b =
+      MakeDetector("resilient:zscore:w=32");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  RobustnessConfig config;
+  config.cases = {{FaultType::kNanMissing, 0.1},
+                  {FaultType::kAdditiveNoise, 0.1}};
+  const std::vector<RobustnessCell> cells =
+      RunRobustnessMatrix(series, {a->get(), b->get()}, config);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const RobustnessCell& cell : cells) {
+    EXPECT_FALSE(cell.detector.empty());
+  }
+  // The resilient wrapper survives the NaN case; noise is survivable
+  // for both.
+  EXPECT_TRUE(cells[3].survived);
+}
+
+TEST(RobustnessMatrixTest, DeterministicUnderFixedSeed) {
+  const LabeledSeries series = SmallFixture();
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("resilient:zscore:w=32");
+  ASSERT_TRUE(d.ok());
+
+  RobustnessConfig config;
+  config.cases = {{FaultType::kSentinelMissing, 0.1}};
+  config.seed = 5;
+  const std::vector<RobustnessCell> first =
+      RunRobustnessMatrix(series, {d->get()}, config);
+  const std::vector<RobustnessCell> second =
+      RunRobustnessMatrix(series, {d->get()}, config);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].survived, second[0].survived);
+  EXPECT_EQ(first[0].score_correlation, second[0].score_correlation);
+  EXPECT_EQ(first[0].peak_drift, second[0].peak_drift);
+}
+
+TEST(RobustnessMatrixTest, TableMentionsEveryDetectorAndFault) {
+  const LabeledSeries series = SmallFixture();
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("resilient:zscore:w=32");
+  ASSERT_TRUE(d.ok());
+
+  RobustnessConfig config;
+  config.cases = {{FaultType::kNanMissing, 0.05},
+                  {FaultType::kClipping, 0.2}};
+  const std::string table =
+      FormatRobustnessTable(RunRobustnessMatrix(series, {d->get()}, config));
+  EXPECT_NE(table.find("resilient(MovingZScore[w=32])"), std::string::npos);
+  EXPECT_NE(table.find("nan-missing"), std::string::npos);
+  EXPECT_NE(table.find("clipping"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsad

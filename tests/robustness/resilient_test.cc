@@ -1,0 +1,262 @@
+#include "robustness/resilient.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "robustness/deadline.h"
+#include "tsad.h"
+
+namespace tsad {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// A labeled series with one planted anomaly, then corrupted with the
+// acceptance-criteria fault mix: 10% scattered NaN/-9999 markers plus a
+// 5% dropout gap (placed in the training region by the chosen seed so
+// the test-region ground truth survives the damage).
+struct DirtyFixture {
+  LabeledSeries clean;
+  LabeledSeries dirty;
+};
+
+DirtyFixture MakeDirtyFixture() {
+  Rng rng(7);
+  Series x = Mix({Sinusoid(3000, 120.0, 1.0, 0.0),
+                  GaussianNoise(3000, 0.1, rng)});
+  const AnomalyRegion anomaly = InjectSmoothHump(x, 2300, 60, 1.4);
+  LabeledSeries clean("dirty-fixture", std::move(x), {anomaly}, 900);
+
+  FaultInjector injector(14);
+  injector.Add({FaultType::kNanMissing, 0.05, kDefaultSentinel})
+      .Add({FaultType::kSentinelMissing, 0.05, kDefaultSentinel})
+      .Add({FaultType::kDropout, 0.05, kDefaultSentinel});
+  LabeledSeries dirty = injector.Apply(clean);
+  return {std::move(clean), std::move(dirty)};
+}
+
+std::unique_ptr<AnomalyDetector> ZScoreFallback() {
+  Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("zscore:w=64");
+  EXPECT_TRUE(d.ok());
+  return std::move(d.value());
+}
+
+// Spins until the cooperative deadline fires (or a wall-clock guard
+// trips, so a missing deadline cannot hang the test binary).
+class SlowDetector : public AnomalyDetector {
+ public:
+  std::string_view name() const override { return "Slow"; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t) const override {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start <
+           std::chrono::seconds(2)) {
+      TSAD_RETURN_IF_ERROR(CheckDeadline());
+    }
+    return std::vector<double>(series.size(), 1.0);
+  }
+};
+
+class AlwaysFailsDetector : public AnomalyDetector {
+ public:
+  std::string_view name() const override { return "AlwaysFails"; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series&,
+                                    std::size_t) const override {
+    return Status::Internal("deliberate failure");
+  }
+};
+
+// Emits a valid track except for `bad` leading NaN scores.
+class PartiallyNanDetector : public AnomalyDetector {
+ public:
+  explicit PartiallyNanDetector(std::size_t bad) : bad_(bad) {}
+  std::string_view name() const override { return "PartiallyNan"; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t) const override {
+    std::vector<double> scores(series.size(), 1.0);
+    for (std::size_t i = 0; i < std::min(bad_, scores.size()); ++i) {
+      scores[i] = kNan;
+    }
+    if (!scores.empty()) scores.back() = 5.0;
+    return scores;
+  }
+
+ private:
+  std::size_t bad_;
+};
+
+// ---------------------------------------------------------------------
+// The headline acceptance test: the bare matrix-profile detector is
+// useless on the contaminated series while the registry-built
+// resilient:discord:m=128 serves finite, full-length, correct scores.
+TEST(ResilientDetectorTest, SurvivesAcceptanceFaultMixWhereBareFails) {
+  const DirtyFixture f = MakeDirtyFixture();
+
+  DiscordDetector bare(128);
+  Result<std::vector<double>> bare_scores = bare.Score(f.dirty);
+  if (bare_scores.ok()) {
+    // NaNs poison the matrix profile: the track carries no signal
+    // (flatlined or non-finite), so the location prediction is garbage.
+    std::vector<double> patched = *bare_scores;
+    const std::size_t non_finite = SanitizeScores(patched);
+    EXPECT_TRUE(non_finite > 0 || Discrimination(patched) == 0.0);
+  }
+
+  Result<std::unique_ptr<AnomalyDetector>> resilient =
+      MakeDetector("resilient:discord:m=128");
+  ASSERT_TRUE(resilient.ok());
+  Result<std::vector<double>> scores = (*resilient)->Score(f.dirty);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ASSERT_EQ(scores->size(), f.dirty.length());
+  for (double s : *scores) ASSERT_TRUE(std::isfinite(s));
+
+  const std::size_t peak = PredictLocation(*scores, f.dirty.train_length());
+  const AnomalyRegion truth = f.clean.anomalies()[0];
+  EXPECT_GE(peak + 100, truth.begin);
+  EXPECT_LT(peak, truth.end + 100);
+}
+
+TEST(ResilientDetectorTest, DeterministicAcrossRepeatedCalls) {
+  const DirtyFixture f = MakeDirtyFixture();
+  Result<std::unique_ptr<AnomalyDetector>> d =
+      MakeDetector("resilient:discord:m=128");
+  ASSERT_TRUE(d.ok());
+  Result<std::vector<double>> first = (*d)->Score(f.dirty);
+  Result<std::vector<double>> second = (*d)->Score(f.dirty);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST(ResilientDetectorTest, CleanInputServedByPrimaryUntouched) {
+  Rng rng(3);
+  Series x = GaussianNoise(800, 1.0, rng);
+  InjectSpike(x, 600, 12.0);
+
+  auto inner = ZScoreFallback();
+  const AnomalyDetector* raw = inner.get();
+  ResilientDetector resilient(std::move(inner));
+  Result<std::vector<double>> wrapped = resilient.Score(x, 200);
+  Result<std::vector<double>> direct = raw->Score(x, 200);
+  ASSERT_TRUE(wrapped.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*wrapped, *direct);
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kPrimary);
+  EXPECT_EQ(resilient.last_scan().num_missing(), 0u);
+}
+
+TEST(ResilientDetectorTest, DeadlineExceededFallsBackToMovingZScore) {
+  Rng rng(4);
+  Series x = GaussianNoise(500, 1.0, rng);
+  InjectSpike(x, 400, 10.0);
+
+  ResilientConfig config;
+  config.deadline = std::chrono::milliseconds(10);
+  ResilientDetector resilient(std::make_unique<SlowDetector>(), config,
+                              /*simplified=*/nullptr, ZScoreFallback());
+
+  Result<std::vector<double>> scores = resilient.Score(x, 100);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  EXPECT_EQ(scores->size(), x.size());
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kFallback);
+  EXPECT_EQ(resilient.last_primary_status().code(),
+            StatusCode::kDeadlineExceeded);
+  // The moving z-score fallback still finds the planted spike.
+  EXPECT_EQ(PredictLocation(*scores, 100), 400u);
+}
+
+TEST(ResilientDetectorTest, SimplifiedRetryRunsBeforeFallback) {
+  Rng rng(5);
+  const Series x = GaussianNoise(300, 1.0, rng);
+
+  ResilientDetector resilient(std::make_unique<AlwaysFailsDetector>(), {},
+                              /*simplified=*/ZScoreFallback(),
+                              /*fallback=*/nullptr);
+  Result<std::vector<double>> scores = resilient.Score(x, 50);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kSimplified);
+  EXPECT_EQ(resilient.last_primary_status().code(), StatusCode::kInternal);
+}
+
+TEST(ResilientDetectorTest, AllStagesFailingReturnsPrimaryError) {
+  Rng rng(6);
+  const Series x = GaussianNoise(200, 1.0, rng);
+
+  ResilientDetector resilient(std::make_unique<AlwaysFailsDetector>(), {},
+                              std::make_unique<AlwaysFailsDetector>(),
+                              std::make_unique<AlwaysFailsDetector>());
+  Result<std::vector<double>> scores = resilient.Score(x, 50);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kNone);
+}
+
+TEST(ResilientDetectorTest, FewBadScoresArePatchedNotFailed) {
+  Rng rng(7);
+  const Series x = GaussianNoise(100, 1.0, rng);
+
+  ResilientDetector resilient(std::make_unique<PartiallyNanDetector>(5));
+  Result<std::vector<double>> scores = resilient.Score(x, 10);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kPrimary);
+  EXPECT_EQ(resilient.last_scores_patched(), 5u);
+  for (double s : *scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(ResilientDetectorTest, MostlyBadTrackCountsAsFailure) {
+  Rng rng(8);
+  const Series x = GaussianNoise(100, 1.0, rng);
+
+  ResilientDetector resilient(std::make_unique<PartiallyNanDetector>(90), {},
+                              /*simplified=*/nullptr, ZScoreFallback());
+  Result<std::vector<double>> scores = resilient.Score(x, 10);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(resilient.last_served_by(), ServedBy::kFallback);
+  EXPECT_EQ(resilient.last_primary_status().code(), StatusCode::kInternal);
+}
+
+TEST(ResilientDetectorTest, TooDamagedInputIsResourceExhausted) {
+  Series x(100, kNan);
+  for (std::size_t i = 0; i < 20; ++i) x[i] = 1.0;  // 80% missing
+
+  ResilientDetector resilient(ZScoreFallback());
+  Result<std::vector<double>> scores = resilient.Score(x, 10);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ResilientDetectorTest, DropAndReindexKeepsOriginalLength) {
+  const DirtyFixture f = MakeDirtyFixture();
+
+  ResilientConfig config;
+  config.imputation = ImputationPolicy::kDropAndReindex;
+  ResilientDetector resilient(ZScoreFallback(), config);
+  Result<std::vector<double>> scores =
+      resilient.Score(f.dirty.values(), f.dirty.train_length());
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ASSERT_EQ(scores->size(), f.dirty.length());
+  for (double s : *scores) ASSERT_TRUE(std::isfinite(s));
+  EXPECT_GT(resilient.last_scan().num_missing(), 0u);
+}
+
+TEST(ResilientDetectorTest, NameWrapsInnerName) {
+  ResilientDetector resilient(ZScoreFallback());
+  EXPECT_EQ(std::string(resilient.name()), "resilient(MovingZScore[w=64])");
+}
+
+TEST(ServedByNameTest, AllStagesNamed) {
+  EXPECT_EQ(ServedByName(ServedBy::kNone), "none");
+  EXPECT_EQ(ServedByName(ServedBy::kPrimary), "primary");
+  EXPECT_EQ(ServedByName(ServedBy::kSimplified), "simplified");
+  EXPECT_EQ(ServedByName(ServedBy::kFallback), "fallback");
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite — first in
+# the normal configuration, then (unless SKIP_SANITIZERS=1) again under
+# ASan+UBSan via the TSAD_SANITIZE cmake option. Run from anywhere:
+#
+#   tools/check.sh                 # both passes
+#   SKIP_SANITIZERS=1 tools/check.sh
+#
+# Each pass uses its own build directory so the sanitized build never
+# poisons the normal one.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  echo "==> configuring ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S "${repo_root}" "$@"
+  echo "==> building ${build_dir}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==> testing ${build_dir}"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+run_pass "${repo_root}/build"
+
+if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
+  run_pass "${repo_root}/build-sanitize" \
+    -DTSAD_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "==> all checks passed"

@@ -10,6 +10,12 @@
 //   tsad detect <file.csv> [--detector SPEC]
 //       Score a series and report the predicted anomaly location
 //       (default detector: discord:m=128).
+//   tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]
+//       Run the fault x severity robustness matrix (NaN / -9999 missing
+//       markers, dropouts, stuck-at, spikes, clipping, quantization,
+//       noise) and print each detector's degradation table. Without a
+//       file a synthetic UCR-style series is used. Detector specs may
+//       use the resilient: prefix (default: three hardened detectors).
 //   tsad table1 [--seed N]
 //       Reproduce Table 1 on the simulated Yahoo archive.
 //   tsad list-detectors
@@ -34,21 +40,31 @@ struct Args {
   uint64_t seed = 42;
   std::string out = ".";
   std::string detector = "discord:m=128";
-  std::string report;  // audit: optional markdown report path
+  std::string detectors;  // robustness: comma-separated spec list
+  std::string report;     // audit: optional markdown report path
 };
 
-Args ParseArgs(int argc, char** argv) {
+// Strict: unknown --flags (and flags missing their value) are errors,
+// not positional arguments.
+Result<Args> ParseArgs(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--seed" && i + 1 < argc) {
+    const bool has_value = i + 1 < argc;
+    if (arg == "--seed" && has_value) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--out" && i + 1 < argc) {
+    } else if (arg == "--out" && has_value) {
       args.out = argv[++i];
-    } else if (arg == "--detector" && i + 1 < argc) {
+    } else if (arg == "--detector" && has_value) {
       args.detector = argv[++i];
-    } else if (arg == "--report" && i + 1 < argc) {
+    } else if (arg == "--detectors" && has_value) {
+      args.detectors = argv[++i];
+    } else if (arg == "--report" && has_value) {
       args.report = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return Status::InvalidArgument(
+          has_value ? "unknown flag '" + arg + "'"
+                    : "flag '" + arg + "' is missing its value");
     } else {
       args.positional.push_back(arg);
     }
@@ -63,23 +79,33 @@ int Usage() {
       "  tsad audit <file.csv...> [--report FILE.md]\n"
       "  tsad triviality <file.csv...>\n"
       "  tsad detect <file.csv> [--detector SPEC]\n"
+      "  tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]\n"
       "  tsad table1 [--seed N]\n"
       "  tsad list-detectors\n");
   return 1;
 }
 
-int WriteDataset(const BenchmarkDataset& dataset, const std::string& dir) {
+struct WriteTally {
   int written = 0;
-  for (const LabeledSeries& s : dataset.series) {
-    const std::string path = dir + "/" + s.name() + ".csv";
-    const Status status = WriteSeriesCsv(s, path);
-    if (status.ok()) {
-      ++written;
-    } else {
-      std::printf("  %s: %s\n", path.c_str(), status.ToString().c_str());
-    }
+  int failed = 0;
+};
+
+void WriteOne(const LabeledSeries& s, const std::string& path,
+              WriteTally* tally) {
+  const Status status = WriteSeriesCsv(s, path);
+  if (status.ok()) {
+    ++tally->written;
+  } else {
+    std::printf("  %s: %s\n", path.c_str(), status.ToString().c_str());
+    ++tally->failed;
   }
-  return written;
+}
+
+void WriteDataset(const BenchmarkDataset& dataset, const std::string& dir,
+                  WriteTally* tally) {
+  for (const LabeledSeries& s : dataset.series) {
+    WriteOne(s, dir + "/" + s.name() + ".csv", tally);
+  }
 }
 
 int CmdGenerate(const Args& args) {
@@ -92,36 +118,36 @@ int CmdGenerate(const Args& args) {
     return 1;
   }
   const std::string& what = args.positional[0];
-  int written = 0;
+  WriteTally tally;
   if (what == "yahoo") {
     YahooConfig config;
     config.seed = args.seed;
     const YahooArchive archive = GenerateYahooArchive(config);
     for (const BenchmarkDataset* d : archive.all()) {
-      written += WriteDataset(*d, args.out);
+      WriteDataset(*d, args.out, &tally);
     }
   } else if (what == "taxi") {
     NumentaConfig config;
     config.seed = args.seed;
     const TaxiData taxi = GenerateTaxiData(config);
-    if (WriteSeriesCsv(taxi.series, args.out + "/nyc_taxi.csv").ok()) {
-      ++written;
-    }
+    WriteOne(taxi.series, args.out + "/nyc_taxi.csv", &tally);
   } else if (what == "nasa") {
     NasaConfig config;
     config.seed = args.seed;
-    written += WriteDataset(GenerateNasaArchive(config).channels, args.out);
+    WriteDataset(GenerateNasaArchive(config).channels, args.out, &tally);
   } else if (what == "archive") {
     const UcrArchive archive = BuildFullArchive(args.seed);
     for (const LabeledSeries& s : archive.datasets) {
-      if (WriteSeriesCsv(s, args.out + "/" + s.name() + ".csv").ok()) {
-        ++written;
-      }
+      WriteOne(s, args.out + "/" + s.name() + ".csv", &tally);
     }
   } else {
     return Usage();
   }
-  std::printf("%d file(s) written to %s/\n", written, args.out.c_str());
+  std::printf("%d file(s) written to %s/\n", tally.written, args.out.c_str());
+  if (tally.failed > 0) {
+    std::printf("%d file(s) FAILED to write\n", tally.failed);
+    return 1;
+  }
   return 0;
 }
 
@@ -214,6 +240,89 @@ int CmdDetect(const Args& args) {
   return 0;
 }
 
+// A clean UCR-style demo series: seasonal signal + noise with one
+// contextual anomaly, used when `tsad robustness` is given no file.
+LabeledSeries SyntheticRobustnessSeries(uint64_t seed) {
+  Rng rng(seed);
+  Series x = Mix({Sinusoid(4000, 100.0, 1.0, 0.0),
+                  GaussianNoise(4000, 0.15, rng)});
+  const AnomalyRegion anomaly = InjectSmoothHump(x, 2800, 60, 1.2);
+  return LabeledSeries("synthetic-demo", std::move(x), {anomaly}, 1000);
+}
+
+// True if s[from...] starts with a key=value parameter chunk (an '='
+// before any ':', ',' or ';').
+bool LooksLikeParam(const std::string& s, std::size_t from) {
+  for (std::size_t i = from; i < s.size(); ++i) {
+    if (s[i] == '=') return true;
+    if (s[i] == ':' || s[i] == ',' || s[i] == ';') return false;
+  }
+  return false;
+}
+
+// Splits a --detectors list into specs. Commas separate both list
+// entries and spec parameters, so a comma only starts a new spec when
+// what follows is not a key=value chunk; semicolons always split.
+std::vector<std::string> SplitSpecs(const std::string& list) {
+  std::vector<std::string> specs;
+  std::string current;
+  for (std::size_t i = 0; i <= list.size(); ++i) {
+    if (i == list.size() || list[i] == ';' ||
+        (list[i] == ',' && !LooksLikeParam(list, i + 1))) {
+      if (!current.empty()) specs.push_back(current);
+      current.clear();
+    } else {
+      current += list[i];
+    }
+  }
+  return specs;
+}
+
+int CmdRobustness(const Args& args) {
+  if (args.positional.size() > 1) return Usage();
+  LabeledSeries series;
+  if (args.positional.empty()) {
+    series = SyntheticRobustnessSeries(args.seed);
+  } else {
+    Result<LabeledSeries> loaded = ReadSeriesCsv(args.positional[0]);
+    if (!loaded.ok()) {
+      std::printf("%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    series = std::move(loaded.value());
+  }
+
+  std::vector<std::string> specs = SplitSpecs(args.detectors);
+  if (specs.empty()) {
+    specs = {"resilient:discord:m=128", "resilient:zscore:w=64",
+             "resilient:sr"};
+  }
+  std::vector<std::unique_ptr<AnomalyDetector>> owned;
+  std::vector<const AnomalyDetector*> detectors;
+  for (const std::string& spec : specs) {
+    Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector(spec);
+    if (!d.ok()) {
+      std::printf("%s: %s\n", spec.c_str(), d.status().ToString().c_str());
+      return 1;
+    }
+    detectors.push_back(d->get());
+    owned.push_back(std::move(d.value()));
+  }
+
+  std::printf("series   : %s (%zu points, train %zu)\n",
+              series.name().c_str(), series.length(), series.train_length());
+  RobustnessConfig config;
+  config.seed = args.seed;
+  const std::vector<RobustnessCell> cells =
+      RunRobustnessMatrix(series, detectors, config);
+  std::printf("%s", FormatRobustnessTable(cells).c_str());
+
+  std::size_t survived = 0;
+  for (const RobustnessCell& cell : cells) survived += cell.survived ? 1 : 0;
+  std::printf("\nsurvived %zu / %zu fault cells\n", survived, cells.size());
+  return survived == cells.size() ? 0 : 2;
+}
+
 int CmdTable1(const Args& args) {
   YahooConfig config;
   config.seed = args.seed;
@@ -240,12 +349,17 @@ int CmdListDetectors() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Args args = ParseArgs(argc, argv);
-  if (command == "generate") return CmdGenerate(args);
-  if (command == "audit") return CmdAudit(args);
-  if (command == "triviality") return CmdTriviality(args);
-  if (command == "detect") return CmdDetect(args);
-  if (command == "table1") return CmdTable1(args);
+  const Result<Args> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::printf("%s\n", args.status().ToString().c_str());
+    return Usage();
+  }
+  if (command == "generate") return CmdGenerate(*args);
+  if (command == "audit") return CmdAudit(*args);
+  if (command == "triviality") return CmdTriviality(*args);
+  if (command == "detect") return CmdDetect(*args);
+  if (command == "robustness") return CmdRobustness(*args);
+  if (command == "table1") return CmdTable1(*args);
   if (command == "list-detectors") return CmdListDetectors();
   return Usage();
 }
