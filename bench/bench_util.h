@@ -1,13 +1,58 @@
-// Small shared formatting helpers for the reproduction benches.
+// Small shared helpers for the reproduction benches: formatting, the
+// --threads flag, and machine-readable BENCH_*.json perf records.
 
 #ifndef TSAD_BENCH_BENCH_UTIL_H_
 #define TSAD_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace tsad::bench {
+
+/// Applies a `--threads N` argument (if present) to the parallel layer
+/// and strips it from argv. TSAD_THREADS in the environment still works
+/// without the flag — this only adds the explicit override.
+inline void InitThreadsFromArgs(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < *argc) {
+      SetParallelThreads(
+          static_cast<std::size_t>(std::strtoull(argv[i + 1], nullptr, 10)));
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+  }
+}
+
+/// Writes a flat JSON object of numeric fields to BENCH_<name>.json in
+/// the working directory (override the directory with TSAD_BENCH_DIR).
+/// One file per bench run, overwritten each time — the perf trajectory
+/// across PRs is tracked by archiving these from CI.
+inline void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  const char* dir = std::getenv("TSAD_BENCH_DIR");
+  const std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
+      "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : fields) {
+    std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Prints a boxed section header.
 inline void PrintHeader(const std::string& title) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "core/ucr_archive.h"
 #include "detectors/control_chart.h"
 #include "detectors/cusum.h"
@@ -22,14 +23,34 @@
 #include "detectors/spectral_residual.h"
 #include "detectors/telemanom.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsad;
+  bench::InitThreadsFromArgs(&argc, argv);
   bench::PrintHeader("FULL ARCHIVE -- multi-domain UCR-protocol leaderboard");
+  std::printf("threads: %zu\n", ParallelThreads());
 
   const UcrArchive archive = BuildFullArchive();
+
+  // Difficulty census: each rating runs a one-liner search plus a
+  // discord join — independent per series, so fan the loop out.
+  std::vector<UcrDifficulty> ratings;
+  {
+    Result<std::vector<UcrDifficulty>> rated = ParallelMap<UcrDifficulty>(
+        archive.datasets.size(),
+        [&](std::size_t i) -> Result<UcrDifficulty> {
+          return RateDifficulty(archive.datasets[i]);
+        });
+    if (rated.ok()) {
+      ratings = std::move(*rated);
+    } else {
+      for (const LabeledSeries& s : archive.datasets) {
+        ratings.push_back(RateDifficulty(s));
+      }
+    }
+  }
   std::size_t trivial = 0, moderate = 0, hard = 0;
-  for (const LabeledSeries& s : archive.datasets) {
-    switch (RateDifficulty(s)) {
+  for (UcrDifficulty d : ratings) {
+    switch (d) {
       case UcrDifficulty::kTrivial:
         ++trivial;
         break;

@@ -2,9 +2,21 @@
 // distance profiles, the STOMP self-join, and the naive O(n^2 m)
 // reference. Establishes that the substrate scales as published
 // (n log n per MASS query, n^2 for the self-join).
+//
+// Before the google-benchmark suites run, main() times one STOMP
+// self-join serially (--threads 1) and at the resolved thread count and
+// writes the pair to BENCH_perf_matrix_profile.json — the
+// machine-readable record CI archives to track the parallel layer's
+// speedup.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
 #include "substrates/matrix_profile.h"
@@ -64,6 +76,45 @@ void BM_WindowStats(benchmark::State& state) {
 }
 BENCHMARK(BM_WindowStats)->Range(1 << 12, 1 << 18);
 
+// Best-of-2 wall time of one STOMP self-join, in milliseconds.
+double TimeStompMs(const tsad::Series& x) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64));
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tsad::bench::InitThreadsFromArgs(&argc, argv);
+  const std::size_t threads = tsad::ParallelThreads();
+  const tsad::Series x = RandomWalk(1 << 14, 2);
+
+  tsad::SetParallelThreads(1);
+  const double serial_ms = TimeStompMs(x);
+  tsad::SetParallelThreads(threads);
+  const double parallel_ms = TimeStompMs(x);
+
+  std::printf("STOMP n=%d: serial %.1f ms, %zu threads %.1f ms "
+              "(speedup %.2fx)\n",
+              1 << 14, serial_ms, threads, parallel_ms,
+              serial_ms / parallel_ms);
+  tsad::bench::WriteBenchJson(
+      "perf_matrix_profile",
+      {{"serial_ms", serial_ms},
+       {"parallel_ms", parallel_ms},
+       {"speedup", serial_ms / parallel_ms},
+       {"threads", static_cast<double>(threads)}});
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,20 @@
 // Performance benchmark for the Table 1 engine: the per-series
 // brute-force one-liner search (exact b sweep over the (form, k, c)
 // grid), plus the end-to-end 367-series archive analysis.
+//
+// Before the google-benchmark suites run, main() times the full-archive
+// analysis serially (--threads 1) and at the resolved thread count and
+// writes the pair to BENCH_perf_triviality.json — the machine-readable
+// record CI archives to track the parallel layer's speedup.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/triviality.h"
 #include "datasets/generators.h"
@@ -55,6 +66,44 @@ void BM_GenerateYahooArchive(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateYahooArchive)->Unit(benchmark::kMillisecond);
 
+// Best-of-2 wall time of one full-archive analysis, in milliseconds.
+double TimeFullArchiveMs(const tsad::YahooArchive& archive) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 2; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(tsad::AnalyzeTriviality(archive.all()));
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tsad::bench::InitThreadsFromArgs(&argc, argv);
+  const std::size_t threads = tsad::ParallelThreads();
+  const tsad::YahooArchive archive = tsad::GenerateYahooArchive();
+
+  tsad::SetParallelThreads(1);
+  const double serial_ms = TimeFullArchiveMs(archive);
+  tsad::SetParallelThreads(threads);
+  const double parallel_ms = TimeFullArchiveMs(archive);
+
+  std::printf("table1 full archive: serial %.1f ms, %zu threads %.1f ms "
+              "(speedup %.2fx)\n",
+              serial_ms, threads, parallel_ms, serial_ms / parallel_ms);
+  tsad::bench::WriteBenchJson(
+      "perf_triviality",
+      {{"serial_ms", serial_ms},
+       {"parallel_ms", parallel_ms},
+       {"speedup", serial_ms / parallel_ms},
+       {"threads", static_cast<double>(threads)}});
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,16 @@ std::size_t NextPowerOfTwo(std::size_t n) {
 }
 
 void Fft(std::vector<std::complex<double>>& x, bool inverse) {
+  // The radix-2 butterflies require a power-of-two length. An assert
+  // alone compiles out under NDEBUG and the loops below then silently
+  // produce garbage, so the precondition is enforced in release builds
+  // too: non-power-of-two inputs are zero-padded in place to the next
+  // power of two (documented in the header; callers observe x.size()
+  // growing). An empty input is a no-op.
+  if (x.empty()) return;
+  if ((x.size() & (x.size() - 1)) != 0) {
+    x.resize(NextPowerOfTwo(x.size()));
+  }
   const std::size_t n = x.size();
   assert(n > 0 && (n & (n - 1)) == 0 && "FFT size must be a power of two");
 

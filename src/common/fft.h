@@ -15,9 +15,16 @@
 
 namespace tsad {
 
-/// In-place iterative radix-2 FFT. Precondition: x.size() is a power of
-/// two (asserts). `inverse` applies the conjugate transform and the 1/N
-/// scaling.
+/// In-place iterative radix-2 FFT. `inverse` applies the conjugate
+/// transform and the 1/N scaling.
+///
+/// The transform length must be a power of two; this is enforced in
+/// ALL build modes (not just debug asserts): a non-power-of-two input
+/// is zero-padded in place to NextPowerOfTwo(x.size()), so x may grow.
+/// Callers that care about the exact transform length (all of MASS
+/// does) should pad explicitly, as SlidingDotProduct already does; the
+/// internal padding is a release-build safety net, never silent
+/// garbage. An empty input is a no-op.
 void Fft(std::vector<std::complex<double>>& x, bool inverse);
 
 /// Smallest power of two >= n (n = 0 maps to 1).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/vector_ops.h"
 
 namespace tsad {
@@ -33,10 +34,20 @@ bool ExactBSweep(const LabeledSeries& series, const std::vector<double>& margin,
 
   // Largest margin among points that must not fire. (With b above this
   // value no forbidden point fires; margin > b means strictly above.)
+  bool has_forbidden = false;
   double forbidden_max = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 1; i < margin.size(); ++i) {  // index 0 is padding
-    if (!allowed[i]) forbidden_max = std::max(forbidden_max, margin[i]);
+    if (!allowed[i]) {
+      has_forbidden = true;
+      forbidden_max = std::max(forbidden_max, margin[i]);
+    }
   }
+  // Degenerate case: the labeled regions plus slop cover every index,
+  // so nothing is forbidden, forbidden_max stays -inf and ANY threshold
+  // would "solve" the series with b = -inf and infinite headroom. A
+  // one-liner that may flag everywhere is not a meaningful solution —
+  // reject instead of reporting a fake solve.
+  if (!has_forbidden) return false;
 
   // Smallest per-region best margin. Every region must contain (within
   // slop) at least one point whose margin strictly exceeds b.
@@ -174,7 +185,34 @@ TrivialitySolution FindOneLiner(const LabeledSeries& series,
 TrivialityReport AnalyzeTriviality(
     const std::vector<const BenchmarkDataset*>& datasets,
     const OneLinerSearchSpace& space, const SolveCriteria& criteria) {
+  // The brute force is embarrassingly parallel per series: flatten the
+  // (dataset, series) pairs, search them across the pool, then fold the
+  // per-series solutions into the report serially and in order — the
+  // report is bit-identical at every thread count.
+  std::vector<const LabeledSeries*> flat;
+  for (const BenchmarkDataset* dataset : datasets) {
+    for (const LabeledSeries& s : dataset->series) flat.push_back(&s);
+  }
+
+  Result<std::vector<TrivialitySolution>> solutions =
+      ParallelMap<TrivialitySolution>(
+          flat.size(), [&](std::size_t i) -> Result<TrivialitySolution> {
+            return FindOneLiner(*flat[i], space, criteria);
+          });
+  std::vector<TrivialitySolution> solved;
+  if (solutions.ok()) {
+    solved = std::move(*solutions);
+  } else {
+    // FindOneLiner cannot fail; only a contained worker exception (e.g.
+    // bad_alloc) lands here. Recompute inline rather than report junk.
+    solved.reserve(flat.size());
+    for (const LabeledSeries* s : flat) {
+      solved.push_back(FindOneLiner(*s, space, criteria));
+    }
+  }
+
   TrivialityReport report;
+  std::size_t flat_index = 0;
   for (const BenchmarkDataset* dataset : datasets) {
     DatasetTriviality row;
     row.dataset_name = dataset->name;
@@ -182,7 +220,7 @@ TrivialityReport AnalyzeTriviality(
     for (const LabeledSeries& s : dataset->series) {
       SeriesTriviality record;
       record.series_name = s.name();
-      record.solution = FindOneLiner(s, space, criteria);
+      record.solution = solved[flat_index++];
       if (record.solution.solved) {
         ++row.solved;
         ++row.solved_by_form[static_cast<int>(record.solution.params.form())];

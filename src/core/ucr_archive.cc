@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "core/triviality.h"
 #include "datasets/domains.h"
 #include "datasets/gait.h"
@@ -348,9 +349,11 @@ UcrArchive BuildFullArchive(uint64_t seed) {
 UcrAccuracy EvaluateOnArchive(const AnomalyDetector& detector,
                               const UcrArchive& archive,
                               const UcrScoreConfig& config) {
-  UcrAccuracy accuracy;
-  for (const LabeledSeries& series : archive.datasets) {
-    ++accuracy.total;
+  // Each dataset is scored independently; the per-series loop fans out
+  // over the pool when the detector allows concurrent Score() calls on
+  // one instance. Outcomes land in archive order either way.
+  auto score_one = [&](std::size_t i) -> UcrSeriesOutcome {
+    const LabeledSeries& series = archive.datasets[i];
     UcrSeriesOutcome outcome;
     outcome.series_name = series.name();
     if (!series.anomalies().empty()) {
@@ -369,8 +372,28 @@ UcrAccuracy EvaluateOnArchive(const AnomalyDetector& detector,
       outcome.series_name += " [detector error: " +
                              scores.status().ToString() + "]";
     }
+    return outcome;
+  };
+
+  const std::size_t n = archive.datasets.size();
+  UcrAccuracy accuracy;
+  if (detector.concurrent_score_safe()) {
+    Result<std::vector<UcrSeriesOutcome>> outcomes =
+        ParallelMap<UcrSeriesOutcome>(
+            n, [&](std::size_t i) -> Result<UcrSeriesOutcome> {
+              return score_one(i);
+            });
+    if (outcomes.ok()) accuracy.outcomes = std::move(*outcomes);
+  }
+  if (accuracy.outcomes.size() != n) {  // serial detector, or a
+    accuracy.outcomes.clear();          // contained worker exception
+    for (std::size_t i = 0; i < n; ++i) {
+      accuracy.outcomes.push_back(score_one(i));
+    }
+  }
+  accuracy.total = n;
+  for (const UcrSeriesOutcome& outcome : accuracy.outcomes) {
     if (outcome.correct) ++accuracy.correct;
-    accuracy.outcomes.push_back(std::move(outcome));
   }
   return accuracy;
 }

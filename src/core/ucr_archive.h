@@ -115,6 +115,9 @@ UcrArchive BuildFullArchive(uint64_t seed = 99);
 /// series, take the argmax over the test span, check it against the
 /// labeled region (with slop). Series the detector errors on count as
 /// incorrect (with the error recorded in the outcome's name field).
+/// When detector.concurrent_score_safe() holds, series are scored in
+/// parallel over the common/parallel.h pool; outcomes are placed in
+/// archive order regardless of thread count.
 UcrAccuracy EvaluateOnArchive(const AnomalyDetector& detector,
                               const UcrArchive& archive,
                               const UcrScoreConfig& config = {});

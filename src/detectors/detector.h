@@ -39,6 +39,13 @@ class AnomalyDetector {
   Result<std::vector<double>> Score(const LabeledSeries& series) const {
     return Score(series.values(), series.train_length());
   }
+
+  /// True when concurrent Score() calls on this SAME instance are safe.
+  /// Stateless detectors (the default) qualify; wrappers that keep
+  /// mutable per-call telemetry (the resilient decorator) override this
+  /// to false, and parallel harnesses (EvaluateOnArchive, the
+  /// robustness matrix) score such instances serially.
+  virtual bool concurrent_score_safe() const { return true; }
 };
 
 /// Index of the highest score at or after `test_start` — the "predicted

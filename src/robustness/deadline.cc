@@ -16,10 +16,12 @@ thread_local Clock::time_point g_deadline;
 }  // namespace
 
 DeadlineScope::DeadlineScope(std::chrono::nanoseconds budget)
+    : DeadlineScope(Clock::now() + budget) {}
+
+DeadlineScope::DeadlineScope(std::chrono::steady_clock::time_point deadline)
     : previous_(g_deadline), had_previous_(g_deadline_active) {
-  Clock::time_point mine = Clock::now() + budget;
-  if (had_previous_) mine = std::min(mine, previous_);  // only tighten
-  g_deadline = mine;
+  if (had_previous_) deadline = std::min(deadline, previous_);  // only tighten
+  g_deadline = deadline;
   g_deadline_active = true;
 }
 
@@ -41,6 +43,10 @@ std::chrono::nanoseconds DeadlineRemaining() {
   return left.count() > 0 ? std::chrono::duration_cast<std::chrono::nanoseconds>(
                                 left)
                           : std::chrono::nanoseconds::zero();
+}
+
+std::chrono::steady_clock::time_point DeadlineTimePoint() {
+  return g_deadline;
 }
 
 }  // namespace tsad

@@ -25,6 +25,12 @@ namespace tsad {
 class DeadlineScope {
  public:
   explicit DeadlineScope(std::chrono::nanoseconds budget);
+  /// Installs an absolute deadline — the adoption form used to carry a
+  /// deadline across threads: the parallel layer captures
+  /// DeadlineTimePoint() on the submitting thread and re-installs it on
+  /// each worker, so workers poll CheckDeadline() against the same wall
+  /// deadline as the submitter (no budget drift from queueing delay).
+  explicit DeadlineScope(std::chrono::steady_clock::time_point deadline);
   ~DeadlineScope();
 
   DeadlineScope(const DeadlineScope&) = delete;
@@ -46,6 +52,11 @@ Status CheckDeadline();
 /// Remaining budget, or nanoseconds::max() when no deadline is active.
 /// Clamped at zero once expired.
 std::chrono::nanoseconds DeadlineRemaining();
+
+/// The absolute deadline of the innermost active scope. Precondition:
+/// DeadlineActive(). Pair with the time-point DeadlineScope constructor
+/// to adopt this thread's deadline on another thread.
+std::chrono::steady_clock::time_point DeadlineTimePoint();
 
 }  // namespace tsad
 

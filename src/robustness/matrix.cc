@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace tsad {
@@ -41,51 +42,93 @@ std::vector<RobustnessCell> RunRobustnessMatrix(
     const LabeledSeries& series,
     const std::vector<const AnomalyDetector*>& detectors,
     const RobustnessConfig& config) {
-  std::vector<RobustnessCell> cells;
-  for (const AnomalyDetector* detector : detectors) {
-    const Result<std::vector<double>> clean = detector->Score(series);
-    const std::size_t clean_peak =
-        clean.ok() ? PredictLocation(*clean, series.train_length())
-                   : kNoPrediction;
-    for (std::size_t ci = 0; ci < config.cases.size(); ++ci) {
-      const RobustnessCase& c = config.cases[ci];
-      RobustnessCell cell;
-      cell.detector = std::string(detector->name());
-      cell.fault = c.fault;
-      cell.severity = c.severity;
-      // Seeded off the case index so every detector faces the same
-      // fault realization — the columns stay comparable.
-      FaultInjector injector(config.seed + 1 + ci);
-      injector.Add({c.fault, c.severity, kDefaultSentinel});
-      const LabeledSeries faulted = injector.Apply(series);
+  const std::size_t num_cases = config.cases.size();
 
-      Result<std::vector<double>> scores = detector->Score(faulted);
-      if (!scores.ok()) {
-        cell.status = scores.status();
-        cells.push_back(std::move(cell));
-        continue;
+  // Phase 1: the clean baseline per detector, in parallel.
+  struct CleanRun {
+    Result<std::vector<double>> scores;
+    std::size_t peak = kNoPrediction;
+  };
+  auto score_clean = [&](std::size_t di) -> CleanRun {
+    CleanRun run{detectors[di]->Score(series), kNoPrediction};
+    if (run.scores.ok()) {
+      run.peak = PredictLocation(*run.scores, series.train_length());
+    }
+    return run;
+  };
+  std::vector<CleanRun> clean_runs;
+  {
+    Result<std::vector<CleanRun>> runs = ParallelMap<CleanRun>(
+        detectors.size(),
+        [&](std::size_t di) -> Result<CleanRun> { return score_clean(di); });
+    if (runs.ok()) {
+      clean_runs = std::move(*runs);
+    } else {  // contained worker exception: recompute inline
+      for (std::size_t di = 0; di < detectors.size(); ++di) {
+        clean_runs.push_back(score_clean(di));
       }
-      cell.survived =
-          scores->size() == faulted.length() && AllFinite(*scores);
-      if (cell.survived) {
-        const std::size_t peak =
-            PredictLocation(*scores, faulted.train_length());
-        if (clean.ok() && clean->size() == scores->size()) {
-          cell.score_correlation = PearsonCorrelation(*clean, *scores);
-        }
-        if (peak != kNoPrediction && clean_peak != kNoPrediction) {
-          cell.peak_drift =
-              peak > clean_peak ? peak - clean_peak : clean_peak - peak;
-        }
-        cell.peak_correct = PeakWithinSlop(peak, faulted, config.slop);
-        cell.discrimination = Discrimination(*scores);
-      } else {
-        cell.status = Status::Internal("non-finite or short score track");
-      }
-      cells.push_back(std::move(cell));
     }
   }
-  return cells;
+
+  // Phase 2: every (detector, fault, severity) cell is independent —
+  // fan the whole grid out. Cells land in detector-major, case-minor
+  // order exactly as the serial loop produced them.
+  auto make_cell = [&](std::size_t flat) -> RobustnessCell {
+    const std::size_t di = flat / num_cases;
+    const std::size_t ci = flat % num_cases;
+    const AnomalyDetector* detector = detectors[di];
+    const CleanRun& clean = clean_runs[di];
+    const RobustnessCase& c = config.cases[ci];
+    RobustnessCell cell;
+    cell.detector = std::string(detector->name());
+    cell.fault = c.fault;
+    cell.severity = c.severity;
+    // Seeded off the case index so every detector faces the same
+    // fault realization — the columns stay comparable.
+    FaultInjector injector(config.seed + 1 + ci);
+    injector.Add({c.fault, c.severity, kDefaultSentinel});
+    const LabeledSeries faulted = injector.Apply(series);
+
+    Result<std::vector<double>> scores = detector->Score(faulted);
+    if (!scores.ok()) {
+      cell.status = scores.status();
+      return cell;
+    }
+    cell.survived = scores->size() == faulted.length() && AllFinite(*scores);
+    if (cell.survived) {
+      const std::size_t peak =
+          PredictLocation(*scores, faulted.train_length());
+      if (clean.scores.ok() && clean.scores->size() == scores->size()) {
+        cell.score_correlation = PearsonCorrelation(*clean.scores, *scores);
+      }
+      if (peak != kNoPrediction && clean.peak != kNoPrediction) {
+        cell.peak_drift =
+            peak > clean.peak ? peak - clean.peak : clean.peak - peak;
+      }
+      cell.peak_correct = PeakWithinSlop(peak, faulted, config.slop);
+      cell.discrimination = Discrimination(*scores);
+    } else {
+      cell.status = Status::Internal("non-finite or short score track");
+    }
+    return cell;
+  };
+
+  // Grain = one detector's full row of cells: Score() is const but not
+  // required to be concurrency-safe on the SAME instance (the resilient
+  // wrapper keeps mutable diagnostics), so all cells of one detector
+  // stay on one worker while distinct detectors fan out.
+  Result<std::vector<RobustnessCell>> cells = ParallelMap<RobustnessCell>(
+      detectors.size() * num_cases,
+      [&](std::size_t flat) -> Result<RobustnessCell> {
+        return make_cell(flat);
+      },
+      /*grain=*/num_cases);
+  if (cells.ok()) return std::move(*cells);
+  std::vector<RobustnessCell> fallback;
+  for (std::size_t flat = 0; flat < detectors.size() * num_cases; ++flat) {
+    fallback.push_back(make_cell(flat));
+  }
+  return fallback;
 }
 
 std::string FormatRobustnessTable(const std::vector<RobustnessCell>& cells) {

@@ -76,6 +76,10 @@ class ResilientDetector : public AnomalyDetector {
   const AnomalyDetector& inner() const { return *inner_; }
   const ResilientConfig& config() const { return config_; }
 
+  /// The last_* telemetry below is mutable per-call state, so two
+  /// threads must not Score() the same instance concurrently.
+  bool concurrent_score_safe() const override { return false; }
+
   // Telemetry from the most recent Score() call (single-threaded use).
   ServedBy last_served_by() const { return last_served_by_; }
   const Status& last_primary_status() const { return last_primary_status_; }

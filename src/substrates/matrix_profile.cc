@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 
 #include "common/fft.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/vector_ops.h"
 #include "robustness/deadline.h"
@@ -18,6 +20,14 @@ namespace {
 // watchdog latency to well under a millisecond while keeping the clock
 // read off the hot path.
 constexpr std::size_t kDeadlinePollRows = 64;
+
+// Row-block size for the STOMP drivers. Each block seeds its first row
+// with an O(n log n) FFT pass and runs the O(1)-per-entry recurrence
+// within the block, so blocks are independent and run in parallel. The
+// block size is a fixed constant — NOT derived from the thread count —
+// which is what makes profiles bit-identical at every thread count:
+// the same rows are always computed from the same seeds.
+constexpr std::size_t kStompBlockRows = 256;
 
 // Subsequences whose std is this small RELATIVE to their mean magnitude
 // are treated as "flat". The threshold must be relative: rolling-sum
@@ -42,6 +52,41 @@ inline double PairDistance(double qt, double mean_a, double std_a,
   double corr = (qt - dm * mean_a * mean_b) / (dm * std_a * std_b);
   corr = std::clamp(corr, -1.0, 1.0);
   return std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - corr)));
+}
+
+// Drives a STOMP-style row recurrence over [0, rows) in fixed-size row
+// blocks distributed across the thread pool. Within a block, rows run
+// in order: the first row comes from seed_row(i) (an FFT pass), each
+// later row from advance_row(i, qt) (the O(1)-per-entry update), and
+// every row is handed to visit_row. Each worker polls the cooperative
+// deadline between row batches; the submitting thread's DeadlineScope
+// is propagated by ParallelFor, and the first (lowest-block) error is
+// the one reported.
+Status RunStompRowBlocks(
+    std::size_t rows,
+    const std::function<std::vector<double>(std::size_t)>& seed_row,
+    const std::function<void(std::size_t, std::vector<double>&)>& advance_row,
+    const std::function<void(std::size_t, const std::vector<double>&)>&
+        visit_row) {
+  const std::size_t num_blocks =
+      (rows + kStompBlockRows - 1) / kStompBlockRows;
+  return ParallelFor(0, num_blocks, [&](std::size_t block) -> Status {
+    const std::size_t row_begin = block * kStompBlockRows;
+    const std::size_t row_end = std::min(rows, row_begin + kStompBlockRows);
+    std::vector<double> qt_row;
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      if ((i - row_begin) % kDeadlinePollRows == 0) {
+        TSAD_RETURN_IF_ERROR(CheckDeadline());
+      }
+      if (i == row_begin) {
+        qt_row = seed_row(i);
+      } else {
+        advance_row(i, qt_row);
+      }
+      visit_row(i, qt_row);
+    }
+    return Status::OK();
+  });
 }
 
 }  // namespace
@@ -98,38 +143,47 @@ Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
   mp.indices.assign(count, kNoNeighbor);
 
   // STOMP: row i holds qt[j] = dot(series[i, i+m), series[j, j+m)).
-  // Row 0 comes from one FFT pass; each later row is an O(1)-per-entry
-  // update from the previous row. first_row is retained to seed
-  // qt_row[0] of every subsequent row (by symmetry qt_i[0] = qt_0[i]).
+  // The first row of each block comes from an FFT pass; each later row
+  // is an O(1)-per-entry update from the previous row. first_row (row
+  // 0) is retained to seed qt_row[0] of every subsequent row (by
+  // symmetry qt_i[0] = qt_0[i]). Rows scan their neighbors serially
+  // left to right with a strict '<', so the tie-break (lowest j wins)
+  // is independent of how rows are distributed over threads.
   const std::vector<double> first_row =
       SlidingDotProduct(series, Subsequence(series, 0, m));
-  std::vector<double> qt_row = first_row;
 
-  for (std::size_t i = 0; i < count; ++i) {
-    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
-    if (i > 0) {
-      // Update in place, right to left, reusing qt_row from row i-1.
-      for (std::size_t j = count - 1; j > 0; --j) {
-        qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
-                    series[j + m - 1] * series[i + m - 1];
-      }
-      qt_row[0] = first_row[i];
-    }
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_j = kNoNeighbor;
-    for (std::size_t j = 0; j < count; ++j) {
-      const std::size_t gap = i > j ? i - j : j - i;
-      if (gap <= exclusion) continue;
-      const double d = PairDistance(qt_row[j], stats.means[i], stats.stds[i],
-                                    stats.means[j], stats.stds[j], m);
-      if (d < best) {
-        best = d;
-        best_j = j;
-      }
-    }
-    mp.distances[i] = best;
-    mp.indices[i] = best_j;
-  }
+  const Status status = RunStompRowBlocks(
+      count,
+      [&](std::size_t i) {
+        return i == 0 ? first_row
+                      : SlidingDotProduct(series, Subsequence(series, i, m));
+      },
+      [&](std::size_t i, std::vector<double>& qt_row) {
+        // Update in place, right to left, reusing qt_row from row i-1.
+        for (std::size_t j = count - 1; j > 0; --j) {
+          qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
+                      series[j + m - 1] * series[i + m - 1];
+        }
+        qt_row[0] = first_row[i];
+      },
+      [&](std::size_t i, const std::vector<double>& qt_row) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_j = kNoNeighbor;
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t gap = i > j ? i - j : j - i;
+          if (gap <= exclusion) continue;
+          const double d =
+              PairDistance(qt_row[j], stats.means[i], stats.stds[i],
+                           stats.means[j], stats.stds[j], m);
+          if (d < best) {
+            best = d;
+            best_j = j;
+          }
+        }
+        mp.distances[i] = best;
+        mp.indices[i] = best_j;
+      });
+  if (!status.ok()) return status;
   return mp;
 }
 
@@ -188,30 +242,37 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
 
   const std::vector<double> first_row =
       SlidingDotProduct(series, Subsequence(series, 0, m));
-  std::vector<double> qt_row = first_row;
-  for (std::size_t i = 0; i < count; ++i) {
-    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
-    if (i > 0) {
-      for (std::size_t j = count - 1; j > 0; --j) {
-        qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
-                    series[j + m - 1] * series[i + m - 1];
-      }
-      qt_row[0] = first_row[i];
-    }
-    if (i < exclusion + 1) continue;  // no eligible past neighbor
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_j = kNoNeighbor;
-    for (std::size_t j = 0; j + exclusion + 1 <= i; ++j) {
-      const double d = PairDistance(qt_row[j], stats.means[i], stats.stds[i],
-                                    stats.means[j], stats.stds[j], m);
-      if (d < best) {
-        best = d;
-        best_j = j;
-      }
-    }
-    mp.distances[i] = best;
-    mp.indices[i] = best_j;
-  }
+
+  const Status status = RunStompRowBlocks(
+      count,
+      [&](std::size_t i) {
+        return i == 0 ? first_row
+                      : SlidingDotProduct(series, Subsequence(series, i, m));
+      },
+      [&](std::size_t i, std::vector<double>& qt_row) {
+        for (std::size_t j = count - 1; j > 0; --j) {
+          qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
+                      series[j + m - 1] * series[i + m - 1];
+        }
+        qt_row[0] = first_row[i];
+      },
+      [&](std::size_t i, const std::vector<double>& qt_row) {
+        if (i < exclusion + 1) return;  // no eligible past neighbor
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_j = kNoNeighbor;
+        for (std::size_t j = 0; j + exclusion + 1 <= i; ++j) {
+          const double d =
+              PairDistance(qt_row[j], stats.means[i], stats.stds[i],
+                           stats.means[j], stats.stds[j], m);
+          if (d < best) {
+            best = d;
+            best_j = j;
+          }
+        }
+        mp.distances[i] = best;
+        mp.indices[i] = best_j;
+      });
+  if (!status.ok()) return status;
   return mp;
 }
 
@@ -235,39 +296,46 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
   mp.distances.assign(nq, std::numeric_limits<double>::infinity());
   mp.indices.assign(nq, kNoNeighbor);
 
-  // Row 0: dot products of the first query subsequence against every
-  // reference subsequence; first column: dot products of every query
-  // subsequence against the first reference subsequence.
+  // Row 0 (of each block): dot products of that query subsequence
+  // against every reference subsequence; first column: dot products of
+  // every query subsequence against the first reference subsequence
+  // (seeds qt_row[0] in the recurrence).
   const std::vector<double> first_row =
       SlidingDotProduct(reference_series, Subsequence(query_series, 0, m));
   const std::vector<double> first_col =
       SlidingDotProduct(query_series, Subsequence(reference_series, 0, m));
-  std::vector<double> qt_row = first_row;
 
-  for (std::size_t i = 0; i < nq; ++i) {
-    if (i % kDeadlinePollRows == 0) TSAD_RETURN_IF_ERROR(CheckDeadline());
-    if (i > 0) {
-      for (std::size_t j = nr - 1; j > 0; --j) {
-        qt_row[j] = qt_row[j - 1] -
-                    reference_series[j - 1] * query_series[i - 1] +
-                    reference_series[j + m - 1] * query_series[i + m - 1];
-      }
-      qt_row[0] = first_col[i];
-    }
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_j = kNoNeighbor;
-    for (std::size_t j = 0; j < nr; ++j) {
-      const double d =
-          PairDistance(qt_row[j], query_stats.means[i], query_stats.stds[i],
-                       ref_stats.means[j], ref_stats.stds[j], m);
-      if (d < best) {
-        best = d;
-        best_j = j;
-      }
-    }
-    mp.distances[i] = best;
-    mp.indices[i] = best_j;
-  }
+  const Status status = RunStompRowBlocks(
+      nq,
+      [&](std::size_t i) {
+        return i == 0 ? first_row
+                      : SlidingDotProduct(reference_series,
+                                          Subsequence(query_series, i, m));
+      },
+      [&](std::size_t i, std::vector<double>& qt_row) {
+        for (std::size_t j = nr - 1; j > 0; --j) {
+          qt_row[j] = qt_row[j - 1] -
+                      reference_series[j - 1] * query_series[i - 1] +
+                      reference_series[j + m - 1] * query_series[i + m - 1];
+        }
+        qt_row[0] = first_col[i];
+      },
+      [&](std::size_t i, const std::vector<double>& qt_row) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_j = kNoNeighbor;
+        for (std::size_t j = 0; j < nr; ++j) {
+          const double d = PairDistance(qt_row[j], query_stats.means[i],
+                                        query_stats.stds[i], ref_stats.means[j],
+                                        ref_stats.stds[j], m);
+          if (d < best) {
+            best = d;
+            best_j = j;
+          }
+        }
+        mp.distances[i] = best;
+        mp.indices[i] = best_j;
+      });
+  if (!status.ok()) return status;
   return mp;
 }
 

@@ -8,6 +8,16 @@
 // convention: two flat subsequences are at distance 0; a flat vs. a
 // non-flat subsequence is maximally distant (2*sqrt(m) bound... we use
 // sqrt(2m), the maximum attainable z-normalized distance).
+//
+// The STOMP drivers run row-blocked over the common/parallel.h pool:
+// rows are processed in fixed-size blocks (each seeded by its own FFT
+// pass, then advanced by the O(1)-per-entry recurrence), so blocks are
+// independent and distribute across threads. Because the block size is
+// a constant — never derived from the thread count — and every row's
+// neighbor scan breaks ties serially (lowest index wins), profiles are
+// bit-identical at any --threads setting, including the serial
+// fallback. Cooperative DeadlineScope polling happens per worker; the
+// submitting thread's deadline is propagated to the pool.
 
 #ifndef TSAD_SUBSTRATES_MATRIX_PROFILE_H_
 #define TSAD_SUBSTRATES_MATRIX_PROFILE_H_

@@ -10,6 +10,7 @@
 
 #include "common/csv.h"          // IWYU pragma: export
 #include "common/fft.h"          // IWYU pragma: export
+#include "common/parallel.h"     // IWYU pragma: export
 #include "common/rng.h"          // IWYU pragma: export
 #include "common/series.h"       // IWYU pragma: export
 #include "common/stats.h"        // IWYU pragma: export

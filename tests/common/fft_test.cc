@@ -61,6 +61,52 @@ TEST(FftTest, PureToneHasSingleBin) {
   }
 }
 
+// Regression: the power-of-two precondition used to be a debug-only
+// assert, so a release build fed a non-power-of-two length ran the
+// radix-2 butterflies on garbage strides and returned nonsense. The
+// precondition is now enforced in all build modes by zero-padding in
+// place; the transform must agree with an explicitly padded call.
+TEST(FftTest, NonPowerOfTwoInputIsZeroPaddedNotGarbage) {
+  Rng rng(21);
+  std::vector<std::complex<double>> raw(100);
+  for (auto& c : raw) c = {rng.Gaussian(), rng.Gaussian()};
+
+  std::vector<std::complex<double>> padded = raw;
+  padded.resize(NextPowerOfTwo(raw.size()));  // 128, explicit zero-pad
+  Fft(padded, /*inverse=*/false);
+
+  std::vector<std::complex<double>> x = raw;
+  Fft(x, /*inverse=*/false);  // internal pad path
+  ASSERT_EQ(x.size(), 128u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), padded[i].real(), 1e-12) << "i=" << i;
+    EXPECT_NEAR(x[i].imag(), padded[i].imag(), 1e-12) << "i=" << i;
+  }
+}
+
+TEST(FftTest, NonPowerOfTwoRoundTripRecoversInput) {
+  Rng rng(22);
+  std::vector<std::complex<double>> x(37);
+  for (auto& c : x) c = {rng.Gaussian(), rng.Gaussian()};
+  const auto original = x;
+  Fft(x, /*inverse=*/false);   // grows to 64
+  Fft(x, /*inverse=*/true);
+  ASSERT_EQ(x.size(), 64u);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), original[i].imag(), 1e-9);
+  }
+  for (std::size_t i = original.size(); i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-9);  // pad region stays zero
+  }
+}
+
+TEST(FftTest, EmptyInputIsANoOp) {
+  std::vector<std::complex<double>> x;
+  Fft(x, /*inverse=*/false);
+  EXPECT_TRUE(x.empty());
+}
+
 TEST(SlidingDotProductTest, MatchesNaiveOnRandomData) {
   Rng rng(11);
   std::vector<double> t(500), q(37);

@@ -132,6 +132,39 @@ TEST(AnalyzeTrivialityTest, AggregatesPerDataset) {
   EXPECT_EQ(report.series.size(), 10u);
 }
 
+// Regression: when the labeled regions plus slop cover EVERY index,
+// nothing is forbidden, and the exact b sweep used to leave its
+// forbidden-maximum at -inf — any parameter setting then compared
+// greater and the series was reported "solved" with infinite headroom.
+// A one-liner that is allowed to flag everywhere carries no
+// information; such series must be reported unsolvable.
+TEST(FindOneLinerTest, SlopCoveringEveryIndexIsNotSolvable) {
+  Rng rng(6);
+  Series x = GaussianNoise(10, 1.0, rng);
+  x[5] += 30.0;  // an obvious spike: the OLD code definitely "solved" it
+  LabeledSeries s("tiny", std::move(x), {{3, 7}});
+  SolveCriteria criteria;
+  criteria.slop = 3;  // region [3,7) +/- 3 covers indices 0..9 = all
+  EXPECT_FALSE(FindOneLiner(s, OneLinerSearchSpace{}, criteria).solved);
+  for (OneLinerForm form : {OneLinerForm::kEq3, OneLinerForm::kEq4,
+                            OneLinerForm::kEq5, OneLinerForm::kEq6}) {
+    EXPECT_FALSE(
+        SolveWithForm(s, form, OneLinerSearchSpace{}, criteria).solved)
+        << OneLinerFormName(form);
+  }
+}
+
+// The same labels on a longer series DO leave forbidden indices, so the
+// spike solves normally — the degenerate-coverage rejection must not
+// leak into the ordinary case.
+TEST(FindOneLinerTest, PartialCoverageStillSolves) {
+  Rng rng(7);
+  Series x = GaussianNoise(200, 1.0, rng);
+  x[100] += 30.0;
+  LabeledSeries s("normal", std::move(x), {{98, 103}});
+  EXPECT_TRUE(FindOneLiner(s).solved);
+}
+
 // Property sweep: spikes of increasing size flip from (mostly)
 // unsolvable to (always) solvable. Tiny spikes can occasionally be
 // "solved" by a lucky parameter setting — the brute force is allowed

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build and run the full test suite — first in
 # the normal configuration, then (unless SKIP_SANITIZERS=1) again under
-# ASan+UBSan via the TSAD_SANITIZE cmake option. Run from anywhere:
+# ASan+UBSan, and finally the parallel-layer tests under TSan (the
+# thread mode of the TSAD_SANITIZE cmake option; TSan cannot coexist
+# with ASan, so it gets its own pass and build tree). Run from anywhere:
 #
-#   tools/check.sh                 # both passes
+#   tools/check.sh                 # all passes
 #   SKIP_SANITIZERS=1 tools/check.sh
 #
-# Each pass uses its own build directory so the sanitized build never
+# Each pass uses its own build directory so an instrumented build never
 # poisons the normal one.
 
 set -euo pipefail
@@ -30,6 +32,21 @@ run_pass "${repo_root}/build"
 if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   run_pass "${repo_root}/build-sanitize" \
     -DTSAD_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+  # TSan pass: only the parallel layer needs thread instrumentation, so
+  # build just its test binary (benches/examples/tools off) and run the
+  # Parallel* suites — determinism, error containment, deadline
+  # propagation — under the race detector.
+  tsan_dir="${repo_root}/build-tsan"
+  echo "==> configuring ${tsan_dir} (TSAD_SANITIZE=thread)"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DTSAD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTSAD_BUILD_BENCHMARKS=OFF -DTSAD_BUILD_EXAMPLES=OFF \
+    -DTSAD_BUILD_TOOLS=OFF
+  echo "==> building ${tsan_dir} (parallel_test)"
+  cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test
+  echo "==> testing ${tsan_dir} (Parallel*)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -R 'Parallel')
 fi
 
 echo "==> all checks passed"

@@ -20,6 +20,10 @@
 //       Reproduce Table 1 on the simulated Yahoo archive.
 //   tsad list-detectors
 //
+// Every command accepts --threads N to size the parallel execution
+// pool (default: TSAD_THREADS env var, then hardware concurrency;
+// 1 = serial). Reports are bit-identical at any thread count.
+//
 // CSV format: the library's own (see common/csv.h).
 
 #include <cstdio>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "tsad.h"
+#include "common/parallel.h"
 #include "detectors/registry.h"
 
 namespace {
@@ -42,6 +47,7 @@ struct Args {
   std::string detector = "discord:m=128";
   std::string detectors;  // robustness: comma-separated spec list
   std::string report;     // audit: optional markdown report path
+  std::size_t threads = 0;  // parallel pool size; 0 = env/hardware
 };
 
 // Strict: unknown --flags (and flags missing their value) are errors,
@@ -61,6 +67,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.detectors = argv[++i];
     } else if (arg == "--report" && has_value) {
       args.report = argv[++i];
+    } else if (arg == "--threads" && has_value) {
+      args.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument(
           has_value ? "unknown flag '" + arg + "'"
@@ -81,7 +89,10 @@ int Usage() {
       "  tsad detect <file.csv> [--detector SPEC]\n"
       "  tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]\n"
       "  tsad table1 [--seed N]\n"
-      "  tsad list-detectors\n");
+      "  tsad list-detectors\n"
+      "global flags:\n"
+      "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
+      "                then hardware concurrency; 1 = serial)\n");
   return 1;
 }
 
@@ -354,6 +365,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", args.status().ToString().c_str());
     return Usage();
   }
+  if (args->threads > 0) SetParallelThreads(args->threads);
   if (command == "generate") return CmdGenerate(*args);
   if (command == "audit") return CmdAudit(*args);
   if (command == "triviality") return CmdTriviality(*args);
