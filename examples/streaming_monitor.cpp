@@ -1,13 +1,21 @@
-// Scenario: a live monitoring loop. Points arrive one at a time; a
-// causal detector (streaming discord — the score at time t uses only
-// data up to t) raises alerts against a self-calibrated threshold, and
-// each alert is "triaged" the way the paper triages the taxi labels
-// (Fig 8): is it one of the events we know about, or something the
-// official ground truth never acknowledged?
+// Scenario: a live monitoring loop. Points arrive ONE AT A TIME through
+// the serving layer's OnlineDetector (the streaming-discord adapter —
+// the score at time t uses only data up to t); alerts fire against a
+// self-calibrated threshold, and each alert is "triaged" the way the
+// paper triages the taxi labels (Fig 8): is it one of the events we
+// know about, or something the official ground truth never
+// acknowledged?
+//
+// Halfway through, the monitor "crashes": we serialize the detector
+// with Snapshot(), rebuild a fresh instance from the same spec, and
+// Restore() it. The replay contract guarantees the scores after
+// failover are bit-identical to an uninterrupted run, so the alert log
+// is unaffected.
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "tsad.h"
 
@@ -22,13 +30,10 @@ int main() {
   std::printf("monitoring %zu buckets of taxi demand (%zu days)...\n\n",
               stream.size(), stream.size() / bucket);
 
-  // Causal scores. (Computed in one call here; StreamingDiscordDetector
-  // is prefix-consistent — tests assert score(prefix) == score(full)
-  // on the shared prefix — so this equals a point-at-a-time loop.)
-  StreamingDiscordDetector detector(2 * bucket);
-  Result<std::vector<double>> scores = detector.Score(taxi.series);
-  if (!scores.ok()) {
-    std::printf("%s\n", scores.status().ToString().c_str());
+  const std::string spec = "streaming:m=" + std::to_string(2 * bucket);
+  Result<std::unique_ptr<OnlineDetector>> detector = MakeOnlineDetector(spec, 0);
+  if (!detector.ok()) {
+    std::printf("%s\n", detector.status().ToString().c_str());
     return 1;
   }
 
@@ -38,38 +43,75 @@ int main() {
   std::size_t count = 0, last_alert = 0;
   bool alerted_before = false;
   std::size_t alerts = 0;
+  const std::size_t failover_at = stream.size() / 2;
+
+  std::vector<ScoredPoint> emitted;
   for (std::size_t t = 0; t < stream.size(); ++t) {
-    const double score = (*scores)[t];
-    if (count > 14 * bucket) {  // two-week probation
-      const double mean = static_cast<double>(sum / count);
-      const double var = static_cast<double>(sq / count) - mean * mean;
-      const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
-      const bool refractory = alerted_before && t - last_alert <= bucket;
-      if (score > mean + 4.0 * sd && !refractory) {
-        ++alerts;
-        last_alert = t;
-        alerted_before = true;
-        const double day = static_cast<double>(t) / static_cast<double>(bucket);
-        // Triage against the known event calendar.
-        std::string triage = "UNKNOWN -- investigate";
-        bool official = false;
-        for (const TaxiEvent& e : taxi.events) {
-          if (t + bucket >= e.day * bucket &&
-              t < (e.day + e.duration_days + 1) * bucket) {
-            triage = e.name;
-            official = e.officially_labeled;
-            break;
-          }
-        }
-        std::printf("ALERT day %6.1f (t=%5zu)  score %6.2f  %s%s\n", day, t,
-                    score, triage.c_str(),
-                    official ? "  [in the official ground truth]"
-                             : "  [NOT in the official ground truth]");
+    if (t == failover_at) {
+      // Simulated process restart: persist, rebuild, resume. Scores
+      // from here on are bit-identical to the uninterrupted run.
+      Result<std::string> blob = (*detector)->Snapshot();
+      if (!blob.ok()) {
+        std::printf("%s\n", blob.status().ToString().c_str());
+        return 1;
       }
+      detector = MakeOnlineDetector(spec, 0);
+      if (!detector.ok() || !(*detector)->Restore(*blob).ok()) {
+        std::printf("failover restore failed\n");
+        return 1;
+      }
+      std::printf("-- failover at t=%zu: detector snapshotted (%zu bytes), "
+                  "restored into a fresh instance --\n",
+                  t, blob->size());
     }
-    sum += score;
-    sq += static_cast<long double>(score) * score;
-    ++count;
+
+    emitted.clear();
+    const Status status = (*detector)->Observe(stream[t], &emitted);
+    if (!status.ok()) {
+      std::printf("%s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    for (const ScoredPoint& point : emitted) {
+      const double score = point.score;
+      if (count > 14 * bucket) {  // two-week probation
+        const double mean = static_cast<double>(sum / count);
+        const double var = static_cast<double>(sq / count) - mean * mean;
+        const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
+        const bool refractory =
+            alerted_before && point.index - last_alert <= bucket;
+        if (score > mean + 4.0 * sd && !refractory) {
+          ++alerts;
+          last_alert = point.index;
+          alerted_before = true;
+          const double day = static_cast<double>(point.index) /
+                             static_cast<double>(bucket);
+          // Triage against the known event calendar.
+          std::string triage = "UNKNOWN -- investigate";
+          bool official = false;
+          for (const TaxiEvent& e : taxi.events) {
+            if (point.index + bucket >= e.day * bucket &&
+                point.index < (e.day + e.duration_days + 1) * bucket) {
+              triage = e.name;
+              official = e.officially_labeled;
+              break;
+            }
+          }
+          std::printf("ALERT day %6.1f (t=%5zu)  score %6.2f  %s%s\n", day,
+                      point.index, score, triage.c_str(),
+                      official ? "  [in the official ground truth]"
+                               : "  [NOT in the official ground truth]");
+        }
+      }
+      sum += score;
+      sq += static_cast<long double>(score) * score;
+      ++count;
+    }
+  }
+  emitted.clear();
+  if (Status status = (*detector)->Flush(&emitted); !status.ok()) {
+    std::printf("%s\n", status.ToString().c_str());
+    return 1;
   }
 
   std::printf("\n%zu alert(s) raised.\n", alerts);

@@ -1,0 +1,76 @@
+// Exact binary serialization for detector/engine snapshots.
+//
+// The serving layer's Snapshot()/Restore() contract is bit-exactness: a
+// restored detector must continue the stream with byte-identical scores.
+// Text formats round-trip doubles only with care and long doubles not at
+// all, so snapshots are a length-checked little-endian byte stream:
+//
+//  * u64      — 8 bytes, little-endian (explicit shifts, not memcpy, so
+//               the blob is identical on any host).
+//  * double   — IEEE-754 bit pattern as u64.
+//  * long double — stored as a double-double pair (hi = round(v),
+//               lo = v - hi). On x86-64's 80-bit extended format the
+//               residual fits a double exactly, so the round trip is
+//               lossless without serializing padding bytes.
+//  * string   — u64 length + raw bytes.
+//
+// ByteReader returns OutOfRange on truncation instead of reading past
+// the end, so a corrupted snapshot degrades to a clean Status.
+
+#ifndef TSAD_COMMON_WIRE_H_
+#define TSAD_COMMON_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tsad {
+
+/// Appends typed values to a byte buffer.
+class ByteWriter {
+ public:
+  void PutU64(std::uint64_t v);
+  void PutDouble(double v);
+  void PutLongDouble(long double v);
+  void PutString(std::string_view s);
+  void PutDoubles(const std::vector<double>& v);          // length + values
+  void PutLongDoubles(const std::vector<long double>& v); // length + values
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads typed values back; every getter bounds-checks and returns
+/// OutOfRange once the buffer is exhausted.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view buf) : buf_(buf) {}
+
+  Status GetU64(std::uint64_t* v);
+  Status GetDouble(double* v);
+  Status GetLongDouble(long double* v);
+  Status GetString(std::string* s);
+  Status GetDoubles(std::vector<double>* v);
+  Status GetLongDoubles(std::vector<long double>* v);
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  /// OK only when the whole buffer was consumed — catches snapshots
+  /// applied to the wrong detector type.
+  Status ExpectDone() const;
+
+ private:
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_COMMON_WIRE_H_

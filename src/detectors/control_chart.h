@@ -33,6 +33,8 @@ class EwmaChartDetector : public AnomalyDetector {
   Result<std::vector<double>> Score(const Series& series,
                                     std::size_t train_length) const override;
 
+  double lambda() const { return lambda_; }
+
  private:
   double lambda_;
   std::string name_;
@@ -51,6 +53,8 @@ class PageHinkleyDetector : public AnomalyDetector {
   using AnomalyDetector::Score;
   Result<std::vector<double>> Score(const Series& series,
                                     std::size_t train_length) const override;
+
+  double delta() const { return delta_; }
 
  private:
   double delta_;

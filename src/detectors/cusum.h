@@ -31,6 +31,9 @@ class CusumDetector : public AnomalyDetector {
   Result<std::vector<double>> Score(const Series& series,
                                     std::size_t train_length) const override;
 
+  double drift() const { return drift_; }
+  double reset_threshold() const { return reset_threshold_; }
+
  private:
   double drift_;
   double reset_threshold_;

@@ -26,6 +26,7 @@ class MovingZScoreDetector : public AnomalyDetector {
                                     std::size_t train_length) const override;
 
   std::size_t window() const { return window_; }
+  double min_std() const { return min_std_; }
 
  private:
   std::size_t window_;

@@ -3,12 +3,16 @@
 // Used by the CLI tool and handy for experiment configs.
 //
 // Spec grammar:  <name>[:key=value[,key=value]...]
-// Unknown names or keys are InvalidArgument; every parameter has the
-// detector's documented default.
+// Unknown keys are InvalidArgument; an unknown name is NotFound and the
+// message suggests the nearest registered name by edit distance when
+// the typo is plausible ("did you mean 'zscore'?"). Every parameter has
+// the detector's documented default.
 //
 //   discord        m (window, default 128)
 //   semisup        m (default 128)
-//   streaming      m (default 128), burnin (default 4m)
+//   streaming      m (default 128, must be >= 3),
+//                  burnin (default 0, which means "4*m" — see
+//                  StreamingDiscordDetector)
 //   merlin         min (default 48), max (default 96)
 //   telemanom      ar (default 32), alpha (default 0.05), ridge (1e-3)
 //   zscore         w (default 64)

@@ -1,9 +1,9 @@
 #include "detectors/streaming_discord.h"
 
-#include <algorithm>
 #include <cmath>
+#include <string>
 
-#include "substrates/matrix_profile.h"
+#include "substrates/streaming_profile.h"
 
 namespace tsad {
 
@@ -15,17 +15,30 @@ StreamingDiscordDetector::StreamingDiscordDetector(std::size_t m,
 
 Result<std::vector<double>> StreamingDiscordDetector::Score(
     const Series& series, std::size_t /*train_length*/) const {
-  TSAD_ASSIGN_OR_RETURN(const MatrixProfile left,
-                        ComputeLeftMatrixProfile(series, m_));
+  if (m_ < 3) {
+    return Status::InvalidArgument(
+        "streaming discord requires subsequence length m >= 3, got m=" +
+        std::to_string(m_) +
+        " (the m/2 exclusion zone degenerates for shorter windows)");
+  }
+  if (series.size() < m_ + 1) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m_));
+  }
 
-  // Causal alignment: the profile entry starting at j describes the
-  // window [j, j+m) and becomes known at its END, point j+m-1.
+  // Replay through the exact causal kernel — the same one the online
+  // adapter advances point by point — so streaming replay reproduces
+  // these scores byte for byte.
+  OnlineLeftProfile profile(m_);
   std::vector<double> scores(series.size(), 0.0);
-  for (std::size_t j = 0; j < left.size(); ++j) {
-    const std::size_t at = j + m_ - 1;
-    if (at < burn_in_) continue;
-    const double d = left.distances[j];
-    if (std::isfinite(d)) scores[at] = d;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const auto entry = profile.Push(series[t]);
+    if (!entry) continue;
+    // Causal alignment: the profile entry starting at j describes the
+    // window [j, j+m) and becomes known at its END, point j+m-1 == t.
+    if (t < burn_in_) continue;
+    if (std::isfinite(entry->distance)) scores[t] = entry->distance;
   }
   return scores;
 }

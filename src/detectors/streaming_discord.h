@@ -9,6 +9,11 @@
 // repetitions score low — so on warm-up data the track is noisy by
 // nature, and callers should treat the first few hundred points as
 // burn-in (the NAB probationary period).
+//
+// Score() replays the series through the OnlineLeftProfile kernel
+// (substrates/streaming_profile.h) rather than the FFT-seeded batch
+// join, so the batch path and the serving layer's point-at-a-time
+// OnlineStreamingDiscord adapter are bit-identical by construction.
 
 #ifndef TSAD_DETECTORS_STREAMING_DISCORD_H_
 #define TSAD_DETECTORS_STREAMING_DISCORD_H_
@@ -21,8 +26,14 @@ namespace tsad {
 
 class StreamingDiscordDetector : public AnomalyDetector {
  public:
-  /// `m` is the subsequence length; `burn_in` points at the start are
-  /// forced to score 0 (default: 4*m).
+  /// `m` is the subsequence length and must be >= 3 (enforced by
+  /// Score(): with the conventional exclusion zone m/2, shorter windows
+  /// admit adjacent-offset trivial matches and the profile degenerates
+  /// to near-zero everywhere). `burn_in` points at the start are forced
+  /// to score 0; passing 0 — the default — means "use the default
+  /// burn-in of 4*m points", NOT "no burn-in". To genuinely disable
+  /// burn-in, pass 1 (only point 0 is suppressed, and no subsequence
+  /// completes there anyway for m >= 2).
   explicit StreamingDiscordDetector(std::size_t m, std::size_t burn_in = 0);
 
   std::string_view name() const override { return name_; }
@@ -31,6 +42,8 @@ class StreamingDiscordDetector : public AnomalyDetector {
                                     std::size_t train_length) const override;
 
   std::size_t subsequence_length() const { return m_; }
+  /// The resolved burn-in (never 0: the constructor maps 0 to 4*m).
+  std::size_t burn_in() const { return burn_in_; }
 
  private:
   std::size_t m_;

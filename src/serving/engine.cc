@@ -1,0 +1,348 @@
+#include "serving/engine.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/wire.h"
+#include "robustness/deadline.h"
+#include "serving/online_adapters.h"
+
+namespace tsad {
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "tsad-serving-engine-v1";
+
+std::uint64_t Fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct ShardedEngine::StreamState {
+  std::string id;
+  std::string spec;
+  std::size_t train_length = 0;
+  std::size_t shard = 0;
+  std::unique_ptr<OnlineDetector> detector;
+
+  // Touched only while the owning shard's pump lock is held (one
+  // drainer at a time), or from FinishStream/Snapshot after the final
+  // Pump joined.
+  std::vector<ScoredPoint> out;
+
+  // Guarded by the owning shard's queue_mu.
+  std::size_t accepted = 0;
+
+  // Sticky failure; guarded by mu (read by producers, written by the
+  // drain thread).
+  mutable std::mutex mu;
+  Status status = Status::OK();
+
+  Status GetStatus() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return status;
+  }
+  void SetStatus(Status s) {
+    std::lock_guard<std::mutex> lock(mu);
+    status = std::move(s);
+  }
+};
+
+struct ShardedEngine::Shard {
+  std::mutex queue_mu;
+  std::deque<std::pair<std::shared_ptr<StreamState>, double>> queue;
+  // Serializes drains of this shard (Pump workers and kBlock producers
+  // may race to drain).
+  std::mutex pump_mu;
+};
+
+ShardedEngine::ShardedEngine(ServingConfig config) : config_(config) {
+  std::size_t shards = config_.num_shards;
+  if (shards == 0) shards = ParallelThreads();
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+std::size_t ShardedEngine::ShardOf(const std::string& id) const {
+  return static_cast<std::size_t>(Fnv1a(id) % shards_.size());
+}
+
+Result<std::shared_ptr<ShardedEngine::StreamState>> ShardedEngine::FindStream(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("no such stream '" + id + "'");
+  }
+  return it->second;
+}
+
+Status ShardedEngine::AddStream(const std::string& id,
+                                const std::string& detector_spec,
+                                std::size_t train_length) {
+  if (id.empty()) return Status::InvalidArgument("empty stream id");
+  TSAD_ASSIGN_OR_RETURN(std::unique_ptr<OnlineDetector> detector,
+                        MakeOnlineDetector(detector_spec, train_length));
+  auto state = std::make_shared<StreamState>();
+  state->id = id;
+  state->spec = detector_spec;
+  state->train_length = train_length;
+  state->shard = ShardOf(id);
+  state->detector = std::move(detector);
+
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!streams_.emplace(id, std::move(state)).second) {
+    return Status::InvalidArgument("stream '" + id + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::Push(const std::string& id, double value) {
+  TSAD_ASSIGN_OR_RETURN(std::shared_ptr<StreamState> state, FindStream(id));
+  TSAD_RETURN_IF_ERROR(state->GetStatus());
+  Shard& shard = *shards_[state->shard];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mu);
+      if (shard.queue.size() < config_.queue_capacity) {
+        shard.queue.emplace_back(state, value);
+        ++state->accepted;
+        points_in_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+    }
+    if (config_.overflow == OverflowPolicy::kShed) {
+      points_shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "shard " + std::to_string(state->shard) + " queue full (" +
+          std::to_string(config_.queue_capacity) +
+          " items); point shed for stream '" + id + "'");
+    }
+    // kBlock: make room by draining on the producer's own thread.
+    DrainShard(state->shard);
+  }
+}
+
+void ShardedEngine::DrainShard(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> pump_lock(shard.pump_mu);
+
+  std::deque<std::pair<std::shared_ptr<StreamState>, double>> items;
+  {
+    std::lock_guard<std::mutex> lock(shard.queue_mu);
+    items.swap(shard.queue);
+  }
+  if (items.empty()) return;
+
+  // Regroup FIFO items per stream (first-appearance order). Streams are
+  // independent, so only the per-stream order matters for scores.
+  std::vector<std::pair<StreamState*, std::vector<double>>> groups;
+  std::map<StreamState*, std::size_t> group_of;
+  for (auto& [state, value] : items) {
+    auto [it, inserted] = group_of.emplace(state.get(), groups.size());
+    if (inserted) groups.emplace_back(state.get(), std::vector<double>());
+    groups[it->second].second.push_back(value);
+  }
+
+  for (auto& [state, values] : groups) {
+    if (!state->GetStatus().ok()) {
+      points_dropped_.fetch_add(values.size(), std::memory_order_relaxed);
+      continue;
+    }
+    std::optional<DeadlineScope> deadline;
+    if (config_.stream_deadline.count() > 0) {
+      deadline.emplace(config_.stream_deadline);
+    }
+    const std::size_t before = state->out.size();
+    Status status = Status::OK();
+    std::size_t consumed = 0;
+    for (double value : values) {
+      status = CheckDeadline();
+      if (status.ok()) status = state->detector->Observe(value, &state->out);
+      if (!status.ok()) break;
+      ++consumed;
+    }
+    points_scored_.fetch_add(state->out.size() - before,
+                             std::memory_order_relaxed);
+    if (!status.ok()) {
+      points_dropped_.fetch_add(values.size() - consumed,
+                                std::memory_order_relaxed);
+      state->SetStatus(Status(
+          status.code(), "stream '" + state->id + "': " + status.message()));
+    }
+  }
+}
+
+Status ShardedEngine::Pump() {
+  const auto start = std::chrono::steady_clock::now();
+  Status status = ParallelFor(0, shards_.size(), [&](std::size_t i) -> Status {
+    DrainShard(i);
+    return Status::OK();
+  });
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++pumps_;
+    pump_seconds_.push_back(seconds);
+  }
+  return status;
+}
+
+Result<std::vector<double>> ShardedEngine::FinishStream(const std::string& id) {
+  TSAD_RETURN_IF_ERROR(Pump());
+  std::shared_ptr<StreamState> state;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+      return Status::NotFound("no such stream '" + id + "'");
+    }
+    state = std::move(it->second);
+    streams_.erase(it);
+  }
+  TSAD_RETURN_IF_ERROR(state->GetStatus());
+  TSAD_RETURN_IF_ERROR(state->detector->Flush(&state->out));
+  std::size_t accepted;
+  {
+    std::lock_guard<std::mutex> lock(shards_[state->shard]->queue_mu);
+    accepted = state->accepted;
+  }
+  return AssembleScores(state->out, accepted, id);
+}
+
+Status ShardedEngine::StreamStatus(const std::string& id) const {
+  TSAD_ASSIGN_OR_RETURN(std::shared_ptr<StreamState> state, FindStream(id));
+  return state->GetStatus();
+}
+
+Result<std::string> ShardedEngine::Snapshot() {
+  TSAD_RETURN_IF_ERROR(Pump());
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ByteWriter writer;
+  writer.PutString(kSnapshotMagic);
+  writer.PutU64(streams_.size());
+  for (const auto& [id, state] : streams_) {  // std::map: sorted, stable
+    writer.PutString(id);
+    writer.PutString(state->spec);
+    writer.PutU64(state->train_length);
+    {
+      std::lock_guard<std::mutex> queue_lock(shards_[state->shard]->queue_mu);
+      writer.PutU64(state->accepted);
+    }
+    const Status status = state->GetStatus();
+    writer.PutU64(static_cast<std::uint64_t>(status.code()));
+    writer.PutString(status.message());
+    writer.PutU64(state->out.size());
+    for (const ScoredPoint& p : state->out) {
+      writer.PutU64(p.index);
+      writer.PutDouble(p.score);
+    }
+    if (status.ok()) {
+      TSAD_ASSIGN_OR_RETURN(std::string blob, state->detector->Snapshot());
+      writer.PutU64(1);
+      writer.PutString(blob);
+    } else {
+      writer.PutU64(0);  // failed streams carry no detector state
+    }
+  }
+  return writer.Take();
+}
+
+Status ShardedEngine::Restore(std::string_view blob) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (!streams_.empty()) {
+      return Status::FailedPrecondition(
+          "Restore requires an engine with no streams (have " +
+          std::to_string(streams_.size()) + ")");
+    }
+  }
+  ByteReader reader(blob);
+  std::string magic;
+  TSAD_RETURN_IF_ERROR(reader.GetString(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a serving-engine snapshot");
+  }
+  std::uint64_t count;
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&count));
+  std::map<std::string, std::shared_ptr<StreamState>> restored;
+  for (std::uint64_t s = 0; s < count; ++s) {
+    auto state = std::make_shared<StreamState>();
+    TSAD_RETURN_IF_ERROR(reader.GetString(&state->id));
+    TSAD_RETURN_IF_ERROR(reader.GetString(&state->spec));
+    std::uint64_t train_length, accepted, code, out_count, has_detector;
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&train_length));
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&accepted));
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&code));
+    std::string message;
+    TSAD_RETURN_IF_ERROR(reader.GetString(&message));
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&out_count));
+    state->train_length = static_cast<std::size_t>(train_length);
+    state->accepted = static_cast<std::size_t>(accepted);
+    state->status = Status(static_cast<StatusCode>(code), std::move(message));
+    state->out.reserve(static_cast<std::size_t>(out_count));
+    for (std::uint64_t i = 0; i < out_count; ++i) {
+      ScoredPoint p;
+      std::uint64_t index;
+      TSAD_RETURN_IF_ERROR(reader.GetU64(&index));
+      TSAD_RETURN_IF_ERROR(reader.GetDouble(&p.score));
+      p.index = static_cast<std::size_t>(index);
+      state->out.push_back(p);
+    }
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&has_detector));
+    if (has_detector != 0) {
+      std::string detector_blob;
+      TSAD_RETURN_IF_ERROR(reader.GetString(&detector_blob));
+      TSAD_ASSIGN_OR_RETURN(
+          state->detector,
+          MakeOnlineDetector(state->spec, state->train_length));
+      TSAD_RETURN_IF_ERROR(state->detector->Restore(detector_blob));
+    }
+    state->shard = ShardOf(state->id);  // re-placed under the new config
+    if (!restored.emplace(state->id, std::move(state)).second) {
+      return Status::InvalidArgument("snapshot contains duplicate stream id");
+    }
+  }
+  TSAD_RETURN_IF_ERROR(reader.ExpectDone());
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!streams_.empty()) {
+    return Status::FailedPrecondition("streams added during Restore");
+  }
+  streams_ = std::move(restored);
+  return Status::OK();
+}
+
+ServingStats ShardedEngine::stats() const {
+  ServingStats out;
+  out.points_in = points_in_.load(std::memory_order_relaxed);
+  out.points_scored = points_scored_.load(std::memory_order_relaxed);
+  out.points_shed = points_shed_.load(std::memory_order_relaxed);
+  out.points_dropped = points_dropped_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.pumps = pumps_;
+  out.pump_seconds = pump_seconds_;
+  return out;
+}
+
+std::size_t ShardedEngine::num_streams() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return streams_.size();
+}
+
+}  // namespace tsad

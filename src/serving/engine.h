@@ -1,0 +1,141 @@
+// Multi-stream serving engine: hash-sharded online scoring on top of
+// the common/parallel.h pool.
+//
+// Topology. Every stream id is FNV-1a-hashed onto one of N shards; a
+// shard owns a bounded FIFO queue of (stream, value) items and a drain
+// lock. Producers enqueue under the queue lock only (cheap); Pump()
+// runs one drain per shard across the thread pool. Because a stream
+// lives on exactly one shard and a shard is drained by at most one
+// thread at a time, detector state needs no locking of its own, and
+// per-stream score order is FIFO regardless of thread count — which is
+// what makes engine replay bit-identical at --threads 1 and 8.
+//
+// Backpressure. A full queue either sheds the point (kShed: Push
+// returns kResourceExhausted, the stream stays healthy, the point is
+// counted in stats().points_shed) or drains the shard inline on the
+// producer (kBlock: Push never fails, producers pay the latency).
+//
+// Failure containment. A stream whose detector errors — including a
+// per-stream deadline expiring mid-drain (kDeadlineExceeded) — gets a
+// STICKY error status: its remaining queued items are dropped, later
+// Push()es are rejected with the same status, and FinishStream()
+// surfaces it. Other streams, including those on the same shard, are
+// untouched.
+
+#ifndef TSAD_SERVING_ENGINE_H_
+#define TSAD_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/online_detector.h"
+
+namespace tsad {
+
+/// What Push() does when the target shard's queue is full.
+enum class OverflowPolicy {
+  kShed,   // reject the point with kResourceExhausted
+  kBlock,  // drain the shard on the calling thread, then enqueue
+};
+
+struct ServingConfig {
+  /// Number of shards; 0 means "use ParallelThreads()".
+  std::size_t num_shards = 0;
+  /// Per-shard queue capacity (items).
+  std::size_t queue_capacity = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kShed;
+  /// Per-stream time budget for one drain pass; 0 disables. Installed
+  /// as a DeadlineScope around each stream's batch of queued points, so
+  /// detectors that poll CheckDeadline() are also covered.
+  std::chrono::nanoseconds stream_deadline{0};
+};
+
+/// Engine-wide counters; obtained via stats() (a consistent copy).
+struct ServingStats {
+  std::uint64_t points_in = 0;      // accepted into a queue
+  std::uint64_t points_scored = 0;  // ScoredPoints emitted by detectors
+  std::uint64_t points_shed = 0;    // rejected by kShed backpressure
+  std::uint64_t points_dropped = 0; // discarded after a sticky error
+  std::uint64_t pumps = 0;
+  std::vector<double> pump_seconds; // wall time of each Pump()
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ServingConfig config = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Registers a stream. The detector is built immediately (errors —
+  /// unknown spec, no online adapter, missing training prefix — surface
+  /// here, not at Push time). AlreadyExists is reported as
+  /// InvalidArgument.
+  Status AddStream(const std::string& id, const std::string& detector_spec,
+                   std::size_t train_length = 0);
+
+  /// Enqueues one point. Thread-safe; concurrent producers are fine.
+  Status Push(const std::string& id, double value);
+
+  /// Drains every shard queue once, in parallel across the pool.
+  /// Stream-level failures do not fail the pump; they stick to their
+  /// stream.
+  Status Pump();
+
+  /// Pumps, flushes the stream's detector, removes the stream and
+  /// returns its dense score vector (one score per accepted point) —
+  /// byte-identical to the batch detector run over the same values.
+  /// Returns the sticky error if the stream failed earlier.
+  Result<std::vector<double>> FinishStream(const std::string& id);
+
+  /// The stream's sticky status (OK while healthy).
+  Status StreamStatus(const std::string& id) const;
+
+  /// Serializes every stream (after a Pump) for engine-wide failover.
+  Result<std::string> Snapshot();
+
+  /// Rebuilds streams from a Snapshot() blob. The engine must have no
+  /// streams; the restored engine continues every stream with
+  /// bit-identical scores (shard count may differ — placement is
+  /// recomputed from the id hash).
+  Status Restore(std::string_view blob);
+
+  ServingStats stats() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_streams() const;
+
+ private:
+  struct StreamState;
+  struct Shard;
+
+  std::size_t ShardOf(const std::string& id) const;
+  void DrainShard(std::size_t shard_index);
+  Result<std::shared_ptr<StreamState>> FindStream(const std::string& id) const;
+
+  ServingConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<StreamState>> streams_;
+
+  std::atomic<std::uint64_t> points_in_{0};
+  std::atomic<std::uint64_t> points_scored_{0};
+  std::atomic<std::uint64_t> points_shed_{0};
+  std::atomic<std::uint64_t> points_dropped_{0};
+  mutable std::mutex stats_mu_;
+  std::uint64_t pumps_ = 0;
+  std::vector<double> pump_seconds_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_SERVING_ENGINE_H_

@@ -1,0 +1,216 @@
+// Online adapters: one OnlineDetector per batch detector whose math is
+// causal enough to stream. Each adapter replicates its batch Score()
+// loop operation for operation — same accumulator widths (long double
+// rolling sums), same cast points, same clamps, in the same order — so
+// replay is bit-identical, not merely close. See each class comment for
+// the specific trick.
+//
+// Build adapters through MakeOnlineDetector(), which parses the same
+// spec grammar as the batch registry and rejects configurations whose
+// batch path is NOT causal (e.g. the reference-statistics detectors
+// without a training prefix fall back to whole-series median/MAD).
+
+#ifndef TSAD_SERVING_ONLINE_ADAPTERS_H_
+#define TSAD_SERVING_ONLINE_ADAPTERS_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/wire.h"
+#include "detectors/oneliner.h"
+#include "serving/online_detector.h"
+#include "substrates/streaming_profile.h"
+
+namespace tsad {
+
+/// Builds the online counterpart of `spec` (batch registry grammar,
+/// e.g. "zscore:w=64" or "streaming:m=96"). `train_length` is the
+/// anomaly-free prefix length the stream's batch equivalent would be
+/// scored with.
+///
+///  * NotFound / InvalidArgument: bad spec (same errors as the batch
+///    registry, including the "did you mean" hint).
+///  * FailedPrecondition: cusum/ewma/pagehinkley with train_length < 8
+///    — their batch fallback (whole-series median/MAD) is not causal.
+///  * Unimplemented: a valid batch detector with no online adapter.
+Result<std::unique_ptr<OnlineDetector>> MakeOnlineDetector(
+    const std::string& spec, std::size_t train_length);
+
+/// Spec names MakeOnlineDetector accepts.
+std::vector<std::string> OnlineCapableDetectorNames();
+
+/// Trailing moving z-score over a ring buffer of the last `window`
+/// points; the rolling long-double sum/square-sum updates mirror the
+/// batch slide (`sum += x_new - x_old` with the subtraction in double)
+/// exactly. Emits one score per point, 0 for the first `window`.
+class OnlineMovingZScore : public OnlineDetector {
+ public:
+  OnlineMovingZScore(std::string name, std::size_t window, double min_std);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+
+ private:
+  std::size_t window_;
+  double min_std_;
+  std::string name_;
+  std::vector<double> ring_;
+  long double sum_ = 0.0L;
+  long double sq_ = 0.0L;
+};
+
+/// Base for the reference-statistics family (CUSUM / EWMA chart /
+/// Page-Hinkley): buffers the training prefix, then computes mu/sigma
+/// exactly as the batch path does and drains the buffer through the
+/// recursion, emitting the whole prefix at once. If the stream ends
+/// before the prefix completes, Flush() reproduces the batch fallback
+/// (median / scaled MAD over what was seen) — the batch path does the
+/// same when train_length > n, so equivalence holds there too.
+class ReferenceStatsOnline : public OnlineDetector {
+ public:
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+
+ protected:
+  ReferenceStatsOnline(std::string name, std::size_t train_length);
+
+  /// Advances the recursion by one point and returns its score.
+  virtual double Step(double value) = 0;
+  /// Recursion-state codec (reference stats and buffer are handled by
+  /// the base).
+  virtual void PutState(ByteWriter* writer) const = 0;
+  virtual Status GetState(ByteReader* reader) = 0;
+
+  double mu_ = 0.0;
+  double sigma_ = 1e-9;
+
+ private:
+  void Drain(bool causal, std::vector<ScoredPoint>* out);
+
+  std::string name_;
+  std::size_t train_length_;
+  bool trained_ = false;
+  std::vector<double> buffer_;  // the not-yet-scored prefix
+};
+
+/// Two-sided CUSUM (batch recursion: S+/S- with drift and optional
+/// reset), reference stats from the training prefix.
+class OnlineCusum : public ReferenceStatsOnline {
+ public:
+  OnlineCusum(std::string name, double drift, double reset_threshold,
+              std::size_t train_length);
+
+ protected:
+  double Step(double value) override;
+  void PutState(ByteWriter* writer) const override;
+  Status GetState(ByteReader* reader) override;
+
+ private:
+  double drift_;
+  double reset_threshold_;
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+};
+
+/// EWMA control chart with the exact time-dependent standard error
+/// (the (1-lambda)^(2i) decay is carried as a running product, exactly
+/// like the batch loop).
+class OnlineEwmaChart : public ReferenceStatsOnline {
+ public:
+  OnlineEwmaChart(std::string name, double lambda, std::size_t train_length);
+
+ protected:
+  double Step(double value) override;
+  void PutState(ByteWriter* writer) const override;
+  Status GetState(ByteReader* reader) override;
+
+ private:
+  double lambda_;
+  double ewma_ = 0.0;
+  double decay_ = 1.0;
+  bool started_ = false;  // ewma_/decay_ seeded from mu_ on first Step
+};
+
+/// Page-Hinkley drift statistic (running cum/min/max).
+class OnlinePageHinkley : public ReferenceStatsOnline {
+ public:
+  OnlinePageHinkley(std::string name, double delta, std::size_t train_length);
+
+ protected:
+  double Step(double value) override;
+  void PutState(ByteWriter* writer) const override;
+  Status GetState(ByteReader* reader) override;
+
+ private:
+  double delta_;
+  double cum_ = 0.0;
+  double cum_min_ = 0.0;
+  double cum_max_ = 0.0;
+};
+
+/// One-liner margin scores. Margins live in the diff domain with
+/// MATLAB-centered moving windows, so the margin at diff index j is
+/// final once `(k-1)/2` future points have arrived (emitted with lag),
+/// and index 0 of the original series — padded with the GLOBAL minimum
+/// margin by the batch path — is emitted at Flush(). The long-double
+/// prefix sums over the diff series grow in append order, matching
+/// MovMean/MovStd bit for bit.
+class OnlineOneLiner : public OnlineDetector {
+ public:
+  OnlineOneLiner(std::string name, const OneLinerParams& params);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+
+ private:
+  double MarginAt(std::size_t j, std::size_t nd) const;
+  void EmitReady(std::vector<ScoredPoint>* out);
+
+  std::string name_;
+  OneLinerParams params_;
+  std::size_t after_;      // future points a centered window needs
+  bool need_window_;       // movmean/movstd actually used?
+  double prev_ = 0.0;      // last raw value (diff source)
+  std::vector<double> d_;  // diff series (after abs, when enabled)
+  std::vector<long double> sums_;  // prefix sums over d_, size |d_|+1
+  std::vector<long double> sq_;
+  std::size_t emitted_ = 0;  // margins emitted so far (diff indices)
+  double run_min_ = 0.0;     // running global minimum margin
+};
+
+/// Streaming discord: wraps the OnlineLeftProfile kernel (which the
+/// batch StreamingDiscordDetector::Score also replays through — the
+/// equivalence is by construction, see substrates/streaming_profile.h).
+/// Emits one score per point; burn-in and non-finite entries score 0.
+class OnlineStreamingDiscord : public OnlineDetector {
+ public:
+  OnlineStreamingDiscord(std::string name, std::size_t m,
+                         std::size_t burn_in);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+
+ private:
+  std::string name_;
+  std::size_t m_;
+  std::size_t burn_in_;
+  OnlineLeftProfile profile_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_SERVING_ONLINE_ADAPTERS_H_

@@ -1,0 +1,45 @@
+#include "serving/online_detector.h"
+
+namespace tsad {
+
+Result<std::vector<double>> AssembleScores(
+    const std::vector<ScoredPoint>& points, std::size_t n,
+    std::string_view stream) {
+  std::vector<double> scores(n, 0.0);
+  std::vector<bool> seen(n, false);
+  for (const ScoredPoint& p : points) {
+    if (p.index >= n) {
+      return Status::Internal("stream '" + std::string(stream) +
+                              "': emitted index " + std::to_string(p.index) +
+                              " out of range [0, " + std::to_string(n) + ")");
+    }
+    if (seen[p.index]) {
+      return Status::Internal("stream '" + std::string(stream) +
+                              "': index " + std::to_string(p.index) +
+                              " emitted twice");
+    }
+    seen[p.index] = true;
+    scores[p.index] = p.score;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!seen[i]) {
+      return Status::Internal("stream '" + std::string(stream) +
+                              "': index " + std::to_string(i) +
+                              " never emitted");
+    }
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ReplayScore(OnlineDetector& detector,
+                                        const Series& series) {
+  std::vector<ScoredPoint> points;
+  points.reserve(series.size());
+  for (double value : series) {
+    TSAD_RETURN_IF_ERROR(detector.Observe(value, &points));
+  }
+  TSAD_RETURN_IF_ERROR(detector.Flush(&points));
+  return AssembleScores(points, series.size(), detector.name());
+}
+
+}  // namespace tsad

@@ -1,0 +1,54 @@
+// Replay harness: fans one recorded series out to N engine streams,
+// pushes it through the ShardedEngine in micro-batches, and verifies
+// the engine's output against the batch detector byte for byte. This is
+// both the correctness gate (`tsad serve --replay`) and the serving
+// benchmark driver (bench/perf_serving.cc).
+
+#ifndef TSAD_SERVING_REPLAY_H_
+#define TSAD_SERVING_REPLAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/series.h"
+#include "common/status.h"
+#include "serving/engine.h"
+
+namespace tsad {
+
+struct ReplayOptions {
+  /// Identical streams to fan the series out to (ids "stream-0000"...).
+  std::size_t num_streams = 4;
+  std::string detector_spec = "zscore:w=64";
+  std::size_t train_length = 0;
+  /// Points pushed per stream between Pump() calls.
+  std::size_t batch = 256;
+  /// Bitwise-compare every stream's scores against the batch detector.
+  bool verify_against_batch = true;
+  /// Engine tuning. The queue capacity is raised automatically to hold
+  /// one micro-batch from every stream, so a default-constructed config
+  /// never sheds during replay.
+  ServingConfig engine;
+};
+
+struct ReplayReport {
+  std::size_t streams = 0;
+  std::size_t points = 0;        // total points pushed (all streams)
+  double seconds = 0.0;          // push + pump + finish wall time
+  double points_per_sec = 0.0;
+  double p99_pump_seconds = 0.0;
+  bool verified = false;         // true when every stream matched batch
+  std::uint64_t shed = 0;
+};
+
+/// Replays `series` through a fresh engine. Returns an error on engine
+/// failures; a verification MISMATCH is reported via `verified = false`
+/// (callers decide how loud to be). When `verify_against_batch` is
+/// false, `verified` stays false and only throughput is measured.
+Result<ReplayReport> ReplayThroughEngine(const Series& series,
+                                         const ReplayOptions& options);
+
+}  // namespace tsad
+
+#endif  // TSAD_SERVING_REPLAY_H_

@@ -39,19 +39,11 @@ inline bool IsFlat(double mean, double std) {
   return std < kFlatSigmaRel * (1.0 + std::fabs(mean));
 }
 
-// Pairwise z-normalized distance from the dot product qt of two
-// length-m subsequences with the given means/stds, using the SCAMP
-// convention for flat subsequences.
+// Shorthand for the exported ZNormPairDistance, keeping the call sites
+// below readable.
 inline double PairDistance(double qt, double mean_a, double std_a,
                            double mean_b, double std_b, std::size_t m) {
-  const double dm = static_cast<double>(m);
-  const bool flat_a = IsFlat(mean_a, std_a);
-  const bool flat_b = IsFlat(mean_b, std_b);
-  if (flat_a && flat_b) return 0.0;
-  if (flat_a || flat_b) return std::sqrt(2.0 * dm);
-  double corr = (qt - dm * mean_a * mean_b) / (dm * std_a * std_b);
-  corr = std::clamp(corr, -1.0, 1.0);
-  return std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - corr)));
+  return ZNormPairDistance(qt, mean_a, std_a, mean_b, std_b, m);
 }
 
 // Drives a STOMP-style row recurrence over [0, rows) in fixed-size row
@@ -90,6 +82,18 @@ Status RunStompRowBlocks(
 }
 
 }  // namespace
+
+double ZNormPairDistance(double qt, double mean_a, double std_a, double mean_b,
+                         double std_b, std::size_t m) {
+  const double dm = static_cast<double>(m);
+  const bool flat_a = IsFlat(mean_a, std_a);
+  const bool flat_b = IsFlat(mean_b, std_b);
+  if (flat_a && flat_b) return 0.0;
+  if (flat_a || flat_b) return std::sqrt(2.0 * dm);
+  double corr = (qt - dm * mean_a * mean_b) / (dm * std_a * std_b);
+  corr = std::clamp(corr, -1.0, 1.0);
+  return std::sqrt(std::max(0.0, 2.0 * dm * (1.0 - corr)));
+}
 
 std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                                         const std::vector<double>& query,

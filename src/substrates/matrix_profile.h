@@ -46,6 +46,16 @@ struct MatrixProfile {
 inline constexpr std::size_t kNoNeighbor =
     std::numeric_limits<std::size_t>::max();
 
+/// Pairwise z-normalized distance between two length-m subsequences
+/// from their dot product `qt` and rolling means/stds (SCAMP flat-
+/// subsequence convention: flat-vs-flat is 0, flat-vs-dynamic is the
+/// maximum attainable distance sqrt(2m)). This is the exact per-pair
+/// formula every profile in this module uses; it is exported so the
+/// streaming (online) left-profile kernel produces bit-identical
+/// distances to the batch drivers.
+double ZNormPairDistance(double qt, double mean_a, double std_a, double mean_b,
+                         double std_b, std::size_t m);
+
 /// MASS: z-normalized distance profile of `query` against every
 /// subsequence of `series` in O(n log n). `stats` must be
 /// ComputeWindowStats(series, query.size()).

@@ -1,0 +1,111 @@
+#include "substrates/streaming_profile.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tsad {
+
+OnlineLeftProfile::OnlineLeftProfile(std::size_t m, std::size_t exclusion)
+    : m_(m),
+      exclusion_(exclusion == std::numeric_limits<std::size_t>::max() ? m / 2
+                                                                      : exclusion) {
+  assert(m_ >= 2 && "OnlineLeftProfile requires m >= 2");
+  sums_.push_back(0.0L);
+  sq_.push_back(0.0L);
+}
+
+std::optional<OnlineLeftProfile::Entry> OnlineLeftProfile::Push(double value) {
+  x_.push_back(value);
+  // Prefix sums accumulate in arrival order with long double carries —
+  // the same operation order ComputeWindowStats uses, so the rolling
+  // mean/std of every window matches the batch stats bit for bit.
+  sums_.push_back(sums_.back() + static_cast<long double>(value));
+  sq_.push_back(sq_.back() +
+                static_cast<long double>(value) * static_cast<long double>(value));
+  const std::size_t n = x_.size();
+  if (n < m_) return std::nullopt;
+
+  const std::size_t i = n - m_;  // index of the subsequence completing now
+  const long double dm = static_cast<long double>(m_);
+  const long double s = sums_[i + m_] - sums_[i];
+  const long double ss = sq_[i + m_] - sq_[i];
+  const long double mean = s / dm;
+  long double var = ss / dm - mean * mean;
+  if (var < 0.0L) var = 0.0L;
+  means_.push_back(static_cast<double>(mean));
+  stds_.push_back(std::sqrt(static_cast<double>(var)));
+
+  // STAMPI dot-product update: qt_[j] holds dot(x[j..j+m), x[i..i+m)).
+  // Advance the previous row (which held dot(., x[i-1..i-1+m))) right to
+  // left so each slot reads its left neighbor's not-yet-updated value,
+  // then recompute qt_[0] directly — the recurrence has no left
+  // neighbor there.
+  if (i == 0) {
+    long double acc = 0.0L;
+    for (std::size_t k = 0; k < m_; ++k) {
+      acc += static_cast<long double>(x_[k]) * static_cast<long double>(x_[k]);
+    }
+    qt_.push_back(static_cast<double>(acc));
+  } else {
+    qt_.push_back(0.0);  // new slot for j == i
+    for (std::size_t j = i; j >= 1; --j) {
+      qt_[j] = qt_[j - 1] - x_[j - 1] * x_[i - 1] + x_[j + m_ - 1] * x_[i + m_ - 1];
+    }
+    long double acc = 0.0L;
+    for (std::size_t k = 0; k < m_; ++k) {
+      acc += static_cast<long double>(x_[k]) * static_cast<long double>(x_[i + k]);
+    }
+    qt_[0] = static_cast<double>(acc);
+  }
+
+  Entry entry;
+  entry.subsequence = i;
+  // Nearest strictly-past neighbor outside the exclusion zone; ties
+  // break to the lowest index (strict <), matching the batch scan.
+  if (i >= exclusion_ + 1) {
+    for (std::size_t j = 0; j + exclusion_ + 1 <= i; ++j) {
+      const double d = ZNormPairDistance(qt_[j], means_[j], stds_[j], means_[i],
+                                         stds_[i], m_);
+      if (d < entry.distance) {
+        entry.distance = d;
+        entry.neighbor = j;
+      }
+    }
+  }
+  return entry;
+}
+
+void OnlineLeftProfile::Serialize(ByteWriter* writer) const {
+  writer->PutU64(m_);
+  writer->PutU64(exclusion_);
+  writer->PutDoubles(x_);
+  writer->PutLongDoubles(sums_);
+  writer->PutLongDoubles(sq_);
+  writer->PutDoubles(means_);
+  writer->PutDoubles(stds_);
+  writer->PutDoubles(qt_);
+}
+
+Status OnlineLeftProfile::Deserialize(ByteReader* reader) {
+  std::uint64_t m, exclusion;
+  TSAD_RETURN_IF_ERROR(reader->GetU64(&m));
+  TSAD_RETURN_IF_ERROR(reader->GetU64(&exclusion));
+  if (m != m_ || exclusion != exclusion_) {
+    return Status::InvalidArgument(
+        "left-profile snapshot mismatch: blob has m=" + std::to_string(m) +
+        " exclusion=" + std::to_string(exclusion) + ", kernel has m=" +
+        std::to_string(m_) + " exclusion=" + std::to_string(exclusion_));
+  }
+  TSAD_RETURN_IF_ERROR(reader->GetDoubles(&x_));
+  TSAD_RETURN_IF_ERROR(reader->GetLongDoubles(&sums_));
+  TSAD_RETURN_IF_ERROR(reader->GetLongDoubles(&sq_));
+  TSAD_RETURN_IF_ERROR(reader->GetDoubles(&means_));
+  TSAD_RETURN_IF_ERROR(reader->GetDoubles(&stds_));
+  TSAD_RETURN_IF_ERROR(reader->GetDoubles(&qt_));
+  if (sums_.size() != x_.size() + 1 || sq_.size() != x_.size() + 1) {
+    return Status::InvalidArgument("left-profile snapshot: inconsistent sizes");
+  }
+  return Status::OK();
+}
+
+}  // namespace tsad

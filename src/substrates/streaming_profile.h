@@ -1,0 +1,86 @@
+// Online (STAMPI-style) left matrix profile: the exact causal kernel
+// behind streaming discord detection.
+//
+// ComputeLeftMatrixProfile() answers the same question in batch, but its
+// STOMP driver seeds row blocks with FFT passes over the WHOLE series —
+// so the last-ulp rounding of a score at time t depends on points that
+// arrive after t. That is fine for offline analysis and fatal for
+// serving, where the contract is "replaying the stream point by point
+// reproduces the batch scores byte for byte". This kernel therefore
+// defines the canonical causal computation: one O(m) direct dot product
+// per row plus the O(1)-per-entry STOMP recurrence, rolling window
+// statistics accumulated in arrival order, and the same
+// ZNormPairDistance / lowest-index tie-break as the batch drivers.
+// StreamingDiscordDetector::Score() replays through this kernel, which
+// makes the incremental and batch paths bit-identical by construction
+// (and agree with the FFT-seeded ComputeLeftMatrixProfile to ~1e-9).
+//
+// Costs, per pushed point: O(t) time (the recurrence plus the left
+// neighbor scan) and O(1) amortized appends; total O(n^2) time and O(n)
+// memory over a stream of n points — the same asymptotics as the batch
+// STOMP join, paid incrementally.
+
+#ifndef TSAD_SUBSTRATES_STREAMING_PROFILE_H_
+#define TSAD_SUBSTRATES_STREAMING_PROFILE_H_
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wire.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// Incremental left matrix profile over an append-only stream.
+class OnlineLeftProfile {
+ public:
+  /// One finished left-profile entry: the subsequence starting at
+  /// `subsequence` (which completed at point subsequence + m - 1), its
+  /// distance to the nearest strictly-past neighbor, and that neighbor's
+  /// index. Entries whose exclusion zone leaves no eligible neighbor
+  /// carry +inf / kNoNeighbor, exactly like the batch profile.
+  struct Entry {
+    std::size_t subsequence = 0;
+    double distance = std::numeric_limits<double>::infinity();
+    std::size_t neighbor = kNoNeighbor;
+  };
+
+  /// `m` >= 2 is the subsequence length (asserted); `exclusion` defaults
+  /// to the batch convention m/2 when SIZE_MAX.
+  explicit OnlineLeftProfile(
+      std::size_t m,
+      std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+  /// Appends the next point. Returns the entry of the subsequence that
+  /// completes at this point, or nullopt while fewer than m points have
+  /// been seen.
+  std::optional<Entry> Push(double value);
+
+  std::size_t points() const { return x_.size(); }
+  std::size_t subsequences() const { return means_.size(); }
+  std::size_t subsequence_length() const { return m_; }
+  std::size_t exclusion() const { return exclusion_; }
+
+  /// Bit-exact state serialization (for serving snapshots). Restore
+  /// requires a kernel constructed with the same m/exclusion and
+  /// returns InvalidArgument on mismatch.
+  void Serialize(ByteWriter* writer) const;
+  Status Deserialize(ByteReader* reader);
+
+ private:
+  std::size_t m_;
+  std::size_t exclusion_;
+  std::vector<double> x_;             // full history
+  std::vector<long double> sums_;     // prefix sums, size x_.size() + 1
+  std::vector<long double> sq_;       // prefix square sums
+  std::vector<double> means_;         // per-subsequence rolling stats
+  std::vector<double> stds_;
+  std::vector<double> qt_;            // dot products of the latest row
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_STREAMING_PROFILE_H_

@@ -16,10 +16,12 @@
 #include "common/stats.h"        // IWYU pragma: export
 #include "common/status.h"       // IWYU pragma: export
 #include "common/vector_ops.h"   // IWYU pragma: export
+#include "common/wire.h"         // IWYU pragma: export
 
-#include "substrates/matrix_profile.h"  // IWYU pragma: export
-#include "substrates/motifs.h"          // IWYU pragma: export
-#include "substrates/sliding_window.h"  // IWYU pragma: export
+#include "substrates/matrix_profile.h"     // IWYU pragma: export
+#include "substrates/motifs.h"             // IWYU pragma: export
+#include "substrates/sliding_window.h"     // IWYU pragma: export
+#include "substrates/streaming_profile.h"  // IWYU pragma: export
 
 #include "detectors/cusum.h"          // IWYU pragma: export
 #include "detectors/detector.h"       // IWYU pragma: export
@@ -52,6 +54,11 @@
 #include "scoring/point_adjust.h"  // IWYU pragma: export
 #include "scoring/range_pr.h"      // IWYU pragma: export
 #include "scoring/ucr_score.h"     // IWYU pragma: export
+
+#include "serving/engine.h"           // IWYU pragma: export
+#include "serving/online_adapters.h"  // IWYU pragma: export
+#include "serving/online_detector.h"  // IWYU pragma: export
+#include "serving/replay.h"           // IWYU pragma: export
 
 #include "robustness/deadline.h"        // IWYU pragma: export
 #include "robustness/fault_injector.h"  // IWYU pragma: export

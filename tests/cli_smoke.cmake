@@ -1,4 +1,5 @@
-# End-to-end CLI smoke: generate -> triviality -> detect -> audit+report.
+# End-to-end CLI smoke:
+# generate -> triviality -> detect -> audit+report -> serve replay.
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -37,5 +38,19 @@ execute_process(COMMAND ${TSAD_CLI} triviality ${WORK_DIR}/nyc_taxi.csv
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out)
 if(NOT (rc EQUAL 0 OR rc EQUAL 2))
   message(FATAL_ERROR "triviality failed with ${rc}: ${out}")
+endif()
+
+# serve: replay the series through the sharded engine on several
+# simulated streams and verify byte-identity against the batch path
+# (serve exits 2 on a verification mismatch).
+execute_process(COMMAND ${TSAD_CLI} serve --replay ${WORK_DIR}/nyc_taxi.csv
+                        --streams 4 --detector zscore:w=96 --threads 4
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve failed with ${rc}: ${out}")
+endif()
+string(FIND "${out}" "byte-identical" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "serve output missing verification line: ${out}")
 endif()
 file(REMOVE_RECURSE ${WORK_DIR})

@@ -39,6 +39,29 @@ TEST(RegistryTest, UnknownNameIsNotFound) {
   EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
 }
 
+TEST(RegistryTest, UnknownNameSuggestsNearestRegisteredName) {
+  // One transposition away from a registered name: the NotFound message
+  // carries a "did you mean" hint.
+  Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("zscoer");
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(d.status().message().find("did you mean 'zscore'?"),
+            std::string::npos)
+      << d.status().message();
+
+  // A dropped letter and a wrong letter still resolve.
+  EXPECT_NE(MakeDetector("cusm").status().message().find("'cusum'"),
+            std::string::npos);
+  EXPECT_NE(MakeDetector("streeming").status().message().find("'streaming'"),
+            std::string::npos);
+
+  // Nothing plausibly close: no hint, plain NotFound.
+  const Status far = MakeDetector("lstm-autoencoder").status();
+  EXPECT_EQ(far.code(), StatusCode::kNotFound);
+  EXPECT_EQ(far.message().find("did you mean"), std::string::npos)
+      << far.message();
+}
+
 TEST(RegistryTest, UnknownParameterRejected) {
   Result<std::unique_ptr<AnomalyDetector>> d =
       MakeDetector("discord:window=5");

@@ -126,6 +126,56 @@ TEST(StreamingDiscordTest, CausalScoresIgnoreTheFuture) {
   }
 }
 
+TEST(StreamingDiscordTest, BurnInZeroMeansDefaultFourM) {
+  // burn_in=0 is NOT "no burn-in": it selects the documented default of
+  // 4*m points. Passing 1 is the way to genuinely disable suppression.
+  EXPECT_EQ(StreamingDiscordDetector(50).burn_in(), 200u);
+  EXPECT_EQ(StreamingDiscordDetector(50, 0).burn_in(), 200u);
+  EXPECT_EQ(StreamingDiscordDetector(50, 123).burn_in(), 123u);
+  EXPECT_EQ(StreamingDiscordDetector(50, 1).burn_in(), 1u);
+
+  // With burn_in=1, the early profile entries show through: the first
+  // finite left-profile distance (at index m + m/2) is scored.
+  const Series x = PeriodicWithDistortion(600, 400, 9);
+  Result<std::vector<double>> eager =
+      StreamingDiscordDetector(20, 1).Score(x, 0);
+  Result<std::vector<double>> deflt = StreamingDiscordDetector(20).Score(x, 0);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(deflt.ok());
+  EXPECT_GT((*eager)[35], 0.0);       // m + m/2 + first emission offsets
+  EXPECT_DOUBLE_EQ((*deflt)[35], 0.0);  // still inside the 80-point default
+  // Outside both burn-ins the tracks are identical.
+  for (std::size_t i = 80; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*eager)[i], (*deflt)[i]) << "i=" << i;
+  }
+}
+
+TEST(StreamingDiscordTest, RejectsDegenerateSubsequenceLength) {
+  const Series x = PeriodicWithDistortion(500, 300, 10);
+  for (std::size_t m : {0u, 1u, 2u}) {
+    Result<std::vector<double>> scores =
+        StreamingDiscordDetector(m).Score(x, 0);
+    ASSERT_FALSE(scores.ok()) << "m=" << m;
+    EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(scores.status().message().find("m >= 3"), std::string::npos);
+    EXPECT_NE(scores.status().message().find("exclusion zone"),
+              std::string::npos);
+  }
+  // m = 3 is the floor and works.
+  EXPECT_TRUE(StreamingDiscordDetector(3, 1).Score(x, 0).ok());
+}
+
+TEST(StreamingDiscordTest, RejectsSeriesShorterThanTwoSubsequences) {
+  Series x(40, 1.0);
+  Result<std::vector<double>> scores = StreamingDiscordDetector(40).Score(x, 0);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(scores.status().message().find("2 subsequences"),
+            std::string::npos);
+  x.push_back(1.0);  // n = m + 1: exactly two subsequences — accepted
+  EXPECT_TRUE(StreamingDiscordDetector(40).Score(x, 0).ok());
+}
+
 TEST(StreamingDiscordTest, RepetitionScoresLowerThanFirstOccurrence) {
   // Plant the same distorted cycle twice; the second occurrence has a
   // past match and must score much lower than the first.

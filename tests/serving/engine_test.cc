@@ -1,0 +1,342 @@
+#include "serving/engine.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "detectors/registry.h"
+
+namespace tsad {
+namespace {
+
+Series MakeStream(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 5.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    level += rng.Gaussian(0.0, 0.1);
+    x[i] = level + 2.0 * std::sin(0.21 * static_cast<double>(i)) +
+           rng.Gaussian(0.0, 0.3);
+  }
+  return x;
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::vector<double> BatchScores(const std::string& spec, const Series& x,
+                                std::size_t train_length) {
+  auto detector = MakeDetector(spec);
+  EXPECT_TRUE(detector.ok());
+  auto scores = (*detector)->Score(x, train_length);
+  EXPECT_TRUE(scores.ok()) << scores.status().message();
+  return *scores;
+}
+
+// Restores the global thread override even if a test fails mid-way.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(std::size_t n) { SetParallelThreads(n); }
+  ~ThreadCountGuard() { SetParallelThreads(0); }
+};
+
+// Replays `streams` through an engine (interleaved round-robin pushes,
+// periodic pumps) and returns each stream's final scores.
+std::map<std::string, std::vector<double>> RunEngine(
+    const std::map<std::string, Series>& streams, const std::string& spec,
+    std::size_t train_length, ServingConfig config) {
+  ShardedEngine engine(config);
+  std::size_t max_len = 0;
+  for (const auto& [id, series] : streams) {
+    EXPECT_TRUE(engine.AddStream(id, spec, train_length).ok());
+    max_len = std::max(max_len, series.size());
+  }
+  for (std::size_t t = 0; t < max_len; ++t) {
+    for (const auto& [id, series] : streams) {
+      if (t < series.size()) {
+        EXPECT_TRUE(engine.Push(id, series[t]).ok());
+      }
+    }
+    if (t % 64 == 63) {
+      EXPECT_TRUE(engine.Pump().ok());
+    }
+  }
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& [id, series] : streams) {
+    auto scores = engine.FinishStream(id);
+    EXPECT_TRUE(scores.ok()) << id << ": " << scores.status().message();
+    if (scores.ok()) out[id] = std::move(*scores);
+  }
+  return out;
+}
+
+std::map<std::string, Series> TestStreams(std::size_t count, std::size_t n) {
+  std::map<std::string, Series> streams;
+  for (std::size_t s = 0; s < count; ++s) {
+    streams["stream-" + std::to_string(s)] = MakeStream(n, 1000 + s);
+  }
+  return streams;
+}
+
+TEST(ShardedEngineTest, ReplayIsByteIdenticalToBatchAtOneAndEightThreads) {
+  const std::string spec = "zscore:w=48";
+  const auto streams = TestStreams(6, 400);
+
+  std::map<std::string, std::vector<double>> batch;
+  for (const auto& [id, series] : streams) {
+    batch[id] = BatchScores(spec, series, 0);
+  }
+
+  for (std::size_t threads : {1u, 8u}) {
+    ThreadCountGuard guard(threads);
+    ServingConfig config;
+    config.num_shards = 4;
+    const auto scored = RunEngine(streams, spec, 0, config);
+    ASSERT_EQ(scored.size(), streams.size()) << "threads=" << threads;
+    for (const auto& [id, scores] : scored) {
+      EXPECT_TRUE(BitEqual(scores, batch.at(id)))
+          << id << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedEngineTest, StreamingDiscordStreamsVerifyAcrossThreadCounts) {
+  const std::string spec = "streaming:m=16";
+  const auto streams = TestStreams(3, 220);
+  for (std::size_t threads : {1u, 8u}) {
+    ThreadCountGuard guard(threads);
+    const auto scored = RunEngine(streams, spec, 0, ServingConfig{});
+    for (const auto& [id, scores] : scored) {
+      EXPECT_TRUE(BitEqual(scores, BatchScores(spec, streams.at(id), 0)))
+          << id << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ShedRejectsOverflowWithoutCorruptingOtherStreams) {
+  ServingConfig config;
+  config.num_shards = 1;  // both streams share the only queue
+  config.queue_capacity = 8;
+  config.overflow = OverflowPolicy::kShed;
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("flooded", "zscore:w=16").ok());
+  ASSERT_TRUE(engine.AddStream("healthy", "zscore:w=16").ok());
+
+  // Flood without pumping: pushes beyond capacity must shed.
+  const Series flood = MakeStream(100, 1);
+  Series accepted_flood;
+  std::size_t shed = 0;
+  for (double v : flood) {
+    const Status s = engine.Push("flooded", v);
+    if (s.ok()) {
+      accepted_flood.push_back(v);
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(s.message().find("flooded"), std::string::npos);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(engine.stats().points_shed, shed);
+  // Shedding is backpressure, not failure: the stream stays healthy.
+  EXPECT_TRUE(engine.StreamStatus("flooded").ok());
+
+  // Drain the backlog, then run the healthy stream normally (a pump
+  // after each push keeps the shared queue empty).
+  ASSERT_TRUE(engine.Pump().ok());
+  const Series healthy = MakeStream(150, 2);
+  for (double v : healthy) {
+    ASSERT_TRUE(engine.Push("healthy", v).ok());
+    ASSERT_TRUE(engine.Pump().ok());
+  }
+
+  auto healthy_scores = engine.FinishStream("healthy");
+  ASSERT_TRUE(healthy_scores.ok());
+  EXPECT_TRUE(BitEqual(*healthy_scores, BatchScores("zscore:w=16", healthy, 0)));
+
+  // The flooded stream scores exactly the points that were accepted.
+  auto flood_scores = engine.FinishStream("flooded");
+  ASSERT_TRUE(flood_scores.ok());
+  EXPECT_TRUE(
+      BitEqual(*flood_scores, BatchScores("zscore:w=16", accepted_flood, 0)));
+}
+
+TEST(ShardedEngineTest, BlockPolicyNeverSheds) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 4;  // tiny: forces inline drains
+  config.overflow = OverflowPolicy::kBlock;
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+  const Series x = MakeStream(200, 3);
+  for (double v : x) ASSERT_TRUE(engine.Push("s", v).ok());
+  EXPECT_EQ(engine.stats().points_shed, 0u);
+  auto scores = engine.FinishStream("s");
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(BitEqual(*scores, BatchScores("zscore:w=16", x, 0)));
+}
+
+TEST(ShardedEngineTest, ExpiredStreamDeadlineSticksAndDropsQueuedPoints) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 512;
+  config.stream_deadline = std::chrono::nanoseconds(1);  // already expired
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.Push("s", static_cast<double>(i)).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());  // stream failure does not fail the pump
+
+  const Status sticky = engine.StreamStatus("s");
+  EXPECT_EQ(sticky.code(), StatusCode::kDeadlineExceeded);
+  // Later pushes are rejected with the sticky status...
+  EXPECT_EQ(engine.Push("s", 1.0).code(), StatusCode::kDeadlineExceeded);
+  // ...and FinishStream surfaces it instead of partial scores.
+  EXPECT_EQ(engine.FinishStream("s").status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_GT(engine.stats().points_dropped, 0u);
+}
+
+TEST(ShardedEngineTest, SnapshotRestoreMidReplayContinuesBitIdentically) {
+  const std::string spec = "streaming:m=12";
+  const auto streams = TestStreams(4, 260);
+
+  ServingConfig config;
+  config.num_shards = 3;
+  ShardedEngine first(config);
+  for (const auto& [id, series] : streams) {
+    ASSERT_TRUE(first.AddStream(id, spec).ok());
+  }
+  for (std::size_t t = 0; t < 130; ++t) {
+    for (const auto& [id, series] : streams) {
+      ASSERT_TRUE(first.Push(id, series[t]).ok());
+    }
+  }
+  auto blob = first.Snapshot();  // pumps internally before serializing
+  ASSERT_TRUE(blob.ok()) << blob.status().message();
+
+  // Restore into a DIFFERENT topology: placement is recomputed.
+  ServingConfig config2;
+  config2.num_shards = 5;
+  ShardedEngine second(config2);
+  ASSERT_TRUE(second.Restore(*blob).ok());
+  EXPECT_EQ(second.num_streams(), streams.size());
+
+  for (std::size_t t = 130; t < 260; ++t) {
+    for (const auto& [id, series] : streams) {
+      ASSERT_TRUE(second.Push(id, series[t]).ok());
+    }
+  }
+  for (const auto& [id, series] : streams) {
+    auto scores = second.FinishStream(id);
+    ASSERT_TRUE(scores.ok()) << id;
+    EXPECT_TRUE(BitEqual(*scores, BatchScores(spec, series, 0))) << id;
+  }
+}
+
+TEST(ShardedEngineTest, RestoreRequiresEmptyEngineAndValidBlob) {
+  ShardedEngine engine;
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+  auto blob = engine.Snapshot();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(engine.Restore(*blob).code(), StatusCode::kFailedPrecondition);
+
+  ShardedEngine fresh;
+  EXPECT_FALSE(fresh.Restore("not a snapshot").ok());
+  EXPECT_EQ(fresh.num_streams(), 0u);
+}
+
+TEST(ShardedEngineTest, ConcurrentProducersKeepStreamsIndependent) {
+  ThreadCountGuard guard(4);
+  ServingConfig config;
+  config.num_shards = 4;
+  config.overflow = OverflowPolicy::kBlock;  // never lose a point
+  config.queue_capacity = 64;
+  ShardedEngine engine(config);
+
+  constexpr std::size_t kStreams = 8;
+  std::vector<Series> data;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ASSERT_TRUE(
+        engine.AddStream("worker-" + std::to_string(s), "zscore:w=24").ok());
+    data.push_back(MakeStream(300, 500 + s));
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    producers.emplace_back([&engine, &data, s] {
+      const std::string id = "worker-" + std::to_string(s);
+      for (double v : data[s]) {
+        // kBlock: Push may drain inline but never fails.
+        ASSERT_TRUE(engine.Push(id, v).ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    auto scores = engine.FinishStream("worker-" + std::to_string(s));
+    ASSERT_TRUE(scores.ok());
+    EXPECT_TRUE(BitEqual(*scores, BatchScores("zscore:w=24", data[s], 0)))
+        << "worker-" << s;
+  }
+  EXPECT_EQ(engine.stats().points_in, kStreams * 300);
+  EXPECT_EQ(engine.stats().points_shed, 0u);
+}
+
+TEST(ShardedEngineTest, RegistryAndLifecycleErrors) {
+  ShardedEngine engine;
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+
+  const Status dup = engine.AddStream("s", "zscore:w=16");
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+
+  // Detector construction errors surface at AddStream, not Push.
+  EXPECT_EQ(engine.AddStream("t", "zscoer").code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.AddStream("u", "discord:m=64").code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(engine.AddStream("v", "cusum", 0).code(),
+            StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(engine.Push("missing", 1.0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.FinishStream("missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine.StreamStatus("missing").code(), StatusCode::kNotFound);
+
+  // FinishStream removes the stream; a second finish is NotFound.
+  ASSERT_TRUE(engine.Push("s", 1.0).ok());
+  ASSERT_TRUE(engine.FinishStream("s").ok());
+  EXPECT_EQ(engine.FinishStream("s").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.num_streams(), 0u);
+}
+
+TEST(ShardedEngineTest, StatsCountPointsAndPumps) {
+  ShardedEngine engine;
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=8").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine.Push("s", static_cast<double>(i)).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.points_in, 20u);
+  EXPECT_EQ(stats.points_scored, 20u);
+  EXPECT_EQ(stats.pumps, 1u);
+  ASSERT_EQ(stats.pump_seconds.size(), 1u);
+  EXPECT_GE(stats.pump_seconds[0], 0.0);
+}
+
+}  // namespace
+}  // namespace tsad

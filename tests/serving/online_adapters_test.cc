@@ -1,0 +1,234 @@
+// The contract under test: for every online-capable spec, replaying a
+// series point by point through the adapter produces the batch
+// detector's Score() output BYTE FOR BYTE — including when the stream
+// is interrupted anywhere by a Snapshot()/Restore() pair into a fresh
+// instance.
+
+#include "serving/online_adapters.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/series.h"
+#include "detectors/registry.h"
+#include "serving/online_detector.h"
+
+namespace tsad {
+namespace {
+
+Series SyntheticStream(std::size_t n, uint64_t seed) {
+  // A taxi-like shape: daily-ish seasonality + drift + noise + one
+  // injected level shift, so every detector family has something to
+  // react to.
+  Rng rng(seed);
+  Series x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 10.0 + 4.0 * std::sin(t * 0.13) + 0.002 * t +
+               rng.Gaussian(0.0, 0.4);
+    if (i > n / 2 && i < n / 2 + 30) v += 6.0;  // anomalous bump
+    x[i] = v;
+  }
+  return x;
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct SpecCase {
+  std::string spec;
+  std::size_t train_length;
+};
+
+std::vector<SpecCase> EquivalenceCases() {
+  return {
+      {"zscore:w=32", 0},
+      {"zscore:w=16", 0},
+      {"cusum:drift=0.5", 100},
+      {"cusum:drift=0.25,reset=8", 64},
+      {"ewma:lambda=0.2", 100},
+      {"ewma:lambda=0.05", 8},
+      {"pagehinkley:delta=0.05", 100},
+      {"oneliner:u=1,k=7,c=2", 0},
+      {"oneliner:abs=0,k=5,b=1", 0},
+      {"oneliner:u=1", 0},
+      {"streaming:m=24", 0},
+      {"streaming:m=24,burnin=1", 0},
+      {"streaming:m=8,burnin=40", 0},
+  };
+}
+
+std::vector<double> BatchScores(const SpecCase& c, const Series& x) {
+  auto detector = MakeDetector(c.spec);
+  EXPECT_TRUE(detector.ok()) << c.spec;
+  auto scores = (*detector)->Score(x, c.train_length);
+  EXPECT_TRUE(scores.ok()) << c.spec << ": " << scores.status().message();
+  return *scores;
+}
+
+TEST(OnlineAdapterEquivalenceTest, ReplayMatchesBatchBitForBit) {
+  const Series x = SyntheticStream(700, 42);
+  for (const SpecCase& c : EquivalenceCases()) {
+    SCOPED_TRACE(c.spec);
+    const std::vector<double> batch = BatchScores(c, x);
+
+    auto online = MakeOnlineDetector(c.spec, c.train_length);
+    ASSERT_TRUE(online.ok()) << online.status().message();
+    auto replayed = ReplayScore(**online, x);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+    EXPECT_TRUE(BitEqual(*replayed, batch));
+  }
+}
+
+TEST(OnlineAdapterEquivalenceTest, SnapshotRestoreMidStreamStaysBitExact) {
+  const Series x = SyntheticStream(600, 7);
+  // Cut points chosen to land in every interesting regime: inside the
+  // training prefix / first window, right at its boundary, and deep in
+  // the steady state.
+  const std::size_t cuts[] = {0, 1, 31, 32, 99, 100, 101, 300, 599};
+  for (const SpecCase& c : EquivalenceCases()) {
+    const std::vector<double> batch = BatchScores(c, x);
+    for (std::size_t cut : cuts) {
+      SCOPED_TRACE(c.spec + " cut=" + std::to_string(cut));
+
+      auto first = MakeOnlineDetector(c.spec, c.train_length);
+      ASSERT_TRUE(first.ok());
+      std::vector<ScoredPoint> emitted;
+      for (std::size_t i = 0; i < cut; ++i) {
+        ASSERT_TRUE((*first)->Observe(x[i], &emitted).ok());
+      }
+      auto blob = (*first)->Snapshot();
+      ASSERT_TRUE(blob.ok()) << blob.status().message();
+
+      // Continue in a FRESH instance restored from the blob.
+      auto second = MakeOnlineDetector(c.spec, c.train_length);
+      ASSERT_TRUE(second.ok());
+      ASSERT_TRUE((*second)->Restore(*blob).ok());
+      EXPECT_EQ((*second)->observed(), cut);
+      for (std::size_t i = cut; i < x.size(); ++i) {
+        ASSERT_TRUE((*second)->Observe(x[i], &emitted).ok());
+      }
+      ASSERT_TRUE((*second)->Flush(&emitted).ok());
+
+      auto assembled = AssembleScores(emitted, x.size(), c.spec);
+      ASSERT_TRUE(assembled.ok()) << assembled.status().message();
+      EXPECT_TRUE(BitEqual(*assembled, batch));
+    }
+  }
+}
+
+TEST(OnlineAdapterEquivalenceTest, ShortStreamsMatchBatchFallbacks) {
+  // Streams shorter than the training prefix / first window exercise
+  // the batch paths' fallbacks (median/MAD, all-zero windows). The
+  // one-point and two-point cases cover the one-liner special cases.
+  for (std::size_t n : {1u, 2u, 5u, 31u}) {
+    const Series x = SyntheticStream(n, 21);
+    for (const SpecCase& c : EquivalenceCases()) {
+      if (c.spec.rfind("streaming", 0) == 0) continue;  // needs m+1 points
+      SCOPED_TRACE(c.spec + " n=" + std::to_string(n));
+      const std::vector<double> batch = BatchScores(c, x);
+      auto online = MakeOnlineDetector(c.spec, c.train_length);
+      ASSERT_TRUE(online.ok());
+      auto replayed = ReplayScore(**online, x);
+      ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+      EXPECT_TRUE(BitEqual(*replayed, batch));
+    }
+  }
+}
+
+TEST(OnlineAdapterTest, StreamingDiscordTooShortMatchesBatchError) {
+  const Series x = SyntheticStream(10, 3);  // < m+1 for m=24
+  auto online = MakeOnlineDetector("streaming:m=24", 0);
+  ASSERT_TRUE(online.ok());
+  std::vector<ScoredPoint> emitted;
+  for (double v : x) ASSERT_TRUE((*online)->Observe(v, &emitted).ok());
+  const Status flush = (*online)->Flush(&emitted);
+  EXPECT_EQ(flush.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(flush.message().find("2 subsequences"), std::string::npos);
+
+  auto batch = MakeDetector("streaming:m=24");
+  ASSERT_TRUE(batch.ok());
+  auto scores = (*batch)->Score(x, 0);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), flush.code());
+}
+
+TEST(OnlineAdapterTest, FactoryRejectsUncausalAndUnknownConfigs) {
+  // Reference-statistics detectors without a training prefix would need
+  // the whole-series median — not causal, so the factory refuses.
+  for (const char* spec : {"cusum", "ewma:lambda=0.3", "pagehinkley"}) {
+    auto r = MakeOnlineDetector(spec, 0);
+    ASSERT_FALSE(r.ok()) << spec;
+    EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition) << spec;
+    EXPECT_NE(r.status().message().find("train"), std::string::npos) << spec;
+  }
+  auto small = MakeOnlineDetector("cusum", 7);
+  EXPECT_EQ(small.status().code(), StatusCode::kFailedPrecondition);
+
+  // Valid batch detector, no online adapter.
+  auto discord = MakeOnlineDetector("discord:m=64", 0);
+  ASSERT_FALSE(discord.ok());
+  EXPECT_EQ(discord.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(discord.status().message().find("zscore"), std::string::npos);
+
+  // Bad spec errors pass through the batch registry untouched.
+  auto typo = MakeOnlineDetector("zscoer", 0);
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(typo.status().message().find("did you mean 'zscore'"),
+            std::string::npos);
+
+  // Streaming discord's m floor is enforced at construction.
+  auto tiny_m = MakeOnlineDetector("streaming:m=2", 0);
+  ASSERT_FALSE(tiny_m.ok());
+  EXPECT_EQ(tiny_m.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(tiny_m.status().message().find("m >= 3"), std::string::npos);
+}
+
+TEST(OnlineAdapterTest, RestoreRejectsForeignBlobs) {
+  const Series x = SyntheticStream(200, 5);
+  auto zscore = MakeOnlineDetector("zscore:w=32", 0);
+  ASSERT_TRUE(zscore.ok());
+  std::vector<ScoredPoint> sink;
+  for (double v : x) ASSERT_TRUE((*zscore)->Observe(v, &sink).ok());
+  auto blob = (*zscore)->Snapshot();
+  ASSERT_TRUE(blob.ok());
+
+  // A different adapter type refuses the blob outright.
+  auto oneliner = MakeOnlineDetector("oneliner:u=1", 0);
+  ASSERT_TRUE(oneliner.ok());
+  EXPECT_FALSE((*oneliner)->Restore(*blob).ok());
+
+  // Same type, different parameters: the embedded name differs.
+  auto other = MakeOnlineDetector("zscore:w=64", 0);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE((*other)->Restore(*blob).ok());
+
+  // Truncated blob.
+  auto same = MakeOnlineDetector("zscore:w=32", 0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_FALSE((*same)->Restore(blob->substr(0, blob->size() - 3)).ok());
+}
+
+TEST(OnlineAdapterTest, OnlineCapableNamesMatchesFactoryBehavior) {
+  const std::vector<std::string> names = OnlineCapableDetectorNames();
+  for (const std::string& name : names) {
+    // train_length=100 satisfies the reference-stats precondition.
+    auto r = MakeOnlineDetector(name, 100);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.status().message();
+    if (r.ok()) {
+      EXPECT_EQ((*r)->name().substr(0, 7), "online:") << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,169 @@
+#include "substrates/streaming_profile.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/series.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+namespace {
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian(0.0, 0.3);
+    v = level + rng.Gaussian(0.0, 0.05);
+  }
+  return x;
+}
+
+TEST(OnlineLeftProfileTest, EmitsNothingUntilFirstWindowCompletes) {
+  OnlineLeftProfile profile(8);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_FALSE(profile.Push(static_cast<double>(i)).has_value());
+  }
+  const auto entry = profile.Push(7.0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->subsequence, 0u);
+  EXPECT_FALSE(std::isfinite(entry->distance));  // no past neighbor yet
+  EXPECT_EQ(entry->neighbor, kNoNeighbor);
+}
+
+TEST(OnlineLeftProfileTest, AgreesWithBatchLeftProfile) {
+  const Series x = RandomWalk(500, 11);
+  const std::size_t m = 24;
+  Result<MatrixProfile> batch = ComputeLeftMatrixProfile(x, m);
+  ASSERT_TRUE(batch.ok());
+
+  OnlineLeftProfile online(m);
+  std::size_t emitted = 0;
+  for (double v : x) {
+    const auto entry = online.Push(v);
+    if (!entry) continue;
+    ASSERT_LT(entry->subsequence, batch->size());
+    EXPECT_EQ(entry->subsequence, emitted);
+    const double expected = batch->distances[entry->subsequence];
+    if (std::isfinite(expected)) {
+      // The batch STOMP join seeds rows with whole-series FFT passes, so
+      // agreement is numerical, not bitwise — that is exactly why the
+      // streaming detector replays through this kernel instead.
+      EXPECT_NEAR(entry->distance, expected, 1e-7)
+          << "subsequence " << entry->subsequence;
+      EXPECT_EQ(entry->neighbor, batch->indices[entry->subsequence]);
+    } else {
+      EXPECT_FALSE(std::isfinite(entry->distance));
+    }
+    ++emitted;
+  }
+  EXPECT_EQ(emitted, batch->size());
+}
+
+TEST(OnlineLeftProfileTest, PushIsDeterministicGivenPrefix) {
+  // The kernel is causal by construction: the entry emitted at time t
+  // cannot depend on later pushes. Feed two copies different suffixes
+  // and compare their common prefix bitwise.
+  const Series x = RandomWalk(300, 12);
+  OnlineLeftProfile a(16), b(16);
+  std::vector<double> da, db;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto ea = a.Push(x[i]);
+    const auto eb = b.Push(x[i]);
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (ea) {
+      da.push_back(ea->distance);
+      db.push_back(eb->distance);
+    }
+  }
+  for (std::size_t i = 200; i < 300; ++i) {
+    a.Push(x[i]);
+    b.Push(-x[i]);  // divergent future
+  }
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i], db[i]) << "i=" << i;  // exact, not near
+  }
+}
+
+TEST(OnlineLeftProfileTest, SerializeRestoreContinuesBitIdentically) {
+  const Series x = RandomWalk(400, 13);
+  const std::size_t m = 20;
+
+  OnlineLeftProfile reference(m);
+  std::vector<double> expected;
+  for (double v : x) {
+    const auto e = reference.Push(v);
+    if (e) expected.push_back(e->distance);
+  }
+
+  // Run half, snapshot, restore into a fresh kernel, run the rest.
+  OnlineLeftProfile first(m);
+  std::vector<double> actual;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto e = first.Push(x[i]);
+    if (e) actual.push_back(e->distance);
+  }
+  ByteWriter writer;
+  first.Serialize(&writer);
+  OnlineLeftProfile second(m);
+  ByteReader reader(writer.str());
+  ASSERT_TRUE(second.Deserialize(&reader).ok());
+  ASSERT_TRUE(reader.ExpectDone().ok());
+  for (std::size_t i = 200; i < x.size(); ++i) {
+    const auto e = second.Push(x[i]);
+    if (e) actual.push_back(e->distance);
+  }
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "i=" << i;  // bitwise
+  }
+}
+
+TEST(OnlineLeftProfileTest, DeserializeRejectsMismatchedGeometry) {
+  OnlineLeftProfile a(16);
+  for (int i = 0; i < 50; ++i) a.Push(static_cast<double>(i % 7));
+  ByteWriter writer;
+  a.Serialize(&writer);
+
+  OnlineLeftProfile wrong_m(32);
+  ByteReader reader(writer.str());
+  EXPECT_EQ(wrong_m.Deserialize(&reader).code(),
+            StatusCode::kInvalidArgument);
+
+  OnlineLeftProfile wrong_exclusion(16, 3);
+  ByteReader reader2(writer.str());
+  EXPECT_EQ(wrong_exclusion.Deserialize(&reader2).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineLeftProfileTest, FlatRegionsUseScampConvention) {
+  // Two flat windows are at distance 0; flat vs dynamic is sqrt(2m).
+  Series x;
+  for (int i = 0; i < 40; ++i) x.push_back(1.0);  // flat prelude
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(std::sin(0.7 * static_cast<double>(i)));
+  }
+  const std::size_t m = 8;
+  OnlineLeftProfile profile(m);
+  std::vector<OnlineLeftProfile::Entry> entries;
+  for (double v : x) {
+    const auto e = profile.Push(v);
+    if (e) entries.push_back(*e);
+  }
+  // Subsequence 10 is flat with flat history: distance 0.
+  EXPECT_EQ(entries[10].distance, 0.0);
+  // A fully dynamic window whose past is mostly flat: its distance to
+  // the flat region is the max sqrt(2m); its best neighbor may be
+  // another dynamic window, so just check it is positive and finite.
+  const auto& late = entries.back();
+  EXPECT_TRUE(std::isfinite(late.distance));
+  EXPECT_GT(late.distance, 0.0);
+}
+
+}  // namespace
+}  // namespace tsad

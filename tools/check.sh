@@ -29,24 +29,40 @@ run_pass() {
 
 run_pass "${repo_root}/build"
 
+# Serving smoke: replay a generated series through the sharded engine
+# and require byte-identity with the batch detector (serve exits 2 on a
+# verification mismatch, non-zero on any engine failure).
+echo "==> serving replay smoke (tsad serve --replay)"
+serve_work="$(mktemp -d)"
+trap 'rm -rf "${serve_work}"' EXIT
+"${repo_root}/build/tools/tsad" generate taxi --out "${serve_work}"
+"${repo_root}/build/tools/tsad" serve \
+  --replay "${serve_work}/nyc_taxi.csv" \
+  --streams 4 --detector zscore:w=96 --threads 4
+"${repo_root}/build/tools/tsad" serve \
+  --replay "${serve_work}/nyc_taxi.csv" \
+  --streams 2 --detector streaming:m=64 --threads 2
+
 if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   run_pass "${repo_root}/build-sanitize" \
     -DTSAD_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-  # TSan pass: only the parallel layer needs thread instrumentation, so
-  # build just its test binary (benches/examples/tools off) and run the
-  # Parallel* suites — determinism, error containment, deadline
-  # propagation — under the race detector.
+  # TSan pass: the parallel layer and the serving engine are the
+  # thread-touching subsystems, so build just their test binaries
+  # (benches/examples/tools off) and run the Parallel* and
+  # ShardedEngine* suites — determinism, error containment, deadline
+  # propagation, concurrent producers — under the race detector.
   tsan_dir="${repo_root}/build-tsan"
   echo "==> configuring ${tsan_dir} (TSAD_SANITIZE=thread)"
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DTSAD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTSAD_BUILD_BENCHMARKS=OFF -DTSAD_BUILD_EXAMPLES=OFF \
     -DTSAD_BUILD_TOOLS=OFF
-  echo "==> building ${tsan_dir} (parallel_test)"
-  cmake --build "${tsan_dir}" -j "${jobs}" --target parallel_test
-  echo "==> testing ${tsan_dir} (Parallel*)"
-  (cd "${tsan_dir}" && ctest --output-on-failure -R 'Parallel')
+  echo "==> building ${tsan_dir} (parallel_test serving_engine_test)"
+  cmake --build "${tsan_dir}" -j "${jobs}" \
+    --target parallel_test serving_engine_test
+  echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine*)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -R 'Parallel|ShardedEngine')
 fi
 
 echo "==> all checks passed"

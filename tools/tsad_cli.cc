@@ -18,6 +18,13 @@
 //       use the resilient: prefix (default: three hardened detectors).
 //   tsad table1 [--seed N]
 //       Reproduce Table 1 on the simulated Yahoo archive.
+//   tsad serve --replay <file.csv> [--streams N] [--detector SPEC]
+//        [--batch B] [--queue C] [--policy block|shed] [--deadline-ms D]
+//        [--no-verify]
+//       Fan the series out to N identical streams, push it through the
+//       sharded online serving engine in micro-batches, and verify the
+//       engine output is byte-identical to the batch detector. Exit 0
+//       on verified success, 2 on a mismatch.
 //   tsad list-detectors
 //
 // Every command accepts --threads N to size the parallel execution
@@ -48,6 +55,14 @@ struct Args {
   std::string detectors;  // robustness: comma-separated spec list
   std::string report;     // audit: optional markdown report path
   std::size_t threads = 0;  // parallel pool size; 0 = env/hardware
+  // serve:
+  std::string replay;       // CSV to replay through the engine
+  std::size_t streams = 4;  // stream fan-out
+  std::size_t batch = 256;  // points per stream between pumps
+  std::size_t queue = 0;    // per-shard queue capacity; 0 = default
+  std::string policy = "block";  // overflow policy: block|shed
+  std::size_t deadline_ms = 0;   // per-stream drain deadline; 0 = off
+  bool no_verify = false;
 };
 
 // Strict: unknown --flags (and flags missing their value) are errors,
@@ -69,6 +84,20 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.report = argv[++i];
     } else if (arg == "--threads" && has_value) {
       args.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--replay" && has_value) {
+      args.replay = argv[++i];
+    } else if (arg == "--streams" && has_value) {
+      args.streams = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--batch" && has_value) {
+      args.batch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--queue" && has_value) {
+      args.queue = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--policy" && has_value) {
+      args.policy = argv[++i];
+    } else if (arg == "--deadline-ms" && has_value) {
+      args.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--no-verify") {
+      args.no_verify = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument(
           has_value ? "unknown flag '" + arg + "'"
@@ -89,6 +118,9 @@ int Usage() {
       "  tsad detect <file.csv> [--detector SPEC]\n"
       "  tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]\n"
       "  tsad table1 [--seed N]\n"
+      "  tsad serve --replay FILE.csv [--streams N] [--detector SPEC]\n"
+      "             [--batch B] [--queue C] [--policy block|shed]\n"
+      "             [--deadline-ms D] [--no-verify]\n"
       "  tsad list-detectors\n"
       "global flags:\n"
       "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
@@ -348,6 +380,69 @@ int CmdTable1(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  if (args.replay.empty()) {
+    std::printf("serve requires --replay FILE.csv\n");
+    return Usage();
+  }
+  if (!args.positional.empty()) return Usage();
+  if (args.streams == 0) {
+    std::printf("--streams must be at least 1\n");
+    return 1;
+  }
+  ReplayOptions options;
+  if (args.policy == "shed") {
+    options.engine.overflow = OverflowPolicy::kShed;
+  } else if (args.policy == "block") {
+    options.engine.overflow = OverflowPolicy::kBlock;
+  } else {
+    std::printf("unknown --policy '%s' (want block or shed)\n",
+                args.policy.c_str());
+    return 1;
+  }
+  Result<LabeledSeries> series = ReadSeriesCsv(args.replay);
+  if (!series.ok()) {
+    std::printf("%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  options.num_streams = args.streams;
+  // The --detector default is detect's offline discord, which has no
+  // online adapter; serve defaults to the moving z-score instead.
+  options.detector_spec =
+      args.detector == "discord:m=128" ? "zscore:w=64" : args.detector;
+  options.train_length = series->train_length();
+  options.batch = args.batch;
+  options.verify_against_batch = !args.no_verify;
+  if (args.queue > 0) options.engine.queue_capacity = args.queue;
+  options.engine.stream_deadline =
+      std::chrono::milliseconds(args.deadline_ms);
+
+  const Result<ReplayReport> report =
+      ReplayThroughEngine(series->values(), options);
+  if (!report.ok()) {
+    std::printf("replay failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("series    : %s (%zu points, train %zu)\n",
+              series->name().c_str(), series->length(),
+              series->train_length());
+  std::printf("detector  : %s\n", options.detector_spec.c_str());
+  std::printf("streams   : %zu  (policy %s, batch %zu)\n", report->streams,
+              args.policy.c_str(), options.batch);
+  std::printf("throughput: %.0f points/sec (%zu points in %.3f s)\n",
+              report->points_per_sec, report->points, report->seconds);
+  std::printf("p99 pump  : %.3f ms   shed: %llu\n",
+              report->p99_pump_seconds * 1e3,
+              static_cast<unsigned long long>(report->shed));
+  if (options.verify_against_batch) {
+    std::printf("verify    : %s\n",
+                report->verified ? "byte-identical to batch Score()"
+                                 : "MISMATCH against batch Score()");
+    return report->verified ? 0 : 2;
+  }
+  return 0;
+}
+
 int CmdListDetectors() {
   for (const std::string& name : RegisteredDetectorNames()) {
     std::printf("%s\n", name.c_str());
@@ -372,6 +467,7 @@ int main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(*args);
   if (command == "robustness") return CmdRobustness(*args);
   if (command == "table1") return CmdTable1(*args);
+  if (command == "serve") return CmdServe(*args);
   if (command == "list-detectors") return CmdListDetectors();
   return Usage();
 }
