@@ -16,6 +16,7 @@
 #include <limits>
 
 #include "bench_util.h"
+#include "common/fft.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
@@ -58,6 +59,19 @@ void BM_StompMatrixProfile(benchmark::State& state) {
 }
 BENCHMARK(BM_StompMatrixProfile)->Range(1 << 10, 1 << 13)->Complexity();
 
+void BM_StompMatrixProfileReference(benchmark::State& state) {
+  // The frozen pre-caching kernel: per-block full-series FFT seeds and
+  // the fused per-entry distance scan. The gap to BM_StompMatrixProfile
+  // is the kernel-caching layer's win.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tsad::Series x = RandomWalk(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfileReference(x, 64));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StompMatrixProfileReference)->Range(1 << 10, 1 << 13)->Complexity();
+
 void BM_NaiveMatrixProfile(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const tsad::Series x = RandomWalk(n, 3);
@@ -77,11 +91,12 @@ void BM_WindowStats(benchmark::State& state) {
 BENCHMARK(BM_WindowStats)->Range(1 << 12, 1 << 18);
 
 // Best-of-2 wall time of one STOMP self-join, in milliseconds.
-double TimeStompMs(const tsad::Series& x) {
+template <typename Fn>
+double TimeStompMs(const tsad::Series& x, Fn&& compute) {
   double best = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < 2; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64));
+    benchmark::DoNotOptimize(compute(x));
     const auto t1 = std::chrono::steady_clock::now();
     best = std::min(
         best, std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -96,21 +111,40 @@ int main(int argc, char** argv) {
   const std::size_t threads = tsad::ParallelThreads();
   const tsad::Series x = RandomWalk(1 << 14, 2);
 
-  tsad::SetParallelThreads(1);
-  const double serial_ms = TimeStompMs(x);
-  tsad::SetParallelThreads(threads);
-  const double parallel_ms = TimeStompMs(x);
+  const auto optimized = [](const tsad::Series& s) {
+    return tsad::ComputeMatrixProfile(s, 64);
+  };
+  const auto reference = [](const tsad::Series& s) {
+    return tsad::ComputeMatrixProfileReference(s, 64);
+  };
 
-  std::printf("STOMP n=%d: serial %.1f ms, %zu threads %.1f ms "
-              "(speedup %.2fx)\n",
-              1 << 14, serial_ms, threads, parallel_ms,
-              serial_ms / parallel_ms);
+  // Kernel-caching win: frozen pre-caching kernel vs. the planned-FFT +
+  // hoisted-scan kernel, both single-threaded so the ratio isolates the
+  // caching layer from the parallel layer.
+  tsad::SetParallelThreads(1);
+  tsad::ResetFftPlanCacheStats();
+  const double reference_ms = TimeStompMs(x, reference);
+  const double serial_ms = TimeStompMs(x, optimized);
+  const tsad::FftPlanCacheStats plan_stats = tsad::GetFftPlanCacheStats();
+  tsad::SetParallelThreads(threads);
+  const double parallel_ms = TimeStompMs(x, optimized);
+
+  std::printf("STOMP n=%d: reference %.1f ms, optimized serial %.1f ms "
+              "(kernel speedup %.2fx), %zu threads %.1f ms "
+              "(speedup %.2fx); fft plan cache %zu hits / %zu misses\n",
+              1 << 14, reference_ms, serial_ms, reference_ms / serial_ms,
+              threads, parallel_ms, serial_ms / parallel_ms, plan_stats.hits,
+              plan_stats.misses);
   tsad::bench::WriteBenchJson(
       "perf_matrix_profile",
       {{"serial_ms", serial_ms},
        {"parallel_ms", parallel_ms},
        {"speedup", serial_ms / parallel_ms},
-       {"threads", static_cast<double>(threads)}});
+       {"threads", static_cast<double>(threads)},
+       {"reference_ms", reference_ms},
+       {"kernel_speedup", reference_ms / serial_ms},
+       {"fft_plan_hits", static_cast<double>(plan_stats.hits)},
+       {"fft_plan_misses", static_cast<double>(plan_stats.misses)}});
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -44,23 +44,54 @@ std::string OneLinerParams::ToMatlab() const {
 
 namespace {
 
+// The margin composition shared by the direct path and the memoized
+// cache: given the (possibly abs'd) diff track and the moving windows
+// the predicate references, returns lhs - rhs in the diff domain.
+// `mm` / `ms` may be null exactly when the predicate does not use them.
+// This single function being the only place the rhs is assembled is
+// what makes cached and direct margins bit-identical by construction:
+// both feed it the same doubles (MovMean/MovStd are deterministic, so a
+// memoized window IS the recomputed window), and the summation order —
+// b, then movmean, then c*movstd — never varies.
+std::vector<double> ComposeMargin(const std::vector<double>& d,
+                                  const double* mm, const double* ms,
+                                  const OneLinerParams& params) {
+  std::vector<double> rhs(d.size(), params.b);
+  if (mm != nullptr) {
+    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += mm[i];
+  }
+  if (ms != nullptr) {
+    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += params.c * ms[i];
+  }
+  std::vector<double> margin(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) margin[i] = d[i] - rhs[i];
+  return margin;
+}
+
 // Shared evaluation: returns the margin (lhs - rhs) in the diff domain,
-// length n-1.
+// length n-1. Recomputes every track per call; the triviality sweep
+// uses OneLinerMarginCache instead.
 std::vector<double> DiffDomainMargin(const Series& series,
                                      const OneLinerParams& params) {
   std::vector<double> d = Diff(series);
   if (params.use_abs) d = Abs(std::move(d));
-  std::vector<double> rhs(d.size(), params.b);
+  std::vector<double> mm, ms;
   if (params.use_movmean) {
-    const std::vector<double> mm = MovMean(d, std::max<std::size_t>(1, params.k));
-    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += mm[i];
+    mm = MovMean(d, std::max<std::size_t>(1, params.k));
   }
   if (params.c != 0.0) {
-    const std::vector<double> ms = MovStd(d, std::max<std::size_t>(1, params.k));
-    for (std::size_t i = 0; i < d.size(); ++i) rhs[i] += params.c * ms[i];
+    ms = MovStd(d, std::max<std::size_t>(1, params.k));
   }
-  for (std::size_t i = 0; i < d.size(); ++i) d[i] -= rhs[i];
-  return d;
+  return ComposeMargin(d, params.use_movmean ? mm.data() : nullptr,
+                       params.c != 0.0 ? ms.data() : nullptr, params);
+}
+
+// Aligns a diff-domain margin to the original series: index 0 (no diff
+// predecessor) gets the minimum margin so it can never look anomalous.
+std::vector<double> AlignMarginToSeries(const std::vector<double>& margin) {
+  const double floor_value =
+      margin.empty() ? 0.0 : *std::min_element(margin.begin(), margin.end());
+  return PadLeft(margin, 1, floor_value);
 }
 
 }  // namespace
@@ -79,10 +110,81 @@ std::vector<uint8_t> EvaluateOneLiner(const Series& series,
 std::vector<double> OneLinerMargin(const Series& series,
                                    const OneLinerParams& params) {
   if (series.size() < 2) return std::vector<double>(series.size(), 0.0);
-  std::vector<double> margin = DiffDomainMargin(series, params);
-  const double floor_value =
-      margin.empty() ? 0.0 : *std::min_element(margin.begin(), margin.end());
-  return PadLeft(margin, 1, floor_value);
+  return AlignMarginToSeries(DiffDomainMargin(series, params));
+}
+
+OneLinerMarginCache::OneLinerMarginCache(const Series& series)
+    : length_(series.size()) {
+  if (length_ < 2) return;
+  diff_ = Diff(series);
+  abs_diff_ = Abs(diff_);
+}
+
+const std::vector<double>& OneLinerMarginCache::Track(bool use_abs) const {
+  return use_abs ? abs_diff_ : diff_;
+}
+
+OneLinerMarginCache::WindowTracks& OneLinerMarginCache::TracksFor(
+    bool use_abs, std::size_t k) {
+  auto& slot = windows_[use_abs ? 1 : 0];
+  for (auto& entry : slot) {
+    if (entry.first == k) return entry.second;
+  }
+  slot.emplace_back(k, WindowTracks{});
+  return slot.back().second;
+}
+
+const std::vector<double>& OneLinerMarginCache::MovMeanFor(bool use_abs,
+                                                           std::size_t k) {
+  WindowTracks& tracks = TracksFor(use_abs, k);
+  if (!tracks.has_movmean) {
+    tracks.movmean = MovMean(Track(use_abs), k);
+    tracks.has_movmean = true;
+    ++stats_.window_misses;
+  } else {
+    ++stats_.window_hits;
+  }
+  return tracks.movmean;
+}
+
+const std::vector<double>& OneLinerMarginCache::MovStdFor(bool use_abs,
+                                                          std::size_t k) {
+  WindowTracks& tracks = TracksFor(use_abs, k);
+  if (!tracks.has_movstd) {
+    tracks.movstd = MovStd(Track(use_abs), k);
+    tracks.has_movstd = true;
+    ++stats_.window_misses;
+  } else {
+    ++stats_.window_hits;
+  }
+  return tracks.movstd;
+}
+
+std::vector<double> OneLinerMarginCache::Margin(const OneLinerParams& params) {
+  if (length_ < 2) return std::vector<double>(length_, 0.0);
+  const std::vector<double>& d = Track(params.use_abs);
+  const std::size_t k = std::max<std::size_t>(1, params.k);
+  const double* mm =
+      params.use_movmean ? MovMeanFor(params.use_abs, k).data() : nullptr;
+  const double* ms =
+      params.c != 0.0 ? MovStdFor(params.use_abs, k).data() : nullptr;
+  return AlignMarginToSeries(ComposeMargin(d, mm, ms, params));
+}
+
+std::vector<uint8_t> OneLinerMarginCache::Flags(const OneLinerParams& params) {
+  std::vector<uint8_t> flags(length_, 0);
+  if (length_ < 2) return flags;
+  const std::vector<double>& d = Track(params.use_abs);
+  const std::size_t k = std::max<std::size_t>(1, params.k);
+  const double* mm =
+      params.use_movmean ? MovMeanFor(params.use_abs, k).data() : nullptr;
+  const double* ms =
+      params.c != 0.0 ? MovStdFor(params.use_abs, k).data() : nullptr;
+  const std::vector<double> margin = ComposeMargin(d, mm, ms, params);
+  for (std::size_t i = 0; i < margin.size(); ++i) {
+    if (margin[i] > 0.0) flags[i + 1] = 1;
+  }
+  return flags;
 }
 
 Result<std::vector<double>> OneLinerDetector::Score(

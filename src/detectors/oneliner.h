@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "detectors/detector.h"
@@ -72,6 +73,57 @@ std::vector<uint8_t> EvaluateOneLiner(const Series& series,
 /// the predicate fires; usable as a generic anomaly score.
 std::vector<double> OneLinerMargin(const Series& series,
                                    const OneLinerParams& params);
+
+/// Memoized margin evaluation for one fixed series, built for the
+/// triviality analyzer's (form, k, c) grid: every margin in the grid
+/// shares the same diff / abs(diff) track, and every c shares the same
+/// MovMean(d, k) / MovStd(d, k) windows, yet OneLinerMargin recomputes
+/// all of them per call. The cache computes each track once (the two
+/// diff tracks eagerly, the per-k windows lazily on first use) and then
+/// composes a margin with the exact expression OneLinerMargin evaluates
+/// — literally the same code path operating on the memoized inputs — so
+/// Margin() is BIT-IDENTICAL to OneLinerMargin(series, params) for
+/// every parameter setting.
+///
+/// NOT thread-safe: lazy memoization mutates internal state. The
+/// triviality analyzer parallelizes per series, so each worker owns its
+/// own cache; that is the intended usage.
+class OneLinerMarginCache {
+ public:
+  /// Per-instance memoization counters, reported by the perf bench.
+  struct Stats {
+    std::size_t window_hits = 0;    // MovMean/MovStd served from memo
+    std::size_t window_misses = 0;  // ... computed and stored
+  };
+
+  explicit OneLinerMarginCache(const Series& series);
+
+  /// Bit-identical to OneLinerMargin(series_, params).
+  std::vector<double> Margin(const OneLinerParams& params);
+
+  /// Bit-identical to EvaluateOneLiner(series_, params).
+  std::vector<uint8_t> Flags(const OneLinerParams& params);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct WindowTracks {
+    std::vector<double> movmean, movstd;
+    bool has_movmean = false, has_movstd = false;
+  };
+
+  const std::vector<double>& Track(bool use_abs) const;
+  const std::vector<double>& MovMeanFor(bool use_abs, std::size_t k);
+  const std::vector<double>& MovStdFor(bool use_abs, std::size_t k);
+  WindowTracks& TracksFor(bool use_abs, std::size_t k);
+
+  std::size_t length_;           // original series length
+  std::vector<double> diff_;     // diff(TS)
+  std::vector<double> abs_diff_; // abs(diff(TS))
+  // Keyed by the effective window max(1, k); one map per lhs track.
+  std::vector<std::pair<std::size_t, WindowTracks>> windows_[2];
+  Stats stats_;
+};
 
 /// AnomalyDetector adapter so one-liners can run through the generic
 /// evaluation pipeline next to Discord/Telemanom.

@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/fft.h"
 #include "common/parallel.h"
@@ -50,22 +56,26 @@ inline double PairDistance(double qt, double mean_a, double std_a,
 // blocks distributed across the thread pool. Within a block, rows run
 // in order: the first row comes from seed_row(i) (an FFT pass), each
 // later row from advance_row(i, qt) (the O(1)-per-entry update), and
-// every row is handed to visit_row. Each worker polls the cooperative
-// deadline between row batches; the submitting thread's DeadlineScope
-// is propagated by ParallelFor, and the first (lowest-block) error is
-// the one reported.
+// every row is handed to visit_row along with a per-block scratch
+// buffer of `scratch_size` doubles (the hoisted row scans stage
+// distances there; sharing one buffer per block keeps the O(n) storage
+// out of the per-row path). Each worker polls the cooperative deadline
+// between row batches; the submitting thread's DeadlineScope is
+// propagated by ParallelFor, and the first (lowest-block) error is the
+// one reported.
 Status RunStompRowBlocks(
-    std::size_t rows,
+    std::size_t rows, std::size_t scratch_size,
     const std::function<std::vector<double>(std::size_t)>& seed_row,
     const std::function<void(std::size_t, std::vector<double>&)>& advance_row,
-    const std::function<void(std::size_t, const std::vector<double>&)>&
-        visit_row) {
+    const std::function<void(std::size_t, const std::vector<double>&,
+                             std::vector<double>&)>& visit_row) {
   const std::size_t num_blocks =
       (rows + kStompBlockRows - 1) / kStompBlockRows;
   return ParallelFor(0, num_blocks, [&](std::size_t block) -> Status {
     const std::size_t row_begin = block * kStompBlockRows;
     const std::size_t row_end = std::min(rows, row_begin + kStompBlockRows);
     std::vector<double> qt_row;
+    std::vector<double> scratch(scratch_size);
     for (std::size_t i = row_begin; i < row_end; ++i) {
       if ((i - row_begin) % kDeadlinePollRows == 0) {
         TSAD_RETURN_IF_ERROR(CheckDeadline());
@@ -75,10 +85,139 @@ Status RunStompRowBlocks(
       } else {
         advance_row(i, qt_row);
       }
-      visit_row(i, qt_row);
+      visit_row(i, qt_row, scratch);
     }
     return Status::OK();
   });
+}
+
+// Per-side invariants of the hoisted row scans, computed once per
+// profile instead of once per O(n^2) inner-loop entry: raw pointers to
+// the rolling stats plus the per-subsequence flat flags (IsFlat on the
+// same inputs yields the same booleans, so hoisting it cannot change
+// any branch the original per-entry code would have taken). The sorted
+// flat-index list drives the fix-up pass after the branch-free
+// distance loop.
+struct ScanSide {
+  const double* means = nullptr;
+  const double* stds = nullptr;
+  std::vector<uint8_t> flat;
+  std::vector<std::size_t> flat_indices;
+};
+
+ScanSide BuildScanSide(const WindowStats& stats) {
+  ScanSide side;
+  side.means = stats.means.data();
+  side.stds = stats.stds.data();
+  side.flat.assign(stats.size(), 0);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (IsFlat(stats.means[i], stats.stds[i])) {
+      side.flat[i] = 1;
+      side.flat_indices.push_back(i);
+    }
+  }
+  return side;
+}
+
+// Row-invariant factors of ZNormPairDistance for row subsequence i.
+// Each is a left-to-right PREFIX of the exact expression the per-pair
+// formula evaluates — (m * mean_i) * mean_j, (m * std_i) * std_j,
+// (2 * m) * (1 - corr), sqrt(2 * m) — so reusing them changes no
+// rounding anywhere.
+struct RowInvariants {
+  double m_mean_i;
+  double m_std_i;
+  bool flat_i;
+};
+
+// Fills dist[j] for j in [begin, end) with the distance of row
+// subsequence i against column subsequences of `side`, bit-identical
+// to calling ZNormPairDistance per entry. Flat columns are patched
+// after the branch-free main loop (their mathematically-computed
+// values, possibly garbage from a ~0 std, are overwritten before
+// anything reads them), which keeps the div/sqrt chain free of
+// branches.
+void FillRowDistances(const double* qt, const ScanSide& side,
+                      const RowInvariants& row, double two_m,
+                      double sqrt_two_m, std::size_t begin, std::size_t end,
+                      double* dist) {
+  if (row.flat_i) {
+    // Flat row: every pair is a flat-vs-flat (0) or flat-vs-dynamic
+    // (max distance) case; no arithmetic needed.
+    for (std::size_t j = begin; j < end; ++j) {
+      dist[j] = side.flat[j] ? 0.0 : sqrt_two_m;
+    }
+    return;
+  }
+  const double* means = side.means;
+  const double* stds = side.stds;
+  const double m_mean_i = row.m_mean_i;
+  const double m_std_i = row.m_std_i;
+  std::size_t j = begin;
+#if defined(__SSE2__)
+  // Hand-vectorized two-lane body. GCC's auto-vectorizer declines this
+  // loop (the float clamps survive if-conversion only under value-
+  // changing flags we forbid), but every packed op below — subpd,
+  // mulpd, divpd, sqrtpd, minpd, maxpd — is IEEE correctly rounded per
+  // lane, i.e. produces the EXACT double of its scalar counterpart, so
+  // the profile stays bit-identical to the scalar tail/fallback (the
+  // equivalence tests assert this). Clamp semantics, including NaN
+  // propagation, mirror the scalar ternaries operand-for-operand:
+  //   maxpd(a, b) = a > b ? a : b   (NaN anywhere -> b)
+  //   minpd(a, b) = a < b ? a : b   (NaN anywhere -> b)
+  // so max(-1, corr) / min(1, corr) pass a NaN corr through, and
+  // max(v, 0) turns a NaN v into 0 — exactly what std::clamp followed
+  // by std::max(0.0, v) does in ZNormPairDistance.
+  {
+    const __m128d v_m_mean_i = _mm_set1_pd(m_mean_i);
+    const __m128d v_m_std_i = _mm_set1_pd(m_std_i);
+    const __m128d v_two_m = _mm_set1_pd(two_m);
+    const __m128d v_one = _mm_set1_pd(1.0);
+    const __m128d v_neg_one = _mm_set1_pd(-1.0);
+    const __m128d v_zero = _mm_setzero_pd();
+    for (; j + 2 <= end; j += 2) {
+      const __m128d num = _mm_sub_pd(_mm_loadu_pd(qt + j),
+                                     _mm_mul_pd(v_m_mean_i,
+                                                _mm_loadu_pd(means + j)));
+      const __m128d den = _mm_mul_pd(v_m_std_i, _mm_loadu_pd(stds + j));
+      __m128d corr = _mm_div_pd(num, den);
+      corr = _mm_max_pd(v_neg_one, corr);
+      corr = _mm_min_pd(v_one, corr);
+      const __m128d v = _mm_mul_pd(v_two_m, _mm_sub_pd(v_one, corr));
+      _mm_storeu_pd(dist + j, _mm_sqrt_pd(_mm_max_pd(v, v_zero)));
+    }
+  }
+#endif
+  for (; j < end; ++j) {
+    // Scalar tail (and the whole loop on non-SSE2 targets). Value
+    // ternaries, not std::clamp/std::max: identical semantics —
+    // including NaN pass-through on the clamps and NaN -> 0 on the
+    // floor — without the reference-returning forms.
+    double corr = (qt[j] - m_mean_i * means[j]) / (m_std_i * stds[j]);
+    corr = corr < -1.0 ? -1.0 : corr;
+    corr = corr > 1.0 ? 1.0 : corr;
+    const double v = two_m * (1.0 - corr);
+    dist[j] = std::sqrt(v > 0.0 ? v : 0.0);
+  }
+  if (!side.flat_indices.empty()) {
+    auto it = std::lower_bound(side.flat_indices.begin(),
+                               side.flat_indices.end(), begin);
+    for (; it != side.flat_indices.end() && *it < end; ++it) {
+      dist[*it] = sqrt_two_m;
+    }
+  }
+}
+
+// Left-to-right argmin with strict '<' — the exact tie-break (lowest j
+// wins) of the original fused scan.
+inline void ArgMinSegment(const double* dist, std::size_t begin,
+                          std::size_t end, double& best, std::size_t& best_j) {
+  for (std::size_t j = begin; j < end; ++j) {
+    if (dist[j] < best) {
+      best = dist[j];
+      best_j = j;
+    }
+  }
 }
 
 }  // namespace
@@ -100,7 +239,18 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                                         const WindowStats& stats) {
   const std::size_t m = query.size();
   const std::size_t count = NumSubsequences(series.size(), m);
-  assert(stats.size() == count);
+  // Mismatched stats (e.g. computed for a different window length) are
+  // a caller bug that would read past the stats arrays below. An assert
+  // compiles out in release builds, so fail loudly in all modes.
+  if (stats.size() != count) {
+    std::fprintf(stderr,
+                 "MassDistanceProfile: window stats for %zu subsequences do "
+                 "not match the %zu subsequences of the series/query pair "
+                 "(series %zu, query %zu) — were the stats computed with a "
+                 "different window length?\n",
+                 stats.size(), count, series.size(), m);
+    std::abort();
+  }
   if (count == 0) return {};
 
   const std::vector<double> qt = SlidingDotProduct(series, query);
@@ -153,24 +303,104 @@ Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
   // symmetry qt_i[0] = qt_0[i]). Rows scan their neighbors serially
   // left to right with a strict '<', so the tie-break (lowest j wins)
   // is independent of how rows are distributed over threads.
+  //
+  // Block seeds go through a SlidingDotPlan: the series' forward
+  // spectrum is computed once instead of once per block, and the
+  // twiddle tables once per padded size process-wide. Planned output
+  // is bit-identical to SlidingDotProduct (tested exactly), so the
+  // profile is unchanged.
+  const SlidingDotPlan plan(series, m);
+  const std::vector<double> first_row = plan.Query(Subsequence(series, 0, m));
+
+  const ScanSide side = BuildScanSide(stats);
+  const double dm = static_cast<double>(m);
+  const double two_m = 2.0 * dm;
+  const double sqrt_two_m = std::sqrt(2.0 * dm);
+  const double* series_data = series.data();
+
+  const Status status = RunStompRowBlocks(
+      count, count,
+      [&](std::size_t i) {
+        return i == 0 ? first_row : plan.Query(Subsequence(series, i, m));
+      },
+      [&](std::size_t i, std::vector<double>& qt_row) {
+        // Update in place, right to left, reusing qt_row from row i-1.
+        // The row-constant factors series[i-1] / series[i+m-1] are
+        // hoisted into locals the aliasing rules would otherwise force
+        // the compiler to reload per entry.
+        double* qt = qt_row.data();
+        const double head = series_data[i - 1];
+        const double tail = series_data[i + m - 1];
+        for (std::size_t j = count - 1; j > 0; --j) {
+          qt[j] = qt[j - 1] - series_data[j - 1] * head +
+                  series_data[j + m - 1] * tail;
+        }
+        qt[0] = first_row[i];
+      },
+      [&](std::size_t i, const std::vector<double>& qt_row,
+          std::vector<double>& dist) {
+        const RowInvariants row{dm * stats.means[i], dm * stats.stds[i],
+                                side.flat[i] != 0};
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_j = kNoNeighbor;
+        // The exclusion zone |i - j| <= exclusion splits the scan into
+        // two contiguous segments, visited left to right.
+        const std::size_t ex_begin = i > exclusion ? i - exclusion : 0;
+        const std::size_t ex_end = std::min(count, i + exclusion + 1);
+        FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, 0,
+                         ex_begin, dist.data());
+        ArgMinSegment(dist.data(), 0, ex_begin, best, best_j);
+        FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, ex_end,
+                         count, dist.data());
+        ArgMinSegment(dist.data(), ex_end, count, best, best_j);
+        mp.distances[i] = best;
+        mp.indices[i] = best_j;
+      });
+  if (!status.ok()) return status;
+  return mp;
+}
+
+Result<MatrixProfile> ComputeMatrixProfileReference(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  const std::size_t count = NumSubsequences(series.size(), m);
+  if (count < 2) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m));
+  }
+  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
+  if (exclusion >= count - 1) {
+    return Status::InvalidArgument(
+        "exclusion zone " + std::to_string(exclusion) +
+        " leaves no candidate neighbors for " + std::to_string(count) +
+        " subsequences");
+  }
+
+  const WindowStats stats = ComputeWindowStats(series, m);
+  MatrixProfile mp;
+  mp.subsequence_length = m;
+  mp.distances.assign(count, std::numeric_limits<double>::infinity());
+  mp.indices.assign(count, kNoNeighbor);
+
   const std::vector<double> first_row =
       SlidingDotProduct(series, Subsequence(series, 0, m));
 
   const Status status = RunStompRowBlocks(
-      count,
+      count, 0,
       [&](std::size_t i) {
         return i == 0 ? first_row
                       : SlidingDotProduct(series, Subsequence(series, i, m));
       },
       [&](std::size_t i, std::vector<double>& qt_row) {
-        // Update in place, right to left, reusing qt_row from row i-1.
         for (std::size_t j = count - 1; j > 0; --j) {
           qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
                       series[j + m - 1] * series[i + m - 1];
         }
         qt_row[0] = first_row[i];
       },
-      [&](std::size_t i, const std::vector<double>& qt_row) {
+      [&](std::size_t i, const std::vector<double>& qt_row,
+          std::vector<double>&) {
         double best = std::numeric_limits<double>::infinity();
         std::size_t best_j = kNoNeighbor;
         for (std::size_t j = 0; j < count; ++j) {
@@ -244,35 +474,42 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
   mp.distances.assign(count, std::numeric_limits<double>::infinity());
   mp.indices.assign(count, kNoNeighbor);
 
-  const std::vector<double> first_row =
-      SlidingDotProduct(series, Subsequence(series, 0, m));
+  const SlidingDotPlan plan(series, m);
+  const std::vector<double> first_row = plan.Query(Subsequence(series, 0, m));
+
+  const ScanSide side = BuildScanSide(stats);
+  const double dm = static_cast<double>(m);
+  const double two_m = 2.0 * dm;
+  const double sqrt_two_m = std::sqrt(2.0 * dm);
+  const double* series_data = series.data();
 
   const Status status = RunStompRowBlocks(
-      count,
+      count, count,
       [&](std::size_t i) {
-        return i == 0 ? first_row
-                      : SlidingDotProduct(series, Subsequence(series, i, m));
+        return i == 0 ? first_row : plan.Query(Subsequence(series, i, m));
       },
       [&](std::size_t i, std::vector<double>& qt_row) {
+        double* qt = qt_row.data();
+        const double head = series_data[i - 1];
+        const double tail = series_data[i + m - 1];
         for (std::size_t j = count - 1; j > 0; --j) {
-          qt_row[j] = qt_row[j - 1] - series[j - 1] * series[i - 1] +
-                      series[j + m - 1] * series[i + m - 1];
+          qt[j] = qt[j - 1] - series_data[j - 1] * head +
+                  series_data[j + m - 1] * tail;
         }
-        qt_row[0] = first_row[i];
+        qt[0] = first_row[i];
       },
-      [&](std::size_t i, const std::vector<double>& qt_row) {
+      [&](std::size_t i, const std::vector<double>& qt_row,
+          std::vector<double>& dist) {
         if (i < exclusion + 1) return;  // no eligible past neighbor
+        const RowInvariants row{dm * stats.means[i], dm * stats.stds[i],
+                                side.flat[i] != 0};
         double best = std::numeric_limits<double>::infinity();
         std::size_t best_j = kNoNeighbor;
-        for (std::size_t j = 0; j + exclusion + 1 <= i; ++j) {
-          const double d =
-              PairDistance(qt_row[j], stats.means[i], stats.stds[i],
-                           stats.means[j], stats.stds[j], m);
-          if (d < best) {
-            best = d;
-            best_j = j;
-          }
-        }
+        // Eligible past neighbors: j + exclusion + 1 <= i.
+        const std::size_t end = i - exclusion;
+        FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, 0, end,
+                         dist.data());
+        ArgMinSegment(dist.data(), 0, end, best, best_j);
         mp.distances[i] = best;
         mp.indices[i] = best_j;
       });
@@ -303,39 +540,47 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
   // Row 0 (of each block): dot products of that query subsequence
   // against every reference subsequence; first column: dot products of
   // every query subsequence against the first reference subsequence
-  // (seeds qt_row[0] in the recurrence).
+  // (seeds qt_row[0] in the recurrence). The plan is over the
+  // reference series — the side every block seed slides against.
+  const SlidingDotPlan plan(reference_series, m);
   const std::vector<double> first_row =
-      SlidingDotProduct(reference_series, Subsequence(query_series, 0, m));
+      plan.Query(Subsequence(query_series, 0, m));
   const std::vector<double> first_col =
       SlidingDotProduct(query_series, Subsequence(reference_series, 0, m));
 
+  const ScanSide query_side = BuildScanSide(query_stats);
+  const ScanSide ref_side = BuildScanSide(ref_stats);
+  const double dm = static_cast<double>(m);
+  const double two_m = 2.0 * dm;
+  const double sqrt_two_m = std::sqrt(2.0 * dm);
+  const double* query_data = query_series.data();
+  const double* ref_data = reference_series.data();
+
   const Status status = RunStompRowBlocks(
-      nq,
+      nq, nr,
       [&](std::size_t i) {
-        return i == 0 ? first_row
-                      : SlidingDotProduct(reference_series,
-                                          Subsequence(query_series, i, m));
+        return i == 0 ? first_row : plan.Query(Subsequence(query_series, i, m));
       },
       [&](std::size_t i, std::vector<double>& qt_row) {
+        double* qt = qt_row.data();
+        const double head = query_data[i - 1];
+        const double tail = query_data[i + m - 1];
         for (std::size_t j = nr - 1; j > 0; --j) {
-          qt_row[j] = qt_row[j - 1] -
-                      reference_series[j - 1] * query_series[i - 1] +
-                      reference_series[j + m - 1] * query_series[i + m - 1];
+          qt[j] = qt[j - 1] - ref_data[j - 1] * head +
+                  ref_data[j + m - 1] * tail;
         }
-        qt_row[0] = first_col[i];
+        qt[0] = first_col[i];
       },
-      [&](std::size_t i, const std::vector<double>& qt_row) {
+      [&](std::size_t i, const std::vector<double>& qt_row,
+          std::vector<double>& dist) {
+        const RowInvariants row{dm * query_stats.means[i],
+                                dm * query_stats.stds[i],
+                                query_side.flat[i] != 0};
         double best = std::numeric_limits<double>::infinity();
         std::size_t best_j = kNoNeighbor;
-        for (std::size_t j = 0; j < nr; ++j) {
-          const double d = PairDistance(qt_row[j], query_stats.means[i],
-                                        query_stats.stds[i], ref_stats.means[j],
-                                        ref_stats.stds[j], m);
-          if (d < best) {
-            best = d;
-            best_j = j;
-          }
-        }
+        FillRowDistances(qt_row.data(), ref_side, row, two_m, sqrt_two_m, 0,
+                         nr, dist.data());
+        ArgMinSegment(dist.data(), 0, nr, best, best_j);
         mp.distances[i] = best;
         mp.indices[i] = best_j;
       });
@@ -348,28 +593,38 @@ std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,
   if (exclusion == std::numeric_limits<std::size_t>::max()) {
     exclusion = profile.subsequence_length;
   }
-  std::vector<Discord> discords;
-  std::vector<bool> eligible(profile.size(), true);
-  for (std::size_t round = 0; round < k; ++round) {
-    double best = -1.0;
-    std::size_t best_i = kNoNeighbor;
-    for (std::size_t i = 0; i < profile.size(); ++i) {
-      if (!eligible[i]) continue;
-      if (!std::isfinite(profile.distances[i])) continue;
-      if (profile.distances[i] > best) {
-        best = profile.distances[i];
-        best_i = i;
-      }
+  // One sort-by-distance pass instead of rescanning the whole profile
+  // per round (O(n log n + k * exclusion) vs O(k * n)). Walking the
+  // sorted order and checking eligibility at pop time is exactly the
+  // greedy the round-based scan ran: each round picked the highest
+  // distance (lowest index on ties) among still-eligible entries, and
+  // taking a discord only ever removes eligibility of entries visited
+  // later in this order.
+  std::vector<std::size_t> order;
+  order.reserve(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (std::isfinite(profile.distances[i])) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (profile.distances[a] != profile.distances[b]) {
+      return profile.distances[a] > profile.distances[b];
     }
-    if (best_i == kNoNeighbor) break;
+    return a < b;
+  });
+
+  std::vector<Discord> discords;
+  std::vector<uint8_t> eligible(profile.size(), 1);
+  for (std::size_t i : order) {
+    if (discords.size() == k) break;
+    if (!eligible[i]) continue;
     Discord d;
-    d.position = best_i;
-    d.distance = best;
-    d.nearest_neighbor = profile.indices[best_i];
+    d.position = i;
+    d.distance = profile.distances[i];
+    d.nearest_neighbor = profile.indices[i];
     discords.push_back(d);
-    const std::size_t lo = best_i > exclusion ? best_i - exclusion : 0;
-    const std::size_t hi = std::min(profile.size(), best_i + exclusion + 1);
-    for (std::size_t i = lo; i < hi; ++i) eligible[i] = false;
+    const std::size_t lo = i > exclusion ? i - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), i + exclusion + 1);
+    for (std::size_t p = lo; p < hi; ++p) eligible[p] = 0;
   }
   return discords;
 }

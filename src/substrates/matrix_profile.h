@@ -84,6 +84,16 @@ Result<MatrixProfile> ComputeMatrixProfileNaive(
     const std::vector<double>& series, std::size_t m,
     std::size_t exclusion = std::numeric_limits<std::size_t>::max());
 
+/// The pre-caching STOMP self-join, frozen verbatim: per-block
+/// SlidingDotProduct seeds (full series FFT every block) and the fused
+/// per-entry ZNormPairDistance scan. Kept so tests can assert the
+/// optimized ComputeMatrixProfile is BIT-IDENTICAL to it and so the
+/// perf bench can report the kernel speedup against the real baseline
+/// rather than the O(n^2 m) naive one.
+Result<MatrixProfile> ComputeMatrixProfileReference(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
 /// LEFT matrix profile: for every subsequence, the distance to its
 /// nearest neighbor strictly in the PAST (j <= i - exclusion - 1).
 /// This is the causal/streaming variant (STAMPI-style): a subsequence

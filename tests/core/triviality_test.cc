@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "datasets/generators.h"
+#include "datasets/numenta.h"
+#include "datasets/yahoo.h"
 
 namespace tsad {
 namespace {
@@ -197,6 +199,94 @@ TEST_P(SpikeSizeSweep, SolveRateTracksSpikeSize) {
 
 INSTANTIATE_TEST_SUITE_P(Magnitudes, SpikeSizeSweep,
                          ::testing::Values(0.5, 1.0, 12.0, 16.0, 24.0, 48.0));
+
+// ---------------------------------------------------------------------------
+// Memoized sweep vs. the frozen direct implementation: the cached grid
+// search must return IDENTICAL solutions — same solved flag, same
+// parameters, and bit-equal b and headroom (EXPECT_EQ on the doubles,
+// no tolerance) — on realistic archive series.
+
+void ExpectIdenticalSolutions(const TrivialitySolution& memoized,
+                              const TrivialitySolution& direct,
+                              const std::string& label) {
+  ASSERT_EQ(memoized.solved, direct.solved) << label;
+  if (!direct.solved) return;
+  EXPECT_EQ(memoized.params.use_abs, direct.params.use_abs) << label;
+  EXPECT_EQ(memoized.params.use_movmean, direct.params.use_movmean) << label;
+  EXPECT_EQ(memoized.params.k, direct.params.k) << label;
+  EXPECT_EQ(memoized.params.c, direct.params.c) << label;
+  EXPECT_EQ(memoized.params.b, direct.params.b) << label;
+  EXPECT_EQ(memoized.headroom, direct.headroom) << label;
+}
+
+TEST(MemoizedSweepTest, MatchesDirectOnYahooSubset) {
+  YahooConfig config;
+  config.seed = 77;
+  config.a1_count = 6;
+  config.a2_count = 6;
+  config.a3_count = 6;
+  config.a4_count = 6;
+  config.a1_length = 500;
+  config.synthetic_length = 500;
+  const YahooArchive archive = GenerateYahooArchive(config);
+  for (const BenchmarkDataset* dataset : archive.all()) {
+    for (const LabeledSeries& s : dataset->series) {
+      ExpectIdenticalSolutions(FindOneLiner(s), FindOneLinerDirect(s),
+                               dataset->name + "/" + s.name());
+    }
+  }
+}
+
+TEST(MemoizedSweepTest, MatchesDirectOnNumentaDataset) {
+  NumentaConfig config;
+  config.seed = 78;
+  const BenchmarkDataset dataset = GenerateNumentaDataset(config);
+  for (const LabeledSeries& s : dataset.series) {
+    ExpectIdenticalSolutions(FindOneLiner(s), FindOneLinerDirect(s),
+                             s.name());
+  }
+}
+
+TEST(MemoizedSweepTest, SolveWithFormMatchesDirectPerForm) {
+  SolveCriteria strict;
+  strict.min_headroom = 0.3;
+  for (uint64_t seed = 60; seed < 66; ++seed) {
+    for (const double magnitude : {0.8, 6.0, 20.0}) {
+      const LabeledSeries s = SpikeSeries(seed, magnitude);
+      for (OneLinerForm form : {OneLinerForm::kEq3, OneLinerForm::kEq4,
+                                OneLinerForm::kEq5, OneLinerForm::kEq6}) {
+        const std::string label = "seed=" + std::to_string(seed) +
+                                  " mag=" + std::to_string(magnitude);
+        ExpectIdenticalSolutions(
+            SolveWithForm(s, form), SolveWithFormDirect(s, form), label);
+        ExpectIdenticalSolutions(
+            SolveWithForm(s, form, OneLinerSearchSpace{}, strict),
+            SolveWithFormDirect(s, form, OneLinerSearchSpace{}, strict),
+            label + " strict");
+      }
+    }
+  }
+}
+
+// The degenerate cases the direct sweep handles (full slop coverage, no
+// anomalies, too-short series) must fall out of the precomputed context
+// the same way.
+TEST(MemoizedSweepTest, DegenerateCasesMatchDirect) {
+  Rng rng(79);
+  Series covered = GaussianNoise(10, 1.0, rng);
+  covered[5] += 30.0;
+  const LabeledSeries full_coverage("tiny", std::move(covered), {{3, 7}});
+  ExpectIdenticalSolutions(FindOneLiner(full_coverage),
+                           FindOneLinerDirect(full_coverage), "full-coverage");
+
+  const LabeledSeries unlabeled("none", GaussianNoise(200, 1.0, rng), {});
+  ExpectIdenticalSolutions(FindOneLiner(unlabeled),
+                           FindOneLinerDirect(unlabeled), "no-anomalies");
+
+  const LabeledSeries tiny("short", Series{1.0, 2.0}, {{0, 1}});
+  ExpectIdenticalSolutions(FindOneLiner(tiny), FindOneLinerDirect(tiny),
+                           "too-short");
+}
 
 }  // namespace
 }  // namespace tsad

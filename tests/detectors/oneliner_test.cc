@@ -155,5 +155,70 @@ TEST_P(OneLinerDegeneracy, FullFormDegeneratesToSimplified) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OneLinerDegeneracy,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// ---------------------------------------------------------------------------
+// OneLinerMarginCache: memoized margins must be BIT-IDENTICAL to the
+// per-call OneLinerMargin/EvaluateOneLiner for every parameter setting
+// the triviality grid visits — EXPECT_EQ on whole vectors, no
+// tolerance.
+
+TEST(OneLinerMarginCacheTest, MarginsBitIdenticalAcrossTheSearchGrid) {
+  Rng rng(8);
+  Series x = GaussianNoise(700, 1.5, rng);
+  x[350] += 25.0;
+  OneLinerMarginCache cache(x);
+  for (const bool use_abs : {true, false}) {
+    for (const bool use_movmean : {false, true}) {
+      for (const std::size_t k : {0u, 1u, 5u, 21u, 151u}) {
+        for (const double c : {0.0, 0.5, 3.0}) {
+          for (const double b : {0.0, 0.7}) {
+            OneLinerParams p;
+            p.use_abs = use_abs;
+            p.use_movmean = use_movmean;
+            p.k = k;
+            p.c = c;
+            p.b = b;
+            EXPECT_EQ(cache.Margin(p), OneLinerMargin(x, p))
+                << p.ToMatlab();
+            EXPECT_EQ(cache.Flags(p), EvaluateOneLiner(x, p))
+                << p.ToMatlab();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(OneLinerMarginCacheTest, RepeatedWindowsHitTheMemo) {
+  Rng rng(9);
+  const Series x = GaussianNoise(400, 1.0, rng);
+  OneLinerMarginCache cache(x);
+  OneLinerParams p;
+  p.use_abs = true;
+  p.use_movmean = true;
+  p.k = 11;
+  p.c = 2.0;
+  cache.Margin(p);  // first use computes movmean + movstd for k=11
+  const auto after_first = cache.stats();
+  EXPECT_EQ(after_first.window_misses, 2u);
+  EXPECT_EQ(after_first.window_hits, 0u);
+  p.c = 4.0;  // same k, different c: both windows must be served cached
+  cache.Margin(p);
+  const auto after_second = cache.stats();
+  EXPECT_EQ(after_second.window_misses, 2u);
+  EXPECT_EQ(after_second.window_hits, 2u);
+}
+
+TEST(OneLinerMarginCacheTest, ShortSeriesMatchesDirectPath) {
+  for (const Series& x : {Series{}, Series{5.0}, Series{1.0, 4.0}}) {
+    OneLinerMarginCache cache(x);
+    OneLinerParams p;
+    p.use_abs = true;
+    p.use_movmean = true;
+    p.c = 1.0;
+    EXPECT_EQ(cache.Margin(p), OneLinerMargin(x, p)) << x.size();
+    EXPECT_EQ(cache.Flags(p), EvaluateOneLiner(x, p)) << x.size();
+  }
+}
+
 }  // namespace
 }  // namespace tsad

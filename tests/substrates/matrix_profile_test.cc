@@ -1,9 +1,12 @@
 #include "substrates/matrix_profile.h"
 
 #include <cmath>
+#include <limits>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
 #include "common/vector_ops.h"
@@ -157,6 +160,216 @@ TEST_P(ProfileLengths, StompMatchesNaive) {
 
 INSTANTIATE_TEST_SUITE_P(Lengths, ProfileLengths,
                          ::testing::Values(2, 3, 4, 8, 16, 33, 64, 99));
+
+// ---------------------------------------------------------------------------
+// Kernel-caching equivalence: the planned-FFT, hoisted-scan STOMP must
+// be BIT-IDENTICAL (EXPECT_EQ on doubles, not EXPECT_NEAR) to the
+// frozen pre-caching implementation, at every thread count.
+
+// Restores the pool size on scope exit so thread-sweeping tests cannot
+// leak a setting into later tests.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ParallelThreads()) {}
+  ~ThreadCountGuard() { SetParallelThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+TEST(MatrixProfileTest, OptimizedBitIdenticalToReferenceAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  Rng rng(41);
+  Series x(600);
+  for (double& v : x) v = rng.Gaussian();
+  for (const std::size_t m : {8u, 21u, 64u}) {
+    SetParallelThreads(1);
+    Result<MatrixProfile> reference = ComputeMatrixProfileReference(x, m);
+    ASSERT_TRUE(reference.ok());
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      Result<MatrixProfile> optimized = ComputeMatrixProfile(x, m);
+      ASSERT_TRUE(optimized.ok());
+      EXPECT_EQ(optimized->distances, reference->distances)
+          << "m=" << m << " threads=" << threads;
+      EXPECT_EQ(optimized->indices, reference->indices)
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MatrixProfileTest, StompMatchesNaiveAtEveryThreadCount) {
+  // The naive O(n^2 m) profile is thread-count-free ground truth; the
+  // hoisted STOMP must stay within FFT rounding of it (EXPECT_NEAR — a
+  // different algorithm, so bit-equality is not expected) at 1, 2, and
+  // hardware_concurrency threads.
+  ThreadCountGuard guard;
+  Rng rng(44);
+  Series x(300);
+  for (double& v : x) v = rng.Gaussian();
+  const std::size_t m = 24;
+  Result<MatrixProfile> naive = ComputeMatrixProfileNaive(x, m);
+  ASSERT_TRUE(naive.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    Result<MatrixProfile> fast = ComputeMatrixProfile(x, m);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_EQ(fast->size(), naive->size());
+    for (std::size_t i = 0; i < fast->size(); ++i) {
+      EXPECT_NEAR(fast->distances[i], naive->distances[i], 1e-6)
+          << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MatrixProfileTest, FlatRegionsBitIdenticalToReference) {
+  ThreadCountGuard guard;
+  Rng rng(42);
+  Series x(400);
+  for (double& v : x) v = rng.Gaussian();
+  // Exactly-constant runs exercise both flat-vs-flat (0) and
+  // flat-vs-dynamic (sqrt(2m)) rows, including the flat-row fast path
+  // and the flat-column patch pass.
+  for (std::size_t i = 100; i < 160; ++i) x[i] = 7.5;
+  for (std::size_t i = 300; i < 340; ++i) x[i] = 7.5;
+  const std::size_t m = 16;
+  Result<MatrixProfile> reference = ComputeMatrixProfileReference(x, m);
+  ASSERT_TRUE(reference.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    Result<MatrixProfile> optimized = ComputeMatrixProfile(x, m);
+    ASSERT_TRUE(optimized.ok());
+    EXPECT_EQ(optimized->distances, reference->distances);
+    EXPECT_EQ(optimized->indices, reference->indices);
+  }
+}
+
+TEST(MatrixProfileTest, LeftProfileBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(43);
+  Series x(700);
+  for (double& v : x) v = rng.Gaussian();
+  SetParallelThreads(1);
+  Result<MatrixProfile> serial = ComputeLeftMatrixProfile(x, 20);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    Result<MatrixProfile> parallel = ComputeLeftMatrixProfile(x, 20);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->distances, serial->distances) << "threads=" << threads;
+    EXPECT_EQ(parallel->indices, serial->indices) << "threads=" << threads;
+  }
+}
+
+TEST(MatrixProfileTest, AbJoinBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(44);
+  Series a(500), b(650);
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian();
+  SetParallelThreads(1);
+  Result<MatrixProfile> serial = ComputeAbJoin(a, b, 24);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    Result<MatrixProfile> parallel = ComputeAbJoin(a, b, 24);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->distances, serial->distances) << "threads=" << threads;
+    EXPECT_EQ(parallel->indices, serial->indices) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TopDiscords: the sort-based pass must reproduce the round-based
+// greedy rescan (frozen below, verbatim) exactly — same positions, same
+// order — including ties and non-finite entries.
+
+std::vector<Discord> TopDiscordsRoundBased(const MatrixProfile& profile,
+                                           std::size_t k,
+                                           std::size_t exclusion) {
+  std::vector<Discord> discords;
+  std::vector<uint8_t> eligible(profile.size(), 1);
+  for (std::size_t round = 0; round < k; ++round) {
+    double best = -1.0;
+    std::size_t best_i = kNoNeighbor;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+      if (!eligible[i]) continue;
+      if (!std::isfinite(profile.distances[i])) continue;
+      if (profile.distances[i] > best) {
+        best = profile.distances[i];
+        best_i = i;
+      }
+    }
+    if (best_i == kNoNeighbor) break;
+    Discord d;
+    d.position = best_i;
+    d.distance = profile.distances[best_i];
+    d.nearest_neighbor = profile.indices[best_i];
+    discords.push_back(d);
+    const std::size_t lo = best_i > exclusion ? best_i - exclusion : 0;
+    const std::size_t hi = std::min(profile.size(), best_i + exclusion + 1);
+    for (std::size_t p = lo; p < hi; ++p) eligible[p] = 0;
+  }
+  return discords;
+}
+
+TEST(TopDiscordsTest, SortBasedMatchesRoundBasedWithTiesAndInfs) {
+  Rng rng(45);
+  MatrixProfile profile;
+  profile.subsequence_length = 10;
+  profile.distances.resize(500);
+  profile.indices.resize(500);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    // Coarse quantization forces many exact ties; sprinkle +inf (never
+    // a discord: it means "no neighbor info") among them.
+    profile.distances[i] = std::floor(rng.Uniform(0, 8));
+    if (i % 97 == 0) {
+      profile.distances[i] = std::numeric_limits<double>::infinity();
+    }
+    profile.indices[i] = i / 2;
+  }
+  for (const std::size_t k : {1u, 3u, 7u, 100u}) {
+    for (const std::size_t exclusion : {0u, 5u, 25u}) {
+      const auto expected = TopDiscordsRoundBased(profile, k, exclusion);
+      const auto got = TopDiscords(profile, k, exclusion);
+      ASSERT_EQ(got.size(), expected.size())
+          << "k=" << k << " exclusion=" << exclusion;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].position, expected[i].position);
+        EXPECT_EQ(got[i].distance, expected[i].distance);
+        EXPECT_EQ(got[i].nearest_neighbor, expected[i].nearest_neighbor);
+      }
+    }
+  }
+}
+
+TEST(TopDiscordsTest, AllInfiniteProfileYieldsNoDiscords) {
+  MatrixProfile profile;
+  profile.subsequence_length = 4;
+  profile.distances.assign(50, std::numeric_limits<double>::infinity());
+  profile.indices.assign(50, kNoNeighbor);
+  EXPECT_TRUE(TopDiscords(profile, 3).empty());
+}
+
+// Mismatched window stats used to be a debug-only assert; in release
+// the MASS kernel read past the stats arrays. Must abort loudly in all
+// build modes.
+TEST(MassDeathTest, MismatchedStatsAbortLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(46);
+  Series x(200);
+  for (double& v : x) v = rng.Gaussian();
+  const auto query = Subsequence(x, 10, 16);
+  const WindowStats wrong = ComputeWindowStats(x, 8);  // wrong window length
+  EXPECT_DEATH(MassDistanceProfile(x, query, wrong), "do not match");
+}
 
 }  // namespace
 }  // namespace tsad

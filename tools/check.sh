@@ -47,22 +47,27 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   run_pass "${repo_root}/build-sanitize" \
     -DTSAD_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-  # TSan pass: the parallel layer and the serving engine are the
-  # thread-touching subsystems, so build just their test binaries
-  # (benches/examples/tools off) and run the Parallel* and
-  # ShardedEngine* suites — determinism, error containment, deadline
-  # propagation, concurrent producers — under the race detector.
+  # TSan pass: the parallel layer, the serving engine, and the kernel
+  # caches (the shared FFT plan cache plus SlidingDotPlan handed to
+  # concurrent STOMP block workers) are the thread-touching subsystems,
+  # so build just their test binaries (benches/examples/tools off) and
+  # run the corresponding suites — determinism, error containment,
+  # deadline propagation, concurrent producers, concurrent planned
+  # queries — under the race detector. (The ASan+UBSan pass above
+  # already runs the planned-FFT tests via the full suite.)
   tsan_dir="${repo_root}/build-tsan"
   echo "==> configuring ${tsan_dir} (TSAD_SANITIZE=thread)"
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DTSAD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTSAD_BUILD_BENCHMARKS=OFF -DTSAD_BUILD_EXAMPLES=OFF \
     -DTSAD_BUILD_TOOLS=OFF
-  echo "==> building ${tsan_dir} (parallel_test serving_engine_test)"
+  echo "==> building ${tsan_dir} (parallel_test serving_engine_test" \
+       "fft_test matrix_profile_test)"
   cmake --build "${tsan_dir}" -j "${jobs}" \
-    --target parallel_test serving_engine_test
-  echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine*)"
-  (cd "${tsan_dir}" && ctest --output-on-failure -R 'Parallel|ShardedEngine')
+    --target parallel_test serving_engine_test fft_test matrix_profile_test
+  echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches)"
+  (cd "${tsan_dir}" && ctest --output-on-failure \
+    -R 'Parallel|ShardedEngine|FftPlan|SlidingDotPlan|MatrixProfileTest')
 fi
 
 echo "==> all checks passed"
