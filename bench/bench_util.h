@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "substrates/matrix_profile.h"
 
 namespace tsad::bench {
 
@@ -27,6 +28,41 @@ inline void InitThreadsFromArgs(int* argc, char** argv) {
       return;
     }
   }
+}
+
+/// Applies a `--mp-kernel K` argument (if present) as the process-wide
+/// matrix-profile kernel override (same values and "did you mean"
+/// rejection as the tsad CLI flag) and strips it from argv. Exits on an
+/// unknown kernel name — a bench silently running the wrong kernel
+/// would poison the perf record.
+inline void InitMpKernelFromArgs(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--mp-kernel" && i + 1 < *argc) {
+      const Result<MpKernel> kernel = ParseMpKernel(argv[i + 1]);
+      if (!kernel.ok()) {
+        std::fprintf(stderr, "%s\n", kernel.status().ToString().c_str());
+        std::exit(1);
+      }
+      SetMpKernelOverride(*kernel);
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+  }
+}
+
+/// Consumes a bare `--<flag>` from argv, returning whether it was
+/// present. Used for `--smoke` (the `ctest -L perf_smoke` mode: tiny
+/// inputs, no JSON, no google-benchmark suites).
+inline bool ConsumeFlag(int* argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (flag == argv[i]) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Writes a flat JSON object of numeric fields to BENCH_<name>.json in

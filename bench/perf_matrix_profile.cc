@@ -1,13 +1,16 @@
 // Performance benchmarks for the matrix-profile substrate: MASS
-// distance profiles, the STOMP self-join, and the naive O(n^2 m)
-// reference. Establishes that the substrate scales as published
-// (n log n per MASS query, n^2 for the self-join).
+// distance profiles, the STOMP and MPX self-join kernels, and the
+// naive O(n^2 m) reference. Establishes that the substrate scales as
+// published (n log n per MASS query, n^2 for the self-join).
 //
-// Before the google-benchmark suites run, main() times one STOMP
-// self-join serially (--threads 1) and at the resolved thread count and
-// writes the pair to BENCH_perf_matrix_profile.json — the
-// machine-readable record CI archives to track the parallel layer's
-// speedup.
+// Before the google-benchmark suites run, main() times the frozen
+// reference, the STOMP kernel, and the MPX kernel single-threaded
+// (plus both kernels at the resolved thread count when it exceeds 1)
+// and writes the results to BENCH_perf_matrix_profile.json — the
+// machine-readable record CI archives to track the caching layer's
+// win (kernel_speedup), the diagonal kernel's win (mpx_speedup), and
+// the parallel layer's scaling. Flags: --threads N, --mp-kernel K,
+// --smoke (tiny run for the perf_smoke ctest label; writes no JSON).
 
 #include <benchmark/benchmark.h>
 
@@ -52,8 +55,13 @@ BENCHMARK(BM_MassDistanceProfile)->Range(1 << 10, 1 << 16)->Complexity();
 void BM_StompMatrixProfile(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const tsad::Series x = RandomWalk(n, 2);
+  // Pinned to STOMP: above the auto-dispatch threshold the default
+  // entry point would silently switch to MPX and this suite would stop
+  // measuring the row kernel.
+  tsad::MatrixProfileOptions options;
+  options.kernel = tsad::MpKernel::kStomp;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64));
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64, options));
   }
   state.SetComplexityN(static_cast<int64_t>(n));
 }
@@ -71,6 +79,21 @@ void BM_StompMatrixProfileReference(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(n));
 }
 BENCHMARK(BM_StompMatrixProfileReference)->Range(1 << 10, 1 << 13)->Complexity();
+
+void BM_MpxMatrixProfile(benchmark::State& state) {
+  // The diagonal-traversal kernel on the same series as
+  // BM_StompMatrixProfile; the gap between the two suites is the MPX
+  // win at each size.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const tsad::Series x = RandomWalk(n, 2);
+  tsad::MatrixProfileOptions options;
+  options.kernel = tsad::MpKernel::kMpx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsad::ComputeMatrixProfile(x, 64, options));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MpxMatrixProfile)->Range(1 << 10, 1 << 13)->Complexity();
 
 void BM_NaiveMatrixProfile(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -108,43 +131,88 @@ double TimeStompMs(const tsad::Series& x, Fn&& compute) {
 
 int main(int argc, char** argv) {
   tsad::bench::InitThreadsFromArgs(&argc, argv);
+  tsad::bench::InitMpKernelFromArgs(&argc, argv);
+  const bool smoke = tsad::bench::ConsumeFlag(&argc, argv, "--smoke");
   const std::size_t threads = tsad::ParallelThreads();
-  const tsad::Series x = RandomWalk(1 << 14, 2);
+  // Series size: 2^14 by default; TSAD_PERF_MP_N overrides (the
+  // EXPERIMENTS.md n=65536 row is produced that way); --smoke forces a
+  // tiny run that only proves the bench executes (the perf_smoke ctest
+  // label) and therefore writes no JSON.
+  std::size_t n = smoke ? (1 << 11) : (1 << 14);
+  if (!smoke) {
+    if (const char* env = std::getenv("TSAD_PERF_MP_N")) {
+      const std::size_t env_n = std::strtoull(env, nullptr, 10);
+      if (env_n > 0) n = env_n;
+    }
+  }
+  const tsad::Series x = RandomWalk(n, 2);
 
-  const auto optimized = [](const tsad::Series& s) {
-    return tsad::ComputeMatrixProfile(s, 64);
+  const auto stomp = [](const tsad::Series& s) {
+    tsad::MatrixProfileOptions options;
+    options.kernel = tsad::MpKernel::kStomp;
+    return tsad::ComputeMatrixProfile(s, 64, options);
+  };
+  const auto mpx = [](const tsad::Series& s) {
+    tsad::MatrixProfileOptions options;
+    options.kernel = tsad::MpKernel::kMpx;
+    return tsad::ComputeMatrixProfile(s, 64, options);
   };
   const auto reference = [](const tsad::Series& s) {
     return tsad::ComputeMatrixProfileReference(s, 64);
   };
 
-  // Kernel-caching win: frozen pre-caching kernel vs. the planned-FFT +
-  // hoisted-scan kernel, both single-threaded so the ratio isolates the
-  // caching layer from the parallel layer.
+  // Single-threaded legs, so each ratio isolates one layer: reference
+  // vs STOMP is the kernel-caching win, STOMP vs MPX is the diagonal
+  // kernel's win on top of it.
   tsad::SetParallelThreads(1);
   tsad::ResetFftPlanCacheStats();
   const double reference_ms = TimeStompMs(x, reference);
-  const double serial_ms = TimeStompMs(x, optimized);
+  const double serial_ms = TimeStompMs(x, stomp);
   const tsad::FftPlanCacheStats plan_stats = tsad::GetFftPlanCacheStats();
-  tsad::SetParallelThreads(threads);
-  const double parallel_ms = TimeStompMs(x, optimized);
+  const double mpx_ms = TimeStompMs(x, mpx);
 
-  std::printf("STOMP n=%d: reference %.1f ms, optimized serial %.1f ms "
-              "(kernel speedup %.2fx), %zu threads %.1f ms "
-              "(speedup %.2fx); fft plan cache %zu hits / %zu misses\n",
-              1 << 14, reference_ms, serial_ms, reference_ms / serial_ms,
-              threads, parallel_ms, serial_ms / parallel_ms, plan_stats.hits,
-              plan_stats.misses);
-  tsad::bench::WriteBenchJson(
-      "perf_matrix_profile",
-      {{"serial_ms", serial_ms},
-       {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms},
-       {"threads", static_cast<double>(threads)},
-       {"reference_ms", reference_ms},
-       {"kernel_speedup", reference_ms / serial_ms},
-       {"fft_plan_hits", static_cast<double>(plan_stats.hits)},
-       {"fft_plan_misses", static_cast<double>(plan_stats.misses)}});
+  std::printf("matrix profile n=%zu: reference %.1f ms, stomp serial %.1f ms "
+              "(kernel speedup %.2fx), mpx serial %.1f ms (mpx speedup "
+              "%.2fx); fft plan cache %zu hits / %zu misses / %zu evictions\n",
+              n, reference_ms, serial_ms, reference_ms / serial_ms, mpx_ms,
+              serial_ms / mpx_ms, plan_stats.hits, plan_stats.misses,
+              plan_stats.evictions);
+
+  std::vector<std::pair<std::string, double>> fields = {
+      {"serial_ms", serial_ms},
+      {"threads", static_cast<double>(threads)},
+      {"reference_ms", reference_ms},
+      {"kernel_speedup", reference_ms / serial_ms},
+      {"mpx_ms", mpx_ms},
+      {"mpx_speedup", serial_ms / mpx_ms},
+      {"fft_plan_hits", static_cast<double>(plan_stats.hits)},
+      {"fft_plan_misses", static_cast<double>(plan_stats.misses)},
+      {"fft_plan_evictions", static_cast<double>(plan_stats.evictions)}};
+
+  // The parallel leg is only meaningful when the pool actually has
+  // more than one thread. On a 1-core runner the old bench re-timed
+  // the serial path and reported its noise as "speedup" ~0.99x — now
+  // the leg is skipped and marked instead of fabricating a ratio.
+  tsad::SetParallelThreads(threads);
+  if (threads > 1) {
+    const double parallel_ms = TimeStompMs(x, stomp);
+    const double mpx_parallel_ms = TimeStompMs(x, mpx);
+    std::printf("parallel (%zu threads): stomp %.1f ms (speedup %.2fx), "
+                "mpx %.1f ms (speedup %.2fx)\n",
+                threads, parallel_ms, serial_ms / parallel_ms,
+                mpx_parallel_ms, mpx_ms / mpx_parallel_ms);
+    fields.push_back({"parallel_ms", parallel_ms});
+    fields.push_back({"speedup", serial_ms / parallel_ms});
+    fields.push_back({"mpx_parallel_ms", mpx_parallel_ms});
+    fields.push_back({"mpx_parallel_speedup", mpx_ms / mpx_parallel_ms});
+    fields.push_back({"parallel_skipped", 0.0});
+  } else {
+    std::printf("parallel leg skipped: effective thread count is 1\n");
+    fields.push_back({"parallel_skipped", 1.0});
+  }
+
+  if (smoke) return 0;
+  tsad::bench::WriteBenchJson("perf_matrix_profile", fields);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

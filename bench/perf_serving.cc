@@ -55,12 +55,15 @@ tsad::ReplayReport BestReplay(const tsad::Series& series,
 
 int main(int argc, char** argv) {
   tsad::bench::InitThreadsFromArgs(&argc, argv);
+  const bool smoke = tsad::bench::ConsumeFlag(&argc, argv, "--smoke");
   std::size_t threads = tsad::ParallelThreads();
   if (threads < 2) threads = 8;  // the point is the scaling comparison
 
-  const tsad::Series series = SyntheticTelemetry(4096, 1);
+  // --smoke (the perf_smoke ctest label) shrinks the replay to prove
+  // the bench and the byte-identity gate execute; it writes no JSON.
+  const tsad::Series series = SyntheticTelemetry(smoke ? 1024 : 4096, 1);
   tsad::ReplayOptions options;
-  options.num_streams = 16;
+  options.num_streams = smoke ? 4 : 16;
   options.detector_spec = "streaming:m=64";
   options.batch = 256;
 
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
               parallel.p99_pump_seconds * 1e3);
   std::printf("  speedup  : %.2fx\n", speedup);
 
+  if (smoke) return 0;
   tsad::bench::WriteBenchJson(
       "perf_serving",
       {{"streams", static_cast<double>(options.num_streams)},

@@ -116,8 +116,18 @@ double TimeSweepMs(const tsad::YahooArchive& archive, Fn&& solve) {
 
 int main(int argc, char** argv) {
   tsad::bench::InitThreadsFromArgs(&argc, argv);
+  const bool smoke = tsad::bench::ConsumeFlag(&argc, argv, "--smoke");
   const std::size_t threads = tsad::ParallelThreads();
-  const tsad::YahooArchive archive = tsad::GenerateYahooArchive();
+  tsad::YahooConfig config;
+  if (smoke) {
+    // Tiny archive for the perf_smoke ctest label: proves the bench
+    // runs, measures nothing, writes no JSON.
+    config.a1_count = 2;
+    config.a2_count = 2;
+    config.a3_count = 2;
+    config.a4_count = 2;
+  }
+  const tsad::YahooArchive archive = tsad::GenerateYahooArchive(config);
 
   tsad::SetParallelThreads(1);
   // Memoization win: the frozen per-call sweep vs. the cached one, both
@@ -130,23 +140,36 @@ int main(int argc, char** argv) {
         return tsad::FindOneLiner(s);
       });
   const double serial_ms = TimeFullArchiveMs(archive);
-  tsad::SetParallelThreads(threads);
-  const double parallel_ms = TimeFullArchiveMs(archive);
 
-  std::printf("table1 full archive: serial %.1f ms, %zu threads %.1f ms "
-              "(speedup %.2fx); sweep direct %.1f ms, memoized %.1f ms "
-              "(kernel speedup %.2fx)\n",
-              serial_ms, threads, parallel_ms, serial_ms / parallel_ms,
-              direct_ms, memoized_ms, direct_ms / memoized_ms);
-  tsad::bench::WriteBenchJson(
-      "perf_triviality",
-      {{"serial_ms", serial_ms},
-       {"parallel_ms", parallel_ms},
-       {"speedup", serial_ms / parallel_ms},
-       {"threads", static_cast<double>(threads)},
-       {"sweep_direct_ms", direct_ms},
-       {"sweep_memoized_ms", memoized_ms},
-       {"kernel_speedup", direct_ms / memoized_ms}});
+  std::printf("table1 full archive: serial %.1f ms; sweep direct %.1f ms, "
+              "memoized %.1f ms (kernel speedup %.2fx)\n",
+              serial_ms, direct_ms, memoized_ms, direct_ms / memoized_ms);
+
+  std::vector<std::pair<std::string, double>> fields = {
+      {"serial_ms", serial_ms},
+      {"threads", static_cast<double>(threads)},
+      {"sweep_direct_ms", direct_ms},
+      {"sweep_memoized_ms", memoized_ms},
+      {"kernel_speedup", direct_ms / memoized_ms}};
+
+  // Skip (and mark) the parallel leg when the pool resolves to a
+  // single thread — re-timing the serial path would report noise as
+  // "speedup".
+  tsad::SetParallelThreads(threads);
+  if (threads > 1) {
+    const double parallel_ms = TimeFullArchiveMs(archive);
+    std::printf("parallel (%zu threads): %.1f ms (speedup %.2fx)\n", threads,
+                parallel_ms, serial_ms / parallel_ms);
+    fields.push_back({"parallel_ms", parallel_ms});
+    fields.push_back({"speedup", serial_ms / parallel_ms});
+    fields.push_back({"parallel_skipped", 0.0});
+  } else {
+    std::printf("parallel leg skipped: effective thread count is 1\n");
+    fields.push_back({"parallel_skipped", 1.0});
+  }
+
+  if (smoke) return 0;
+  tsad::bench::WriteBenchJson("perf_triviality", fields);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

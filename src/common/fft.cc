@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
@@ -145,9 +146,37 @@ namespace {
 
 struct PlanCache {
   std::mutex mutex;
-  std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> plans;
+  struct Entry {
+    std::shared_ptr<const FftPlan> plan;
+    std::list<std::size_t>::iterator lru_pos;
+  };
+  std::unordered_map<std::size_t, Entry> plans;
+  std::list<std::size_t> lru;  // front = most recently used
+  std::size_t capacity = kDefaultFftPlanCacheCapacity;
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t evictions = 0;
+
+  PlanCache() {
+    if (const char* env = std::getenv("TSAD_FFT_PLAN_CACHE_CAP")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') {
+        capacity = static_cast<std::size_t>(v);
+      }
+    }
+  }
+
+  // Drops least-recently-used plans until within capacity. Caller
+  // holds the mutex. capacity == 0 means unbounded.
+  void EvictToCapacity() {
+    if (capacity == 0) return;
+    while (plans.size() > capacity) {
+      plans.erase(lru.back());
+      lru.pop_back();
+      ++evictions;
+    }
+  }
 };
 
 PlanCache& GetPlanCache() {
@@ -164,18 +193,34 @@ std::shared_ptr<const FftPlan> GetFftPlan(std::size_t n) {
   auto it = cache.plans.find(size);
   if (it != cache.plans.end()) {
     ++cache.hits;
-    return it->second;
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second.lru_pos);
+    return it->second.plan;
   }
   ++cache.misses;
   auto plan = std::make_shared<const FftPlan>(size);
-  cache.plans.emplace(size, plan);
+  cache.lru.push_front(size);
+  cache.plans.emplace(size, PlanCache::Entry{plan, cache.lru.begin()});
+  cache.EvictToCapacity();
   return plan;
+}
+
+void SetFftPlanCacheCapacity(std::size_t capacity) {
+  PlanCache& cache = GetPlanCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  cache.capacity = capacity;
+  cache.EvictToCapacity();
+}
+
+std::size_t FftPlanCacheCapacity() {
+  PlanCache& cache = GetPlanCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return cache.capacity;
 }
 
 FftPlanCacheStats GetFftPlanCacheStats() {
   PlanCache& cache = GetPlanCache();
   std::lock_guard<std::mutex> lock(cache.mutex);
-  return {cache.hits, cache.misses, cache.plans.size()};
+  return {cache.hits, cache.misses, cache.evictions, cache.plans.size()};
 }
 
 void ResetFftPlanCacheStats() {
@@ -183,6 +228,7 @@ void ResetFftPlanCacheStats() {
   std::lock_guard<std::mutex> lock(cache.mutex);
   cache.hits = 0;
   cache.misses = 0;
+  cache.evictions = 0;
 }
 
 std::vector<double> SlidingDotProductNaive(const std::vector<double>& t,

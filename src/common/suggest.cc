@@ -1,0 +1,38 @@
+#include "common/suggest.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tsad {
+
+std::size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string SuggestClosest(std::string_view name,
+                           const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
+  for (const std::string& candidate : candidates) {
+    const std::size_t d = EditDistance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  const std::size_t cutoff = std::max<std::size_t>(1, name.size() / 2);
+  return best_distance <= cutoff ? best : std::string();
+}
+
+}  // namespace tsad

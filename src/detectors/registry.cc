@@ -8,6 +8,7 @@
 #include <map>
 #include <string_view>
 
+#include "common/suggest.h"
 #include "detectors/control_chart.h"
 #include "detectors/cusum.h"
 #include "detectors/discord.h"
@@ -89,38 +90,11 @@ class ParamReader {
   Params params_;
 };
 
-// Classic O(|a|*|b|) Levenshtein distance, for "did you mean" hints.
-std::size_t EditDistance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
-    }
-  }
-  return row[b.size()];
-}
-
-// The registered name closest to `name`, when plausibly a typo (edit
-// distance at most half the typed name's length, minimum 1... a wholly
-// unrelated string gets no suggestion). Lowest distance wins; ties
-// break to registration order.
+// The registered name closest to `name`, via the shared "did you mean"
+// helper (common/suggest.h): plausible typos get the nearest registered
+// name, ties break to registration order.
 std::string SuggestDetectorName(std::string_view name) {
-  std::string best;
-  std::size_t best_distance = std::numeric_limits<std::size_t>::max();
-  for (const std::string& candidate : RegisteredDetectorNames()) {
-    const std::size_t d = EditDistance(name, candidate);
-    if (d < best_distance) {
-      best_distance = d;
-      best = candidate;
-    }
-  }
-  const std::size_t cutoff = std::max<std::size_t>(1, name.size() / 2);
-  return best_distance <= cutoff ? best : std::string();
+  return SuggestClosest(name, RegisteredDetectorNames());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "substrates/matrix_profile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -14,8 +15,11 @@
 #include "common/fft.h"
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/suggest.h"
 #include "common/vector_ops.h"
 #include "robustness/deadline.h"
+#include "substrates/mpx_kernel.h"
+#include "substrates/profile_internal.h"
 
 namespace tsad {
 
@@ -35,15 +39,10 @@ constexpr std::size_t kDeadlinePollRows = 64;
 // the same rows are always computed from the same seeds.
 constexpr std::size_t kStompBlockRows = 256;
 
-// Subsequences whose std is this small RELATIVE to their mean magnitude
-// are treated as "flat". The threshold must be relative: rolling-sum
-// cancellation noise scales with the square of the values, so an
-// absolute epsilon misclassifies exactly-constant runs at large levels.
-constexpr double kFlatSigmaRel = 1e-7;
-
-inline bool IsFlat(double mean, double std) {
-  return std < kFlatSigmaRel * (1.0 + std::fabs(mean));
-}
+// The flat-subsequence threshold and classifier live in
+// profile_internal.h, shared with the MPX kernel so both kernels take
+// the SCAMP special cases on exactly the same entries.
+using profile_internal::IsFlat;
 
 // Shorthand for the exported ZNormPairDistance, keeping the call sites
 // below readable.
@@ -271,24 +270,14 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                              ComputeWindowStats(series, query.size()));
 }
 
-Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
-                                           std::size_t m,
-                                           std::size_t exclusion) {
-  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
-  const std::size_t count = NumSubsequences(series.size(), m);
-  if (count < 2) {
-    return Status::InvalidArgument(
-        "series too short: need at least 2 subsequences of length " +
-        std::to_string(m));
-  }
-  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
-  if (exclusion >= count - 1) {
-    return Status::InvalidArgument(
-        "exclusion zone " + std::to_string(exclusion) +
-        " leaves no candidate neighbors for " + std::to_string(count) +
-        " subsequences");
-  }
+namespace {
 
+// The STOMP self-join (PR 4's planned-FFT, hoisted-scan kernel),
+// reached through the ComputeMatrixProfile dispatcher below. Takes an
+// already-resolved exclusion zone.
+Result<MatrixProfile> ComputeMatrixProfileStomp(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion,
+    std::size_t count) {
   const WindowStats stats = ComputeWindowStats(series, m);
 
   MatrixProfile mp;
@@ -360,22 +349,85 @@ Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
   return mp;
 }
 
+}  // namespace
+
+// Process-wide kernel override (the --mp-kernel flag). Relaxed atomics
+// suffice: the flag is set once during CLI startup before any profile
+// runs, and a racing reader would only pick a stale-but-valid kernel.
+namespace {
+std::atomic<int> g_mp_kernel_override{static_cast<int>(MpKernel::kAuto)};
+}  // namespace
+
+void SetMpKernelOverride(MpKernel kernel) {
+  g_mp_kernel_override.store(static_cast<int>(kernel),
+                             std::memory_order_relaxed);
+}
+
+MpKernel GetMpKernelOverride() {
+  return static_cast<MpKernel>(
+      g_mp_kernel_override.load(std::memory_order_relaxed));
+}
+
+MpKernel ResolveMpKernel(MpKernel requested, std::size_t num_subsequences) {
+  if (requested != MpKernel::kAuto) return requested;
+  const MpKernel override = GetMpKernelOverride();
+  if (override != MpKernel::kAuto) return override;
+  return num_subsequences >= kMpxAutoMinSubsequences ? MpKernel::kMpx
+                                                     : MpKernel::kStomp;
+}
+
+const char* MpKernelName(MpKernel kernel) {
+  switch (kernel) {
+    case MpKernel::kAuto:
+      return "auto";
+    case MpKernel::kStomp:
+      return "stomp";
+    case MpKernel::kMpx:
+      return "mpx";
+  }
+  return "auto";
+}
+
+Result<MpKernel> ParseMpKernel(const std::string& name) {
+  static const std::vector<std::string> kNames = {"auto", "stomp", "mpx"};
+  if (name == "auto") return MpKernel::kAuto;
+  if (name == "stomp") return MpKernel::kStomp;
+  if (name == "mpx") return MpKernel::kMpx;
+  std::string message =
+      "unknown matrix-profile kernel '" + name + "'; known: auto stomp mpx";
+  const std::string suggestion = SuggestClosest(name, kNames);
+  if (!suggestion.empty()) {
+    message += "; did you mean '" + suggestion + "'?";
+  }
+  return Status::InvalidArgument(message);
+}
+
+Result<MatrixProfile> ComputeMatrixProfile(
+    const std::vector<double>& series, std::size_t m,
+    const MatrixProfileOptions& options) {
+  std::size_t exclusion = options.exclusion;
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(
+      profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
+  if (ResolveMpKernel(options.kernel, count) == MpKernel::kMpx) {
+    return ComputeMatrixProfileMpx(series, m, exclusion);
+  }
+  return ComputeMatrixProfileStomp(series, m, exclusion, count);
+}
+
+Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
+                                           std::size_t m,
+                                           std::size_t exclusion) {
+  MatrixProfileOptions options;
+  options.exclusion = exclusion;
+  return ComputeMatrixProfile(series, m, options);
+}
+
 Result<MatrixProfile> ComputeMatrixProfileReference(
     const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
-  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
-  const std::size_t count = NumSubsequences(series.size(), m);
-  if (count < 2) {
-    return Status::InvalidArgument(
-        "series too short: need at least 2 subsequences of length " +
-        std::to_string(m));
-  }
-  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
-  if (exclusion >= count - 1) {
-    return Status::InvalidArgument(
-        "exclusion zone " + std::to_string(exclusion) +
-        " leaves no candidate neighbors for " + std::to_string(count) +
-        " subsequences");
-  }
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(
+      profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
 
   const WindowStats stats = ComputeWindowStats(series, m);
   MatrixProfile mp;
@@ -423,15 +475,9 @@ Result<MatrixProfile> ComputeMatrixProfileReference(
 
 Result<MatrixProfile> ComputeMatrixProfileNaive(
     const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
-  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
-  const std::size_t count = NumSubsequences(series.size(), m);
-  if (count < 2) {
-    return Status::InvalidArgument("series too short for naive profile");
-  }
-  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
-  if (exclusion >= count - 1) {
-    return Status::InvalidArgument("exclusion zone too large");
-  }
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(
+      profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
 
   MatrixProfile mp;
   mp.subsequence_length = m;
@@ -466,7 +512,9 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
         "series too short: need at least 2 subsequences of length " +
         std::to_string(m));
   }
-  if (exclusion == std::numeric_limits<std::size_t>::max()) exclusion = m / 2;
+  if (exclusion == std::numeric_limits<std::size_t>::max()) {
+    exclusion = DefaultSelfJoinExclusion(m);
+  }
 
   const WindowStats stats = ComputeWindowStats(series, m);
   MatrixProfile mp;
@@ -591,7 +639,7 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
 std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,
                                  std::size_t exclusion) {
   if (exclusion == std::numeric_limits<std::size_t>::max()) {
-    exclusion = profile.subsequence_length;
+    exclusion = DefaultDiscordExclusion(profile.subsequence_length);
   }
   // One sort-by-distance pass instead of rescanning the whole profile
   // per round (O(n log n + k * exclusion) vs O(k * n)). Walking the

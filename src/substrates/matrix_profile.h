@@ -46,6 +46,92 @@ struct MatrixProfile {
 inline constexpr std::size_t kNoNeighbor =
     std::numeric_limits<std::size_t>::max();
 
+// ---------------------------------------------------------------------------
+// Exclusion-zone conventions — THE single home of the two defaults.
+//
+// Two different zones exist in this module and they are intentionally
+// different sizes:
+//  * Profile computation suppresses trivial matches with a zone of
+//    m/2 around each subsequence (neighbor j counts only when
+//    |i - j| > m/2).
+//  * Discord extraction (TopDiscords) suppresses overlapping discords
+//    with a zone of m, so reported discords never share a single point.
+//
+// Rounding: both use C++ integer division, i.e. floor. For even m the
+// self-join zone is exactly m/2 (m=64 -> 32: j = i+32 is ineligible,
+// j = i+33 is the first candidate); for odd m it floors (m=65 -> 32).
+// Every kernel (STOMP, MPX, the naive reference) and TopDiscords must
+// derive its default from these two functions — never from a literal —
+// so the semantics can only ever change in one place.
+// ---------------------------------------------------------------------------
+
+/// Default trivial-match exclusion zone of the profile kernels: m/2
+/// (floor division; see the convention block above).
+inline std::size_t DefaultSelfJoinExclusion(std::size_t m) { return m / 2; }
+
+/// Default overlap-suppression zone of TopDiscords: m.
+inline std::size_t DefaultDiscordExclusion(std::size_t m) { return m; }
+
+// ---------------------------------------------------------------------------
+// Kernel selection. Two self-join kernels compute the same profile:
+//
+//  * kStomp — the FFT-seeded row recurrence (PR 4's planned-FFT,
+//    hoisted-scan kernel). Bit-identical to the frozen
+//    ComputeMatrixProfileReference; the only kernel for AB-join and the
+//    left (causal) profile.
+//  * kMpx — the diagonal-traversal MPX kernel (substrates/mpx_kernel.h):
+//    no FFT anywhere, O(1) running-covariance updates along each
+//    diagonal. Several-fold faster on CPU, but it accumulates in a
+//    different order than FFT+STOMP, so values agree only to a
+//    tolerance (distances within kMpxCorrTolerance in squared-distance
+//    space; discord indices exactly — see tests/substrates/
+//    profile_equivalence.h for the contract).
+//
+// kAuto resolves per call: an explicit process-wide override (the
+// --mp-kernel CLI flag) wins, else series length decides — MPX for
+// self-joins with at least kMpxAutoMinSubsequences subsequences, STOMP
+// below (small profiles stay bit-stable with the historical kernel and
+// gain nothing from diagonal traversal).
+// ---------------------------------------------------------------------------
+
+enum class MpKernel {
+  kAuto = 0,
+  kStomp = 1,
+  kMpx = 2,
+};
+
+/// Self-joins with at least this many subsequences auto-dispatch to
+/// MPX; smaller ones stay on STOMP (documented threshold — the dispatch
+/// tests pin it).
+inline constexpr std::size_t kMpxAutoMinSubsequences = 2048;
+
+/// Options for ComputeMatrixProfile. `exclusion` keeps the historical
+/// SIZE_MAX = "use DefaultSelfJoinExclusion(m)" convention.
+struct MatrixProfileOptions {
+  MpKernel kernel = MpKernel::kAuto;
+  std::size_t exclusion = std::numeric_limits<std::size_t>::max();
+};
+
+/// Process-wide kernel override for kAuto callers (the --mp-kernel
+/// flag lands here). kAuto clears the override and returns to the
+/// size-based rule. Explicit per-call options always beat the override.
+void SetMpKernelOverride(MpKernel kernel);
+MpKernel GetMpKernelOverride();
+
+/// The kernel a self-join with `num_subsequences` subsequences actually
+/// runs: `requested` if explicit, else the process override if set,
+/// else MPX at >= kMpxAutoMinSubsequences and STOMP below. Pure given
+/// the override state — the dispatch tests drive it directly.
+MpKernel ResolveMpKernel(MpKernel requested, std::size_t num_subsequences);
+
+/// Parses "auto" / "stomp" / "mpx" (the --mp-kernel values). Unknown
+/// names are InvalidArgument with the registry-style "did you mean"
+/// suggestion.
+Result<MpKernel> ParseMpKernel(const std::string& name);
+
+/// The canonical name of a kernel ("auto", "stomp", "mpx").
+const char* MpKernelName(MpKernel kernel);
+
 /// Pairwise z-normalized distance between two length-m subsequences
 /// from their dot product `qt` and rolling means/stds (SCAMP flat-
 /// subsequence convention: flat-vs-flat is 0, flat-vs-dynamic is the
@@ -67,10 +153,12 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
 std::vector<double> MassDistanceProfile(const std::vector<double>& series,
                                         const std::vector<double>& query);
 
-/// STOMP self-join in O(n^2) time / O(n) memory per row. The exclusion
-/// zone suppresses trivial matches: neighbor j of subsequence i is only
-/// considered when |i - j| > exclusion. The conventional zone m/2 is
-/// used when `exclusion` is SIZE_MAX.
+/// Self-join in O(n^2) time / O(n) memory per row, auto-dispatched
+/// between the STOMP and MPX kernels (see the kernel selection block
+/// above). The exclusion zone suppresses trivial matches: neighbor j of
+/// subsequence i is only considered when |i - j| > exclusion. The
+/// conventional zone DefaultSelfJoinExclusion(m) = m/2 is used when
+/// `exclusion` is SIZE_MAX.
 ///
 /// Returns InvalidArgument if m < 2 or there are fewer than 2
 /// subsequences or the exclusion zone leaves some subsequence with no
@@ -78,6 +166,15 @@ std::vector<double> MassDistanceProfile(const std::vector<double>& series,
 Result<MatrixProfile> ComputeMatrixProfile(
     const std::vector<double>& series, std::size_t m,
     std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+/// Kernel-selecting overload: dispatches to STOMP or MPX per
+/// options.kernel (kAuto = override, then size rule — see the kernel
+/// selection block above). The exclusion-less overload above is
+/// equivalent to passing default MatrixProfileOptions, so every
+/// existing self-join call site participates in auto-dispatch.
+Result<MatrixProfile> ComputeMatrixProfile(const std::vector<double>& series,
+                                           std::size_t m,
+                                           const MatrixProfileOptions& options);
 
 /// Naive O(n^2 m) reference implementation, for tests.
 Result<MatrixProfile> ComputeMatrixProfileNaive(
@@ -129,7 +226,8 @@ struct Discord {
 
 /// Extracts the top-k discords from a matrix profile, suppressing
 /// overlaps: after taking a discord at p, positions within `exclusion`
-/// of p are ineligible (default exclusion: m).
+/// of p are ineligible (default: DefaultDiscordExclusion(m) = m — see
+/// the exclusion-zone convention block above).
 std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,
                                  std::size_t exclusion =
                                      std::numeric_limits<std::size_t>::max());

@@ -1,0 +1,206 @@
+#include "substrates/mpx_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "robustness/deadline.h"
+#include "substrates/profile_internal.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+
+namespace {
+
+// Diagonals per ParallelFor work item. Also the determinism grain: a
+// diagonal's running covariance lives entirely inside one tile, so the
+// per-pair correlations are identical no matter how tiles land on
+// threads. 128 diagonals keep ~100+ tasks alive at bench sizes and
+// still give several tiles at test sizes (count ~600), so the merge
+// path is exercised even in small suites.
+constexpr std::size_t kMpxDiagTile = 128;
+
+// Offsets per cache block inside a tile. A tile touches the row segment
+// [r0, r1) and the column segment [r0 + d_begin, r1 + d_end) of the
+// ddf/ddg/inv/best arrays — with 1024 offsets that is about
+// 2 * (1024 + 128) * 5 arrays * 8 bytes ~= 90 KiB, sized to stay
+// L2-resident across all 128 diagonals of the tile instead of
+// streaming full n-length arrays once per diagonal.
+//
+// The block boundary doubles as the error-containment boundary: each
+// diagonal RE-SEEDS its covariance at the first offset of every block
+// with a locally-centered O(m) dot product. The ddf/ddg recurrence is
+// exact in exact arithmetic but mixes magnitudes — a diagonal crossing
+// an extreme level shift (say a 1e6-level flat run in an O(1) series)
+// briefly holds a ~1e12 covariance and keeps that magnitude's ABSOLUTE
+// rounding error after returning to O(1) values. Re-seeding flushes
+// the drift every kMpxRowBlock steps (the centered dot is well-
+// conditioned at any level), so error accumulates over at most one
+// block instead of a whole diagonal. Seeding costs m/kMpxRowBlock
+// (~6% at m=64) of the recurrence work. Boundaries are fixed
+// constants, so determinism is unaffected.
+constexpr std::size_t kMpxRowBlock = 1024;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Lowest flat subsequence index outside i's exclusion zone, or
+// kNoNeighbor. `flat` is ascending, so the overall-lowest index wins if
+// it clears the left side of the zone; otherwise the first index past
+// the right side (if any) is the lowest eligible one.
+std::size_t LowestFlatOutsideExclusion(const std::vector<std::size_t>& flat,
+                                       std::size_t i, std::size_t exclusion) {
+  if (flat.empty()) return kNoNeighbor;
+  if (i > exclusion && flat.front() < i - exclusion) return flat.front();
+  const auto it = std::upper_bound(flat.begin(), flat.end(), i + exclusion);
+  return it == flat.end() ? kNoNeighbor : *it;
+}
+
+}  // namespace
+
+Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
+                                              std::size_t m,
+                                              std::size_t exclusion) {
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(
+      profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
+
+  const WindowStats stats = ComputeWindowStats(series, m);
+  const double dm = static_cast<double>(m);
+  const double two_m = 2.0 * dm;
+  const double sqrt_two_m = std::sqrt(two_m);
+  const double sqrt_m = std::sqrt(dm);
+
+  // muinvn: inverse centered norms. Flat subsequences get inv = 0, so
+  // every correlation they participate in is exactly +/-0 — they drop
+  // out of the neighbor race numerically and are patched to the SCAMP
+  // special cases after the traversal.
+  std::vector<double> inv(count);
+  std::vector<std::size_t> flat_indices;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (profile_internal::IsFlat(stats.means[i], stats.stds[i])) {
+      inv[i] = 0.0;
+      flat_indices.push_back(i);
+    } else {
+      inv[i] = 1.0 / (stats.stds[i] * sqrt_m);
+    }
+  }
+
+  // Difference tracks driving the diagonal covariance recurrence.
+  // Entry 0 is never read (every block's first offset is an explicitly
+  // accumulated seed, and offset 0 is always a block start) but is
+  // kept zero so the arrays index directly by offset.
+  std::vector<double> ddf(count, 0.0);
+  std::vector<double> ddg(count, 0.0);
+  for (std::size_t j = 1; j < count; ++j) {
+    ddf[j] = 0.5 * (series[j + m - 1] - series[j - 1]);
+    ddg[j] = (series[j + m - 1] - stats.means[j]) +
+             (series[j - 1] - stats.means[j - 1]);
+  }
+
+  // Shared best-so-far profile in correlation space, merged under
+  // `merge_mutex` with a lexicographic max (higher correlation wins,
+  // ties to the lower neighbor index — the same winner STOMP's serial
+  // lowest-index argmin picks, stated order-independently).
+  std::vector<double> best_corr(count, kNegInf);
+  std::vector<std::size_t> best_index(count, kNoNeighbor);
+  std::mutex merge_mutex;
+
+  const std::size_t min_diag = exclusion + 1;  // validation: < count
+  const std::size_t num_diags = count - min_diag;
+  const std::size_t num_tiles = (num_diags + kMpxDiagTile - 1) / kMpxDiagTile;
+
+  const Status status = ParallelFor(0, num_tiles, [&](std::size_t tile)
+                                                      -> Status {
+    const std::size_t d_begin = min_diag + tile * kMpxDiagTile;
+    const std::size_t d_end = std::min(count, d_begin + kMpxDiagTile);
+
+    std::vector<double> local_corr(count, kNegInf);
+    std::vector<std::size_t> local_index(count, kNoNeighbor);
+
+    const auto update = [&](double corr, std::size_t row, std::size_t col) {
+      if (corr > local_corr[row] ||
+          (corr == local_corr[row] && col < local_index[row])) {
+        local_corr[row] = corr;
+        local_index[row] = col;
+      }
+    };
+
+    // Cache-blocked traversal: offsets advance in row blocks; each
+    // diagonal is freshly seeded at the block's first offset (see the
+    // kMpxRowBlock comment) and advanced by the rank-2 recurrence
+    // within the block.
+    const std::size_t max_len = count - d_begin;  // longest diagonal here
+    for (std::size_t r0 = 0; r0 < max_len; r0 += kMpxRowBlock) {
+      TSAD_RETURN_IF_ERROR(CheckDeadline());
+      const std::size_t r1 = std::min(max_len, r0 + kMpxRowBlock);
+      for (std::size_t d = d_begin; d < d_end; ++d) {
+        const std::size_t len = count - d;  // offsets valid in [0, len)
+        if (r0 >= len) break;               // d ascending => len descending
+        const std::size_t end = std::min(r1, len);
+        // O(m) locally-centered seed: covariance of the pair (r0, r0+d).
+        const double mu_a = stats.means[r0];
+        const double mu_b = stats.means[r0 + d];
+        double c = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+          c += (series[r0 + k] - mu_a) * (series[r0 + d + k] - mu_b);
+        }
+        const double seed_corr = c * inv[r0] * inv[r0 + d];
+        update(seed_corr, r0, r0 + d);
+        update(seed_corr, r0 + d, r0);
+        for (std::size_t o = r0 + 1; o < end; ++o) {
+          c += ddf[o] * ddg[o + d] + ddf[o + d] * ddg[o];
+          const double corr = c * inv[o] * inv[o + d];
+          update(corr, o, o + d);
+          update(corr, o + d, o);
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (local_corr[i] > best_corr[i] ||
+          (local_corr[i] == best_corr[i] && local_index[i] < best_index[i])) {
+        best_corr[i] = local_corr[i];
+        best_index[i] = local_index[i];
+      }
+    }
+    return Status::OK();
+  });
+  TSAD_RETURN_IF_ERROR(status);
+
+  // Correlation -> distance, with the SCAMP flat special cases patched
+  // in: a flat subsequence is at distance 0 from the lowest eligible
+  // flat neighbor, else at the max attainable distance sqrt(2m) from
+  // whatever dynamic neighbor won the (all-zero-correlation) race.
+  MatrixProfile profile;
+  profile.subsequence_length = m;
+  profile.distances.assign(count,
+                           std::numeric_limits<double>::infinity());
+  profile.indices.assign(count, kNoNeighbor);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (inv[i] == 0.0) {
+      const std::size_t j = LowestFlatOutsideExclusion(flat_indices, i,
+                                                       exclusion);
+      if (j != kNoNeighbor) {
+        profile.distances[i] = 0.0;
+        profile.indices[i] = j;
+      } else if (best_index[i] != kNoNeighbor) {
+        profile.distances[i] = sqrt_two_m;
+        profile.indices[i] = best_index[i];
+      }
+      continue;
+    }
+    if (best_index[i] == kNoNeighbor) continue;  // NaN-poisoned input
+    const double corr = std::clamp(best_corr[i], -1.0, 1.0);
+    const double v = two_m * (1.0 - corr);
+    profile.distances[i] = std::sqrt(v > 0.0 ? v : 0.0);
+    profile.indices[i] = best_index[i];
+  }
+  return profile;
+}
+
+}  // namespace tsad

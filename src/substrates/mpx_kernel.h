@@ -1,0 +1,76 @@
+// MPX diagonal-traversal matrix-profile kernel (self-join).
+//
+// Where STOMP walks the distance matrix row by row — each row seeded by
+// an FFT sliding-dot pass, then advanced by an O(1) dot-product
+// recurrence and converted to distances with a div/sqrt per entry — MPX
+// walks it diagonal by diagonal and never touches an FFT at all:
+//
+//  * muinvn precompute: rolling means (shared with STOMP via
+//    ComputeWindowStats, so both kernels classify the same subsequences
+//    as flat) and per-subsequence INVERSE centered norms
+//    1 / (sigma * sqrt(m)), turning the per-pair normalization into two
+//    multiplies instead of a divide.
+//  * ddf/ddg difference tracks: ddf[i] = 0.5*(x[i+m-1] - x[i-1]),
+//    ddg[i] = (x[i+m-1] - mu[i]) + (x[i-1] - mu[i-1]). Along a
+//    diagonal, the centered covariance obeys
+//      c(i, j) = c(i-1, j-1) + ddf[i]*ddg[j] + ddf[j]*ddg[i],
+//    so each pair costs two fused multiply-adds — no divide, no sqrt,
+//    no FFT — and the Pearson correlation is c * inv[i] * inv[j].
+//    Distances are recovered once per ENTRY (not per pair) at the end:
+//    d = sqrt(2m * (1 - corr)).
+//  * Cache-blocked diagonal tiling: diagonals are processed in fixed
+//    tiles, and within a tile the offset range is walked in fixed row
+//    blocks, so the ddf/ddg/inv/profile segments a tile touches stay
+//    L1/L2-resident across all its diagonals instead of streaming the
+//    full arrays once per diagonal. Each diagonal re-seeds its
+//    covariance at every block boundary with a locally-centered O(m)
+//    dot, so recurrence rounding drift is contained to one block
+//    instead of compounding along the whole diagonal.
+//  * Parallelism: tiles are independent ParallelFor work items, each
+//    accumulating into a task-local profile; locals merge into the
+//    shared profile under a mutex with the order-independent operator
+//    "higher correlation wins, ties to the LOWER neighbor index".
+//    Because every diagonal lives in exactly one tile (its running
+//    covariance never crosses a tile boundary) and the merge is a
+//    lexicographic max, the result is IDENTICAL at any thread count.
+//
+// Numerics contract: MPX accumulates the covariance in a different
+// order than FFT+STOMP, so it is NOT bit-identical to
+// ComputeMatrixProfile*'s STOMP kernels. The equivalence harness
+// (tests/substrates/profile_equivalence.h) pins the actual contract:
+// squared distances within a documented absolute tolerance, flat-entry
+// special cases (0 / sqrt(2m)) exactly, and TopDiscords
+// indices/ordering exactly. Feed sanitized inputs: NaNs propagate
+// through the covariance chain and poison whole diagonals (STOMP
+// poisons rows instead — neither kernel defines NaN results).
+//
+// Only the full self-join is implemented. AB-join and the left (causal)
+// profile stay on STOMP until MPX variants land (the diagonal
+// recurrence needs both triangle halves; the causal profile uses only
+// one and its merge semantics differ).
+
+#ifndef TSAD_SUBSTRATES_MPX_KERNEL_H_
+#define TSAD_SUBSTRATES_MPX_KERNEL_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// MPX self-join: same arguments, validation, exclusion-zone and
+/// flat-subsequence semantics as ComputeMatrixProfile (SIZE_MAX
+/// exclusion resolves to DefaultSelfJoinExclusion(m)). Usually invoked
+/// through ComputeMatrixProfile with MatrixProfileOptions{kernel=kMpx}
+/// or the kAuto size rule; exported directly for the equivalence tests
+/// and benches.
+Result<MatrixProfile> ComputeMatrixProfileMpx(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_MPX_KERNEL_H_

@@ -1,0 +1,62 @@
+// Internal conventions shared by the matrix-profile kernel translation
+// units (matrix_profile.cc and mpx_kernel.cc). Both kernels MUST agree
+// on these definitions — the flat-subsequence classification decides
+// which entries take the SCAMP special-case distances (0 / sqrt(2m)),
+// and the argument validation decides which inputs are rejected — so
+// they live here instead of being duplicated per kernel. Not part of
+// the public API.
+
+#ifndef TSAD_SUBSTRATES_PROFILE_INTERNAL_H_
+#define TSAD_SUBSTRATES_PROFILE_INTERNAL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+#include "substrates/matrix_profile.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+namespace profile_internal {
+
+// Subsequences whose std is this small RELATIVE to their mean magnitude
+// are treated as "flat". The threshold must be relative: rolling-sum
+// cancellation noise scales with the square of the values, so an
+// absolute epsilon misclassifies exactly-constant runs at large levels.
+constexpr double kFlatSigmaRel = 1e-7;
+
+inline bool IsFlat(double mean, double std) {
+  return std < kFlatSigmaRel * (1.0 + std::fabs(mean));
+}
+
+// Shared self-join argument validation: resolves the SIZE_MAX
+// exclusion sentinel to DefaultSelfJoinExclusion(m) and rejects the
+// same degenerate shapes with the same messages in every kernel.
+// On OK, *exclusion and *count hold the resolved values.
+inline Status ValidateSelfJoin(std::size_t n, std::size_t m,
+                               std::size_t* exclusion, std::size_t* count) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  *count = NumSubsequences(n, m);
+  if (*count < 2) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m));
+  }
+  if (*exclusion == std::numeric_limits<std::size_t>::max()) {
+    *exclusion = DefaultSelfJoinExclusion(m);
+  }
+  if (*exclusion >= *count - 1) {
+    return Status::InvalidArgument(
+        "exclusion zone " + std::to_string(*exclusion) +
+        " leaves no candidate neighbors for " + std::to_string(*count) +
+        " subsequences");
+  }
+  return Status::OK();
+}
+
+}  // namespace profile_internal
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_PROFILE_INTERNAL_H_

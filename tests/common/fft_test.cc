@@ -240,6 +240,54 @@ TEST(FftPlanTest, CacheReturnsSharedPlanAndCountsHits) {
   EXPECT_GE(stats.entries, 1u);
 }
 
+// Restores the process-wide plan-cache capacity on scope exit so
+// capacity-squeezing tests cannot leak a tiny cache into later tests.
+class FftPlanCacheCapacityGuard {
+ public:
+  FftPlanCacheCapacityGuard() : saved_(FftPlanCacheCapacity()) {}
+  ~FftPlanCacheCapacityGuard() { SetFftPlanCacheCapacity(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+TEST(FftPlanTest, CacheEvictsLeastRecentlyUsedAtCapacity) {
+  FftPlanCacheCapacityGuard guard;
+  SetFftPlanCacheCapacity(2);  // evicts down immediately
+  ResetFftPlanCacheStats();
+  const auto a = GetFftPlan(64);
+  const auto b = GetFftPlan(128);
+  EXPECT_EQ(GetFftPlanCacheStats().entries, 2u);
+  GetFftPlan(64);                  // touch: 128 becomes the LRU victim
+  const auto c = GetFftPlan(256);  // over capacity -> evicts 128
+  const FftPlanCacheStats after = GetFftPlanCacheStats();
+  EXPECT_EQ(after.entries, 2u);
+  EXPECT_GE(after.evictions, 1u);
+
+  ResetFftPlanCacheStats();
+  EXPECT_EQ(GetFftPlan(64).get(), a.get());  // survivor: cache hit
+  EXPECT_EQ(GetFftPlanCacheStats().hits, 1u);
+  EXPECT_NE(GetFftPlan(128).get(), b.get());  // evicted: rebuilt fresh
+  EXPECT_GE(GetFftPlanCacheStats().misses, 1u);
+
+  // Eviction must never invalidate in-flight users: the old handle to
+  // the evicted plan still transforms correctly.
+  std::vector<std::complex<double>> x(128, {1.0, 0.0});
+  b->Forward(x);
+  EXPECT_NEAR(x[0].real(), 128.0, 1e-9);
+  (void)c;
+}
+
+TEST(FftPlanTest, ZeroCapacityMeansUnbounded) {
+  FftPlanCacheCapacityGuard guard;
+  SetFftPlanCacheCapacity(0);
+  ResetFftPlanCacheStats();
+  for (std::size_t size = 64; size <= 8192; size *= 2) GetFftPlan(size);
+  const FftPlanCacheStats stats = GetFftPlanCacheStats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GE(stats.entries, 8u);
+}
+
 // ---------------------------------------------------------------------------
 // SlidingDotPlan: Query must be BIT-IDENTICAL to the free
 // SlidingDotProduct for every shape — including n < 64, where both must

@@ -1,0 +1,331 @@
+#include "substrates/mpx_kernel.h"
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "datasets/gait.h"
+#include "datasets/nasa.h"
+#include "datasets/numenta.h"
+#include "datasets/omni.h"
+#include "datasets/physio.h"
+#include "datasets/yahoo.h"
+#include "profile_equivalence.h"
+#include "robustness/sanitize.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+namespace {
+
+using testing::ExpectProfileEquivalence;
+
+// Restores the pool size on scope exit so thread-sweeping tests cannot
+// leak a setting into later tests.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ParallelThreads()) {}
+  ~ThreadCountGuard() { SetParallelThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+// Restores the process-wide kernel override on scope exit, for the
+// same reason.
+class KernelOverrideGuard {
+ public:
+  KernelOverrideGuard() : saved_(GetMpKernelOverride()) {}
+  ~KernelOverrideGuard() { SetMpKernelOverride(saved_); }
+
+ private:
+  MpKernel saved_;
+};
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian();
+    v = level;
+  }
+  return x;
+}
+
+Series Truncated(const Series& x, std::size_t n) {
+  return Series(x.begin(),
+                x.begin() + static_cast<std::ptrdiff_t>(std::min(n, x.size())));
+}
+
+TEST(MpxKernelTest, EquivalenceOnRandomWalkAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(3000, 41);
+  for (const std::size_t m : {8u, 21u, 64u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectProfileEquivalence(x, m))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MpxKernelTest, EquivalenceOnFlatRegions) {
+  ThreadCountGuard guard;
+  Series x = RandomWalk(1500, 42);
+  // Exactly-constant runs exercise every SCAMP special case: flat rows
+  // whose nearest flat neighbor is in the OTHER run (distance 0 across
+  // a long gap), flat rows whose only candidates are dynamic
+  // (sqrt(2m)), and dynamic rows bordered by flat columns. The second
+  // run sits at a large level so the relative flatness threshold is
+  // exercised too.
+  for (std::size_t i = 200; i < 280; ++i) x[i] = 7.5;
+  for (std::size_t i = 900; i < 1000; ++i) x[i] = 1.0e6;
+  for (const std::size_t m : {16u, 17u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectProfileEquivalence(x, m))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MpxKernelTest, EquivalenceOnNanSanitizedInput) {
+  ThreadCountGuard guard;
+  Series damaged = RandomWalk(2000, 43);
+  for (std::size_t i = 150; i < 2000; i += 137) {
+    damaged[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  const Result<SanitizedSeries> repaired =
+      SanitizeSeries(damaged, ImputationPolicy::kLinearInterpolate);
+  ASSERT_TRUE(repaired.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    EXPECT_TRUE(ExpectProfileEquivalence(repaired->values, 32))
+        << "threads=" << threads;
+  }
+}
+
+TEST(MpxKernelTest, EquivalenceOnEverySimulatorFamily) {
+  ThreadCountGuard guard;
+  // One representative series per simulator family, truncated so the
+  // O(n^2) reference stays test-sized. Window lengths follow what the
+  // detectors actually use on each family.
+  struct Family {
+    const char* name;
+    Series values;
+    std::size_t m;
+  };
+  std::vector<Family> families;
+  {
+    YahooConfig config;
+    config.a1_count = 1;
+    config.a2_count = 1;
+    config.a3_count = 1;
+    config.a4_count = 1;
+    const YahooArchive yahoo = GenerateYahooArchive(config);
+    families.push_back({"yahoo_a1", yahoo.a1.series.at(0).values(), 24});
+    families.push_back({"yahoo_a4", yahoo.a4.series.at(0).values(), 24});
+  }
+  families.push_back(
+      {"numenta_taxi", Truncated(GenerateTaxiData().series.values(), 4000),
+       48});
+  families.push_back(
+      {"nasa", Truncated(GenerateNasaArchive().channels.series.at(0).values(),
+                         4000),
+       64});
+  {
+    OmniConfig config;
+    config.num_machines = 1;
+    const OmniArchive omni = GenerateOmniArchive(config);
+    const Result<LabeledSeries> dim = omni.machines.at(0).Dimension(0);
+    ASSERT_TRUE(dim.ok());
+    families.push_back({"omni", Truncated(dim->values(), 3000), 64});
+  }
+  families.push_back(
+      {"physio_ecg", Truncated(GenerateEcgWithPvc().values(), 4000), 64});
+  families.push_back(
+      {"gait", Truncated(GenerateGaitData().series.values(), 4000), 128});
+
+  for (const Family& family : families) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectProfileEquivalence(family.values, family.m))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MpxKernelTest, MpxBitIdenticalAcrossThreadCounts) {
+  // The per-tile merge is a lexicographic max, so MPX itself (not just
+  // its agreement with STOMP) must be EXACTLY reproducible at any
+  // thread count — EXPECT_EQ on doubles, not EXPECT_NEAR.
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(3000, 44);
+  const std::size_t m = 32;
+  SetParallelThreads(1);
+  const Result<MatrixProfile> serial = ComputeMatrixProfileMpx(x, m);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<MatrixProfile> parallel = ComputeMatrixProfileMpx(x, m);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->distances, serial->distances)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel->indices, serial->indices) << "threads=" << threads;
+  }
+}
+
+TEST(MpxKernelTest, ExclusionZoneConventionIsSharedAndDocumentedOnce) {
+  // The m/2 (floor) self-join zone and the m discord zone are defined
+  // exactly once (matrix_profile.h); these pins are the regression
+  // tripwire for anyone reintroducing a literal with different
+  // rounding. Even m=64: j = i+32 excluded, i+33 eligible. Odd m=65
+  // floors to the same 32.
+  EXPECT_EQ(DefaultSelfJoinExclusion(64), 32u);
+  EXPECT_EQ(DefaultSelfJoinExclusion(65), 32u);
+  EXPECT_EQ(DefaultDiscordExclusion(64), 64u);
+
+  // Both kernels must enforce the zone: no reported neighbor may ever
+  // be a trivial match.
+  const Series x = RandomWalk(1200, 45);
+  const std::size_t m = 64;
+  const std::size_t exclusion = DefaultSelfJoinExclusion(m);
+  for (const MpKernel kernel : {MpKernel::kStomp, MpKernel::kMpx}) {
+    MatrixProfileOptions options;
+    options.kernel = kernel;
+    const Result<MatrixProfile> profile = ComputeMatrixProfile(x, m, options);
+    ASSERT_TRUE(profile.ok());
+    for (std::size_t i = 0; i < profile->size(); ++i) {
+      const std::size_t j = profile->indices[i];
+      ASSERT_NE(j, kNoNeighbor);
+      const std::size_t gap = i > j ? i - j : j - i;
+      EXPECT_GT(gap, exclusion)
+          << MpKernelName(kernel) << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(MpxKernelTest, RejectsDegenerateInputsLikeStomp) {
+  const Series x = RandomWalk(64, 46);
+  // Same shared validation (profile_internal.h), same messages.
+  EXPECT_EQ(ComputeMatrixProfileMpx(x, 1).status().message(),
+            ComputeMatrixProfile(x, 1).status().message());
+  EXPECT_EQ(ComputeMatrixProfileMpx(Series{1.0, 2.0}, 8).status().message(),
+            ComputeMatrixProfile(Series{1.0, 2.0}, 8).status().message());
+  EXPECT_EQ(ComputeMatrixProfileMpx(x, 8, 60).status().message(),
+            ComputeMatrixProfile(x, 8, 60).status().message());
+  EXPECT_FALSE(ComputeMatrixProfileMpx(x, 8, 60).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch.
+
+TEST(MpxKernelDispatchTest, AutoPicksKernelAtDocumentedSizeThreshold) {
+  KernelOverrideGuard guard;
+  SetMpKernelOverride(MpKernel::kAuto);
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kAuto, kMpxAutoMinSubsequences - 1),
+            MpKernel::kStomp);
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kAuto, kMpxAutoMinSubsequences),
+            MpKernel::kMpx);
+  // Explicit requests ignore the size rule entirely.
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kStomp, 1u << 20), MpKernel::kStomp);
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kMpx, 4), MpKernel::kMpx);
+}
+
+TEST(MpxKernelDispatchTest, ProcessOverrideBeatsSizeRuleButNotExplicit) {
+  KernelOverrideGuard guard;
+  SetMpKernelOverride(MpKernel::kStomp);
+  EXPECT_EQ(GetMpKernelOverride(), MpKernel::kStomp);
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kAuto, 1u << 20), MpKernel::kStomp);
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kMpx, 4), MpKernel::kMpx);
+  SetMpKernelOverride(MpKernel::kAuto);  // kAuto clears the override
+  EXPECT_EQ(ResolveMpKernel(MpKernel::kAuto, 1u << 20), MpKernel::kMpx);
+}
+
+TEST(MpxKernelDispatchTest, AutoDispatchedProfileMatchesExplicitKernel) {
+  // Above the threshold the default entry point must BE the MPX
+  // kernel (bit-for-bit), below it the STOMP kernel; an explicit
+  // kStomp request above the threshold must stay bit-identical to the
+  // frozen reference.
+  KernelOverrideGuard guard;
+  SetMpKernelOverride(MpKernel::kAuto);
+  const std::size_t m = 16;
+  const Series big = RandomWalk(kMpxAutoMinSubsequences + m - 1, 47);
+
+  const Result<MatrixProfile> dispatched = ComputeMatrixProfile(big, m);
+  const Result<MatrixProfile> mpx = ComputeMatrixProfileMpx(big, m);
+  ASSERT_TRUE(dispatched.ok());
+  ASSERT_TRUE(mpx.ok());
+  EXPECT_EQ(dispatched->distances, mpx->distances);
+  EXPECT_EQ(dispatched->indices, mpx->indices);
+
+  MatrixProfileOptions stomp;
+  stomp.kernel = MpKernel::kStomp;
+  const Result<MatrixProfile> explicit_stomp =
+      ComputeMatrixProfile(big, m, stomp);
+  const Result<MatrixProfile> reference =
+      ComputeMatrixProfileReference(big, m);
+  ASSERT_TRUE(explicit_stomp.ok());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(explicit_stomp->distances, reference->distances);
+  EXPECT_EQ(explicit_stomp->indices, reference->indices);
+
+  const Series small = RandomWalk(600, 48);
+  const Result<MatrixProfile> small_dispatched =
+      ComputeMatrixProfile(small, m);
+  const Result<MatrixProfile> small_reference =
+      ComputeMatrixProfileReference(small, m);
+  ASSERT_TRUE(small_dispatched.ok());
+  ASSERT_TRUE(small_reference.ok());
+  EXPECT_EQ(small_dispatched->distances, small_reference->distances);
+  EXPECT_EQ(small_dispatched->indices, small_reference->indices);
+}
+
+TEST(MpxKernelDispatchTest, ParseAcceptsCanonicalNamesRoundTrip) {
+  for (const MpKernel kernel :
+       {MpKernel::kAuto, MpKernel::kStomp, MpKernel::kMpx}) {
+    const Result<MpKernel> parsed = ParseMpKernel(MpKernelName(kernel));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kernel);
+  }
+}
+
+TEST(MpxKernelDispatchTest, ParseRejectsUnknownWithSuggestion) {
+  const Result<MpKernel> stmp = ParseMpKernel("stmp");
+  ASSERT_FALSE(stmp.ok());
+  EXPECT_NE(stmp.status().message().find("unknown matrix-profile kernel"),
+            std::string::npos)
+      << stmp.status().message();
+  EXPECT_NE(stmp.status().message().find("did you mean 'stomp'?"),
+            std::string::npos)
+      << stmp.status().message();
+
+  const Result<MpKernel> mpxx = ParseMpKernel("mpxx");
+  ASSERT_FALSE(mpxx.ok());
+  EXPECT_NE(mpxx.status().message().find("did you mean 'mpx'?"),
+            std::string::npos)
+      << mpxx.status().message();
+
+  // Gibberish far from every candidate gets the name list but no
+  // confident suggestion.
+  const Result<MpKernel> junk = ParseMpKernel("zzzzzzzz");
+  ASSERT_FALSE(junk.ok());
+  EXPECT_EQ(junk.status().message().find("did you mean"), std::string::npos)
+      << junk.status().message();
+}
+
+}  // namespace
+}  // namespace tsad

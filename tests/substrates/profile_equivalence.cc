@@ -1,0 +1,89 @@
+#include "profile_equivalence.h"
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "substrates/matrix_profile.h"
+#include "substrates/mpx_kernel.h"
+#include "substrates/profile_internal.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+namespace testing {
+
+::testing::AssertionResult ExpectProfileEquivalence(
+    const std::vector<double>& series, std::size_t m, std::size_t discords) {
+  const Result<MatrixProfile> reference =
+      ComputeMatrixProfileReference(series, m);
+  const Result<MatrixProfile> mpx = ComputeMatrixProfileMpx(series, m);
+  if (reference.ok() != mpx.ok()) {
+    return ::testing::AssertionFailure()
+           << "kernels disagree on validity: reference="
+           << reference.status().message()
+           << " mpx=" << mpx.status().message();
+  }
+  if (!reference.ok()) return ::testing::AssertionSuccess();
+
+  if (mpx->size() != reference->size() ||
+      mpx->subsequence_length != reference->subsequence_length) {
+    return ::testing::AssertionFailure()
+           << "profile shapes differ: mpx " << mpx->size() << "/m="
+           << mpx->subsequence_length << " vs reference " << reference->size()
+           << "/m=" << reference->subsequence_length;
+  }
+
+  // Clause 1 + 2: per-entry distances. Flat entries (classified from
+  // the same rolling moments both kernels use) must match exactly,
+  // dynamic ones within the squared-distance tolerance.
+  const WindowStats stats = ComputeWindowStats(series, m);
+  const double sq_tol = 2.0 * static_cast<double>(m) * kMpxCorrTolerance;
+  for (std::size_t i = 0; i < reference->size(); ++i) {
+    const double ref_d = reference->distances[i];
+    const double mpx_d = mpx->distances[i];
+    if (profile_internal::IsFlat(stats.means[i], stats.stds[i])) {
+      if (mpx_d != ref_d ||
+          (ref_d == 0.0 && mpx->indices[i] != reference->indices[i])) {
+        return ::testing::AssertionFailure()
+               << "flat entry " << i << " must match exactly: reference d="
+               << ref_d << " j=" << reference->indices[i] << ", mpx d="
+               << mpx_d << " j=" << mpx->indices[i];
+      }
+      continue;
+    }
+    const double err = std::fabs(ref_d * ref_d - mpx_d * mpx_d);
+    if (!(err <= sq_tol)) {  // negated: catches NaN too
+      return ::testing::AssertionFailure()
+             << "entry " << i << " out of tolerance: reference d=" << ref_d
+             << " mpx d=" << mpx_d << " squared-distance error " << err
+             << " > " << sq_tol << " (= 2m * " << kMpxCorrTolerance << ")";
+    }
+  }
+
+  // Clause 3: discord positions and ordering, exactly.
+  const std::vector<Discord> ref_discords = TopDiscords(*reference, discords);
+  const std::vector<Discord> mpx_discords = TopDiscords(*mpx, discords);
+  const auto dump = [](const std::vector<Discord>& ds) {
+    std::ostringstream out;
+    for (const Discord& d : ds) out << " " << d.position << "(" << d.distance
+                                    << ")";
+    return out.str();
+  };
+  if (ref_discords.size() != mpx_discords.size()) {
+    return ::testing::AssertionFailure()
+           << "discord counts differ: reference" << dump(ref_discords)
+           << " vs mpx" << dump(mpx_discords);
+  }
+  for (std::size_t r = 0; r < ref_discords.size(); ++r) {
+    if (ref_discords[r].position != mpx_discords[r].position) {
+      return ::testing::AssertionFailure()
+             << "discord rank " << r << " differs: reference"
+             << dump(ref_discords) << " vs mpx" << dump(mpx_discords);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace testing
+}  // namespace tsad

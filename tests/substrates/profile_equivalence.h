@@ -1,0 +1,69 @@
+// Profile equivalence harness: the executable statement of the MPX
+// numerics contract.
+//
+// MPX accumulates each pair's centered covariance along a diagonal
+// (O(m) seed + O(1) rank-2 updates) while STOMP accumulates the raw
+// dot product along a row (FFT seed + O(1) head/tail updates), so the
+// two kernels CANNOT be bit-identical — but they must be
+// interchangeable for every consumer in this codebase. The contract,
+// checked by ExpectProfileEquivalence against the frozen
+// ComputeMatrixProfileReference:
+//
+//  1. Dynamic entries agree in SQUARED-distance space within
+//     2m * kMpxCorrTolerance. Squared distance is the honest metric:
+//     d^2 = 2m(1 - corr) is linear in the correlation both kernels
+//     actually accumulate, whereas d itself amplifies a fixed corr
+//     error without bound as d -> 0 (d = sqrt(2m)*sqrt(1-corr), so
+//     |dd/dcorr| ~ 1/d), and a distance-space tolerance would have to
+//     be either too loose at the top or flaky at the bottom.
+//  2. Flat entries (the SCAMP special cases) agree EXACTLY: distance
+//     0.0 with the identical neighbor, or exactly sqrt(2m). Both
+//     kernels classify flatness from the same ComputeWindowStats
+//     moments, so there is no rounding to forgive.
+//  3. TopDiscords(k) returns the SAME positions in the SAME order.
+//     Discords are what the detectors consume — a kernel that moves a
+//     discord is wrong no matter how small the numeric delta — and
+//     discord distances sit at the top of the profile where squared-
+//     distance agreement is tightest, so exact index agreement is an
+//     enforceable (and enforced) requirement, not an aspiration.
+//
+// Neighbor indices of DYNAMIC entries are deliberately NOT compared:
+// a near-tie between two neighbors can resolve differently under the
+// two accumulation orders, which is invisible to every consumer
+// (detectors read distances and discord positions).
+
+#ifndef TSAD_TESTS_SUBSTRATES_PROFILE_EQUIVALENCE_H_
+#define TSAD_TESTS_SUBSTRATES_PROFILE_EQUIVALENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tsad {
+namespace testing {
+
+/// Maximum tolerated correlation disagreement between MPX and STOMP.
+/// Observed worst cases: ~4e-9 on 16k-subsequence random walks, ~2e-6
+/// on the adversarial level-shift series (a 1e6-level flat run inside
+/// an O(1) walk — a diagonal crossing the shift briefly holds a ~1e12
+/// covariance whose absolute rounding error lingers for the remainder
+/// of its row block despite per-block re-seeding). 1e-5 covers the
+/// adversarial case with ~5x headroom while staying far below anything
+/// that could reorder a discord. The squared-distance bound quoted in
+/// failure messages is 2m * this.
+inline constexpr double kMpxCorrTolerance = 1e-5;
+
+/// Runs ComputeMatrixProfileMpx(series, m) at the CURRENT thread count
+/// and checks the three-clause contract above against the frozen
+/// reference (computed at the same thread count — it is bit-stable
+/// across thread counts by construction). `discords` is the k handed
+/// to TopDiscords for clause 3.
+::testing::AssertionResult ExpectProfileEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t discords = 3);
+
+}  // namespace testing
+}  // namespace tsad
+
+#endif  // TSAD_TESTS_SUBSTRATES_PROFILE_EQUIVALENCE_H_

@@ -62,12 +62,14 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DTSAD_BUILD_BENCHMARKS=OFF -DTSAD_BUILD_EXAMPLES=OFF \
     -DTSAD_BUILD_TOOLS=OFF
   echo "==> building ${tsan_dir} (parallel_test serving_engine_test" \
-       "fft_test matrix_profile_test)"
+       "fft_test matrix_profile_test mpx_kernel_test)"
   cmake --build "${tsan_dir}" -j "${jobs}" \
-    --target parallel_test serving_engine_test fft_test matrix_profile_test
-  echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches)"
+    --target parallel_test serving_engine_test fft_test \
+             matrix_profile_test mpx_kernel_test
+  echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches" \
+       "+ MPX diagonal kernel)"
   (cd "${tsan_dir}" && ctest --output-on-failure \
-    -R 'Parallel|ShardedEngine|FftPlan|SlidingDotPlan|MatrixProfileTest')
+    -R 'Parallel|ShardedEngine|FftPlan|SlidingDotPlan|MatrixProfileTest|MpxKernel')
 fi
 
 echo "==> all checks passed"

@@ -55,6 +55,7 @@ struct Args {
   std::string detectors;  // robustness: comma-separated spec list
   std::string report;     // audit: optional markdown report path
   std::size_t threads = 0;  // parallel pool size; 0 = env/hardware
+  std::string mp_kernel;    // matrix-profile kernel: auto|stomp|mpx
   // serve:
   std::string replay;       // CSV to replay through the engine
   std::size_t streams = 4;  // stream fan-out
@@ -84,6 +85,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.report = argv[++i];
     } else if (arg == "--threads" && has_value) {
       args.threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--mp-kernel" && has_value) {
+      args.mp_kernel = argv[++i];
     } else if (arg == "--replay" && has_value) {
       args.replay = argv[++i];
     } else if (arg == "--streams" && has_value) {
@@ -124,7 +127,9 @@ int Usage() {
       "  tsad list-detectors\n"
       "global flags:\n"
       "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
-      "                then hardware concurrency; 1 = serial)\n");
+      "                then hardware concurrency; 1 = serial)\n"
+      "  --mp-kernel K matrix-profile self-join kernel: auto (default,\n"
+      "                size-dispatched), stomp, or mpx\n");
   return 1;
 }
 
@@ -461,6 +466,14 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (args->threads > 0) SetParallelThreads(args->threads);
+  if (!args->mp_kernel.empty()) {
+    const Result<MpKernel> kernel = ParseMpKernel(args->mp_kernel);
+    if (!kernel.ok()) {
+      std::printf("%s\n", kernel.status().ToString().c_str());
+      return Usage();
+    }
+    SetMpKernelOverride(*kernel);
+  }
   if (command == "generate") return CmdGenerate(*args);
   if (command == "audit") return CmdAudit(*args);
   if (command == "triviality") return CmdTriviality(*args);
