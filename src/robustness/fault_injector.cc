@@ -164,4 +164,142 @@ LabeledSeries FaultInjector::Apply(const LabeledSeries& clean) const {
   return out;
 }
 
+// ---------------------------------------------------------------------
+// Serving-path faults.
+
+namespace {
+
+std::uint64_t Fnv1aHash(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<ServingFaultType>& AllServingFaultTypes() {
+  static const std::vector<ServingFaultType> kAll = {
+      ServingFaultType::kDetectorError,
+      ServingFaultType::kDeadlineStorm,
+      ServingFaultType::kQueueFullBurst,
+      ServingFaultType::kSnapshotCorruption,
+  };
+  return kAll;
+}
+
+std::string_view ServingFaultTypeName(ServingFaultType type) {
+  switch (type) {
+    case ServingFaultType::kDetectorError:
+      return "detector-error";
+    case ServingFaultType::kDeadlineStorm:
+      return "deadline-storm";
+    case ServingFaultType::kQueueFullBurst:
+      return "queue-full-burst";
+    case ServingFaultType::kSnapshotCorruption:
+      return "snapshot-corruption";
+  }
+  return "?";
+}
+
+ServingFaultState::ServingFaultState(uint64_t seed,
+                                     std::string_view stream_id,
+                                     const ServingFaultPlan& plan) {
+  if (plan.horizon == 0) return;
+  // Keyed by stream id, not registration order, so the schedule is
+  // invariant to shard placement and harness iteration order.
+  Rng rng(seed ^ Fnv1aHash(stream_id));
+  if (rng.Bernoulli(plan.detector_error_rate)) {
+    error_index_ = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(plan.horizon) - 1));
+  }
+  if (rng.Bernoulli(plan.deadline_storm_rate)) {
+    storm_index_ = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(plan.horizon) - 1));
+  }
+  // Two faults on the same point would mask each other (the first one
+  // quarantines the stream and the replay skips the second's trigger
+  // check only once it refires) — nudge the storm off the collision.
+  if (storm_index_ != kNone && storm_index_ == error_index_) {
+    storm_index_ = (storm_index_ + 1) % plan.horizon;
+    if (storm_index_ == error_index_) storm_index_ = kNone;  // horizon 1
+  }
+}
+
+std::optional<ServingFaultType> ServingFaultState::Fire(std::size_t index) {
+  if (!error_fired_ && index == error_index_) {
+    error_fired_ = true;
+    return ServingFaultType::kDetectorError;
+  }
+  if (!storm_fired_ && index == storm_index_) {
+    storm_fired_ = true;
+    return ServingFaultType::kDeadlineStorm;
+  }
+  return std::nullopt;
+}
+
+ChaosOnlineDetector::ChaosOnlineDetector(
+    std::unique_ptr<OnlineDetector> inner,
+    std::shared_ptr<ServingFaultState> faults)
+    : inner_(std::move(inner)), faults_(std::move(faults)) {}
+
+Status ChaosOnlineDetector::Observe(double value,
+                                    std::vector<ScoredPoint>* out) {
+  if (faults_ != nullptr) {
+    // The stream position is the inner detector's observed count: after
+    // a checkpoint Restore it rewinds with the state, so a replay walks
+    // the same indices past the (already-fired) fault.
+    const std::size_t index = inner_->observed();
+    if (std::optional<ServingFaultType> fault = faults_->Fire(index)) {
+      switch (*fault) {
+        case ServingFaultType::kDetectorError:
+          return Status::Internal("chaos: injected detector error at point " +
+                                  std::to_string(index));
+        case ServingFaultType::kDeadlineStorm:
+          return Status::DeadlineExceeded(
+              "chaos: injected deadline storm at point " +
+              std::to_string(index));
+        default:
+          break;  // harness-driven types never fire here
+      }
+    }
+  }
+  TSAD_RETURN_IF_ERROR(inner_->Observe(value, out));
+  ++observed_;
+  return Status::OK();
+}
+
+Status ChaosOnlineDetector::Flush(std::vector<ScoredPoint>* out) {
+  return inner_->Flush(out);
+}
+
+Result<std::string> ChaosOnlineDetector::Snapshot() const {
+  return inner_->Snapshot();
+}
+
+Status ChaosOnlineDetector::Restore(std::string_view blob) {
+  TSAD_RETURN_IF_ERROR(inner_->Restore(blob));
+  observed_ = inner_->observed();
+  return Status::OK();
+}
+
+std::string CorruptBlob(std::string_view blob, uint64_t seed,
+                        std::size_t flips) {
+  std::string out(blob);
+  if (out.empty() || flips == 0) return out;
+  Rng rng(seed);
+  // Skip the leading length prefix when the blob is big enough to have
+  // payload, so the damage exercises real decode paths.
+  const std::size_t lo = out.size() > 16 ? 8 : 0;
+  for (std::size_t k = 0; k < flips; ++k) {
+    const std::size_t i = static_cast<std::size_t>(rng.UniformInt(
+        static_cast<int64_t>(lo), static_cast<int64_t>(out.size()) - 1));
+    const auto mask = static_cast<unsigned char>(rng.UniformInt(1, 255));
+    out[i] = static_cast<char>(static_cast<unsigned char>(out[i]) ^ mask);
+  }
+  return out;
+}
+
 }  // namespace tsad

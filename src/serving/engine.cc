@@ -1,5 +1,6 @@
 #include "serving/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <utility>
@@ -13,7 +14,10 @@ namespace tsad {
 
 namespace {
 
-constexpr std::string_view kSnapshotMagic = "tsad-serving-engine-v1";
+// v2 added priority/tenant, stream health, quarantine checkpoints and
+// cold detector state. v1 blobs are rejected (the codec is for live
+// failover between peers of the same build, not archival).
+constexpr std::string_view kSnapshotMagic = "tsad-serving-engine-v2";
 
 std::uint64_t Fnv1a(std::string_view s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -27,10 +31,25 @@ std::uint64_t Fnv1a(std::string_view s) {
 }  // namespace
 
 struct ShardedEngine::StreamState {
+  // Where a stream sits on the degradation ladder. Transitions happen
+  // only under the owning shard's pump lock; the value itself is
+  // guarded by mu so producers and stats() can read it.
+  enum class Health : std::uint8_t {
+    kHealthy = 0,     // detector live
+    kCold = 1,        // detector snapshotted to cold_blob, memory freed
+    kQuarantined = 2, // detector down, points buffering, recovery pending
+    kFailed = 3,      // sticky error, the terminal rung
+  };
+
   std::string id;
   std::string spec;
   std::size_t train_length = 0;
   std::size_t shard = 0;
+  StreamPriority priority = StreamPriority::kNormal;
+  std::string tenant;
+  std::shared_ptr<std::atomic<std::uint64_t>> tenant_in_flight;
+
+  // Null while cold, quarantined or failed.
   std::unique_ptr<OnlineDetector> detector;
 
   // Touched only while the owning shard's pump lock is held (one
@@ -38,33 +57,67 @@ struct ShardedEngine::StreamState {
   // Pump joined.
   std::vector<ScoredPoint> out;
 
+  // Last-known-good recovery point (pump-lock domain). The checkpoint
+  // pair is refreshed after every successful drain, so on a detector
+  // error `out` rolls back to checkpoint_out and the failing batch goes
+  // to `pending` — nothing scored past the checkpoint survives, which
+  // is what keeps recovered streams byte-identical to batch.
+  std::string checkpoint_blob;
+  std::size_t checkpoint_out = 0;
+  std::vector<double> pending;       // accepted, not yet scored
+  // Failed recovery attempts so far. Written in the pump-lock domain;
+  // atomic because StreamStatus() reports it from any thread.
+  std::atomic<int> retries{0};
+  std::uint64_t next_retry_pump = 0; // pump epoch gating the next attempt
+
+  // Cold store (pump-lock domain): the detector snapshot while evicted.
+  std::string cold_blob;
+
+  // Approximate live detector bytes; 0 while cold/failed. Written in
+  // the pump-lock domain, read lock-free by the budget enforcer.
+  std::atomic<std::size_t> footprint{0};
+  // Pump epoch of the last drained point (eviction recency order).
+  std::atomic<std::uint64_t> last_active_pump{0};
+  // Points currently queued (guarded by the shard's queue_mu; atomic so
+  // the budget enforcer can read it lock-free).
+  std::atomic<std::size_t> queued{0};
+
   // Guarded by the owning shard's queue_mu.
   std::size_t accepted = 0;
 
-  // Sticky failure; guarded by mu (read by producers, written by the
-  // drain thread).
+  // Health + sticky failure + quarantine cause; guarded by mu (read by
+  // producers and stats(), written in the pump-lock domain).
   mutable std::mutex mu;
-  Status status = Status::OK();
+  Health health = Health::kHealthy;
+  Status status = Status::OK();  // non-OK only when kFailed
+  Status cause = Status::OK();   // the error that caused quarantine
 
   Status GetStatus() const {
     std::lock_guard<std::mutex> lock(mu);
     return status;
   }
-  void SetStatus(Status s) {
+  Health GetHealth() const {
     std::lock_guard<std::mutex> lock(mu);
+    return health;
+  }
+  void Set(Health h, Status s, Status c) {
+    std::lock_guard<std::mutex> lock(mu);
+    health = h;
     status = std::move(s);
+    cause = std::move(c);
   }
 };
 
 struct ShardedEngine::Shard {
   std::mutex queue_mu;
   std::deque<std::pair<std::shared_ptr<StreamState>, double>> queue;
-  // Serializes drains of this shard (Pump workers and kBlock producers
-  // may race to drain).
+  // Serializes drains of this shard (Pump workers, kBlock producers and
+  // the budget enforcer may race).
   std::mutex pump_mu;
 };
 
-ShardedEngine::ShardedEngine(ServingConfig config) : config_(config) {
+ShardedEngine::ShardedEngine(ServingConfig config)
+    : config_(std::move(config)) {
   std::size_t shards = config_.num_shards;
   if (shards == 0) shards = ParallelThreads();
   if (shards == 0) shards = 1;
@@ -73,6 +126,7 @@ ShardedEngine::ShardedEngine(ServingConfig config) : config_(config) {
     shards_.push_back(std::make_unique<Shard>());
   }
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.recovery.backoff_pumps == 0) config_.recovery.backoff_pumps = 1;
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -91,20 +145,47 @@ Result<std::shared_ptr<ShardedEngine::StreamState>> ShardedEngine::FindStream(
   return it->second;
 }
 
+Result<std::unique_ptr<OnlineDetector>> ShardedEngine::BuildDetector(
+    const std::string& spec, std::size_t train_length,
+    const std::string& id) const {
+  TSAD_ASSIGN_OR_RETURN(std::unique_ptr<OnlineDetector> detector,
+                        MakeOnlineDetector(spec, train_length));
+  if (config_.detector_decorator) {
+    return config_.detector_decorator(std::move(detector), id);
+  }
+  return detector;
+}
+
+std::shared_ptr<std::atomic<std::uint64_t>> ShardedEngine::TenantCounter(
+    const std::string& tenant) {
+  // Caller holds registry_mu_.
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, std::make_shared<std::atomic<std::uint64_t>>(0))
+             .first;
+  }
+  return it->second;
+}
+
 Status ShardedEngine::AddStream(const std::string& id,
                                 const std::string& detector_spec,
-                                std::size_t train_length) {
+                                StreamOptions options) {
   if (id.empty()) return Status::InvalidArgument("empty stream id");
   TSAD_ASSIGN_OR_RETURN(std::unique_ptr<OnlineDetector> detector,
-                        MakeOnlineDetector(detector_spec, train_length));
+                        BuildDetector(detector_spec, options.train_length, id));
   auto state = std::make_shared<StreamState>();
   state->id = id;
   state->spec = detector_spec;
-  state->train_length = train_length;
+  state->train_length = options.train_length;
   state->shard = ShardOf(id);
+  state->priority = options.priority;
+  state->tenant = std::move(options.tenant);
+  state->footprint.store(detector->MemoryFootprint(),
+                         std::memory_order_relaxed);
   state->detector = std::move(detector);
 
   std::lock_guard<std::mutex> lock(registry_mu_);
+  state->tenant_in_flight = TenantCounter(state->tenant);
   if (!streams_.emplace(id, std::move(state)).second) {
     return Status::InvalidArgument("stream '" + id + "' already exists");
   }
@@ -115,12 +196,38 @@ Status ShardedEngine::Push(const std::string& id, double value) {
   TSAD_ASSIGN_OR_RETURN(std::shared_ptr<StreamState> state, FindStream(id));
   TSAD_RETURN_IF_ERROR(state->GetStatus());
   Shard& shard = *shards_[state->shard];
+
+  if (config_.admission != nullptr) {
+    AdmissionRequest request;
+    request.stream_id = state->id;
+    request.tenant = state->tenant;
+    request.priority = state->priority;
+    request.queue_capacity = config_.queue_capacity;
+    {
+      std::lock_guard<std::mutex> lock(shard.queue_mu);
+      request.queue_depth = shard.queue.size();
+    }
+    request.tenant_in_flight =
+        state->tenant_in_flight->load(std::memory_order_relaxed);
+    if (config_.admission->Admit(request) == AdmissionDecision::kDeny) {
+      points_denied_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission denied for stream '" + id + "' (" +
+          std::string(StreamPriorityName(state->priority)) + ", depth " +
+          std::to_string(request.queue_depth) + "/" +
+          std::to_string(request.queue_capacity) + ", tenant backlog " +
+          std::to_string(request.tenant_in_flight) + ")");
+    }
+  }
+
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(shard.queue_mu);
       if (shard.queue.size() < config_.queue_capacity) {
         shard.queue.emplace_back(state, value);
         ++state->accepted;
+        state->queued.fetch_add(1, std::memory_order_relaxed);
+        state->tenant_in_flight->fetch_add(1, std::memory_order_relaxed);
         points_in_.fetch_add(1, std::memory_order_relaxed);
         return Status::OK();
       }
@@ -134,6 +241,180 @@ Status ShardedEngine::Push(const std::string& id, double value) {
     }
     // kBlock: make room by draining on the producer's own thread.
     DrainShard(state->shard);
+  }
+}
+
+Status ShardedEngine::ThawStream(StreamState* state) {
+  // Pump lock held; health is kCold. On error the cold blob is left in
+  // place — the caller decides whether to quarantine or fail.
+  TSAD_ASSIGN_OR_RETURN(
+      std::unique_ptr<OnlineDetector> detector,
+      BuildDetector(state->spec, state->train_length, state->id));
+  TSAD_RETURN_IF_ERROR(detector->Restore(state->cold_blob));
+  state->detector = std::move(detector);
+  cold_bytes_.fetch_sub(state->cold_blob.size(), std::memory_order_relaxed);
+  state->checkpoint_blob = std::move(state->cold_blob);
+  state->checkpoint_out = state->out.size();
+  state->cold_blob.clear();
+  state->footprint.store(state->detector->MemoryFootprint(),
+                         std::memory_order_relaxed);
+  state->Set(StreamState::Health::kHealthy, Status::OK(), Status::OK());
+  thaws_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ShardedEngine::FailStream(StreamState* state, const Status& cause) {
+  // Pump lock held. The terminal rung: sticky status, buffered points
+  // dropped, detector and recovery state released.
+  points_dropped_.fetch_add(state->pending.size(), std::memory_order_relaxed);
+  state->pending.clear();
+  state->pending.shrink_to_fit();
+  state->checkpoint_blob.clear();
+  cold_bytes_.fetch_sub(state->cold_blob.size(), std::memory_order_relaxed);
+  state->cold_blob.clear();
+  state->detector.reset();
+  state->footprint.store(0, std::memory_order_relaxed);
+  const Status sticky(cause.code(),
+                      "stream '" + state->id + "': " + cause.message());
+  state->Set(StreamState::Health::kFailed, sticky, sticky);
+}
+
+void ShardedEngine::EnterQuarantine(StreamState* state, const Status& cause,
+                                    const std::vector<double>& values) {
+  // Pump lock held. Roll `out` back to the checkpoint (partial scores
+  // from the failing batch must not survive — the recovery replay will
+  // re-emit them) and buffer the whole batch for that replay.
+  points_scored_.fetch_sub(state->out.size() - state->checkpoint_out,
+                           std::memory_order_relaxed);
+  state->out.resize(state->checkpoint_out);
+  state->pending.insert(state->pending.end(), values.begin(), values.end());
+  state->detector.reset();
+  state->footprint.store(0, std::memory_order_relaxed);
+  state->retries.store(0, std::memory_order_relaxed);
+  state->next_retry_pump = pump_epoch_.load(std::memory_order_relaxed) +
+                           config_.recovery.backoff_pumps;
+  Status annotated(cause.code(),
+                   "stream '" + state->id + "': " + cause.message());
+  state->Set(StreamState::Health::kQuarantined, Status::OK(),
+             std::move(annotated));
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEngine::AttemptRecovery(StreamState* state, bool force) {
+  // Pump lock held; health is kQuarantined.
+  if (!force && pump_epoch_.load(std::memory_order_relaxed) <
+                    state->next_retry_pump) {
+    return;
+  }
+
+  Status status = Status::OK();
+  std::unique_ptr<OnlineDetector> detector;
+  std::vector<ScoredPoint> replayed;
+  {
+    Result<std::unique_ptr<OnlineDetector>> built =
+        BuildDetector(state->spec, state->train_length, state->id);
+    status = built.status();
+    if (status.ok()) detector = std::move(built).value();
+  }
+  if (status.ok() && !state->checkpoint_blob.empty()) {
+    status = detector->Restore(state->checkpoint_blob);
+  }
+  if (status.ok()) {
+    std::optional<DeadlineScope> deadline;
+    if (config_.stream_deadline.count() > 0) {
+      deadline.emplace(config_.stream_deadline);
+    }
+    for (double value : state->pending) {
+      status = CheckDeadline();
+      if (status.ok()) status = detector->Observe(value, &replayed);
+      if (!status.ok()) break;
+    }
+  }
+
+  if (!status.ok()) {
+    recovery_failures_.fetch_add(1, std::memory_order_relaxed);
+    const int attempts =
+        state->retries.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (force || attempts >= config_.recovery.max_retries) {
+      FailStream(state,
+                 Status(status.code(), status.message() + " (after " +
+                                           std::to_string(attempts) +
+                                           " recovery attempts)"));
+    } else {
+      // Exponential backoff, measured in pumps: 1, 2, 4, ... * base.
+      state->next_retry_pump =
+          pump_epoch_.load(std::memory_order_relaxed) +
+          (config_.recovery.backoff_pumps << attempts);
+    }
+    return;
+  }
+
+  // Recovered: splice the replayed scores in after the checkpoint and
+  // refresh the checkpoint so the next failure rolls back to here.
+  state->out.insert(state->out.end(), replayed.begin(), replayed.end());
+  points_scored_.fetch_add(replayed.size(), std::memory_order_relaxed);
+  state->pending.clear();
+  state->pending.shrink_to_fit();
+  state->detector = std::move(detector);
+  Result<std::string> checkpoint = state->detector->Snapshot();
+  if (!checkpoint.ok()) {
+    FailStream(state, checkpoint.status());
+    return;
+  }
+  state->checkpoint_blob = std::move(checkpoint).value();
+  state->checkpoint_out = state->out.size();
+  state->retries.store(0, std::memory_order_relaxed);
+  state->footprint.store(state->detector->MemoryFootprint(),
+                         std::memory_order_relaxed);
+  state->Set(StreamState::Health::kHealthy, Status::OK(), Status::OK());
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedEngine::ProcessGroup(StreamState* state,
+                                 const std::vector<double>& values) {
+  // Pump lock held; health is kHealthy and the detector is live.
+  const bool recoverable = config_.recovery.max_retries > 0;
+  std::optional<DeadlineScope> deadline;
+  if (config_.stream_deadline.count() > 0) {
+    deadline.emplace(config_.stream_deadline);
+  }
+  const std::size_t before = state->out.size();
+  Status status = Status::OK();
+  std::size_t consumed = 0;
+  for (double value : values) {
+    status = CheckDeadline();
+    if (status.ok()) status = state->detector->Observe(value, &state->out);
+    if (!status.ok()) break;
+    ++consumed;
+  }
+  points_scored_.fetch_add(state->out.size() - before,
+                           std::memory_order_relaxed);
+  state->last_active_pump.store(pump_epoch_.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+
+  if (!status.ok()) {
+    if (recoverable) {
+      EnterQuarantine(state, status, values);
+    } else {
+      points_dropped_.fetch_add(values.size() - consumed,
+                                std::memory_order_relaxed);
+      FailStream(state, status);
+    }
+    return;
+  }
+
+  state->footprint.store(state->detector->MemoryFootprint(),
+                         std::memory_order_relaxed);
+  if (recoverable) {
+    Result<std::string> checkpoint = state->detector->Snapshot();
+    if (!checkpoint.ok()) {
+      // Can't roll forward the recovery point; the detector's state is
+      // unserializable, so treat it like a detector failure.
+      FailStream(state, checkpoint.status());
+      return;
+    }
+    state->checkpoint_blob = std::move(checkpoint).value();
+    state->checkpoint_out = state->out.size();
   }
 }
 
@@ -153,55 +434,166 @@ void ShardedEngine::DrainShard(std::size_t shard_index) {
   std::vector<std::pair<StreamState*, std::vector<double>>> groups;
   std::map<StreamState*, std::size_t> group_of;
   for (auto& [state, value] : items) {
+    state->queued.fetch_sub(1, std::memory_order_relaxed);
+    state->tenant_in_flight->fetch_sub(1, std::memory_order_relaxed);
     auto [it, inserted] = group_of.emplace(state.get(), groups.size());
     if (inserted) groups.emplace_back(state.get(), std::vector<double>());
     groups[it->second].second.push_back(value);
   }
 
   for (auto& [state, values] : groups) {
-    if (!state->GetStatus().ok()) {
-      points_dropped_.fetch_add(values.size(), std::memory_order_relaxed);
-      continue;
-    }
-    std::optional<DeadlineScope> deadline;
-    if (config_.stream_deadline.count() > 0) {
-      deadline.emplace(config_.stream_deadline);
-    }
-    const std::size_t before = state->out.size();
-    Status status = Status::OK();
-    std::size_t consumed = 0;
-    for (double value : values) {
-      status = CheckDeadline();
-      if (status.ok()) status = state->detector->Observe(value, &state->out);
-      if (!status.ok()) break;
-      ++consumed;
-    }
-    points_scored_.fetch_add(state->out.size() - before,
-                             std::memory_order_relaxed);
-    if (!status.ok()) {
-      points_dropped_.fetch_add(values.size() - consumed,
+    switch (state->GetHealth()) {
+      case StreamState::Health::kFailed:
+        points_dropped_.fetch_add(values.size(), std::memory_order_relaxed);
+        continue;
+      case StreamState::Health::kQuarantined:
+        // Buffer behind the recovery point; Pump's recovery sweep (or
+        // FinishStream) replays these once the detector is back.
+        state->pending.insert(state->pending.end(), values.begin(),
+                              values.end());
+        continue;
+      case StreamState::Health::kCold: {
+        Status thawed = ThawStream(state);
+        if (!thawed.ok()) {
+          // A bad cold snapshot is a detector failure. Promote the cold
+          // blob to the recovery checkpoint first so the quarantined
+          // state stays self-consistent (recovery retries the restore;
+          // if the blob really is corrupt, retries exhaust and the
+          // stream fails sticky).
+          cold_bytes_.fetch_sub(state->cold_blob.size(),
                                 std::memory_order_relaxed);
-      state->SetStatus(Status(
-          status.code(), "stream '" + state->id + "': " + status.message()));
+          state->checkpoint_blob = std::move(state->cold_blob);
+          state->cold_blob.clear();
+          state->checkpoint_out = state->out.size();
+          if (config_.recovery.max_retries > 0) {
+            EnterQuarantine(state, thawed, values);
+          } else {
+            points_dropped_.fetch_add(values.size(),
+                                      std::memory_order_relaxed);
+            FailStream(state, thawed);
+          }
+          continue;
+        }
+        break;
+      }
+      case StreamState::Health::kHealthy:
+        break;
     }
+    ProcessGroup(state, values);
   }
 }
 
 Status ShardedEngine::Pump() {
   const auto start = std::chrono::steady_clock::now();
+  pump_epoch_.fetch_add(1, std::memory_order_relaxed);
   Status status = ParallelFor(0, shards_.size(), [&](std::size_t i) -> Status {
     DrainShard(i);
     return Status::OK();
   });
+
+  // Recovery sweep: quarantined streams whose backoff has elapsed get a
+  // rebuild-and-replay attempt. Runs after the drains so points that
+  // arrived this pump are already buffered.
+  if (config_.recovery.max_retries > 0) {
+    std::vector<std::shared_ptr<StreamState>> quarantined;
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      for (const auto& [id, state] : streams_) {
+        if (state->GetHealth() == StreamState::Health::kQuarantined) {
+          quarantined.push_back(state);
+        }
+      }
+    }
+    for (const auto& state : quarantined) {
+      std::lock_guard<std::mutex> pump_lock(shards_[state->shard]->pump_mu);
+      if (state->GetHealth() == StreamState::Health::kQuarantined) {
+        AttemptRecovery(state.get(), /*force=*/false);
+      }
+    }
+  }
+
+  EnforceMemoryBudget();
+
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++pumps_;
-    pump_seconds_.push_back(seconds);
+    pump_total_seconds_ += seconds;
+    pump_max_seconds_ = std::max(pump_max_seconds_, seconds);
+    if (pump_ring_.size() < PumpLatencyStats::kWindow) {
+      pump_ring_.push_back(seconds);
+      pump_ring_pos_ = pump_ring_.size() % PumpLatencyStats::kWindow;
+    } else {
+      pump_ring_[pump_ring_pos_] = seconds;
+      pump_ring_pos_ = (pump_ring_pos_ + 1) % PumpLatencyStats::kWindow;
+    }
   }
   return status;
+}
+
+void ShardedEngine::EnforceMemoryBudget() {
+  std::vector<std::shared_ptr<StreamState>> live;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    live.reserve(streams_.size());
+    for (const auto& [id, state] : streams_) live.push_back(state);
+  }
+  std::size_t total = 0;
+  for (const auto& state : live) {
+    total += state->footprint.load(std::memory_order_relaxed);
+  }
+  if (config_.memory_budget_bytes == 0 ||
+      total <= config_.memory_budget_bytes) {
+    memory_bytes_.store(total, std::memory_order_relaxed);
+    return;
+  }
+
+  // Over budget: cold-evict, lowest priority class first, then least
+  // recently active. kCritical streams, streams with queued points and
+  // streams that are not plain-healthy are never candidates.
+  std::vector<StreamState*> candidates;
+  for (const auto& state : live) {
+    if (state->priority == StreamPriority::kCritical) continue;
+    if (state->queued.load(std::memory_order_relaxed) != 0) continue;
+    if (state->GetHealth() != StreamState::Health::kHealthy) continue;
+    candidates.push_back(state.get());
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const StreamState* a, const StreamState* b) {
+                     if (a->priority != b->priority) {
+                       return static_cast<int>(a->priority) >
+                              static_cast<int>(b->priority);
+                     }
+                     return a->last_active_pump.load(
+                                std::memory_order_relaxed) <
+                            b->last_active_pump.load(
+                                std::memory_order_relaxed);
+                   });
+
+  for (StreamState* state : candidates) {
+    if (total <= config_.memory_budget_bytes) break;
+    std::lock_guard<std::mutex> pump_lock(shards_[state->shard]->pump_mu);
+    // Re-check under the pump lock: a racing drain (kBlock producer)
+    // may have failed or quarantined the stream meanwhile.
+    if (state->GetHealth() != StreamState::Health::kHealthy) continue;
+    if (state->queued.load(std::memory_order_relaxed) != 0) continue;
+    Result<std::string> blob = state->detector->Snapshot();
+    if (!blob.ok()) continue;  // unserializable: skip, evict the next one
+    const std::size_t freed =
+        state->footprint.load(std::memory_order_relaxed);
+    state->cold_blob = std::move(blob).value();
+    cold_bytes_.fetch_add(state->cold_blob.size(),
+                          std::memory_order_relaxed);
+    state->detector.reset();
+    state->checkpoint_blob.clear();
+    state->footprint.store(0, std::memory_order_relaxed);
+    state->Set(StreamState::Health::kCold, Status::OK(), Status::OK());
+    cold_evictions_.fetch_add(1, std::memory_order_relaxed);
+    total -= std::min(total, freed);
+  }
+  memory_bytes_.store(total, std::memory_order_relaxed);
 }
 
 Result<std::vector<double>> ShardedEngine::FinishStream(const std::string& id) {
@@ -216,8 +608,27 @@ Result<std::vector<double>> ShardedEngine::FinishStream(const std::string& id) {
     state = std::move(it->second);
     streams_.erase(it);
   }
+
+  std::lock_guard<std::mutex> pump_lock(shards_[state->shard]->pump_mu);
+  switch (state->GetHealth()) {
+    case StreamState::Health::kQuarantined:
+      // The stream is ending: recover now, backoff notwithstanding. A
+      // failed forced attempt fails the stream.
+      AttemptRecovery(state.get(), /*force=*/true);
+      break;
+    case StreamState::Health::kCold: {
+      Status thawed = ThawStream(state.get());
+      if (!thawed.ok()) FailStream(state.get(), thawed);
+      break;
+    }
+    default:
+      break;
+  }
   TSAD_RETURN_IF_ERROR(state->GetStatus());
+  const std::size_t before = state->out.size();
   TSAD_RETURN_IF_ERROR(state->detector->Flush(&state->out));
+  points_scored_.fetch_add(state->out.size() - before,
+                           std::memory_order_relaxed);
   std::size_t accepted;
   {
     std::lock_guard<std::mutex> lock(shards_[state->shard]->queue_mu);
@@ -228,7 +639,17 @@ Result<std::vector<double>> ShardedEngine::FinishStream(const std::string& id) {
 
 Status ShardedEngine::StreamStatus(const std::string& id) const {
   TSAD_ASSIGN_OR_RETURN(std::shared_ptr<StreamState> state, FindStream(id));
-  return state->GetStatus();
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->health == StreamState::Health::kQuarantined) {
+    return Status(state->cause.code(),
+                  "quarantined (" +
+                      std::to_string(
+                          state->retries.load(std::memory_order_relaxed)) +
+                      "/" +
+                      std::to_string(config_.recovery.max_retries) +
+                      " recovery attempts): " + state->cause.message());
+  }
+  return state->status;
 }
 
 Result<std::string> ShardedEngine::Snapshot() {
@@ -237,15 +658,27 @@ Result<std::string> ShardedEngine::Snapshot() {
   ByteWriter writer;
   writer.PutString(kSnapshotMagic);
   writer.PutU64(streams_.size());
+  const std::uint64_t epoch = pump_epoch_.load(std::memory_order_relaxed);
   for (const auto& [id, state] : streams_) {  // std::map: sorted, stable
+    std::lock_guard<std::mutex> pump_lock(shards_[state->shard]->pump_mu);
     writer.PutString(id);
     writer.PutString(state->spec);
     writer.PutU64(state->train_length);
+    writer.PutU64(static_cast<std::uint64_t>(state->priority));
+    writer.PutString(state->tenant);
     {
       std::lock_guard<std::mutex> queue_lock(shards_[state->shard]->queue_mu);
       writer.PutU64(state->accepted);
     }
-    const Status status = state->GetStatus();
+    StreamState::Health health;
+    Status status, cause;
+    {
+      std::lock_guard<std::mutex> state_lock(state->mu);
+      health = state->health;
+      status = state->status;
+      cause = state->cause;
+    }
+    writer.PutU64(static_cast<std::uint64_t>(health));
     writer.PutU64(static_cast<std::uint64_t>(status.code()));
     writer.PutString(status.message());
     writer.PutU64(state->out.size());
@@ -253,12 +686,35 @@ Result<std::string> ShardedEngine::Snapshot() {
       writer.PutU64(p.index);
       writer.PutDouble(p.score);
     }
-    if (status.ok()) {
-      TSAD_ASSIGN_OR_RETURN(std::string blob, state->detector->Snapshot());
-      writer.PutU64(1);
-      writer.PutString(blob);
-    } else {
-      writer.PutU64(0);  // failed streams carry no detector state
+    switch (health) {
+      case StreamState::Health::kHealthy: {
+        TSAD_ASSIGN_OR_RETURN(std::string blob, state->detector->Snapshot());
+        writer.PutString(blob);
+        break;
+      }
+      case StreamState::Health::kCold:
+        // Serialized without thawing: the cold blob IS the state.
+        writer.PutString(state->cold_blob);
+        break;
+      case StreamState::Health::kQuarantined: {
+        writer.PutString(state->checkpoint_blob);
+        writer.PutU64(state->checkpoint_out);
+        writer.PutU64(state->pending.size());
+        for (double v : state->pending) writer.PutDouble(v);
+        writer.PutU64(static_cast<std::uint64_t>(
+            state->retries.load(std::memory_order_relaxed)));
+        // Backoff survives as "pumps still to wait", since the restored
+        // engine's pump epoch restarts from zero.
+        const std::uint64_t remaining =
+            state->next_retry_pump > epoch ? state->next_retry_pump - epoch
+                                           : 0;
+        writer.PutU64(remaining);
+        writer.PutU64(static_cast<std::uint64_t>(cause.code()));
+        writer.PutString(cause.message());
+        break;
+      }
+      case StreamState::Health::kFailed:
+        break;  // sticky status above is the whole state
     }
   }
   return writer.Take();
@@ -281,20 +737,36 @@ Status ShardedEngine::Restore(std::string_view blob) {
   }
   std::uint64_t count;
   TSAD_RETURN_IF_ERROR(reader.GetU64(&count));
+  const std::uint64_t epoch = pump_epoch_.load(std::memory_order_relaxed);
   std::map<std::string, std::shared_ptr<StreamState>> restored;
+  std::uint64_t restored_cold_bytes = 0;
   for (std::uint64_t s = 0; s < count; ++s) {
     auto state = std::make_shared<StreamState>();
     TSAD_RETURN_IF_ERROR(reader.GetString(&state->id));
     TSAD_RETURN_IF_ERROR(reader.GetString(&state->spec));
-    std::uint64_t train_length, accepted, code, out_count, has_detector;
+    std::uint64_t train_length, priority, accepted, health_raw, code,
+        out_count;
     TSAD_RETURN_IF_ERROR(reader.GetU64(&train_length));
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&priority));
+    TSAD_RETURN_IF_ERROR(reader.GetString(&state->tenant));
     TSAD_RETURN_IF_ERROR(reader.GetU64(&accepted));
+    TSAD_RETURN_IF_ERROR(reader.GetU64(&health_raw));
     TSAD_RETURN_IF_ERROR(reader.GetU64(&code));
     std::string message;
     TSAD_RETURN_IF_ERROR(reader.GetString(&message));
     TSAD_RETURN_IF_ERROR(reader.GetU64(&out_count));
+    if (priority >= static_cast<std::uint64_t>(kNumStreamPriorities)) {
+      return Status::InvalidArgument("snapshot has invalid priority class");
+    }
+    if (health_raw > static_cast<std::uint64_t>(
+                         StreamState::Health::kFailed)) {
+      return Status::InvalidArgument("snapshot has invalid stream health");
+    }
     state->train_length = static_cast<std::size_t>(train_length);
+    state->priority = static_cast<StreamPriority>(priority);
     state->accepted = static_cast<std::size_t>(accepted);
+    const auto health = static_cast<StreamState::Health>(health_raw);
+    state->health = health;
     state->status = Status(static_cast<StatusCode>(code), std::move(message));
     state->out.reserve(static_cast<std::size_t>(out_count));
     for (std::uint64_t i = 0; i < out_count; ++i) {
@@ -305,14 +777,51 @@ Status ShardedEngine::Restore(std::string_view blob) {
       p.index = static_cast<std::size_t>(index);
       state->out.push_back(p);
     }
-    TSAD_RETURN_IF_ERROR(reader.GetU64(&has_detector));
-    if (has_detector != 0) {
-      std::string detector_blob;
-      TSAD_RETURN_IF_ERROR(reader.GetString(&detector_blob));
-      TSAD_ASSIGN_OR_RETURN(
-          state->detector,
-          MakeOnlineDetector(state->spec, state->train_length));
-      TSAD_RETURN_IF_ERROR(state->detector->Restore(detector_blob));
+    switch (health) {
+      case StreamState::Health::kHealthy: {
+        std::string detector_blob;
+        TSAD_RETURN_IF_ERROR(reader.GetString(&detector_blob));
+        TSAD_ASSIGN_OR_RETURN(
+            state->detector,
+            BuildDetector(state->spec, state->train_length, state->id));
+        TSAD_RETURN_IF_ERROR(state->detector->Restore(detector_blob));
+        state->checkpoint_blob = std::move(detector_blob);
+        state->checkpoint_out = state->out.size();
+        state->footprint.store(state->detector->MemoryFootprint(),
+                               std::memory_order_relaxed);
+        break;
+      }
+      case StreamState::Health::kCold:
+        TSAD_RETURN_IF_ERROR(reader.GetString(&state->cold_blob));
+        restored_cold_bytes += state->cold_blob.size();
+        break;
+      case StreamState::Health::kQuarantined: {
+        TSAD_RETURN_IF_ERROR(reader.GetString(&state->checkpoint_blob));
+        std::uint64_t checkpoint_out, pending_count, retries, remaining,
+            cause_code;
+        TSAD_RETURN_IF_ERROR(reader.GetU64(&checkpoint_out));
+        TSAD_RETURN_IF_ERROR(reader.GetU64(&pending_count));
+        state->checkpoint_out = static_cast<std::size_t>(checkpoint_out);
+        state->pending.reserve(static_cast<std::size_t>(pending_count));
+        for (std::uint64_t i = 0; i < pending_count; ++i) {
+          double v;
+          TSAD_RETURN_IF_ERROR(reader.GetDouble(&v));
+          state->pending.push_back(v);
+        }
+        TSAD_RETURN_IF_ERROR(reader.GetU64(&retries));
+        TSAD_RETURN_IF_ERROR(reader.GetU64(&remaining));
+        TSAD_RETURN_IF_ERROR(reader.GetU64(&cause_code));
+        std::string cause_message;
+        TSAD_RETURN_IF_ERROR(reader.GetString(&cause_message));
+        state->retries.store(static_cast<int>(retries),
+                             std::memory_order_relaxed);
+        state->next_retry_pump = epoch + remaining;
+        state->cause = Status(static_cast<StatusCode>(cause_code),
+                              std::move(cause_message));
+        break;
+      }
+      case StreamState::Health::kFailed:
+        break;
     }
     state->shard = ShardOf(state->id);  // re-placed under the new config
     if (!restored.emplace(state->id, std::move(state)).second) {
@@ -324,7 +833,11 @@ Status ShardedEngine::Restore(std::string_view blob) {
   if (!streams_.empty()) {
     return Status::FailedPrecondition("streams added during Restore");
   }
+  for (auto& [id, state] : restored) {
+    state->tenant_in_flight = TenantCounter(state->tenant);
+  }
   streams_ = std::move(restored);
+  cold_bytes_.fetch_add(restored_cold_bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -333,10 +846,57 @@ ServingStats ShardedEngine::stats() const {
   out.points_in = points_in_.load(std::memory_order_relaxed);
   out.points_scored = points_scored_.load(std::memory_order_relaxed);
   out.points_shed = points_shed_.load(std::memory_order_relaxed);
+  out.points_denied = points_denied_.load(std::memory_order_relaxed);
   out.points_dropped = points_dropped_.load(std::memory_order_relaxed);
+  out.quarantines = quarantines_.load(std::memory_order_relaxed);
+  out.recoveries = recoveries_.load(std::memory_order_relaxed);
+  out.recovery_failures = recovery_failures_.load(std::memory_order_relaxed);
+  out.cold_evictions = cold_evictions_.load(std::memory_order_relaxed);
+  out.thaws = thaws_.load(std::memory_order_relaxed);
+  out.memory_bytes = memory_bytes_.load(std::memory_order_relaxed);
+  out.cold_bytes = cold_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [id, state] : streams_) {
+      switch (state->GetHealth()) {
+        case StreamState::Health::kCold:
+          ++out.streams_cold;
+          break;
+        case StreamState::Health::kQuarantined:
+          ++out.streams_quarantined;
+          break;
+        default:
+          break;
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.pumps = pumps_;
-  out.pump_seconds = pump_seconds_;
+  out.pump.count = pumps_;
+  out.pump.mean_seconds = pumps_ > 0 ? pump_total_seconds_ /
+                                           static_cast<double>(pumps_)
+                                     : 0.0;
+  out.pump.max_seconds = pump_max_seconds_;
+  // Unroll the ring oldest-first: [pos, end) then [0, pos) once full.
+  out.pump.recent.reserve(pump_ring_.size());
+  if (pump_ring_.size() < PumpLatencyStats::kWindow) {
+    out.pump.recent = pump_ring_;
+  } else {
+    out.pump.recent.insert(out.pump.recent.end(),
+                           pump_ring_.begin() +
+                               static_cast<std::ptrdiff_t>(pump_ring_pos_),
+                           pump_ring_.end());
+    out.pump.recent.insert(out.pump.recent.end(), pump_ring_.begin(),
+                           pump_ring_.begin() +
+                               static_cast<std::ptrdiff_t>(pump_ring_pos_));
+  }
+  if (!out.pump.recent.empty()) {
+    std::vector<double> sorted = out.pump.recent;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1));
+    out.pump.p99_seconds = sorted[rank];
+  }
   return out;
 }
 

@@ -10,17 +10,38 @@
 // per-stream score order is FIFO regardless of thread count — which is
 // what makes engine replay bit-identical at --threads 1 and 8.
 //
-// Backpressure. A full queue either sheds the point (kShed: Push
-// returns kResourceExhausted, the stream stays healthy, the point is
-// counted in stats().points_shed) or drains the shard inline on the
-// producer (kBlock: Push never fails, producers pay the latency).
+// Survival: the degradation ladder. Overload and faults walk the
+// engine down a policy-driven ladder instead of a binary shed/fail
+// (full rationale and invariants in DESIGN.md §8):
 //
-// Failure containment. A stream whose detector errors — including a
-// per-stream deadline expiring mid-drain (kDeadlineExceeded) — gets a
-// STICKY error status: its remaining queued items are dropped, later
-// Push()es are rejected with the same status, and FinishStream()
-// surfaces it. Other streams, including those on the same shard, are
-// untouched.
+//   1. ADMIT  — an AdmissionPolicy (serving/admission.h) may deny a
+//      Push before it queues: per-stream priority classes keep queue
+//      headroom for important streams, per-tenant quotas contain noisy
+//      tenants. Denial is kResourceExhausted; the stream stays healthy.
+//   2. SHED   — a full queue either sheds the point (kShed) or drains
+//      the shard inline on the producer (kBlock), exactly as before.
+//   3. EVICT  — when the rolled-up OnlineDetector::MemoryFootprint()
+//      exceeds memory_budget_bytes, the least-recently-active streams
+//      of the lowest priority class are cold-evicted: detector state is
+//      snapshotted into an in-memory cold store and freed, and the
+//      stream is thawed transparently (byte-exact restore) when its
+//      next point is drained. kCritical streams are never evicted.
+//   4. QUARANTINE — with recovery enabled, a stream whose detector
+//      errors is quarantined instead of failed: its scores roll back
+//      to the last good checkpoint and arriving points buffer.
+//   5. RECOVER — after a backoff (measured in pumps, so tests are
+//      deterministic) the stream is rebuilt from its checkpoint and
+//      the buffered points are replayed. A transient fault therefore
+//      loses NOTHING: the recovered stream's final scores are still
+//      byte-identical to the batch detector. Retries are bounded;
+//      exhausting them fails the stream with the classic sticky error.
+//
+// Failure containment (recovery disabled, the default). A stream whose
+// detector errors — including a per-stream deadline expiring mid-drain
+// (kDeadlineExceeded) — gets a STICKY error status: its remaining
+// queued items are dropped, later Push()es are rejected with the same
+// status, and FinishStream() surfaces it. Other streams, including
+// those on the same shard, are untouched.
 
 #ifndef TSAD_SERVING_ENGINE_H_
 #define TSAD_SERVING_ENGINE_H_
@@ -29,6 +50,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +58,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "serving/admission.h"
 #include "serving/online_detector.h"
 
 namespace tsad {
@@ -46,6 +69,17 @@ enum class OverflowPolicy {
   kBlock,  // drain the shard on the calling thread, then enqueue
 };
 
+/// Quarantine-and-recover tuning. Disabled by default: max_retries == 0
+/// preserves the original sticky-error semantics.
+struct RecoveryConfig {
+  /// Recovery attempts before a quarantined stream fails for good.
+  int max_retries = 0;
+  /// Pumps to wait before the first recovery attempt; doubles after
+  /// each failed attempt (1, 2, 4, ...). Pump-counted, not wall-clock,
+  /// so recovery schedules are deterministic under test.
+  std::uint64_t backoff_pumps = 1;
+};
+
 struct ServingConfig {
   /// Number of shards; 0 means "use ParallelThreads()".
   std::size_t num_shards = 0;
@@ -54,8 +88,54 @@ struct ServingConfig {
   OverflowPolicy overflow = OverflowPolicy::kShed;
   /// Per-stream time budget for one drain pass; 0 disables. Installed
   /// as a DeadlineScope around each stream's batch of queued points, so
-  /// detectors that poll CheckDeadline() are also covered.
+  /// detectors that poll CheckDeadline() are also covered. Recovery
+  /// replays run under the same budget.
   std::chrono::nanoseconds stream_deadline{0};
+
+  /// Admission policy consulted before each Push enqueues; null admits
+  /// everything. Shared because ServingConfig is copied; the policy is
+  /// called concurrently and must be thread-safe.
+  std::shared_ptr<AdmissionPolicy> admission;
+
+  /// Engine-wide budget for live detector memory (rolled up from
+  /// OnlineDetector::MemoryFootprint()); 0 = unlimited. Enforced at the
+  /// end of every Pump by cold-evicting streams, lowest priority and
+  /// longest-idle first (never kCritical, never quarantined/failed
+  /// streams, never streams with queued points).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Quarantine-and-recover behavior for detector errors.
+  RecoveryConfig recovery;
+
+  /// Test seam: wraps every detector the engine builds (at AddStream,
+  /// Restore, thaw, and recovery rebuild) — the chaos harness injects
+  /// faulting decorators here. Must be thread-safe; null disables.
+  std::function<Result<std::unique_ptr<OnlineDetector>>(
+      std::unique_ptr<OnlineDetector>, const std::string& stream_id)>
+      detector_decorator;
+};
+
+/// Per-stream registration options.
+struct StreamOptions {
+  StreamPriority priority = StreamPriority::kNormal;
+  /// Tenant for quota accounting; "" is the shared default tenant.
+  std::string tenant;
+  /// Anomaly-free training prefix length (same as the batch detectors).
+  std::size_t train_length = 0;
+};
+
+/// Bounded pump-latency summary. Mean/max are exact over the engine's
+/// lifetime; p99 and `recent` cover the last kWindow pumps — a
+/// long-lived engine holds O(1) stats memory, not one double per Pump.
+struct PumpLatencyStats {
+  static constexpr std::size_t kWindow = 256;
+
+  std::uint64_t count = 0;
+  double mean_seconds = 0.0;   // running mean, all pumps
+  double max_seconds = 0.0;    // running max, all pumps
+  double p99_seconds = 0.0;    // 99th percentile of the retained window
+  std::vector<double> recent;  // last <= kWindow pump durations, oldest
+                               // first
 };
 
 /// Engine-wide counters; obtained via stats() (a consistent copy).
@@ -63,9 +143,22 @@ struct ServingStats {
   std::uint64_t points_in = 0;      // accepted into a queue
   std::uint64_t points_scored = 0;  // ScoredPoints emitted by detectors
   std::uint64_t points_shed = 0;    // rejected by kShed backpressure
+  std::uint64_t points_denied = 0;  // rejected by the admission policy
   std::uint64_t points_dropped = 0; // discarded after a sticky error
   std::uint64_t pumps = 0;
-  std::vector<double> pump_seconds; // wall time of each Pump()
+  PumpLatencyStats pump;
+
+  // Degradation-ladder telemetry.
+  std::uint64_t quarantines = 0;         // streams entering quarantine
+  std::uint64_t recoveries = 0;          // successful recoveries
+  std::uint64_t recovery_failures = 0;   // failed recovery attempts
+  std::uint64_t cold_evictions = 0;      // streams moved to cold store
+  std::uint64_t thaws = 0;               // cold streams restored
+  std::uint64_t streams_cold = 0;        // currently cold
+  std::uint64_t streams_quarantined = 0; // currently quarantined
+  std::uint64_t memory_bytes = 0;  // live detector footprint after the
+                                   // last budget enforcement
+  std::uint64_t cold_bytes = 0;    // bytes held by cold snapshots
 };
 
 class ShardedEngine {
@@ -81,26 +174,39 @@ class ShardedEngine {
   /// here, not at Push time). AlreadyExists is reported as
   /// InvalidArgument.
   Status AddStream(const std::string& id, const std::string& detector_spec,
-                   std::size_t train_length = 0);
+                   StreamOptions options);
+  Status AddStream(const std::string& id, const std::string& detector_spec,
+                   std::size_t train_length = 0) {
+    StreamOptions options;
+    options.train_length = train_length;
+    return AddStream(id, detector_spec, std::move(options));
+  }
 
   /// Enqueues one point. Thread-safe; concurrent producers are fine.
+  /// Quarantined and cold streams accept points transparently; only a
+  /// permanently failed stream rejects with its sticky status.
   Status Push(const std::string& id, double value);
 
-  /// Drains every shard queue once, in parallel across the pool.
-  /// Stream-level failures do not fail the pump; they stick to their
-  /// stream.
+  /// Drains every shard queue once, in parallel across the pool, then
+  /// enforces the memory budget. Stream-level failures do not fail the
+  /// pump; they quarantine or stick to their stream.
   Status Pump();
 
-  /// Pumps, flushes the stream's detector, removes the stream and
-  /// returns its dense score vector (one score per accepted point) —
-  /// byte-identical to the batch detector run over the same values.
-  /// Returns the sticky error if the stream failed earlier.
+  /// Pumps, forces any pending recovery (ignoring backoff — the stream
+  /// is ending), thaws if cold, flushes the stream's detector, removes
+  /// the stream and returns its dense score vector (one score per
+  /// accepted point) — byte-identical to the batch detector run over
+  /// the same values. Returns the sticky error if the stream failed.
   Result<std::vector<double>> FinishStream(const std::string& id);
 
-  /// The stream's sticky status (OK while healthy).
+  /// The stream's sticky status (OK while healthy or cold; a
+  /// quarantined stream reports its pending failure, annotated).
   Status StreamStatus(const std::string& id) const;
 
   /// Serializes every stream (after a Pump) for engine-wide failover.
+  /// Cold streams serialize their cold snapshot without thawing;
+  /// quarantined streams carry their checkpoint and buffered points so
+  /// the restored engine continues the recovery.
   Result<std::string> Snapshot();
 
   /// Rebuilds streams from a Snapshot() blob. The engine must have no
@@ -120,20 +226,51 @@ class ShardedEngine {
   std::size_t ShardOf(const std::string& id) const;
   void DrainShard(std::size_t shard_index);
   Result<std::shared_ptr<StreamState>> FindStream(const std::string& id) const;
+  Result<std::unique_ptr<OnlineDetector>> BuildDetector(
+      const std::string& spec, std::size_t train_length,
+      const std::string& id) const;
+
+  // All four run with the owning shard's pump lock held.
+  void ProcessGroup(StreamState* state, const std::vector<double>& values);
+  void EnterQuarantine(StreamState* state, const Status& cause,
+                       const std::vector<double>& values);
+  void AttemptRecovery(StreamState* state, bool force);
+  Status ThawStream(StreamState* state);
+
+  void FailStream(StreamState* state, const Status& cause);
+  void EnforceMemoryBudget();
+  std::shared_ptr<std::atomic<std::uint64_t>> TenantCounter(
+      const std::string& tenant);
 
   ServingConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   mutable std::mutex registry_mu_;
   std::map<std::string, std::shared_ptr<StreamState>> streams_;
+  std::map<std::string, std::shared_ptr<std::atomic<std::uint64_t>>>
+      tenants_;  // in-flight points per tenant
+
+  std::atomic<std::uint64_t> pump_epoch_{0};  // completed Pump() calls
 
   std::atomic<std::uint64_t> points_in_{0};
   std::atomic<std::uint64_t> points_scored_{0};
   std::atomic<std::uint64_t> points_shed_{0};
+  std::atomic<std::uint64_t> points_denied_{0};
   std::atomic<std::uint64_t> points_dropped_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> recovery_failures_{0};
+  std::atomic<std::uint64_t> cold_evictions_{0};
+  std::atomic<std::uint64_t> thaws_{0};
+  std::atomic<std::uint64_t> memory_bytes_{0};
+  std::atomic<std::uint64_t> cold_bytes_{0};
+
   mutable std::mutex stats_mu_;
   std::uint64_t pumps_ = 0;
-  std::vector<double> pump_seconds_;
+  double pump_total_seconds_ = 0.0;
+  double pump_max_seconds_ = 0.0;
+  std::vector<double> pump_ring_;  // last <= PumpLatencyStats::kWindow
+  std::size_t pump_ring_pos_ = 0;  // next slot to overwrite
 };
 
 }  // namespace tsad

@@ -6,6 +6,7 @@
 
 #include "common/stats.h"
 #include "detectors/control_chart.h"
+#include "robustness/sanitize.h"
 #include "detectors/cusum.h"
 #include "detectors/moving_zscore.h"
 #include "detectors/registry.h"
@@ -448,10 +449,67 @@ Status OnlineStreamingDiscord::Restore(std::string_view blob) {
 }
 
 // ---------------------------------------------------------------------------
+// OnlineSanitizer
+
+OnlineSanitizer::OnlineSanitizer(std::unique_ptr<OnlineDetector> inner,
+                                 double sentinel)
+    : inner_(std::move(inner)),
+      name_("online-resilient(" + std::string(inner_->name()) + ")"),
+      sentinel_(sentinel) {}
+
+Status OnlineSanitizer::Observe(double value, std::vector<ScoredPoint>* out) {
+  if (!std::isfinite(value) || value == sentinel_) {
+    value = have_good_ ? last_good_ : 0.0;
+    ++points_patched_;
+  } else {
+    last_good_ = value;
+    have_good_ = true;
+  }
+  TSAD_RETURN_IF_ERROR(inner_->Observe(value, out));
+  ++observed_;
+  return Status::OK();
+}
+
+Status OnlineSanitizer::Flush(std::vector<ScoredPoint>* out) {
+  return inner_->Flush(out);
+}
+
+Result<std::string> OnlineSanitizer::Snapshot() const {
+  ByteWriter writer;
+  writer.PutString(name_);
+  writer.PutU64(observed_);
+  writer.PutU64(points_patched_);
+  writer.PutU64(have_good_ ? 1 : 0);
+  writer.PutDouble(last_good_);
+  TSAD_ASSIGN_OR_RETURN(std::string inner_blob, inner_->Snapshot());
+  writer.PutString(inner_blob);
+  return writer.Take();
+}
+
+Status OnlineSanitizer::Restore(std::string_view blob) {
+  ByteReader reader(blob);
+  TSAD_RETURN_IF_ERROR(CheckBlobName(&reader, name_));
+  std::uint64_t observed, patched, have_good;
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&observed));
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&patched));
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&have_good));
+  TSAD_RETURN_IF_ERROR(reader.GetDouble(&last_good_));
+  std::string inner_blob;
+  TSAD_RETURN_IF_ERROR(reader.GetString(&inner_blob));
+  TSAD_RETURN_IF_ERROR(reader.ExpectDone());
+  TSAD_RETURN_IF_ERROR(inner_->Restore(inner_blob));
+  observed_ = observed;
+  points_patched_ = patched;
+  have_good_ = have_good != 0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 
 std::vector<std::string> OnlineCapableDetectorNames() {
-  return {"zscore", "cusum", "ewma", "pagehinkley", "oneliner", "streaming"};
+  return {"zscore",   "cusum",    "ewma",     "pagehinkley",
+          "oneliner", "streaming", "resilient"};
 }
 
 namespace {
@@ -471,6 +529,26 @@ Status TrainPrefixRequired(std::string_view name, std::size_t train_length) {
 
 Result<std::unique_ptr<OnlineDetector>> MakeOnlineDetector(
     const std::string& spec, std::size_t train_length) {
+  // The batch `resilient:` decorator sanitizes with the whole series in
+  // hand, so it has no bit-exact online form; serve the causal
+  // equivalent instead — the inner adapter behind a per-point
+  // sanitizer. (Before this branch existed the prefix fell through to a
+  // misleading "no online adapter for 'resilient'" error.)
+  constexpr std::string_view kResilientPrefix = "resilient:";
+  if (spec.rfind(kResilientPrefix, 0) == 0) {
+    const std::string inner_spec = spec.substr(kResilientPrefix.size());
+    if (inner_spec.empty()) {
+      return Status::InvalidArgument(
+          "spec 'resilient:' needs an inner detector, e.g. "
+          "'resilient:zscore:w=64'");
+    }
+    TSAD_ASSIGN_OR_RETURN(std::unique_ptr<OnlineDetector> inner,
+                          MakeOnlineDetector(inner_spec, train_length));
+    return std::unique_ptr<OnlineDetector>(
+        std::make_unique<OnlineSanitizer>(std::move(inner),
+                                          kDefaultSentinel));
+  }
+
   TSAD_ASSIGN_OR_RETURN(std::unique_ptr<AnomalyDetector> batch,
                         MakeDetector(spec));
   std::string online_name = "online:" + std::string(batch->name());

@@ -30,6 +30,10 @@ namespace tsad {
 /// anomaly-free prefix length the stream's batch equivalent would be
 /// scored with.
 ///
+/// A "resilient:<inner>" spec builds the inner adapter wrapped in
+/// OnlineSanitizer — per-point input hardening (see its class comment),
+/// the serving-path counterpart of the batch ResilientDetector.
+///
 ///  * NotFound / InvalidArgument: bad spec (same errors as the batch
 ///    registry, including the "did you mean" hint).
 ///  * FailedPrecondition: cusum/ewma/pagehinkley with train_length < 8
@@ -54,6 +58,10 @@ class OnlineMovingZScore : public OnlineDetector {
   Status Flush(std::vector<ScoredPoint>* out) override;
   Result<std::string> Snapshot() const override;
   Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() +
+           ring_.capacity() * sizeof(double);
+  }
 
  private:
   std::size_t window_;
@@ -78,6 +86,10 @@ class ReferenceStatsOnline : public OnlineDetector {
   Status Flush(std::vector<ScoredPoint>* out) override;
   Result<std::string> Snapshot() const override;
   Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() +
+           buffer_.capacity() * sizeof(double);
+  }
 
  protected:
   ReferenceStatsOnline(std::string name, std::size_t train_length);
@@ -172,6 +184,11 @@ class OnlineOneLiner : public OnlineDetector {
   Status Flush(std::vector<ScoredPoint>* out) override;
   Result<std::string> Snapshot() const override;
   Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() +
+           d_.capacity() * sizeof(double) +
+           (sums_.capacity() + sq_.capacity()) * sizeof(long double);
+  }
 
  private:
   double MarginAt(std::size_t j, std::size_t nd) const;
@@ -203,12 +220,53 @@ class OnlineStreamingDiscord : public OnlineDetector {
   Status Flush(std::vector<ScoredPoint>* out) override;
   Result<std::string> Snapshot() const override;
   Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() + profile_.MemoryBytes();
+  }
 
  private:
   std::string name_;
   std::size_t m_;
   std::size_t burn_in_;
   OnlineLeftProfile profile_;
+};
+
+/// The serving-path counterpart of the batch `resilient:` decorator:
+/// per-point input sanitization in front of any online adapter. Each
+/// arriving value that is non-finite or equals the missing-data
+/// sentinel is imputed causally (last observation carried forward; 0
+/// before the first good point) before the inner adapter sees it.
+///
+/// Contract: feeding this wrapper a dirty stream is byte-identical to
+/// feeding the inner adapter the sanitized stream — true by
+/// construction, and what keeps the replay guarantee meaningful for
+/// hardened streams. It is NOT byte-identical to the batch
+/// ResilientDetector (whose sanitizer sees the whole series and may
+/// interpolate through a gap using future points — not causal), which
+/// is exactly why the batch decorator cannot be served directly.
+class OnlineSanitizer : public OnlineDetector {
+ public:
+  OnlineSanitizer(std::unique_ptr<OnlineDetector> inner, double sentinel);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() + inner_->MemoryFootprint();
+  }
+
+  /// Points imputed so far (telemetry).
+  std::size_t points_patched() const { return points_patched_; }
+
+ private:
+  std::unique_ptr<OnlineDetector> inner_;
+  std::string name_;
+  double sentinel_;
+  double last_good_ = 0.0;
+  bool have_good_ = false;
+  std::size_t points_patched_ = 0;
 };
 
 }  // namespace tsad

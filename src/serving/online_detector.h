@@ -74,6 +74,13 @@ class OnlineDetector {
   virtual Result<std::string> Snapshot() const = 0;
   virtual Status Restore(std::string_view blob) = 0;
 
+  /// Approximate bytes of memory this detector holds (object plus heap
+  /// buffers, counted at capacity). The serving engine rolls these up
+  /// against its engine-wide memory budget and cold-evicts streams when
+  /// the total exceeds it; an adapter that under-reports starves the
+  /// budget silently, so adapters account for every growable buffer.
+  virtual std::size_t MemoryFootprint() const { return sizeof(*this); }
+
   /// Points consumed so far.
   std::size_t observed() const { return observed_; }
 

@@ -45,8 +45,11 @@ Result<ReplayReport> ReplayThroughEngine(const Series& series,
       std::max(config.queue_capacity, options.num_streams * batch);
   ShardedEngine engine(config);
   for (std::size_t s = 0; s < options.num_streams; ++s) {
-    TSAD_RETURN_IF_ERROR(engine.AddStream(StreamId(s), options.detector_spec,
-                                          options.train_length));
+    StreamOptions stream;
+    stream.priority = options.priority;
+    stream.train_length = options.train_length;
+    TSAD_RETURN_IF_ERROR(
+        engine.AddStream(StreamId(s), options.detector_spec, stream));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -81,13 +84,12 @@ Result<ReplayReport> ReplayThroughEngine(const Series& series,
 
   ServingStats stats = engine.stats();
   report.shed = stats.points_shed;
-  if (!stats.pump_seconds.empty()) {
-    std::vector<double> sorted = stats.pump_seconds;
-    std::sort(sorted.begin(), sorted.end());
-    const std::size_t rank = static_cast<std::size_t>(
-        std::ceil(0.99 * static_cast<double>(sorted.size())));
-    report.p99_pump_seconds = sorted[rank == 0 ? 0 : rank - 1];
-  }
+  report.denied = stats.points_denied;
+  report.cold_evictions = stats.cold_evictions;
+  report.thaws = stats.thaws;
+  report.quarantines = stats.quarantines;
+  report.recoveries = stats.recoveries;
+  report.p99_pump_seconds = stats.pump.p99_seconds;
 
   if (options.verify_against_batch) {
     TSAD_ASSIGN_OR_RETURN(std::unique_ptr<AnomalyDetector> batch_detector,

@@ -22,12 +22,16 @@ struct ReplayOptions {
   std::size_t num_streams = 4;
   std::string detector_spec = "zscore:w=64";
   std::size_t train_length = 0;
+  /// Priority class every replay stream registers with (exercises the
+  /// admission and eviction ladder when the engine config enables them).
+  StreamPriority priority = StreamPriority::kNormal;
   /// Points pushed per stream between Pump() calls.
   std::size_t batch = 256;
   /// Bitwise-compare every stream's scores against the batch detector.
   bool verify_against_batch = true;
-  /// Engine tuning. The queue capacity is raised automatically to hold
-  /// one micro-batch from every stream, so a default-constructed config
+  /// Engine tuning (admission policy, memory budget and recovery ride
+  /// in here). The queue capacity is raised automatically to hold one
+  /// micro-batch from every stream, so a default-constructed config
   /// never sheds during replay.
   ServingConfig engine;
 };
@@ -40,6 +44,11 @@ struct ReplayReport {
   double p99_pump_seconds = 0.0;
   bool verified = false;         // true when every stream matched batch
   std::uint64_t shed = 0;
+  std::uint64_t denied = 0;          // admission rejections
+  std::uint64_t cold_evictions = 0;  // memory-budget evictions
+  std::uint64_t thaws = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t recoveries = 0;
 };
 
 /// Replays `series` through a fresh engine. Returns an error on engine

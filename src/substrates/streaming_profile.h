@@ -70,6 +70,16 @@ class OnlineLeftProfile {
   void Serialize(ByteWriter* writer) const;
   Status Deserialize(ByteReader* reader);
 
+  /// Bytes held by the kernel's history and rolling-statistics buffers
+  /// (at capacity). Grows O(n) with the stream — this is what makes the
+  /// serving engine's memory budget bite for profile-based detectors.
+  std::size_t MemoryBytes() const {
+    return (x_.capacity() + means_.capacity() + stds_.capacity() +
+            qt_.capacity()) *
+               sizeof(double) +
+           (sums_.capacity() + sq_.capacity()) * sizeof(long double);
+  }
+
  private:
   std::size_t m_;
   std::size_t exclusion_;

@@ -55,6 +55,7 @@
 #include "scoring/range_pr.h"      // IWYU pragma: export
 #include "scoring/ucr_score.h"     // IWYU pragma: export
 
+#include "serving/admission.h"        // IWYU pragma: export
 #include "serving/engine.h"           // IWYU pragma: export
 #include "serving/online_adapters.h"  // IWYU pragma: export
 #include "serving/online_detector.h"  // IWYU pragma: export

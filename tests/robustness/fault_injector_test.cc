@@ -220,5 +220,161 @@ TEST(FaultInjectorTest, EmptyAndTinySeriesDoNotCrash) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Serving-path faults.
+
+TEST(ServingFaultTest, NamesCoverEveryType) {
+  EXPECT_EQ(AllServingFaultTypes().size(), 4u);
+  for (ServingFaultType type : AllServingFaultTypes()) {
+    EXPECT_FALSE(ServingFaultTypeName(type).empty());
+  }
+  EXPECT_EQ(ServingFaultTypeName(ServingFaultType::kDetectorError),
+            "detector-error");
+}
+
+TEST(ServingFaultTest, ScheduleIsDeterministicPerSeedAndStream) {
+  ServingFaultPlan plan;
+  plan.detector_error_rate = 0.5;
+  plan.deadline_storm_rate = 0.5;
+  plan.horizon = 100;
+
+  for (const char* id : {"stream-a", "stream-b", "stream-c"}) {
+    ServingFaultState a(7, id, plan);
+    ServingFaultState b(7, id, plan);
+    EXPECT_EQ(a.detector_error_scheduled(), b.detector_error_scheduled());
+    EXPECT_EQ(a.deadline_storm_scheduled(), b.deadline_storm_scheduled());
+    for (std::size_t i = 0; i < plan.horizon; ++i) {
+      EXPECT_EQ(a.Fire(i).has_value(), b.Fire(i).has_value()) << id << i;
+    }
+  }
+}
+
+TEST(ServingFaultTest, RatesScaleScheduledFraction) {
+  ServingFaultPlan none;
+  none.horizon = 50;
+  ServingFaultPlan all;
+  all.detector_error_rate = 1.0;
+  all.horizon = 50;
+
+  std::size_t scheduled = 0;
+  for (int s = 0; s < 100; ++s) {
+    const std::string id = "s" + std::to_string(s);
+    EXPECT_FALSE(ServingFaultState(3, id, none).detector_error_scheduled());
+    if (ServingFaultState(3, id, all).detector_error_scheduled()) ++scheduled;
+  }
+  EXPECT_EQ(scheduled, 100u);
+}
+
+TEST(ServingFaultTest, EachFaultFiresExactlyOnce) {
+  ServingFaultPlan plan;
+  plan.detector_error_rate = 1.0;
+  plan.deadline_storm_rate = 1.0;
+  plan.horizon = 40;
+  ServingFaultState state(11, "once", plan);
+  ASSERT_TRUE(state.detector_error_scheduled());
+
+  std::size_t errors = 0, storms = 0;
+  // Two sweeps over the horizon = the engine replaying the stream after
+  // recovery: nothing may fire a second time.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < plan.horizon; ++i) {
+      const auto fired = state.Fire(i);
+      if (!fired) continue;
+      if (*fired == ServingFaultType::kDetectorError) ++errors;
+      if (*fired == ServingFaultType::kDeadlineStorm) ++storms;
+    }
+  }
+  EXPECT_EQ(errors, 1u);
+  EXPECT_LE(storms, 1u);  // storm may collide off the horizon entirely
+}
+
+TEST(ChaosOnlineDetectorTest, FailsAtScheduledPointWithoutAdvancingInner) {
+  ServingFaultPlan plan;
+  plan.detector_error_rate = 1.0;
+  plan.horizon = 60;
+  // Find the scheduled index by probing a twin schedule.
+  auto probe = std::make_shared<ServingFaultState>(5, "s", plan);
+  std::size_t fault_at = plan.horizon;
+  for (std::size_t i = 0; i < plan.horizon; ++i) {
+    if (probe->Fire(i)) {
+      fault_at = i;
+      break;
+    }
+  }
+  ASSERT_LT(fault_at, plan.horizon);
+
+  auto inner = MakeOnlineDetector("zscore:w=8", 0);
+  ASSERT_TRUE(inner.ok());
+  ChaosOnlineDetector chaos(std::move(*inner),
+                            std::make_shared<ServingFaultState>(5, "s", plan));
+  std::vector<ScoredPoint> sink;
+  for (std::size_t i = 0; i < fault_at; ++i) {
+    ASSERT_TRUE(chaos.Observe(1.0, &sink).ok());
+  }
+  const Status failed = chaos.Observe(1.0, &sink);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.message().find("chaos"), std::string::npos);
+  // The fault fired BEFORE the inner detector consumed the point.
+  EXPECT_EQ(chaos.observed(), fault_at);
+  // The same point goes through on retry (fired-once semantics) and the
+  // stream continues normally.
+  EXPECT_TRUE(chaos.Observe(1.0, &sink).ok());
+  EXPECT_EQ(chaos.observed(), fault_at + 1);
+}
+
+TEST(ChaosOnlineDetectorTest, SnapshotsInterchangeWithUndecoratedDetectors) {
+  ServingFaultPlan plan;  // nothing scheduled
+  auto inner = MakeOnlineDetector("zscore:w=8", 0);
+  ASSERT_TRUE(inner.ok());
+  ChaosOnlineDetector chaos(std::move(*inner),
+                            std::make_shared<ServingFaultState>(1, "s", plan));
+  std::vector<ScoredPoint> sink;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(chaos.Observe(0.1 * i, &sink).ok());
+  }
+  auto blob = chaos.Snapshot();
+  ASSERT_TRUE(blob.ok());
+
+  // Chaos blob restores into a plain adapter, and vice versa.
+  auto plain = MakeOnlineDetector("zscore:w=8", 0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE((*plain)->Restore(*blob).ok());
+  EXPECT_EQ((*plain)->observed(), 30u);
+
+  auto inner2 = MakeOnlineDetector("zscore:w=8", 0);
+  ASSERT_TRUE(inner2.ok());
+  ChaosOnlineDetector chaos2(
+      std::move(*inner2), std::make_shared<ServingFaultState>(1, "s", plan));
+  ASSERT_TRUE(chaos2.Restore(*blob).ok());
+  EXPECT_EQ(chaos2.observed(), 30u);
+}
+
+TEST(CorruptBlobTest, DeterministicFlipsInPayloadOnly) {
+  const std::string blob(64, '\x55');
+  const std::string a = CorruptBlob(blob, 9);
+  const std::string b = CorruptBlob(blob, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, blob);
+  ASSERT_EQ(a.size(), blob.size());
+  // The leading length prefix is preserved for non-trivial blobs.
+  EXPECT_EQ(a.substr(0, 8), blob.substr(0, 8));
+  EXPECT_NE(CorruptBlob(blob, 10), a);  // seed changes the flips
+
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    if (a[i] != blob[i]) ++flipped;
+  }
+  EXPECT_GE(flipped, 1u);
+  EXPECT_LE(flipped, 8u);
+}
+
+TEST(CorruptBlobTest, TinyBlobsStillChange) {
+  for (std::size_t n : {1u, 2u, 8u, 16u}) {
+    const std::string blob(n, '\x20');
+    EXPECT_NE(CorruptBlob(blob, 3), blob) << n;
+  }
+  EXPECT_EQ(CorruptBlob("", 3), "");
+}
+
 }  // namespace
 }  // namespace tsad

@@ -1,9 +1,12 @@
 #include "serving/engine.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -334,8 +337,368 @@ TEST(ShardedEngineTest, StatsCountPointsAndPumps) {
   EXPECT_EQ(stats.points_in, 20u);
   EXPECT_EQ(stats.points_scored, 20u);
   EXPECT_EQ(stats.pumps, 1u);
-  ASSERT_EQ(stats.pump_seconds.size(), 1u);
-  EXPECT_GE(stats.pump_seconds[0], 0.0);
+  EXPECT_EQ(stats.pump.count, 1u);
+  ASSERT_EQ(stats.pump.recent.size(), 1u);
+  EXPECT_GE(stats.pump.recent[0], 0.0);
+  EXPECT_GE(stats.pump.max_seconds, stats.pump.mean_seconds);
+}
+
+TEST(ShardedEngineTest, PumpLatencyRingStaysBounded) {
+  ShardedEngine engine;
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=8").ok());
+  const std::size_t kPumps = PumpLatencyStats::kWindow + 40;
+  for (std::size_t i = 0; i < kPumps; ++i) {
+    ASSERT_TRUE(engine.Push("s", static_cast<double>(i)).ok());
+    ASSERT_TRUE(engine.Pump().ok());
+  }
+  const ServingStats stats = engine.stats();
+  // Lifetime counters are exact; the retained window is bounded.
+  EXPECT_EQ(stats.pump.count, kPumps);
+  EXPECT_EQ(stats.pump.recent.size(), PumpLatencyStats::kWindow);
+  EXPECT_GE(stats.pump.p99_seconds, 0.0);
+  EXPECT_GE(stats.pump.max_seconds, stats.pump.p99_seconds * 0.999);
+}
+
+TEST(ShardedEngineTest, AdmissionPolicyDeniesWithoutHarmingTheStream) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 100;
+  PriorityQuotaConfig quotas;  // batch denied at half fill
+  config.admission = std::make_shared<PriorityQuotaPolicy>(quotas);
+  ShardedEngine engine(config);
+
+  StreamOptions batch_stream;
+  batch_stream.priority = StreamPriority::kBatch;
+  ASSERT_TRUE(engine.AddStream("bulk", "zscore:w=16", batch_stream).ok());
+
+  const Series x = MakeStream(100, 7);
+  Series accepted;
+  std::uint64_t denied = 0;
+  for (double v : x) {
+    const Status s = engine.Push("bulk", v);
+    if (s.ok()) {
+      accepted.push_back(v);
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      EXPECT_NE(s.message().find("admission"), std::string::npos);
+      ++denied;
+    }
+  }
+  // fill_limit[kBatch] = 0.5: the second half of the flood is denied.
+  EXPECT_EQ(denied, 50u);
+  EXPECT_EQ(engine.stats().points_denied, denied);
+  EXPECT_EQ(engine.stats().points_shed, 0u);
+  // Denial is backpressure, not failure.
+  EXPECT_TRUE(engine.StreamStatus("bulk").ok());
+  auto scores = engine.FinishStream("bulk");
+  ASSERT_TRUE(scores.ok());
+  EXPECT_TRUE(BitEqual(*scores, BatchScores("zscore:w=16", accepted, 0)));
+}
+
+TEST(ShardedEngineTest, TenantQuotaLimitsInFlightBacklog) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 1000;
+  PriorityQuotaConfig quotas;
+  quotas.tenant_quota["noisy"] = 10;
+  config.admission = std::make_shared<PriorityQuotaPolicy>(quotas);
+  ShardedEngine engine(config);
+
+  StreamOptions noisy;
+  noisy.priority = StreamPriority::kCritical;  // quota binds even here
+  noisy.tenant = "noisy";
+  ASSERT_TRUE(engine.AddStream("a", "zscore:w=16", noisy).ok());
+  ASSERT_TRUE(engine.AddStream("b", "zscore:w=16", StreamOptions{}).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Push("a", static_cast<double>(i)).ok());
+  }
+  // The tenant is at quota; the default tenant is not.
+  EXPECT_EQ(engine.Push("a", 11.0).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(engine.Push("b", 1.0).ok());
+  // Draining the backlog frees the quota.
+  ASSERT_TRUE(engine.Pump().ok());
+  EXPECT_TRUE(engine.Push("a", 11.0).ok());
+}
+
+// Wraps an inner adapter and fails (once) when the inner detector has
+// observed exactly `fail_at` points, BEFORE forwarding — the inner
+// state is untouched by the failed call, so recovery replay is clean.
+class FailOnceDetector : public OnlineDetector {
+ public:
+  FailOnceDetector(std::unique_ptr<OnlineDetector> inner, std::size_t fail_at,
+                   std::shared_ptr<std::atomic<bool>> fired)
+      : inner_(std::move(inner)), fail_at_(fail_at), fired_(std::move(fired)) {
+    observed_ = inner_->observed();
+  }
+  std::string_view name() const override { return inner_->name(); }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override {
+    if (inner_->observed() == fail_at_ && !fired_->exchange(true)) {
+      return Status::Internal("injected transient failure");
+    }
+    const Status status = inner_->Observe(value, out);
+    if (status.ok()) observed_ = inner_->observed();
+    return status;
+  }
+  Status Flush(std::vector<ScoredPoint>* out) override {
+    return inner_->Flush(out);
+  }
+  Result<std::string> Snapshot() const override { return inner_->Snapshot(); }
+  Status Restore(std::string_view blob) override {
+    const Status status = inner_->Restore(blob);
+    if (status.ok()) observed_ = inner_->observed();
+    return status;
+  }
+  std::size_t MemoryFootprint() const override {
+    return inner_->MemoryFootprint();
+  }
+
+ private:
+  std::unique_ptr<OnlineDetector> inner_;
+  std::size_t fail_at_;
+  std::shared_ptr<std::atomic<bool>> fired_;
+};
+
+TEST(ShardedEngineTest, QuarantineRecoversByteIdentically) {
+  // The fired flag lives OUTSIDE the detector, so the failure does not
+  // re-fire after recovery rebuilds the detector from its checkpoint.
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  ServingConfig config;
+  config.num_shards = 1;
+  config.recovery.max_retries = 3;
+  config.recovery.backoff_pumps = 1;
+  config.detector_decorator =
+      [fired](std::unique_ptr<OnlineDetector> inner, const std::string&)
+      -> Result<std::unique_ptr<OnlineDetector>> {
+    return std::unique_ptr<OnlineDetector>(
+        std::make_unique<FailOnceDetector>(std::move(inner), 70, fired));
+  };
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+
+  const Series x = MakeStream(200, 11);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    ASSERT_TRUE(engine.Push("s", x[t]).ok());
+    if (t % 32 == 31) {
+      ASSERT_TRUE(engine.Pump().ok());
+    }
+  }
+  // Drive pumps until the backoff elapses and recovery runs.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(engine.Pump().ok());
+
+  EXPECT_TRUE(fired->load());
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_TRUE(engine.StreamStatus("s").ok());
+  auto scores = engine.FinishStream("s");
+  ASSERT_TRUE(scores.ok()) << scores.status().message();
+  EXPECT_TRUE(BitEqual(*scores, BatchScores("zscore:w=16", x, 0)));
+}
+
+TEST(ShardedEngineTest, RetryBoundExhaustionFailsTheStream) {
+  // A permanent fault: the decorator fails EVERY Observe at the fault
+  // index, so each recovery replay hits it again until retries run out.
+  ServingConfig config;
+  config.num_shards = 1;
+  config.recovery.max_retries = 2;
+  config.recovery.backoff_pumps = 1;
+  config.detector_decorator =
+      [](std::unique_ptr<OnlineDetector> inner, const std::string&)
+      -> Result<std::unique_ptr<OnlineDetector>> {
+    auto always = std::make_shared<std::atomic<bool>>(false);
+    class FailAlways : public FailOnceDetector {
+     public:
+      using FailOnceDetector::FailOnceDetector;
+      Status Observe(double value, std::vector<ScoredPoint>* out) override {
+        if (observed() == 20) return Status::Internal("permanent fault");
+        return FailOnceDetector::Observe(value, out);
+      }
+    };
+    return std::unique_ptr<OnlineDetector>(
+        std::make_unique<FailAlways>(std::move(inner), SIZE_MAX, always));
+  };
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("s", "zscore:w=16").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.Push("s", static_cast<double>(i)).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());  // quarantine
+  // While quarantined, StreamStatus reports the cause and retry budget.
+  const Status quarantined = engine.StreamStatus("s");
+  EXPECT_EQ(quarantined.code(), StatusCode::kInternal);
+  EXPECT_NE(quarantined.message().find("quarantined"), std::string::npos);
+
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(engine.Pump().ok());
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_EQ(stats.recoveries, 0u);
+  EXPECT_EQ(stats.recovery_failures, 2u);  // the retry bound
+  const Status sticky = engine.StreamStatus("s");
+  EXPECT_EQ(sticky.code(), StatusCode::kInternal);
+  EXPECT_NE(sticky.message().find("recovery attempts"), std::string::npos);
+  // Sticky failure: pushes rejected, FinishStream surfaces the cause.
+  EXPECT_EQ(engine.Push("s", 1.0).code(), StatusCode::kInternal);
+  EXPECT_EQ(engine.FinishStream("s").status().code(), StatusCode::kInternal);
+}
+
+TEST(ShardedEngineTest, MemoryBudgetEvictsColdAndThawsByteIdentically) {
+  const std::string spec = "zscore:w=32";
+  const auto streams = TestStreams(6, 300);
+
+  ServingConfig config;
+  config.num_shards = 2;
+  // A budget below one warmed-up detector: after every pump all idle
+  // streams are evicted to snapshots, and every push thaws one back.
+  config.memory_budget_bytes = 1;
+  ShardedEngine engine(config);
+  for (const auto& [id, series] : streams) {
+    ASSERT_TRUE(engine.AddStream(id, spec).ok());
+  }
+  for (std::size_t t = 0; t < 300; ++t) {
+    for (const auto& [id, series] : streams) {
+      ASSERT_TRUE(engine.Push(id, series[t]).ok());
+    }
+    if (t % 50 == 49) {
+      ASSERT_TRUE(engine.Pump().ok());
+    }
+  }
+  const ServingStats stats = engine.stats();
+  EXPECT_GT(stats.cold_evictions, 0u);
+  EXPECT_GT(stats.thaws, 0u);
+  EXPECT_GT(stats.streams_cold, 0u);
+  for (const auto& [id, series] : streams) {
+    auto scores = engine.FinishStream(id);
+    ASSERT_TRUE(scores.ok()) << id << ": " << scores.status().message();
+    EXPECT_TRUE(BitEqual(*scores, BatchScores(spec, series, 0))) << id;
+  }
+}
+
+TEST(ShardedEngineTest, CriticalStreamsAreNeverColdEvicted) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.memory_budget_bytes = 1;
+  ShardedEngine engine(config);
+  StreamOptions critical;
+  critical.priority = StreamPriority::kCritical;
+  ASSERT_TRUE(engine.AddStream("pager", "zscore:w=16", critical).ok());
+  ASSERT_TRUE(engine.AddStream("bulk", "zscore:w=16").ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(engine.Push("pager", static_cast<double>(i)).ok());
+    ASSERT_TRUE(engine.Push("bulk", static_cast<double>(i)).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());
+  ASSERT_TRUE(engine.Pump().ok());  // both idle now; budget still busted
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.streams_cold, 1u);  // bulk evicted, pager untouchable
+  EXPECT_GT(stats.cold_evictions, 0u);
+}
+
+TEST(ShardedEngineTest, SnapshotCarriesErroredAndQuarantinedStreams) {
+  // One failed stream (expired deadline), one quarantined stream, one
+  // healthy stream — Snapshot/Restore must preserve all three fates.
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  ServingConfig config;
+  config.num_shards = 2;
+  config.recovery.max_retries = 3;
+  config.recovery.backoff_pumps = 8;  // long: still quarantined at snapshot
+  config.detector_decorator =
+      [fired](std::unique_ptr<OnlineDetector> inner, const std::string& id)
+      -> Result<std::unique_ptr<OnlineDetector>> {
+    if (id != "flaky") return std::unique_ptr<OnlineDetector>(std::move(inner));
+    return std::unique_ptr<OnlineDetector>(
+        std::make_unique<FailOnceDetector>(std::move(inner), 40, fired));
+  };
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("flaky", "zscore:w=16").ok());
+  ASSERT_TRUE(engine.AddStream("steady", "zscore:w=16").ok());
+
+  const Series flaky_data = MakeStream(90, 21);
+  const Series steady_data = MakeStream(90, 22);
+  for (std::size_t t = 0; t < 90; ++t) {
+    ASSERT_TRUE(engine.Push("flaky", flaky_data[t]).ok());
+    ASSERT_TRUE(engine.Push("steady", steady_data[t]).ok());
+  }
+  auto blob = engine.Snapshot();  // pumps: flaky quarantines
+  ASSERT_TRUE(blob.ok()) << blob.status().message();
+  EXPECT_EQ(engine.stats().quarantines, 1u);
+  EXPECT_EQ(engine.StreamStatus("flaky").code(), StatusCode::kInternal);
+
+  // Restore must rebuild detectors through the SAME decorator; the
+  // fired flag is already set, so recovery succeeds on the other side.
+  ShardedEngine second(config);
+  ASSERT_TRUE(second.Restore(*blob).ok());
+  EXPECT_EQ(second.num_streams(), 2u);
+  EXPECT_EQ(second.StreamStatus("flaky").code(), StatusCode::kInternal);
+  EXPECT_EQ(second.stats().streams_quarantined, 1u);
+
+  // FinishStream force-recovers the quarantined stream; both streams
+  // come back byte-identical to batch.
+  auto flaky_scores = second.FinishStream("flaky");
+  ASSERT_TRUE(flaky_scores.ok()) << flaky_scores.status().message();
+  EXPECT_TRUE(
+      BitEqual(*flaky_scores, BatchScores("zscore:w=16", flaky_data, 0)));
+  auto steady_scores = second.FinishStream("steady");
+  ASSERT_TRUE(steady_scores.ok());
+  EXPECT_TRUE(
+      BitEqual(*steady_scores, BatchScores("zscore:w=16", steady_data, 0)));
+}
+
+TEST(ShardedEngineTest, SnapshotPreservesStickyFailureAcrossRestore) {
+  ServingConfig config;
+  config.num_shards = 1;
+  config.stream_deadline = std::chrono::nanoseconds(1);  // already expired
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("doomed", "zscore:w=16").ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine.Push("doomed", static_cast<double>(i)).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());
+  ASSERT_EQ(engine.StreamStatus("doomed").code(),
+            StatusCode::kDeadlineExceeded);
+
+  auto blob = engine.Snapshot();
+  ASSERT_TRUE(blob.ok());
+  ServingConfig clean;  // no deadline on the restore side
+  clean.num_shards = 3;
+  ShardedEngine second(clean);
+  ASSERT_TRUE(second.Restore(*blob).ok());
+  // The failure is part of the stream's state, not the engine's config.
+  EXPECT_EQ(second.StreamStatus("doomed").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(second.Push("doomed", 1.0).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(second.FinishStream("doomed").status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ShardedEngineTest, ColdStreamsSurviveSnapshotRestore) {
+  const std::string spec = "zscore:w=24";
+  const Series x = MakeStream(200, 31);
+  ServingConfig config;
+  config.num_shards = 1;
+  config.memory_budget_bytes = 1;  // everything idle is evicted
+  ShardedEngine engine(config);
+  ASSERT_TRUE(engine.AddStream("s", spec).ok());
+  for (std::size_t t = 0; t < 120; ++t) {
+    ASSERT_TRUE(engine.Push("s", x[t]).ok());
+  }
+  ASSERT_TRUE(engine.Pump().ok());
+  ASSERT_EQ(engine.stats().streams_cold, 1u);
+
+  auto blob = engine.Snapshot();
+  ASSERT_TRUE(blob.ok());
+  ShardedEngine second(config);
+  ASSERT_TRUE(second.Restore(*blob).ok());
+  EXPECT_EQ(second.stats().streams_cold, 1u);
+  // Pushing thaws the stream transparently and the replay contract
+  // holds through evict -> snapshot -> restore -> thaw.
+  for (std::size_t t = 120; t < 200; ++t) {
+    ASSERT_TRUE(second.Push("s", x[t]).ok());
+  }
+  auto scores = second.FinishStream("s");
+  ASSERT_TRUE(scores.ok()) << scores.status().message();
+  EXPECT_GT(second.stats().thaws, 0u);
+  EXPECT_TRUE(BitEqual(*scores, BatchScores(spec, x, 0)));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/rng.h"
 #include "common/series.h"
 #include "detectors/registry.h"
+#include "robustness/sanitize.h"
 #include "serving/online_detector.h"
 
 namespace tsad {
@@ -221,13 +223,141 @@ TEST(OnlineAdapterTest, RestoreRejectsForeignBlobs) {
 TEST(OnlineAdapterTest, OnlineCapableNamesMatchesFactoryBehavior) {
   const std::vector<std::string> names = OnlineCapableDetectorNames();
   for (const std::string& name : names) {
+    // "resilient" is a decorator prefix, not a standalone detector;
     // train_length=100 satisfies the reference-stats precondition.
-    auto r = MakeOnlineDetector(name, 100);
-    EXPECT_TRUE(r.ok()) << name << ": " << r.status().message();
+    const std::string spec =
+        name == "resilient" ? "resilient:zscore:w=32" : name;
+    auto r = MakeOnlineDetector(spec, 100);
+    EXPECT_TRUE(r.ok()) << spec << ": " << r.status().message();
     if (r.ok()) {
-      EXPECT_EQ((*r)->name().substr(0, 7), "online:") << name;
+      EXPECT_NE(std::string((*r)->name()).find("online"), std::string::npos)
+          << spec;
     }
   }
+}
+
+TEST(OnlineAdapterTest, MemoryFootprintCoversHeapBuffers) {
+  // The engine's memory budget is only as honest as these numbers: each
+  // adapter must charge at least its object plus every growable buffer,
+  // and the footprint must not shrink as buffers fill.
+  const Series x = SyntheticStream(500, 13);
+  for (const SpecCase& c : EquivalenceCases()) {
+    SCOPED_TRACE(c.spec);
+    auto r = MakeOnlineDetector(c.spec, c.train_length);
+    ASSERT_TRUE(r.ok());
+    const std::size_t empty = (*r)->MemoryFootprint();
+    EXPECT_GE(empty, sizeof(OnlineDetector));
+    std::vector<ScoredPoint> sink;
+    for (double v : x) ASSERT_TRUE((*r)->Observe(v, &sink).ok());
+    EXPECT_GE((*r)->MemoryFootprint(), empty);
+  }
+  // A warmed-up windowed adapter must charge for its ring.
+  auto zscore = MakeOnlineDetector("zscore:w=64", 0);
+  ASSERT_TRUE(zscore.ok());
+  std::vector<ScoredPoint> sink;
+  for (double v : x) ASSERT_TRUE((*zscore)->Observe(v, &sink).ok());
+  EXPECT_GE((*zscore)->MemoryFootprint(), 64 * sizeof(double));
+}
+
+TEST(OnlineSanitizerTest, DirtyStreamMatchesInnerOnSanitizedStream) {
+  // The wrapper's contract: wrapper(dirty) == inner(causally-sanitized
+  // dirty), byte for byte — including through Snapshot/Restore.
+  Series dirty = SyntheticStream(400, 17);
+  Rng rng(99);
+  double last_good = 0.0;
+  bool have_good = false;
+  Series sanitized;
+  for (double& v : dirty) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.04) {
+      v = std::numeric_limits<double>::quiet_NaN();
+    } else if (roll < 0.08) {
+      v = kDefaultSentinel;
+    } else if (roll < 0.10) {
+      v = std::numeric_limits<double>::infinity();
+    }
+    if (std::isfinite(v) && v != kDefaultSentinel) {
+      last_good = v;
+      have_good = true;
+      sanitized.push_back(v);
+    } else {
+      sanitized.push_back(have_good ? last_good : 0.0);
+    }
+  }
+
+  for (const char* inner_spec : {"zscore:w=32", "streaming:m=16"}) {
+    SCOPED_TRACE(inner_spec);
+    auto inner = MakeOnlineDetector(inner_spec, 0);
+    ASSERT_TRUE(inner.ok());
+    auto clean_scores = ReplayScore(**inner, sanitized);
+    ASSERT_TRUE(clean_scores.ok());
+
+    auto wrapped =
+        MakeOnlineDetector("resilient:" + std::string(inner_spec), 0);
+    ASSERT_TRUE(wrapped.ok()) << wrapped.status().message();
+    auto dirty_scores = ReplayScore(**wrapped, dirty);
+    ASSERT_TRUE(dirty_scores.ok());
+    EXPECT_TRUE(BitEqual(*dirty_scores, *clean_scores));
+  }
+}
+
+TEST(OnlineSanitizerTest, SnapshotRestoreCarriesImputationState) {
+  // Cut right after a run of bad points: the carried-forward value and
+  // patch counter must survive the round trip.
+  Series dirty = SyntheticStream(120, 23);
+  dirty[57] = std::numeric_limits<double>::quiet_NaN();
+  dirty[58] = kDefaultSentinel;
+  dirty[59] = std::numeric_limits<double>::quiet_NaN();
+
+  auto reference = MakeOnlineDetector("resilient:zscore:w=16", 0);
+  ASSERT_TRUE(reference.ok());
+  auto expected = ReplayScore(**reference, dirty);
+  ASSERT_TRUE(expected.ok());
+
+  auto first = MakeOnlineDetector("resilient:zscore:w=16", 0);
+  ASSERT_TRUE(first.ok());
+  std::vector<ScoredPoint> points;
+  for (std::size_t t = 0; t < 60; ++t) {
+    ASSERT_TRUE((*first)->Observe(dirty[t], &points).ok());
+  }
+  auto blob = (*first)->Snapshot();
+  ASSERT_TRUE(blob.ok());
+
+  auto second = MakeOnlineDetector("resilient:zscore:w=16", 0);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE((*second)->Restore(*blob).ok());
+  EXPECT_EQ((*second)->observed(), 60u);
+  for (std::size_t t = 60; t < dirty.size(); ++t) {
+    ASSERT_TRUE((*second)->Observe(dirty[t], &points).ok());
+  }
+  ASSERT_TRUE((*second)->Flush(&points).ok());
+  auto assembled = AssembleScores(points, dirty.size(), "test");
+  ASSERT_TRUE(assembled.ok()) << assembled.status().message();
+  EXPECT_TRUE(BitEqual(*assembled, *expected));
+}
+
+TEST(OnlineSanitizerTest, CountsPatchedPoints) {
+  auto inner = MakeOnlineDetector("zscore:w=8", 0);
+  ASSERT_TRUE(inner.ok());
+  OnlineSanitizer sanitizer(std::move(*inner), kDefaultSentinel);
+  std::vector<ScoredPoint> sink;
+  ASSERT_TRUE(sanitizer.Observe(1.0, &sink).ok());
+  ASSERT_TRUE(
+      sanitizer.Observe(std::numeric_limits<double>::quiet_NaN(), &sink).ok());
+  ASSERT_TRUE(sanitizer.Observe(kDefaultSentinel, &sink).ok());
+  ASSERT_TRUE(sanitizer.Observe(2.0, &sink).ok());
+  EXPECT_EQ(sanitizer.points_patched(), 2u);
+  EXPECT_EQ(sanitizer.observed(), 4u);
+}
+
+TEST(OnlineSanitizerTest, FactoryRejectsEmptyAndUnknownInner) {
+  auto empty = MakeOnlineDetector("resilient:", 0);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  auto typo = MakeOnlineDetector("resilient:zscoer", 0);
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -50,26 +50,31 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   # TSan pass: the parallel layer, the serving engine, and the kernel
   # caches (the shared FFT plan cache plus SlidingDotPlan handed to
   # concurrent STOMP block workers) are the thread-touching subsystems,
-  # so build just their test binaries (benches/examples/tools off) and
-  # run the corresponding suites — determinism, error containment,
-  # deadline propagation, concurrent producers, concurrent planned
-  # queries — under the race detector. (The ASan+UBSan pass above
-  # already runs the planned-FFT tests via the full suite.)
+  # so build just their test binaries (examples/tools off; benches stay
+  # configured for the chaos harness below) and run the corresponding
+  # suites — determinism, error containment, deadline propagation,
+  # concurrent producers, concurrent planned queries — under the race
+  # detector. (The ASan+UBSan pass above already runs the planned-FFT
+  # tests and the chaos smoke via the full suite.)
   tsan_dir="${repo_root}/build-tsan"
   echo "==> configuring ${tsan_dir} (TSAD_SANITIZE=thread)"
   cmake -B "${tsan_dir}" -S "${repo_root}" \
     -DTSAD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DTSAD_BUILD_BENCHMARKS=OFF -DTSAD_BUILD_EXAMPLES=OFF \
-    -DTSAD_BUILD_TOOLS=OFF
+    -DTSAD_BUILD_EXAMPLES=OFF -DTSAD_BUILD_TOOLS=OFF
   echo "==> building ${tsan_dir} (parallel_test serving_engine_test" \
-       "fft_test matrix_profile_test mpx_kernel_test)"
+       "fft_test matrix_profile_test mpx_kernel_test bench_chaos_serving)"
   cmake --build "${tsan_dir}" -j "${jobs}" \
     --target parallel_test serving_engine_test fft_test \
-             matrix_profile_test mpx_kernel_test
+             matrix_profile_test mpx_kernel_test bench_chaos_serving
   echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches" \
        "+ MPX diagonal kernel)"
   (cd "${tsan_dir}" && ctest --output-on-failure \
     -R 'Parallel|ShardedEngine|FftPlan|SlidingDotPlan|MatrixProfileTest|MpxKernel')
+  # Chaos harness under the race detector: every survival path —
+  # admission, shed, eviction/thaw, quarantine/recovery, failover — in
+  # one multi-threaded run (ctest -L chaos = the same --smoke binary).
+  echo "==> chaos harness under TSan (ctest -L chaos)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -L chaos)
 fi
 
 echo "==> all checks passed"

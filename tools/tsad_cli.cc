@@ -20,11 +20,17 @@
 //       Reproduce Table 1 on the simulated Yahoo archive.
 //   tsad serve --replay <file.csv> [--streams N] [--detector SPEC]
 //        [--batch B] [--queue C] [--policy block|shed] [--deadline-ms D]
-//        [--no-verify]
+//        [--priority critical|high|normal|batch] [--mem-budget BYTES]
+//        [--recover RETRIES] [--no-verify]
 //       Fan the series out to N identical streams, push it through the
 //       sharded online serving engine in micro-batches, and verify the
-//       engine output is byte-identical to the batch detector. Exit 0
-//       on verified success, 2 on a mismatch.
+//       engine output is byte-identical to the batch detector — also
+//       under the survival ladder: --mem-budget cold-evicts idle
+//       detectors to an in-memory snapshot store (thawed transparently,
+//       still byte-identical), --recover quarantines failing streams
+//       and replays them from the last good checkpoint, --priority sets
+//       every replay stream's admission/eviction class. Exit 0 on
+//       verified success, 2 on a mismatch.
 //   tsad list-detectors
 //
 // Every command accepts --threads N to size the parallel execution
@@ -64,6 +70,9 @@ struct Args {
   std::string policy = "block";  // overflow policy: block|shed
   std::size_t deadline_ms = 0;   // per-stream drain deadline; 0 = off
   bool no_verify = false;
+  std::string priority = "normal";  // stream priority class
+  std::size_t mem_budget = 0;       // detector memory budget, bytes; 0 = off
+  std::size_t recover = 0;          // quarantine recovery retries; 0 = off
 };
 
 // Strict: unknown --flags (and flags missing their value) are errors,
@@ -101,6 +110,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-verify") {
       args.no_verify = true;
+    } else if (arg == "--priority" && has_value) {
+      args.priority = argv[++i];
+    } else if (arg == "--mem-budget" && has_value) {
+      args.mem_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--recover" && has_value) {
+      args.recover = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument(
           has_value ? "unknown flag '" + arg + "'"
@@ -124,6 +139,8 @@ int Usage() {
       "  tsad serve --replay FILE.csv [--streams N] [--detector SPEC]\n"
       "             [--batch B] [--queue C] [--policy block|shed]\n"
       "             [--deadline-ms D] [--no-verify]\n"
+      "             [--priority critical|high|normal|batch]\n"
+      "             [--mem-budget BYTES] [--recover RETRIES]\n"
       "  tsad list-detectors\n"
       "global flags:\n"
       "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
@@ -421,6 +438,14 @@ int CmdServe(const Args& args) {
   if (args.queue > 0) options.engine.queue_capacity = args.queue;
   options.engine.stream_deadline =
       std::chrono::milliseconds(args.deadline_ms);
+  Result<StreamPriority> priority = ParseStreamPriority(args.priority);
+  if (!priority.ok()) {
+    std::printf("%s\n", priority.status().ToString().c_str());
+    return 1;
+  }
+  options.priority = priority.value();
+  options.engine.memory_budget_bytes = args.mem_budget;
+  options.engine.recovery.max_retries = static_cast<int>(args.recover);
 
   const Result<ReplayReport> report =
       ReplayThroughEngine(series->values(), options);
@@ -436,9 +461,19 @@ int CmdServe(const Args& args) {
               args.policy.c_str(), options.batch);
   std::printf("throughput: %.0f points/sec (%zu points in %.3f s)\n",
               report->points_per_sec, report->points, report->seconds);
-  std::printf("p99 pump  : %.3f ms   shed: %llu\n",
+  std::printf("p99 pump  : %.3f ms   shed: %llu   denied: %llu\n",
               report->p99_pump_seconds * 1e3,
-              static_cast<unsigned long long>(report->shed));
+              static_cast<unsigned long long>(report->shed),
+              static_cast<unsigned long long>(report->denied));
+  if (args.mem_budget > 0 || args.recover > 0) {
+    std::printf(
+        "survival  : evictions %llu  thaws %llu  quarantines %llu"
+        "  recoveries %llu\n",
+        static_cast<unsigned long long>(report->cold_evictions),
+        static_cast<unsigned long long>(report->thaws),
+        static_cast<unsigned long long>(report->quarantines),
+        static_cast<unsigned long long>(report->recoveries));
+  }
   if (options.verify_against_batch) {
     std::printf("verify    : %s\n",
                 report->verified ? "byte-identical to batch Score()"
