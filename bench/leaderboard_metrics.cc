@@ -1,0 +1,70 @@
+// The cross-family, multi-metric detector leaderboard — the successor
+// to the accuracy-only full-archive ranking. Every registry detector
+// (plus its resilient: wrapper) runs across the six simulator families
+// under all seven scoring protocols; the board is printed sorted by the
+// flattering point-adjust F1, with the event-aware columns alongside so
+// the rank inversions are visible on sight. The UCR-slop column keeps
+// the old binary-accuracy protocol on the board — as one metric among
+// seven rather than the whole story.
+//
+//   --smoke        2 detectors x 2 families x 2 series (CI size)
+//   --out FILE     also write the machine-readable JSON report
+//   --threads N    parallel pool size (report is identical at any N)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "core/leaderboard.h"
+
+int main(int argc, char** argv) {
+  using namespace tsad;
+  bench::InitThreadsFromArgs(&argc, argv);
+  const bool smoke = bench::ConsumeFlag(&argc, argv, "--smoke");
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  bench::PrintHeader("LEADERBOARD -- every detector x family x metric");
+  std::printf("threads: %zu\n", ParallelThreads());
+
+  LeaderboardConfig config;
+  if (smoke) {
+    config.detectors = {"zscore", "oneliner"};
+    config.families = {LeaderboardFamily::kGait, LeaderboardFamily::kNab};
+    config.max_series_per_family = 2;
+  }
+
+  Result<LeaderboardReport> report = RunLeaderboard(config);
+  if (!report.ok()) {
+    std::printf("leaderboard failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("board: %zu detector(s) x %zu family(ies) x %zu metric(s)\n",
+              report->detectors.size(), report->families.size(),
+              report->metrics.size());
+  std::printf("%s", FormatLeaderboardTable(*report).c_str());
+
+  if (!out_path.empty()) {
+    const std::string json = LeaderboardJson(*report);
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nJSON report written to %s\n", out_path.c_str());
+  }
+
+  std::printf(
+      "\nReading the board: point_adjust_f1 saturates for detectors whose\n"
+      "score tracks merely graze each labeled region; the event-aware\n"
+      "columns (range_pr_f1, nab, affiliation_f1, delay_f1) re-rank them.\n"
+      "Every discordant pair above is a place where the popular protocol\n"
+      "would have reported progress the fair protocols do not see.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "scoring/affiliation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tsad {
+
+namespace {
+
+// Index distance from x to the event [begin, end): 0 inside, else the
+// gap to the nearest covered index.
+std::size_t DistToRegion(std::size_t x, const AnomalyRegion& r) {
+  if (x >= r.begin && x < r.end) return 0;
+  return x < r.begin ? r.begin - x : x - (r.end - 1);
+}
+
+// An affiliation zone: the half-open index interval [begin, end) whose
+// points are nearest to one ground-truth event.
+struct Zone {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+// P[dist(U, event) >= d] for U uniform on the zone: the fraction of
+// zone indices at least d away from the event. d == 0 is certain.
+double SurvivalToEvent(const Zone& zone, const AnomalyRegion& event,
+                       std::size_t d) {
+  if (d == 0) return 1.0;
+  // Left side: indices y <= event.begin - d.
+  std::size_t count = 0;
+  if (event.begin >= d) {
+    const std::size_t hi = event.begin - d;  // inclusive
+    if (hi >= zone.begin) {
+      count += std::min(hi, zone.end - 1) - zone.begin + 1;
+    }
+  }
+  // Right side: indices y >= (event.end - 1) + d.
+  const std::size_t lo = (event.end - 1) + d;  // inclusive
+  if (lo < zone.end) {
+    count += zone.end - std::max(lo, zone.begin);
+  }
+  return static_cast<double>(count) / static_cast<double>(zone.size());
+}
+
+// P[|U - t| >= d] for U uniform on the zone. d == 0 is certain.
+double SurvivalToPoint(const Zone& zone, std::size_t t, std::size_t d) {
+  if (d == 0) return 1.0;
+  // Indices strictly closer than d form [t - d + 1, t + d - 1].
+  const std::size_t near_lo = std::max(zone.begin, t >= d - 1 ? t - (d - 1) : 0);
+  const std::size_t near_hi = std::min(zone.end - 1, t + (d - 1));  // inclusive
+  const std::size_t near =
+      near_hi >= near_lo ? near_hi - near_lo + 1 : 0;
+  return static_cast<double>(zone.size() - near) /
+         static_cast<double>(zone.size());
+}
+
+}  // namespace
+
+Result<AffiliationScore> ComputeAffiliation(
+    const std::vector<AnomalyRegion>& real_in,
+    const std::vector<AnomalyRegion>& predicted_in,
+    std::size_t series_length) {
+  if (series_length == 0) {
+    return Status::InvalidArgument("series_length must be positive");
+  }
+  const std::vector<AnomalyRegion> real = NormalizeRegions(real_in);
+  const std::vector<AnomalyRegion> predicted = NormalizeRegions(predicted_in);
+  for (const AnomalyRegion& r : real) {
+    if (r.end > series_length) {
+      return Status::InvalidArgument("real region extends past the series");
+    }
+  }
+  for (const AnomalyRegion& p : predicted) {
+    if (p.end > series_length) {
+      return Status::InvalidArgument(
+          "predicted region extends past the series");
+    }
+  }
+
+  AffiliationScore score;
+  score.events = real.size();
+  if (real.empty()) {
+    score.recall = 1.0;
+    score.precision = predicted.empty() ? 1.0 : 0.0;
+    score.f1 = score.precision;  // harmonic mean with recall == 1
+    return score;
+  }
+
+  // Zone boundaries: the midpoint between consecutive events, ties to
+  // the earlier event; the first and last zones absorb the margins.
+  std::vector<Zone> zones(real.size());
+  for (std::size_t j = 0; j < real.size(); ++j) {
+    zones[j].begin =
+        j == 0 ? 0
+               : (real[j - 1].end - 1 + real[j].begin) / 2 + 1;
+    zones[j].end =
+        j + 1 == real.size()
+            ? series_length
+            : (real[j].end - 1 + real[j + 1].begin) / 2 + 1;
+  }
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (std::size_t j = 0; j < real.size(); ++j) {
+    const Zone& zone = zones[j];
+    const AnomalyRegion& event = real[j];
+
+    // Predicted indices clipped to this zone, as sub-regions.
+    std::vector<AnomalyRegion> local;
+    for (const AnomalyRegion& p : predicted) {
+      const std::size_t lo = std::max(p.begin, zone.begin);
+      const std::size_t hi = std::min(p.end, zone.end);
+      if (lo < hi) local.push_back({lo, hi});
+    }
+
+    if (!local.empty()) {
+      ++score.zones_with_predictions;
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (const AnomalyRegion& p : local) {
+        for (std::size_t x = p.begin; x < p.end; ++x) {
+          sum += SurvivalToEvent(zone, event, DistToRegion(x, event));
+          ++count;
+        }
+      }
+      precision_sum += sum / static_cast<double>(count);
+
+      double recall_j = 0.0;
+      for (std::size_t t = event.begin; t < event.end; ++t) {
+        std::size_t d = std::numeric_limits<std::size_t>::max();
+        for (const AnomalyRegion& p : local) {
+          d = std::min(d, DistToRegion(t, p));
+        }
+        recall_j += SurvivalToPoint(zone, t, d);
+      }
+      recall_sum += recall_j / static_cast<double>(event.length());
+    }
+    // A zone without predictions contributes recall 0 and abstains
+    // from the precision average.
+  }
+
+  score.precision =
+      score.zones_with_predictions == 0
+          ? 0.0
+          : precision_sum / static_cast<double>(score.zones_with_predictions);
+  score.recall = recall_sum / static_cast<double>(real.size());
+  const double pr = score.precision + score.recall;
+  score.f1 = pr == 0.0 ? 0.0 : 2.0 * score.precision * score.recall / pr;
+  return score;
+}
+
+}  // namespace tsad

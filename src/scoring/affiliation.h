@@ -1,0 +1,62 @@
+// Affiliation-based precision/recall (Huet, Navarro & Rossi, KDD 2022
+// — the parameter-free, event-local scoring the TimeSeriesBench line
+// of work recommends over point-adjust). The time axis is partitioned
+// into "affiliation zones", one per ground-truth event (each index is
+// affiliated with its nearest event; ties go to the earlier event).
+// Within each zone, distances between predictions and the event are
+// converted to probabilities against the zone's uniform baseline:
+//
+//   precision_j = mean over predicted indices p in zone_j of
+//                 P[ dist(U, I_j) >= dist(p, I_j) ],  U ~ Uniform(zone_j)
+//   recall_j    = mean over truth indices t in I_j of
+//                 P[ |U - t| >= dist(t, P_j) ],       U ~ Uniform(zone_j)
+//
+// where I_j is the event, P_j the predicted indices in zone_j, and
+// dist(x, S) the index distance from x to the set S (0 when inside).
+// A random predictor scores ~0.5; an exact predictor scores 1. The
+// conversion makes the metric parameter-free (no tolerance window to
+// tune) and event-local (one 5000-point labeled region cannot buy
+// credit for a miss elsewhere — the point-adjust pathology of §2.3).
+//
+// Aggregation follows the reference implementation: precision averages
+// over zones that contain at least one prediction (a zone with none
+// expresses no opinion about precision); recall averages over ALL
+// events, scoring 0 for events whose zone has no prediction.
+
+#ifndef TSAD_SCORING_AFFILIATION_H_
+#define TSAD_SCORING_AFFILIATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/series.h"
+#include "common/status.h"
+
+namespace tsad {
+
+struct AffiliationScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Number of ground-truth events (affiliation zones).
+  std::size_t events = 0;
+  /// Zones containing at least one predicted index (the precision
+  /// average runs over exactly these).
+  std::size_t zones_with_predictions = 0;
+};
+
+/// Computes affiliation precision/recall/F1 between ground-truth and
+/// predicted anomaly regions over a series of `series_length` points
+/// (both region lists are normalized internally).
+///
+/// Degenerate conventions (mirroring ComputeRangePr): no ground-truth
+/// events => recall 1, precision 1 iff nothing was predicted; events
+/// but no predictions => precision 0, recall 0. Returns InvalidArgument
+/// when series_length is 0 or a region extends past the series.
+Result<AffiliationScore> ComputeAffiliation(
+    const std::vector<AnomalyRegion>& real,
+    const std::vector<AnomalyRegion>& predicted, std::size_t series_length);
+
+}  // namespace tsad
+
+#endif  // TSAD_SCORING_AFFILIATION_H_

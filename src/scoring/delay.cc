@@ -1,0 +1,93 @@
+#include "scoring/delay.h"
+
+#include <algorithm>
+
+namespace tsad {
+
+Result<DelayScore> ComputeDelayScore(
+    const std::vector<AnomalyRegion>& real_in,
+    const std::vector<AnomalyRegion>& predicted_in, std::size_t series_length,
+    const DelayConfig& config) {
+  if (series_length == 0) {
+    return Status::InvalidArgument("series_length must be positive");
+  }
+  const std::vector<AnomalyRegion> real = NormalizeRegions(real_in);
+  const std::vector<AnomalyRegion> predicted = NormalizeRegions(predicted_in);
+  for (const AnomalyRegion& r : real) {
+    if (r.end > series_length) {
+      return Status::InvalidArgument("real region extends past the series");
+    }
+  }
+  for (const AnomalyRegion& p : predicted) {
+    if (p.end > series_length) {
+      return Status::InvalidArgument(
+          "predicted region extends past the series");
+    }
+  }
+
+  DelayScore score;
+  score.events_total = real.size();
+  score.alarm_regions = predicted.size();
+  if (real.empty()) {
+    score.recall = 1.0;
+    score.precision = predicted.empty() ? 1.0 : 0.0;
+    score.false_alarm_regions = predicted.size();
+    score.f1 = score.precision;  // harmonic mean with recall == 1
+    return score;
+  }
+
+  // Tolerance windows: [begin, begin + k] clipped to the event. Both
+  // lists are sorted, so a two-pointer sweep would do; the event counts
+  // are small enough that the direct scan reads better.
+  std::vector<AnomalyRegion> windows;
+  windows.reserve(real.size());
+  for (const AnomalyRegion& r : real) {
+    const std::size_t cap = config.tolerance >= r.length() - 1
+                                ? r.end
+                                : r.begin + config.tolerance + 1;
+    windows.push_back({r.begin, cap});
+  }
+
+  double delay_sum = 0.0;
+  for (std::size_t j = 0; j < real.size(); ++j) {
+    // First alarm index inside the tolerance window, if any.
+    std::size_t first = series_length;
+    for (const AnomalyRegion& p : predicted) {
+      const std::size_t lo = std::max(p.begin, windows[j].begin);
+      if (lo < std::min(p.end, windows[j].end)) {
+        first = std::min(first, lo);
+      }
+    }
+    if (first < series_length) {
+      ++score.events_detected;
+      delay_sum += static_cast<double>(first - real[j].begin);
+    }
+  }
+
+  for (const AnomalyRegion& p : predicted) {
+    bool valid = false;
+    for (const AnomalyRegion& w : windows) {
+      if (std::max(p.begin, w.begin) < std::min(p.end, w.end)) {
+        valid = true;
+        break;
+      }
+    }
+    if (!valid) ++score.false_alarm_regions;
+  }
+
+  score.recall = static_cast<double>(score.events_detected) /
+                 static_cast<double>(score.events_total);
+  score.precision =
+      predicted.empty()
+          ? 0.0
+          : static_cast<double>(predicted.size() - score.false_alarm_regions) /
+                static_cast<double>(predicted.size());
+  score.mean_delay = score.events_detected == 0
+                         ? 0.0
+                         : delay_sum / static_cast<double>(score.events_detected);
+  const double pr = score.precision + score.recall;
+  score.f1 = pr == 0.0 ? 0.0 : 2.0 * score.precision * score.recall / pr;
+  return score;
+}
+
+}  // namespace tsad

@@ -1,0 +1,66 @@
+// Detection-delay / delay-constrained event F1 — the TimeSeriesBench
+// online evaluation protocol (its "k-delay adjustment"). An event only
+// counts as detected when an alarm fires within the first k+1 points
+// of the event: real-time monitoring derives no value from an alarm
+// raised long after the anomaly began, which is precisely the credit
+// point-adjust hands out (one hit anywhere in the region retroactively
+// "detects" its start). Scoring is event-wise, so a long labeled
+// region is one event, not thousands of point TPs.
+//
+//   recall    = events detected within tolerance / total events
+//   precision = valid alarm regions / total alarm regions, where an
+//               alarm region is valid iff it covers some event's
+//               tolerance window (an alarm that only overlaps an event
+//               AFTER the tolerance failed the online contract and
+//               counts as a false alarm)
+//   delay     = first alarm index in the tolerance window - event begin
+//
+// With tolerance = infinity this degenerates to plain event-wise
+// precision/recall; the default of 64 points suits the simulators'
+// series lengths (1.4k-12k points).
+
+#ifndef TSAD_SCORING_DELAY_H_
+#define TSAD_SCORING_DELAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/series.h"
+#include "common/status.h"
+
+namespace tsad {
+
+struct DelayConfig {
+  /// Maximum tolerated detection delay k, in points: an event counts
+  /// as detected iff an alarm fires in [begin, begin + k], clipped to
+  /// the event's end.
+  std::size_t tolerance = 64;
+};
+
+struct DelayScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Mean detection delay over detected events, in points (0 when no
+  /// event was detected).
+  double mean_delay = 0.0;
+  std::size_t events_total = 0;
+  std::size_t events_detected = 0;
+  std::size_t alarm_regions = 0;
+  std::size_t false_alarm_regions = 0;
+};
+
+/// Scores predicted alarm regions against ground-truth events over a
+/// series of `series_length` points (both lists normalized
+/// internally). Degenerate conventions mirror ComputeRangePr: no
+/// events => recall 1, precision 1 iff no alarms; events but no alarms
+/// => precision 0, recall 0. Returns InvalidArgument when
+/// series_length is 0 or a region extends past the series.
+Result<DelayScore> ComputeDelayScore(
+    const std::vector<AnomalyRegion>& real,
+    const std::vector<AnomalyRegion>& predicted, std::size_t series_length,
+    const DelayConfig& config = {});
+
+}  // namespace tsad
+
+#endif  // TSAD_SCORING_DELAY_H_

@@ -59,6 +59,22 @@ Result<NabScore> ComputeNabScore(const std::vector<AnomalyRegion>& anomalies_in,
       w.end = std::max(w.end, static_cast<double>(a.end > 0 ? a.end - 1 : 0));
       windows.push_back(w);
     }
+    // When the per-anomaly budget makes adjacent windows overlap, NAB
+    // merges them into one (the reference implementation does the same
+    // while building its window list). Without the merge, a detection
+    // in the overlap credits only the first window by scan order and
+    // the second is double-charged as a miss. Window begins are
+    // nondecreasing (anomalies are normalized), so one forward pass
+    // suffices.
+    std::vector<Window> merged;
+    for (const Window& w : windows) {
+      if (!merged.empty() && w.begin <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, w.end);
+      } else {
+        merged.push_back(w);
+      }
+    }
+    windows = std::move(merged);
   }
 
   NabScore score;

@@ -48,8 +48,10 @@
 #include "datasets/physio.h"      // IWYU pragma: export
 #include "datasets/yahoo.h"       // IWYU pragma: export
 
+#include "scoring/affiliation.h"   // IWYU pragma: export
 #include "scoring/auc.h"           // IWYU pragma: export
 #include "scoring/confusion.h"     // IWYU pragma: export
+#include "scoring/delay.h"         // IWYU pragma: export
 #include "scoring/nab.h"           // IWYU pragma: export
 #include "scoring/point_adjust.h"  // IWYU pragma: export
 #include "scoring/range_pr.h"      // IWYU pragma: export
@@ -70,6 +72,7 @@
 #include "core/benchmark_audit.h"  // IWYU pragma: export
 #include "core/density.h"          // IWYU pragma: export
 #include "core/invariance.h"       // IWYU pragma: export
+#include "core/leaderboard.h"      // IWYU pragma: export
 #include "core/mislabel.h"         // IWYU pragma: export
 #include "core/relabel.h"          // IWYU pragma: export
 #include "core/report.h"           // IWYU pragma: export

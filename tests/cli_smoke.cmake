@@ -1,5 +1,6 @@
 # End-to-end CLI smoke:
-# generate -> triviality -> detect -> audit+report -> serve replay.
+# generate -> triviality -> detect -> audit+report -> serve replay
+# -> leaderboard (JSON + flag rejection).
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -52,5 +53,34 @@ endif()
 string(FIND "${out}" "byte-identical" found)
 if(found EQUAL -1)
   message(FATAL_ERROR "serve output missing verification line: ${out}")
+endif()
+
+# leaderboard: the CI-sized board must emit the JSON report with the
+# rank-inversion section.
+execute_process(COMMAND ${TSAD_CLI} leaderboard --smoke
+                        --out ${WORK_DIR}/leaderboard.json --threads 2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "leaderboard failed with ${rc}: ${out}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/leaderboard.json)
+  message(FATAL_ERROR "leaderboard did not write the JSON report")
+endif()
+file(READ ${WORK_DIR}/leaderboard.json lb_json)
+string(FIND "${lb_json}" "rank_inversions" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "leaderboard JSON missing rank_inversions: ${lb_json}")
+endif()
+
+# Unknown metric names must be rejected with a suggestion, not run.
+execute_process(COMMAND ${TSAD_CLI} leaderboard --smoke
+                        --metrics affilation_f1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "leaderboard accepted an unknown metric: ${out}")
+endif()
+string(FIND "${out}" "did you mean 'affiliation_f1'" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "leaderboard rejection missing suggestion: ${out}")
 endif()
 file(REMOVE_RECURSE ${WORK_DIR})

@@ -1,0 +1,104 @@
+#include "scoring/affiliation.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+// Single event [4, 6) in a 10-point series: one zone covering the whole
+// axis. Golden values are hand-computed from the discrete survival
+// functions (see affiliation.h).
+TEST(AffiliationTest, SingleEventGoldenValues) {
+  const std::vector<AnomalyRegion> real = {{4, 6}};
+
+  // Prediction at index 7, distance 2 from the event.
+  // Precision: P[dist(U, event) >= 2] over U ~ uniform{0..9}
+  //   = |{0,1,2}| + |{7,8,9}| over 10 = 0.6.
+  // Recall: t=4 has d=3 -> P[|U-4| >= 3] = 5/10; t=5 has d=2 ->
+  //   P[|U-5| >= 2] = 7/10; mean = 0.6.
+  Result<AffiliationScore> near = ComputeAffiliation(real, {{7, 8}}, 10);
+  ASSERT_TRUE(near.ok());
+  EXPECT_DOUBLE_EQ(near->precision, 0.6);
+  EXPECT_DOUBLE_EQ(near->recall, 0.6);
+  EXPECT_DOUBLE_EQ(near->f1, 0.6);
+  EXPECT_EQ(near->events, 1u);
+  EXPECT_EQ(near->zones_with_predictions, 1u);
+
+  // Exact prediction: all distances 0, survivals 1.
+  Result<AffiliationScore> exact = ComputeAffiliation(real, {{4, 6}}, 10);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(exact->precision, 1.0);
+  EXPECT_DOUBLE_EQ(exact->recall, 1.0);
+  EXPECT_DOUBLE_EQ(exact->f1, 1.0);
+}
+
+// Farther predictions must score strictly lower: the survival
+// probability against the uniform baseline shrinks with distance.
+TEST(AffiliationTest, PrecisionDecaysWithDistance) {
+  const std::vector<AnomalyRegion> real = {{40, 45}};
+  double previous = 1.1;
+  for (std::size_t at : {45UL, 50UL, 60UL, 75UL}) {
+    Result<AffiliationScore> s =
+        ComputeAffiliation(real, {{at, at + 1}}, 100);
+    ASSERT_TRUE(s.ok());
+    EXPECT_LT(s->precision, previous) << "prediction at " << at;
+    previous = s->precision;
+  }
+}
+
+// Two events, prediction near only the first: the second event's zone
+// has no predictions, so it contributes zero recall and abstains from
+// the precision average.
+TEST(AffiliationTest, TwoEventsGoldenValues) {
+  const std::vector<AnomalyRegion> real = {{2, 4}, {12, 14}};
+  // Zone cut: midpoint of last index of event 1 (3) and first of
+  // event 2 (12), ties to the earlier event -> zones [0,8) and [8,20).
+  //
+  // Prediction {6}: d(6, [2,4)) = 3.
+  // Precision (zone [0,8)): P[dist >= 3] = |{6,7}| / 8 = 0.25.
+  // Recall: t=2, d=4 -> P[|U-2| >= 4] = 2/8; t=3, d=3 -> 3/8;
+  //   zone mean = 0.3125; averaged over BOTH events -> 0.15625.
+  Result<AffiliationScore> s = ComputeAffiliation(real, {{6, 7}}, 20);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 0.25);
+  EXPECT_DOUBLE_EQ(s->recall, 0.15625);
+  EXPECT_EQ(s->events, 2u);
+  EXPECT_EQ(s->zones_with_predictions, 1u);
+}
+
+// A prediction spanning a zone boundary is split between zones and
+// judged against each zone's own event.
+TEST(AffiliationTest, PredictionSplitAcrossZones) {
+  const std::vector<AnomalyRegion> real = {{2, 4}, {12, 14}};
+  Result<AffiliationScore> s = ComputeAffiliation(real, {{7, 9}}, 20);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->zones_with_predictions, 2u);
+  // Index 7 lands in zone [0,8) (d=4 from event 1); index 8 in zone
+  // [8,20) (d=4 from event 2). Both zones now contribute precision and
+  // nonzero recall.
+  EXPECT_GT(s->precision, 0.0);
+  EXPECT_GT(s->recall, 0.0);
+}
+
+// Predicting everything is the paper's canonical degenerate detector:
+// recall saturates but precision collapses toward the uniform
+// baseline's mean survival, never 1.
+TEST(AffiliationTest, PredictAllIsNotPerfect) {
+  const std::vector<AnomalyRegion> real = {{50, 55}};
+  Result<AffiliationScore> all = ComputeAffiliation(real, {{0, 200}}, 200);
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(all->recall, 1.0);
+  EXPECT_LT(all->precision, 0.6);
+  Result<AffiliationScore> exact = ComputeAffiliation(real, {{50, 55}}, 200);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GT(exact->f1, all->f1);
+}
+
+TEST(AffiliationTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeAffiliation({}, {}, 0).ok());
+  EXPECT_FALSE(ComputeAffiliation({{5, 20}}, {}, 10).ok());
+  EXPECT_FALSE(ComputeAffiliation({{1, 2}}, {{5, 20}}, 10).ok());
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,109 @@
+#include "scoring/delay.h"
+
+#include <gtest/gtest.h>
+
+namespace tsad {
+namespace {
+
+DelayConfig Tolerance(std::size_t k) {
+  DelayConfig config;
+  config.tolerance = k;
+  return config;
+}
+
+// One event [500, 520) with k = 10: the tolerance window is
+// [500, 511) — an alarm must fire within 10 points of onset.
+TEST(DelayTest, SingleEventGoldenValues) {
+  const std::vector<AnomalyRegion> real = {{500, 520}};
+
+  // Alarm at 505: detected with delay 5; the alarm region is valid.
+  Result<DelayScore> timely =
+      ComputeDelayScore(real, {{505, 506}}, 1000, Tolerance(10));
+  ASSERT_TRUE(timely.ok());
+  EXPECT_EQ(timely->events_detected, 1u);
+  EXPECT_EQ(timely->false_alarm_regions, 0u);
+  EXPECT_DOUBLE_EQ(timely->precision, 1.0);
+  EXPECT_DOUBLE_EQ(timely->recall, 1.0);
+  EXPECT_DOUBLE_EQ(timely->f1, 1.0);
+  EXPECT_DOUBLE_EQ(timely->mean_delay, 5.0);
+
+  // Alarm at 515 (inside the event but past the tolerance): the event
+  // is NOT detected and the alarm is a false alarm — the online
+  // protocol's point: late detection is as useless as none.
+  Result<DelayScore> late =
+      ComputeDelayScore(real, {{515, 530}}, 1000, Tolerance(10));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(late->events_detected, 0u);
+  EXPECT_EQ(late->false_alarm_regions, 1u);
+  EXPECT_DOUBLE_EQ(late->precision, 0.0);
+  EXPECT_DOUBLE_EQ(late->recall, 0.0);
+  EXPECT_DOUBLE_EQ(late->f1, 0.0);
+}
+
+TEST(DelayTest, ToleranceBoundaryIsInclusive) {
+  const std::vector<AnomalyRegion> real = {{500, 520}};
+  // Exactly k points after onset still counts...
+  Result<DelayScore> at_k =
+      ComputeDelayScore(real, {{510, 511}}, 1000, Tolerance(10));
+  ASSERT_TRUE(at_k.ok());
+  EXPECT_EQ(at_k->events_detected, 1u);
+  EXPECT_DOUBLE_EQ(at_k->mean_delay, 10.0);
+  // ...k + 1 does not.
+  Result<DelayScore> past_k =
+      ComputeDelayScore(real, {{511, 512}}, 1000, Tolerance(10));
+  ASSERT_TRUE(past_k.ok());
+  EXPECT_EQ(past_k->events_detected, 0u);
+  EXPECT_EQ(past_k->false_alarm_regions, 1u);
+}
+
+TEST(DelayTest, ToleranceClipsToEventEnd) {
+  // k larger than the event: the window is the event itself, never
+  // beyond — an alarm after the event ends is always a false alarm.
+  const std::vector<AnomalyRegion> real = {{500, 520}};
+  Result<DelayScore> last =
+      ComputeDelayScore(real, {{519, 520}}, 1000, Tolerance(100));
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->events_detected, 1u);
+  EXPECT_DOUBLE_EQ(last->mean_delay, 19.0);
+  Result<DelayScore> after =
+      ComputeDelayScore(real, {{520, 521}}, 1000, Tolerance(100));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->events_detected, 0u);
+  EXPECT_EQ(after->false_alarm_regions, 1u);
+}
+
+TEST(DelayTest, MultipleEventsGoldenValues) {
+  const std::vector<AnomalyRegion> real = {{100, 110}, {500, 510}};
+  // One timely alarm (delay 2) and one stray alarm far from any event.
+  Result<DelayScore> s = ComputeDelayScore(real, {{102, 103}, {700, 701}},
+                                           1000, Tolerance(5));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->events_total, 2u);
+  EXPECT_EQ(s->events_detected, 1u);
+  EXPECT_EQ(s->alarm_regions, 2u);
+  EXPECT_EQ(s->false_alarm_regions, 1u);
+  EXPECT_DOUBLE_EQ(s->precision, 0.5);
+  EXPECT_DOUBLE_EQ(s->recall, 0.5);
+  EXPECT_DOUBLE_EQ(s->f1, 0.5);
+  EXPECT_DOUBLE_EQ(s->mean_delay, 2.0);
+}
+
+// The earliest in-window alarm defines the delay even when later
+// alarms also land inside the window.
+TEST(DelayTest, EarliestAlarmDefinesDelay) {
+  const std::vector<AnomalyRegion> real = {{500, 520}};
+  Result<DelayScore> s = ComputeDelayScore(
+      real, {{503, 504}, {508, 509}}, 1000, Tolerance(10));
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->mean_delay, 3.0);
+  EXPECT_EQ(s->false_alarm_regions, 0u);
+}
+
+TEST(DelayTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputeDelayScore({}, {}, 0).ok());
+  EXPECT_FALSE(ComputeDelayScore({{5, 20}}, {}, 10).ok());
+  EXPECT_FALSE(ComputeDelayScore({{1, 2}}, {{5, 20}}, 10).ok());
+}
+
+}  // namespace
+}  // namespace tsad

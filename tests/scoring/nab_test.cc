@@ -73,6 +73,50 @@ TEST(NabTest, RejectsBadInputs) {
   EXPECT_FALSE(ComputeNabScore({{1, 2}}, {99}, 10).ok());
 }
 
+TEST(NabTest, OverlappingWindowsMergeIntoOne) {
+  // Two anomalies 20 points apart in a 1000-point series: the per-
+  // anomaly budget (0.11 * 1000 / 2 = 55) makes their windows overlap,
+  // so they must merge into a single window, as in the reference NAB
+  // implementation.
+  const std::vector<AnomalyRegion> anomalies = {{480, 482}, {500, 502}};
+  Result<NabScore> hit = ComputeNabScore(anomalies, {490}, 1000);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->total_windows, 1u);
+  EXPECT_EQ(hit->detected_windows, 1u);
+  EXPECT_EQ(hit->false_positives, 0u);
+
+  // One detection inside the merged window is a perfect recall run:
+  // no window is missed, so no fn_weight is charged and the normalized
+  // score is strictly positive. Before the merge fix the second window
+  // was double-charged as a miss even though the overlap was detected.
+  EXPECT_GT(hit->normalized, 0.0);
+
+  // Detecting "both" anomalies lands both detections in the one merged
+  // window; only the first counts, so the score matches a single hit at
+  // the same earliest position.
+  Result<NabScore> both = ComputeNabScore(anomalies, {490, 501}, 1000);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->total_windows, 1u);
+  EXPECT_NEAR(both->normalized, hit->normalized, 1e-12);
+
+  // Missing the merged window entirely charges exactly one fn_weight:
+  // null score is 0 after normalization.
+  Result<NabScore> miss = ComputeNabScore(anomalies, {}, 1000);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->total_windows, 1u);
+  EXPECT_NEAR(miss->normalized, 0.0, 1e-12);
+}
+
+TEST(NabTest, DisjointWindowsDoNotMerge) {
+  // Same two anomalies pushed far apart: windows stay disjoint and the
+  // merge pass must be a no-op.
+  const std::vector<AnomalyRegion> anomalies = {{200, 202}, {800, 802}};
+  Result<NabScore> score = ComputeNabScore(anomalies, {201}, 1000);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->total_windows, 2u);
+  EXPECT_EQ(score->detected_windows, 1u);
+}
+
 TEST(NabTest, MultipleWindowsEachScored) {
   const std::vector<AnomalyRegion> anomalies = {{200, 210}, {700, 710}};
   Result<NabScore> one = ComputeNabScore(anomalies, {200}, 1000);

@@ -1,0 +1,100 @@
+// Degenerate-input behavior of the scoring layer, in one table-driven
+// place: empty real vs non-empty predicted (and vice versa) for every
+// region-based metric, all-tied score tracks for the AUCs, and
+// zero-length series rejection. These are the inputs trivial detectors
+// actually produce (constant scores, predict-nothing, predict-all), so
+// each metric's convention here decides how flattering the board is.
+
+#include <gtest/gtest.h>
+
+#include "scoring/affiliation.h"
+#include "scoring/auc.h"
+#include "scoring/delay.h"
+#include "scoring/range_pr.h"
+
+namespace tsad {
+namespace {
+
+// The shared convention across region-based metrics: no events means
+// recall is vacuously 1 and precision is 1 exactly when nothing was
+// predicted; predicting nothing against real events earns zero.
+struct RegionCase {
+  const char* name;
+  std::vector<AnomalyRegion> real;
+  std::vector<AnomalyRegion> predicted;
+  double want_precision;
+  double want_recall;
+};
+
+const RegionCase kRegionCases[] = {
+    {"empty_real_empty_predicted", {}, {}, 1.0, 1.0},
+    {"empty_real_nonempty_predicted", {}, {{10, 20}}, 0.0, 1.0},
+    {"nonempty_real_empty_predicted", {{10, 20}}, {}, 0.0, 0.0},
+};
+
+constexpr std::size_t kLength = 100;
+
+TEST(ScoringDegenerateTest, RangePrConventions) {
+  for (const RegionCase& c : kRegionCases) {
+    SCOPED_TRACE(c.name);
+    const RangePrResult r = ComputeRangePr(c.real, c.predicted);
+    EXPECT_DOUBLE_EQ(r.precision, c.want_precision);
+    EXPECT_DOUBLE_EQ(r.recall, c.want_recall);
+  }
+}
+
+TEST(ScoringDegenerateTest, AffiliationConventions) {
+  for (const RegionCase& c : kRegionCases) {
+    SCOPED_TRACE(c.name);
+    Result<AffiliationScore> r =
+        ComputeAffiliation(c.real, c.predicted, kLength);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->precision, c.want_precision);
+    EXPECT_DOUBLE_EQ(r->recall, c.want_recall);
+  }
+}
+
+TEST(ScoringDegenerateTest, DelayConventions) {
+  for (const RegionCase& c : kRegionCases) {
+    SCOPED_TRACE(c.name);
+    Result<DelayScore> r = ComputeDelayScore(c.real, c.predicted, kLength);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->precision, c.want_precision);
+    EXPECT_DOUBLE_EQ(r->recall, c.want_recall);
+  }
+}
+
+TEST(ScoringDegenerateTest, ZeroLengthSeriesRejected) {
+  EXPECT_FALSE(ComputeAffiliation({}, {}, 0).ok());
+  EXPECT_FALSE(ComputeDelayScore({}, {}, 0).ok());
+}
+
+// A constant score track carries no information: ROC AUC must be
+// exactly chance (0.5, via midranks), PR AUC exactly the positive
+// prevalence — not 0, not 1, and not an error.
+TEST(ScoringDegenerateTest, AllTiedScores) {
+  std::vector<uint8_t> truth(20, 0);
+  for (std::size_t i = 5; i < 10; ++i) truth[i] = 1;
+  const std::vector<double> tied(20, 0.75);
+
+  Result<double> roc = RocAuc(truth, tied);
+  ASSERT_TRUE(roc.ok());
+  EXPECT_DOUBLE_EQ(*roc, 0.5);
+
+  Result<double> pr = PrAuc(truth, tied);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_DOUBLE_EQ(*pr, 5.0 / 20.0);
+}
+
+// One-class truth makes both AUCs undefined; the library rejects it
+// rather than silently returning a flattering number.
+TEST(ScoringDegenerateTest, OneClassTruthRejected) {
+  const std::vector<double> scores(10, 0.5);
+  EXPECT_FALSE(RocAuc(std::vector<uint8_t>(10, 0), scores).ok());
+  EXPECT_FALSE(RocAuc(std::vector<uint8_t>(10, 1), scores).ok());
+  EXPECT_FALSE(PrAuc(std::vector<uint8_t>(10, 0), scores).ok());
+  EXPECT_FALSE(RocAuc({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace tsad

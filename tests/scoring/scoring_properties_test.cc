@@ -124,7 +124,15 @@ TEST_P(ScoringProperties, NabMoreMissedWindowsScoresLower) {
       ComputeNabScore(real, one_hit, f.truth.size());
   ASSERT_TRUE(all_score.ok());
   ASSERT_TRUE(one_score.ok());
-  EXPECT_GT(all_score->normalized, one_score->normalized);
+  if (all_score->total_windows == real.size()) {
+    // No windows merged: the extra detections hit distinct windows, so
+    // missing them must strictly cost score.
+    EXPECT_GT(all_score->normalized, one_score->normalized);
+  } else {
+    // Overlapping windows merged: a single detection may legitimately
+    // cover several anomalies, so the gap can close — but never invert.
+    EXPECT_GE(all_score->normalized, one_score->normalized);
+  }
 }
 
 TEST_P(ScoringProperties, UcrSlopMonotone) {

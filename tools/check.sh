@@ -47,6 +47,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   run_pass "${repo_root}/build-sanitize" \
     -DTSAD_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+  # Multi-metric leaderboard smoke under ASan+UBSan: the full detector
+  # construction / scoring / JSON path at CI size (ctest -L leaderboard
+  # = the CLI and bench --smoke boards).
+  echo "==> leaderboard smoke under ASan+UBSan (ctest -L leaderboard)"
+  (cd "${repo_root}/build-sanitize" && ctest --output-on-failure -L leaderboard)
+
   # TSan pass: the parallel layer, the serving engine, and the kernel
   # caches (the shared FFT plan cache plus SlidingDotPlan handed to
   # concurrent STOMP block workers) are the thread-touching subsystems,

@@ -31,6 +31,16 @@
 //       and replays them from the last good checkpoint, --priority sets
 //       every replay stream's admission/eviction class. Exit 0 on
 //       verified success, 2 on a mismatch.
+//   tsad leaderboard [--detectors SPEC,...] [--families LIST]
+//        [--metrics LIST] [--max-series N] [--delay-k K] [--seed N]
+//        [--out FILE.json] [--smoke]
+//       Run every registry detector (or the given specs) across the
+//       simulator families under all seven scoring protocols in one
+//       parallel sweep, print per-family tables sorted by the
+//       flattering point-adjust F1, and report rank inversions — pairs
+//       of detectors the popular protocol orders opposite to the
+//       event-aware metrics. --out writes the machine-readable JSON
+//       report; --smoke shrinks the board to a CI-sized 2x2.
 //   tsad list-detectors
 //
 // Every command accepts --threads N to size the parallel execution
@@ -73,6 +83,13 @@ struct Args {
   std::string priority = "normal";  // stream priority class
   std::size_t mem_budget = 0;       // detector memory budget, bytes; 0 = off
   std::size_t recover = 0;          // quarantine recovery retries; 0 = off
+  // leaderboard:
+  bool out_set = false;          // --out given explicitly (JSON only then)
+  std::string metrics;           // comma-separated metric list; "" = all
+  std::string families;          // comma-separated family list; "" = all
+  std::size_t max_series = 4;    // series per family cap; 0 = no cap
+  std::size_t delay_k = 64;      // delay metric tolerance, points
+  bool smoke = false;            // tiny 2-detector x 2-family board
 };
 
 // Strict: unknown --flags (and flags missing their value) are errors,
@@ -86,6 +103,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--out" && has_value) {
       args.out = argv[++i];
+      args.out_set = true;
     } else if (arg == "--detector" && has_value) {
       args.detector = argv[++i];
     } else if (arg == "--detectors" && has_value) {
@@ -116,6 +134,16 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.mem_budget = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--recover" && has_value) {
       args.recover = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--metrics" && has_value) {
+      args.metrics = argv[++i];
+    } else if (arg == "--families" && has_value) {
+      args.families = argv[++i];
+    } else if (arg == "--max-series" && has_value) {
+      args.max_series = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--delay-k" && has_value) {
+      args.delay_k = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--smoke") {
+      args.smoke = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Status::InvalidArgument(
           has_value ? "unknown flag '" + arg + "'"
@@ -141,6 +169,9 @@ int Usage() {
       "             [--deadline-ms D] [--no-verify]\n"
       "             [--priority critical|high|normal|batch]\n"
       "             [--mem-budget BYTES] [--recover RETRIES]\n"
+      "  tsad leaderboard [--detectors SPEC,SPEC,...] [--families LIST]\n"
+      "             [--metrics LIST] [--max-series N] [--delay-k K]\n"
+      "             [--seed N] [--out FILE.json] [--smoke]\n"
       "  tsad list-detectors\n"
       "global flags:\n"
       "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
@@ -483,6 +514,62 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdLeaderboard(const Args& args) {
+  if (!args.positional.empty()) return Usage();
+  LeaderboardConfig config;
+  config.seed = args.seed;
+  config.max_series_per_family = args.max_series;
+  config.delay_tolerance = args.delay_k;
+  config.detectors = SplitSpecs(args.detectors);
+
+  Result<std::vector<LeaderboardMetric>> metrics =
+      ParseLeaderboardMetrics(args.metrics);
+  if (!metrics.ok()) {
+    std::printf("%s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+  config.metrics = std::move(metrics.value());
+  Result<std::vector<LeaderboardFamily>> families =
+      ParseLeaderboardFamilies(args.families);
+  if (!families.ok()) {
+    std::printf("%s\n", families.status().ToString().c_str());
+    return 1;
+  }
+  config.families = std::move(families.value());
+
+  if (args.smoke) {
+    // The CI-sized board: two cheap detectors, two fast families, two
+    // series each. Explicit --detectors / --families still win.
+    if (config.detectors.empty()) config.detectors = {"zscore", "oneliner"};
+    if (args.families.empty()) {
+      config.families = {LeaderboardFamily::kGait, LeaderboardFamily::kNab};
+    }
+    config.max_series_per_family = std::min<std::size_t>(
+        config.max_series_per_family == 0 ? 2 : config.max_series_per_family,
+        2);
+  }
+
+  Result<LeaderboardReport> report = RunLeaderboard(config);
+  if (!report.ok()) {
+    std::printf("%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", FormatLeaderboardTable(*report).c_str());
+
+  if (args.out_set) {
+    const std::string json = LeaderboardJson(*report);
+    std::FILE* f = std::fopen(args.out.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nJSON report written to %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
 int CmdListDetectors() {
   for (const std::string& name : RegisteredDetectorNames()) {
     std::printf("%s\n", name.c_str());
@@ -516,6 +603,7 @@ int main(int argc, char** argv) {
   if (command == "robustness") return CmdRobustness(*args);
   if (command == "table1") return CmdTable1(*args);
   if (command == "serve") return CmdServe(*args);
+  if (command == "leaderboard") return CmdLeaderboard(*args);
   if (command == "list-detectors") return CmdListDetectors();
   return Usage();
 }
