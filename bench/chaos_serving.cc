@@ -153,10 +153,21 @@ int main(int argc, char** argv) {
       " points)");
 
   // --- Per-stream synthetic data; every 7th stream is served through
-  // the resilient: wrapper and gets NaN-corrupted input to harden.
+  // the resilient: wrapper and gets NaN-corrupted input to harden, and
+  // another seventh runs bounded-memory FLOSS so the eviction/thaw and
+  // quarantine/recovery paths also cover a ring-buffer detector whose
+  // snapshots carry a pruned diagonal frontier.
   auto spec_of = [](std::size_t s) {
-    return s % 7 == 2 ? std::string("resilient:zscore:w=24")
-                      : std::string("zscore:w=24");
+    if (s % 7 == 2) return std::string("resilient:zscore:w=24");
+    if (s % 7 == 4) return std::string("floss:16:64");
+    return std::string("zscore:w=24");
+  };
+  // The batch reference for each stream: resilient streams are served
+  // through the causal OnlineSanitizer, whose contract is "the inner
+  // batch detector over the sanitized input", so their reference spec
+  // is the INNER detector (the input is sanitized below).
+  auto batch_spec_of = [&spec_of](std::size_t s) {
+    return s % 7 == 2 ? std::string("zscore:w=24") : spec_of(s);
   };
   std::vector<Series> data(kStreams);
   Rng master(seed);
@@ -220,20 +231,31 @@ int main(int argc, char** argv) {
   // Budget at 60% of the projected all-hot footprint forces steady
   // eviction churn while leaving room for the unevictable kCritical
   // quarter of the fleet.
-  std::size_t per_stream_footprint = 0;
-  {
+  auto probe_footprint = [&](const std::string& spec) -> std::size_t {
     Result<std::unique_ptr<OnlineDetector>> probe =
-        MakeOnlineDetector("zscore:w=24", 0);
-    if (!probe.ok()) return Fail("cannot build probe detector");
+        MakeOnlineDetector(spec, 0);
+    if (!probe.ok()) return 0;
     std::vector<ScoredPoint> sink;
     for (std::size_t t = 0; t < kPoints; ++t) {
-      if (!(*probe)->Observe(0.5, &sink).ok()) {
-        return Fail("probe detector rejected input");
-      }
+      if (!(*probe)->Observe(0.5, &sink).ok()) return 0;
     }
-    per_stream_footprint = (*probe)->MemoryFootprint();
+    return (*probe)->MemoryFootprint();
+  };
+  // The fleet mixes detector types with very different footprints
+  // (the floss ring dwarfs a z-score window), so the all-hot projection
+  // sums one per-spec probe over the actual population.
+  std::map<std::string, std::size_t> footprint_of;
+  std::size_t projected_footprint = 0;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const std::string spec = spec_of(s);
+    auto it = footprint_of.find(spec);
+    if (it == footprint_of.end()) {
+      it = footprint_of.emplace(spec, probe_footprint(spec)).first;
+    }
+    if (it->second == 0) return Fail("cannot build probe detector");
+    projected_footprint += it->second;
   }
-  config.memory_budget_bytes = per_stream_footprint * kStreams * 3 / 5;
+  config.memory_budget_bytes = projected_footprint * 3 / 5;
 
   auto engine = std::make_unique<ShardedEngine>(config);
   for (std::size_t s = 0; s < kStreams; ++s) {
@@ -328,24 +350,31 @@ int main(int argc, char** argv) {
   std::size_t finish_failures = 0, mismatches = 0;
   for (std::size_t s = 0; s < kStreams; ++s) {
     Result<std::vector<double>> scores = engine->FinishStream(StreamId(s));
-    if (!scores.ok()) {
-      if (finish_failures++ == 0) {
-        std::printf("first FinishStream failure (%s): %s\n",
-                    StreamId(s).c_str(),
-                    scores.status().ToString().c_str());
-      }
-      continue;
-    }
     // The engine served spec_of(s); the reference is the plain batch
     // detector over the accepted points — causally sanitized first for
     // resilient streams, per the OnlineSanitizer contract.
     const Series& reference_input =
         s % 7 == 2 ? CausalSanitize(accepted[s]) : accepted[s];
     Result<std::unique_ptr<AnomalyDetector>> batch =
-        MakeDetector("zscore:w=24");
+        MakeDetector(batch_spec_of(s));
     if (!batch.ok()) return Fail("cannot build batch detector");
     Result<std::vector<double>> expected =
         (*batch)->Score(reference_input, 0);
+    if (!scores.ok()) {
+      // Errors are part of the replay contract too: an admission-starved
+      // floss stream may end with fewer points than one subsequence, and
+      // must then surface the SAME too-short error the batch path does.
+      if (!expected.ok() &&
+          expected.status().code() == scores.status().code()) {
+        continue;
+      }
+      if (finish_failures++ == 0) {
+        std::printf("first FinishStream failure (%s, %zu accepted): %s\n",
+                    StreamId(s).c_str(), accepted[s].size(),
+                    scores.status().ToString().c_str());
+      }
+      continue;
+    }
     if (!expected.ok()) return Fail("batch detector failed");
     if (!BitIdentical(*scores, *expected)) {
       if (mismatches++ == 0) {

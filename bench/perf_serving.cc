@@ -10,15 +10,23 @@
 // verification so the numbers measure the engine, not the batch replay.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
+#include "detectors/registry.h"
+#include "serving/online_adapters.h"
 #include "serving/replay.h"
+#include "substrates/streaming_profile.h"
 
 namespace {
 
@@ -32,6 +40,154 @@ tsad::Series SyntheticTelemetry(std::size_t n, uint64_t seed) {
            rng.Gaussian(0.0, 0.2);
   }
   return x;
+}
+
+// Footprint of one online adapter after observing `points` values —
+// the engine charges exactly MemoryFootprint() against its budget, so
+// this probe sizes fleet budgets precisely.
+std::size_t ProbeFootprint(const std::string& spec, std::size_t points) {
+  tsad::Result<std::unique_ptr<tsad::OnlineDetector>> probe =
+      tsad::MakeOnlineDetector(spec, 0);
+  if (!probe.ok()) {
+    std::printf("cannot probe %s: %s\n", spec.c_str(),
+                probe.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<tsad::ScoredPoint> sink;
+  tsad::Rng rng(2);
+  for (std::size_t t = 0; t < points; ++t) {
+    if (!(*probe)->Observe(rng.Gaussian(), &sink).ok()) {
+      std::printf("probe detector rejected input\n");
+      std::exit(1);
+    }
+    sink.clear();
+  }
+  return (*probe)->MemoryFootprint();
+}
+
+// Mixed fleet under a fixed memory budget: `floss_streams` bounded-ring
+// FLOSS streams plus a z-score control group, with the budget sized
+// from the probed per-stream footprints. Because the floss footprint is
+// CONSTANT (the ring is reserved at construction), the projection is
+// exact and the fleet must finish with zero cold evictions — a fleet of
+// unbounded left-profile streams at this scale would blow any fixed
+// budget and churn. Returns points/sec over push + pump.
+struct FleetResult {
+  double points_per_sec = 0.0;
+  std::size_t floss_bytes_per_stream = 0;
+  std::size_t budget_bytes = 0;
+  std::size_t peak_bytes = 0;
+};
+
+FleetResult RunFlossFleet(std::size_t floss_streams, std::size_t points,
+                          const tsad::Series& series) {
+  const std::string floss_spec = "floss:32:256";
+  const std::string control_spec = "zscore:w=64";
+  const std::size_t control_streams = floss_streams / 8 + 1;
+  const std::size_t floss_fp = ProbeFootprint(floss_spec, points);
+  const std::size_t control_fp = ProbeFootprint(control_spec, points);
+
+  tsad::ServingConfig config;
+  config.num_shards = tsad::ParallelThreads();
+  config.queue_capacity = (floss_streams + control_streams) * 128;
+  // Exact all-hot projection plus 2% slack: constant footprints make
+  // the budget tight AND safe.
+  config.memory_budget_bytes =
+      (floss_fp * floss_streams + control_fp * control_streams) * 51 / 50;
+
+  tsad::ShardedEngine engine(config);
+  for (std::size_t s = 0; s < floss_streams; ++s) {
+    const tsad::Status added =
+        engine.AddStream("floss-" + std::to_string(s), floss_spec, 0);
+    if (!added.ok()) {
+      std::printf("AddStream: %s\n", added.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  for (std::size_t s = 0; s < control_streams; ++s) {
+    const tsad::Status added =
+        engine.AddStream("control-" + std::to_string(s), control_spec, 0);
+    if (!added.ok()) {
+      std::printf("AddStream: %s\n", added.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t peak = 0;
+  for (std::size_t t0 = 0; t0 < points; t0 += 128) {
+    const std::size_t t1 = std::min(points, t0 + 128);
+    for (std::size_t s = 0; s < floss_streams; ++s) {
+      const std::string id = "floss-" + std::to_string(s);
+      for (std::size_t t = t0; t < t1; ++t) {
+        if (!engine.Push(id, series[t]).ok()) {
+          std::printf("FAILED: floss fleet push rejected\n");
+          std::exit(1);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < control_streams; ++s) {
+      const std::string id = "control-" + std::to_string(s);
+      for (std::size_t t = t0; t < t1; ++t) {
+        if (!engine.Push(id, series[t]).ok()) {
+          std::printf("FAILED: control fleet push rejected\n");
+          std::exit(1);
+        }
+      }
+    }
+    if (!engine.Pump().ok()) {
+      std::printf("FAILED: fleet pump\n");
+      std::exit(1);
+    }
+    peak = std::max(peak, static_cast<std::size_t>(
+                              engine.stats().memory_bytes));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const tsad::ServingStats stats = engine.stats();
+  if (stats.memory_bytes > config.memory_budget_bytes ||
+      stats.cold_evictions != 0) {
+    std::printf("FAILED: floss fleet broke its memory budget "
+                "(%llu / %zu bytes, %llu evictions)\n",
+                static_cast<unsigned long long>(stats.memory_bytes),
+                config.memory_budget_bytes,
+                static_cast<unsigned long long>(stats.cold_evictions));
+    std::exit(1);
+  }
+  const auto floss_it = stats.detector_memory.find("floss");
+  if (floss_it == stats.detector_memory.end() ||
+      floss_it->second.streams != floss_streams ||
+      floss_it->second.bytes != floss_fp * floss_streams) {
+    std::printf("FAILED: per-type memory rollup wrong for floss\n");
+    std::exit(1);
+  }
+
+  // Spot-check the serving contract on one fleet member.
+  tsad::Result<std::vector<double>> online = engine.FinishStream("floss-0");
+  tsad::Result<std::unique_ptr<tsad::AnomalyDetector>> batch =
+      tsad::MakeDetector(floss_spec);
+  const tsad::Series head(series.begin(),
+                          series.begin() + static_cast<std::ptrdiff_t>(points));
+  tsad::Result<std::vector<double>> expected =
+      batch.ok() ? (*batch)->Score(head, 0)
+                 : tsad::Result<std::vector<double>>(batch.status());
+  if (!online.ok() || !expected.ok() || online->size() != expected->size() ||
+      std::memcmp(online->data(), expected->data(),
+                  online->size() * sizeof(double)) != 0) {
+    std::printf("FAILED: fleet floss stream diverged from batch\n");
+    std::exit(1);
+  }
+
+  FleetResult result;
+  const std::size_t total = (floss_streams + control_streams) * points;
+  result.points_per_sec =
+      seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+  result.floss_bytes_per_stream = floss_fp;
+  result.budget_bytes = config.memory_budget_bytes;
+  result.peak_bytes = peak;
+  return result;
 }
 
 // Best-of-3 replay at the current thread count.
@@ -99,6 +255,25 @@ int main(int argc, char** argv) {
               parallel.p99_pump_seconds * 1e3);
   std::printf("  speedup  : %.2fx\n", speedup);
 
+  // Bounded-memory floss fleet: the scale the ring buffer exists for.
+  const std::size_t fleet_streams = smoke ? 200 : 5000;
+  const std::size_t fleet_points = smoke ? 96 : 384;
+  const tsad::Series fleet_series = SyntheticTelemetry(fleet_points, 3);
+  const FleetResult fleet =
+      RunFlossFleet(fleet_streams, fleet_points, fleet_series);
+  std::printf("floss fleet: %zu streams x %zu points under %zu B budget\n",
+              fleet_streams, fleet_points, fleet.budget_bytes);
+  std::printf("  %9.0f points/s, %zu B/stream (peak %zu B, 0 evictions)\n",
+              fleet.points_per_sec, fleet.floss_bytes_per_stream,
+              fleet.peak_bytes);
+  // Contrast with the unbounded left profile the fleet replaces: its
+  // documented per-stream bound keeps growing with the stream.
+  std::printf("  left-profile bound at m=64: %zu B @10k, %zu B @100k, "
+              "%zu B @1M points\n",
+              tsad::OnlineLeftProfile::MemoryBytesBound(64, 10'000),
+              tsad::OnlineLeftProfile::MemoryBytesBound(64, 100'000),
+              tsad::OnlineLeftProfile::MemoryBytesBound(64, 1'000'000));
+
   if (smoke) return 0;
   tsad::bench::WriteBenchJson(
       "perf_serving",
@@ -109,6 +284,13 @@ int main(int argc, char** argv) {
        {"p99_pump_ms_1t", serial.p99_pump_seconds * 1e3},
        {"p99_pump_ms_nt", parallel.p99_pump_seconds * 1e3},
        {"speedup", speedup},
-       {"threads", static_cast<double>(threads)}});
+       {"threads", static_cast<double>(threads)},
+       {"floss_fleet_streams", static_cast<double>(fleet_streams)},
+       {"floss_fleet_points_per_sec", fleet.points_per_sec},
+       {"floss_bytes_per_stream",
+        static_cast<double>(fleet.floss_bytes_per_stream)},
+       {"floss_fleet_budget_bytes",
+        static_cast<double>(fleet.budget_bytes)},
+       {"floss_fleet_peak_bytes", static_cast<double>(fleet.peak_bytes)}});
   return 0;
 }

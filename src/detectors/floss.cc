@@ -1,0 +1,140 @@
+#include "detectors/floss.h"
+
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <string_view>
+
+namespace tsad {
+
+namespace {
+
+std::atomic<std::size_t> g_default_floss_buffer_cap{4096};
+
+constexpr std::string_view kGrammar = "floss:<window>[:<buffer>]";
+
+Status ParseSizeToken(std::string_view token, std::string_view what,
+                      const std::string& spec, std::size_t* out) {
+  std::size_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc() || ptr != token.data() + token.size() ||
+      token.empty()) {
+    return Status::InvalidArgument("bad " + std::string(what) + " '" +
+                                   std::string(token) + "' in '" + spec +
+                                   "' (want " + std::string(kGrammar) + ")");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+StreamingMpxConfig KernelConfig(const FlossParams& params) {
+  StreamingMpxConfig config;
+  config.m = params.m;
+  config.buffer_cap = params.buffer_cap;
+  return config;
+}
+
+}  // namespace
+
+void SetDefaultFlossBufferCap(std::size_t cap) {
+  g_default_floss_buffer_cap.store(cap, std::memory_order_relaxed);
+}
+
+std::size_t GetDefaultFlossBufferCap() {
+  return g_default_floss_buffer_cap.load(std::memory_order_relaxed);
+}
+
+Result<FlossParams> ParseFlossSpec(const std::string& spec) {
+  FlossParams params;
+  params.buffer_cap = GetDefaultFlossBufferCap();
+  std::string_view rest(spec);
+  if (rest.substr(0, 5) != "floss") {
+    return Status::InvalidArgument("not a floss spec: '" + spec + "'");
+  }
+  rest.remove_prefix(5);
+  if (!rest.empty()) {
+    if (rest.front() != ':') {
+      return Status::InvalidArgument("not a floss spec: '" + spec + "'");
+    }
+    rest.remove_prefix(1);
+    const std::size_t colon = rest.find(':');
+    TSAD_RETURN_IF_ERROR(
+        ParseSizeToken(rest.substr(0, colon), "window", spec, &params.m));
+    if (colon != std::string_view::npos) {
+      const std::string_view tail = rest.substr(colon + 1);
+      if (tail.find(':') != std::string_view::npos) {
+        return Status::InvalidArgument("too many ':' components in '" + spec +
+                                       "' (want " + std::string(kGrammar) +
+                                       ")");
+      }
+      TSAD_RETURN_IF_ERROR(
+          ParseSizeToken(tail, "buffer", spec, &params.buffer_cap));
+    }
+  }
+  if (params.m < 3) {
+    return Status::InvalidArgument(
+        "floss requires subsequence length m >= 3, got m=" +
+        std::to_string(params.m) +
+        " (the m/2 exclusion zone degenerates for shorter windows)");
+  }
+  TSAD_RETURN_IF_ERROR(StreamingMpx::Validate(KernelConfig(params)));
+  return params;
+}
+
+FlossCore::FlossCore(const FlossParams& params)
+    : mpx_(KernelConfig(params)), lag_(params.m) {}
+
+double FlossCore::Step(double value) {
+  mpx_.Push(value);
+  const std::size_t num_subs = mpx_.num_subsequences();
+  // Arc-curve edge correction: within `lag` subsequences of either
+  // window edge the CAC is pinned to 1 (score 0). The evaluation
+  // position sits `lag` behind the newest subsequence, so this reduces
+  // to requiring a window of at least 2*lag + 1 subsequences.
+  if (num_subs < 2 * lag_ + 1) return 0.0;
+  const std::size_t p = num_subs - 1 - lag_;  // local evaluation position
+  const std::size_t first = mpx_.first_subsequence();
+  std::size_t arcs = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    const StreamingMpx::Entry entry = mpx_.Right(i);
+    if (entry.neighbor == kNoNeighbor) continue;
+    if (entry.neighbor - first > p) ++arcs;  // arc (i, nn) crosses p
+  }
+  const double last = static_cast<double>(num_subs - 1);
+  const double pd = static_cast<double>(p);
+  const double iac = (last - pd) * std::log(last / (last - pd));
+  if (!(iac > 0.0)) return 0.0;
+  const double cac = std::min(1.0, static_cast<double>(arcs) / iac);
+  return 1.0 - cac;
+}
+
+FlossDetector::FlossDetector(const FlossParams& params)
+    : params_(params),
+      name_("Floss[m=" + std::to_string(params.m) + ",buffer=" +
+            std::to_string(params.buffer_cap) + "]") {}
+
+Result<std::vector<double>> FlossDetector::Score(
+    const Series& series, std::size_t /*train_length*/) const {
+  if (params_.m < 3) {
+    return Status::InvalidArgument(
+        "floss requires subsequence length m >= 3, got m=" +
+        std::to_string(params_.m));
+  }
+  TSAD_RETURN_IF_ERROR(StreamingMpx::Validate(KernelConfig(params_)));
+  if (series.size() < params_.m + 1) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(params_.m));
+  }
+  // Replay through the same core the online adapter advances point by
+  // point — bit-identical by construction.
+  FlossCore core(params_);
+  std::vector<double> scores(series.size(), 0.0);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    scores[t] = core.Step(series[t]);
+  }
+  return scores;
+}
+
+}  // namespace tsad

@@ -1,0 +1,114 @@
+// FLOSS: online regime-change (segmentation) scoring over the
+// bounded-memory streaming MPX kernel.
+//
+// FLUSS/FLOSS (Gharghabi et al., "Domain agnostic online semantic
+// segmentation at superhuman performance levels") reads regime changes
+// off the matrix-profile index: within a regime, subsequences find
+// their nearest neighbors nearby, so many profile-index arcs cross any
+// interior position; at a regime boundary almost no arcs cross. The
+// arc count is normalized by its expectation under the no-structure
+// null (the idealized arc curve, IAC) to the corrected arc curve
+// CAC in [0, 1]; low CAC = likely boundary.
+//
+// The streaming variant (FLOSS) forces every arc to point RIGHT — each
+// subsequence is linked to its nearest LATER neighbor, updated as new
+// data arrives. One-directional arcs are exactly what the streaming
+// kernel's right profile maintains, and they are eviction-safe: arcs
+// never point into the pruned past. Under the right-only null (each of
+// the p arcs starting before position p lands uniformly on a later
+// subsequence) the expectation is
+//
+//     IAC_1d(p) = (L-1-p) * ln((L-1) / (L-1-p))
+//
+// over a window of L subsequences — the skewed one-directional analog
+// of FLUSS's parabolic 2p(L-p)/L.
+//
+// The score at point t is 1 - CAC evaluated `lag` (= m) subsequences
+// behind the newest one: a boundary is only visible once enough
+// post-boundary data has arrived for arcs to stop crossing it, so the
+// detector trades m points of delay for a stable estimate. Within
+// `lag` of either window edge the CAC is clamped to 1 (score 0) — the
+// arc-curve edge correction; the right buffer edge is handled by the
+// lagged evaluation position, and after an eviction the window simply
+// shrinks (arcs from pruned subsequences drop out of both AC and IAC).
+//
+// Scores are in [0, 1]; higher = more evidence of a regime change —
+// a genuinely different workload class (segmentation) from the discord
+// family, but served through the same detector interface so it joins
+// the leaderboard sweep and the serving engine unchanged.
+//
+// The batch FlossDetector::Score() replays the series through the same
+// FlossCore the online adapter advances point by point, so batch and
+// online emissions are bit-identical by construction.
+
+#ifndef TSAD_DETECTORS_FLOSS_H_
+#define TSAD_DETECTORS_FLOSS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "detectors/detector.h"
+#include "substrates/streaming_mpx.h"
+
+namespace tsad {
+
+/// Parameters of a `floss:<window>[:<buffer>]` spec.
+struct FlossParams {
+  std::size_t m = 64;            // subsequence length, >= 3
+  std::size_t buffer_cap = 0;    // retained points; 0 = process default
+};
+
+/// Process-wide default for the ring-buffer capacity used when a floss
+/// spec omits the `:<buffer>` component (the `tsad --floss-buffer`
+/// flag). Initially 4096.
+void SetDefaultFlossBufferCap(std::size_t cap);
+std::size_t GetDefaultFlossBufferCap();
+
+/// Parses a full `floss[:<window>[:<buffer>]]` spec (positional, unlike
+/// the key=value detector grammar) and validates it: window >= 3,
+/// buffer >= 4 * window. A missing buffer resolves to
+/// GetDefaultFlossBufferCap().
+Result<FlossParams> ParseFlossSpec(const std::string& spec);
+
+/// The shared streaming scorer: one Step() per arriving point, used by
+/// both the batch detector (replay loop) and the online adapter, which
+/// is what makes their outputs byte-identical.
+class FlossCore {
+ public:
+  /// Requires ValidateFlossParams-clean inputs (asserted via the
+  /// kernel's Validate).
+  explicit FlossCore(const FlossParams& params);
+
+  /// Pushes the next point and returns its regime-change score.
+  double Step(double value);
+
+  const StreamingMpx& kernel() const { return mpx_; }
+
+  void Serialize(ByteWriter* writer) const { mpx_.Serialize(writer); }
+  Status Deserialize(ByteReader* reader) { return mpx_.Deserialize(reader); }
+
+ private:
+  StreamingMpx mpx_;
+  std::size_t lag_;  // evaluation delay in subsequences (= m)
+};
+
+/// Batch detector for the registry: `floss:<window>[:<buffer>]`.
+class FlossDetector : public AnomalyDetector {
+ public:
+  explicit FlossDetector(const FlossParams& params);
+
+  std::string_view name() const override { return name_; }
+  using AnomalyDetector::Score;
+  Result<std::vector<double>> Score(const Series& series,
+                                    std::size_t train_length) const override;
+
+  const FlossParams& params() const { return params_; }
+
+ private:
+  FlossParams params_;
+  std::string name_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_DETECTORS_FLOSS_H_

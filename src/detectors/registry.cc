@@ -12,6 +12,7 @@
 #include "detectors/control_chart.h"
 #include "detectors/cusum.h"
 #include "detectors/discord.h"
+#include "detectors/floss.h"
 #include "detectors/merlin.h"
 #include "detectors/moving_zscore.h"
 #include "detectors/naive.h"
@@ -92,9 +93,35 @@ class ParamReader {
 
 // The registered name closest to `name`, via the shared "did you mean"
 // helper (common/suggest.h): plausible typos get the nearest registered
-// name, ties break to registration order.
+// name, ties break to registration order. Prefix heads ("resilient")
+// join the candidate pool so typo'd prefixed specs resolve too.
 std::string SuggestDetectorName(std::string_view name) {
-  return SuggestClosest(name, RegisteredDetectorNames());
+  std::vector<std::string> candidates = RegisteredDetectorNames();
+  candidates.push_back("resilient");
+  return SuggestClosest(name, candidates);
+}
+
+// Shared unknown-name error: the flat names, the prefix grammars, and
+// the did-you-mean hint.
+Status UnknownDetectorError(const std::string& name) {
+  std::string message = "unknown detector '" + name +
+                        "'; known: discord semisup streaming merlin "
+                        "telemanom zscore cusum ewma pagehinkley maxdiff "
+                        "constantrun lastpoint oneliner sesd sr floss";
+  message += "; prefixes:";
+  for (const std::string& prefix : RegisteredDetectorPrefixes()) {
+    message += ' ' + prefix;
+  }
+  const std::string suggestion = SuggestDetectorName(name);
+  if (!suggestion.empty()) {
+    message += "; did you mean '" + suggestion + "'?";
+  }
+  return Status::NotFound(message);
+}
+
+bool IsRegisteredDetectorName(const std::string& name) {
+  const std::vector<std::string> names = RegisteredDetectorNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 }  // namespace
@@ -129,9 +156,26 @@ Result<std::unique_ptr<AnomalyDetector>> MakeDetector(
   if (spec.rfind(kResilientPrefix, 0) == 0) {
     return MakeResilient(spec.substr(kResilientPrefix.size()));
   }
+  // floss uses a positional grammar (floss:<window>[:<buffer>]), so it
+  // is dispatched before the key=value spec parser.
+  if (spec == "floss" || spec.rfind("floss:", 0) == 0) {
+    TSAD_ASSIGN_OR_RETURN(FlossParams floss_params, ParseFlossSpec(spec));
+    return std::unique_ptr<AnomalyDetector>(
+        std::make_unique<FlossDetector>(floss_params));
+  }
   std::string name;
   Params params;
-  TSAD_RETURN_IF_ERROR(ParseSpec(spec, &name, &params));
+  const Status parsed = ParseSpec(spec, &name, &params);
+  if (!parsed.ok()) {
+    // A malformed parameter list under an UNKNOWN name is a typo'd
+    // detector, not a parameter error — prefer the NotFound path so
+    // e.g. "flos:32" suggests 'floss' instead of complaining about
+    // key=value syntax.
+    if (!name.empty() && !IsRegisteredDetectorName(name)) {
+      return UnknownDetectorError(name);
+    }
+    return parsed;
+  }
   ParamReader reader(std::move(params));
   std::unique_ptr<AnomalyDetector> detector;
 
@@ -183,15 +227,7 @@ Result<std::unique_ptr<AnomalyDetector>> MakeDetector(
     p.b = reader.Get("b", 0.0);
     detector = std::make_unique<OneLinerDetector>(p);
   } else {
-    std::string message = "unknown detector '" + name +
-                          "'; known: discord semisup streaming merlin "
-                          "telemanom zscore cusum ewma pagehinkley maxdiff "
-                          "constantrun lastpoint oneliner sesd sr";
-    const std::string suggestion = SuggestDetectorName(name);
-    if (!suggestion.empty()) {
-      message += "; did you mean '" + suggestion + "'?";
-    }
-    return Status::NotFound(message);
+    return UnknownDetectorError(name);
   }
   TSAD_RETURN_IF_ERROR(reader.Finish(name));
   return detector;
@@ -201,13 +237,33 @@ std::vector<std::string> RegisteredDetectorNames() {
   return {"discord",  "semisup", "streaming",   "merlin",
           "telemanom", "zscore", "cusum",       "ewma",
           "pagehinkley", "maxdiff", "constantrun", "lastpoint",
-          "oneliner", "sesd", "sr"};
+          "oneliner", "sesd", "sr", "floss"};
+}
+
+std::vector<std::string> RegisteredDetectorPrefixes() {
+  return {"resilient:<spec>", "floss:<window>[:<buffer>]"};
 }
 
 std::string SimplifyDetectorSpec(const std::string& spec) {
   if (spec.rfind(kResilientPrefix, 0) == 0) {
     return std::string(kResilientPrefix) +
            SimplifyDetectorSpec(spec.substr(kResilientPrefix.size()));
+  }
+  // floss's positional grammar: halve the window (floor 16), keep any
+  // explicit buffer component. The halved spec stays valid because the
+  // buffer >= 4*m constraint only loosens as m shrinks.
+  if (spec == "floss" || spec.rfind("floss:", 0) == 0) {
+    const Result<FlossParams> parsed = ParseFlossSpec(spec);
+    if (!parsed.ok()) return spec;
+    const std::size_t halved = std::max<std::size_t>(16, parsed->m / 2);
+    if (halved >= parsed->m) return spec;
+    std::string out = "floss:" + std::to_string(halved);
+    const std::size_t first = spec.find(':');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : spec.find(':', first + 1);
+    if (second != std::string::npos) out += spec.substr(second);
+    return out;
   }
   std::string name;
   Params params;

@@ -25,6 +25,14 @@
 //   oneliner       abs (0/1, default 1), u (0/1, default 0),
 //                  k (default 5), c (default 0), b (default 0)
 //
+// One registered name uses a POSITIONAL grammar instead of key=value:
+//
+//   floss          floss[:<window>[:<buffer>]] — FLOSS regime-change
+//                  scoring over the bounded-memory streaming MPX
+//                  kernel (window default 64, >= 3; buffer default
+//                  from the process-wide --floss-buffer setting,
+//                  must be >= 4*window). See detectors/floss.h.
+//
 // Any spec may be wrapped as `resilient:<spec>` (e.g.
 // `resilient:discord:m=128`) to get the hardened pipeline of
 // robustness/resilient.h: input sanitization, score sanitization, one
@@ -48,6 +56,12 @@ Result<std::unique_ptr<AnomalyDetector>> MakeDetector(const std::string& spec);
 
 /// The registered detector names, for --help output.
 std::vector<std::string> RegisteredDetectorNames();
+
+/// The registered prefix grammars (specs that wrap or extend the flat
+/// name grammar), as human-readable forms like "resilient:<spec>" —
+/// listed by `tsad list` and in unknown-detector errors so prefixed
+/// specs are discoverable too.
+std::vector<std::string> RegisteredDetectorPrefixes();
 
 /// A cheaper configuration of the same detector, used as the
 /// retry-once stage of the resilient wrapper: window-like parameters

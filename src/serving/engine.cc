@@ -841,6 +841,16 @@ Status ShardedEngine::Restore(std::string_view blob) {
   return Status::OK();
 }
 
+std::string DetectorTypeKey(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  std::string key = spec.substr(0, colon);
+  if (key == "resilient" && colon != std::string::npos) {
+    const std::size_t inner_end = spec.find(':', colon + 1);
+    key += ':' + spec.substr(colon + 1, inner_end - colon - 1);
+  }
+  return key;
+}
+
 ServingStats ShardedEngine::stats() const {
   ServingStats out;
   out.points_in = points_in_.load(std::memory_order_relaxed);
@@ -868,6 +878,9 @@ ServingStats ShardedEngine::stats() const {
         default:
           break;
       }
+      DetectorTypeStats& type = out.detector_memory[DetectorTypeKey(state->spec)];
+      ++type.streams;
+      type.bytes += state->footprint.load(std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(stats_mu_);

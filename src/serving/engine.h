@@ -138,6 +138,23 @@ struct PumpLatencyStats {
                                // first
 };
 
+/// Per-detector-type rollup of live stream state, keyed by
+/// DetectorTypeKey(spec). `bytes` sums MemoryFootprint() over the
+/// type's LIVE detectors (cold/quarantined/failed streams hold no live
+/// detector and contribute 0), so bytes / streams understates the
+/// per-stream cost when streams are cold — read it next to
+/// streams_cold.
+struct DetectorTypeStats {
+  std::uint64_t streams = 0;  // registered streams of this type
+  std::uint64_t bytes = 0;    // live detector footprint, summed
+};
+
+/// The memory-accounting key of a detector spec: the registry name up
+/// to the first ':' — except `resilient:`, which keeps its inner
+/// detector name too ("resilient:zscore:w=32" -> "resilient:zscore"),
+/// because the wrapper's footprint is dominated by what it wraps.
+std::string DetectorTypeKey(const std::string& spec);
+
 /// Engine-wide counters; obtained via stats() (a consistent copy).
 struct ServingStats {
   std::uint64_t points_in = 0;      // accepted into a queue
@@ -159,6 +176,10 @@ struct ServingStats {
   std::uint64_t memory_bytes = 0;  // live detector footprint after the
                                    // last budget enforcement
   std::uint64_t cold_bytes = 0;    // bytes held by cold snapshots
+
+  /// Live detector footprint broken down by detector type (the
+  /// `tsad serve` memory line and the serving bench JSON read this).
+  std::map<std::string, DetectorTypeStats> detector_memory;
 };
 
 class ShardedEngine {

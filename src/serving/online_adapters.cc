@@ -449,6 +449,50 @@ Status OnlineStreamingDiscord::Restore(std::string_view blob) {
 }
 
 // ---------------------------------------------------------------------------
+// OnlineFloss
+
+OnlineFloss::OnlineFloss(std::string name, const FlossParams& params)
+    : name_(std::move(name)), params_(params), core_(params) {}
+
+Status OnlineFloss::Observe(double value, std::vector<ScoredPoint>* out) {
+  out->push_back({observed_, core_.Step(value)});
+  ++observed_;
+  return Status::OK();
+}
+
+Status OnlineFloss::Flush(std::vector<ScoredPoint>* /*out*/) {
+  if (observed_ < params_.m + 1) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(params_.m));
+  }
+  return Status::OK();
+}
+
+Result<std::string> OnlineFloss::Snapshot() const {
+  ByteWriter writer;
+  writer.PutString(name_);
+  writer.PutU64(observed_);
+  core_.Serialize(&writer);
+  return writer.Take();
+}
+
+Status OnlineFloss::Restore(std::string_view blob) {
+  ByteReader reader(blob);
+  TSAD_RETURN_IF_ERROR(CheckBlobName(&reader, name_));
+  std::uint64_t observed;
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&observed));
+  // Deserialize into a scratch core so a corrupt blob cannot leave the
+  // live one half-overwritten.
+  FlossCore core(params_);
+  TSAD_RETURN_IF_ERROR(core.Deserialize(&reader));
+  TSAD_RETURN_IF_ERROR(reader.ExpectDone());
+  core_ = std::move(core);
+  observed_ = observed;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // OnlineSanitizer
 
 OnlineSanitizer::OnlineSanitizer(std::unique_ptr<OnlineDetector> inner,
@@ -508,8 +552,8 @@ Status OnlineSanitizer::Restore(std::string_view blob) {
 // Factory
 
 std::vector<std::string> OnlineCapableDetectorNames() {
-  return {"zscore",   "cusum",    "ewma",     "pagehinkley",
-          "oneliner", "streaming", "resilient"};
+  return {"zscore",   "cusum",     "ewma",      "pagehinkley",
+          "oneliner", "streaming", "resilient", "floss"};
 }
 
 namespace {
@@ -588,6 +632,10 @@ Result<std::unique_ptr<OnlineDetector>> MakeOnlineDetector(
         std::make_unique<OnlineStreamingDiscord>(std::move(online_name),
                                                  s->subsequence_length(),
                                                  s->burn_in()));
+  }
+  if (auto* f = dynamic_cast<const FlossDetector*>(batch.get())) {
+    return std::unique_ptr<OnlineDetector>(
+        std::make_unique<OnlineFloss>(std::move(online_name), f->params()));
   }
 
   std::string known;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/wire.h"
+#include "detectors/floss.h"
 #include "detectors/oneliner.h"
 #include "serving/online_detector.h"
 #include "substrates/streaming_profile.h"
@@ -229,6 +230,33 @@ class OnlineStreamingDiscord : public OnlineDetector {
   std::size_t m_;
   std::size_t burn_in_;
   OnlineLeftProfile profile_;
+};
+
+/// FLOSS regime-change scoring: wraps the shared FlossCore (which the
+/// batch FlossDetector::Score also replays through — byte-identical by
+/// construction). Emits exactly one score per point. Unlike the
+/// left-profile adapters, MemoryFootprint() is CONSTANT over the
+/// stream's lifetime — the streaming-MPX ring buffer is reserved to
+/// its maximum at construction — so a floss stream's serving cost
+/// never grows, which is what makes profile-based detectors feasible
+/// under the engine's memory budget at fleet scale.
+class OnlineFloss : public OnlineDetector {
+ public:
+  OnlineFloss(std::string name, const FlossParams& params);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() + core_.kernel().MemoryBytes();
+  }
+
+ private:
+  std::string name_;
+  FlossParams params_;
+  FlossCore core_;
 };
 
 /// The serving-path counterpart of the batch `resilient:` decorator:

@@ -64,6 +64,11 @@ Result<ReplayReport> ReplayThroughEngine(const Series& series,
     TSAD_RETURN_IF_ERROR(engine.Pump());
   }
 
+  // Per-type footprints must be sampled while the detectors are still
+  // alive; FinishStream tears them down.
+  std::map<std::string, DetectorTypeStats> detector_memory =
+      engine.stats().detector_memory;
+
   std::vector<std::vector<double>> results;
   results.reserve(options.num_streams);
   for (std::size_t s = 0; s < options.num_streams; ++s) {
@@ -90,6 +95,7 @@ Result<ReplayReport> ReplayThroughEngine(const Series& series,
   report.quarantines = stats.quarantines;
   report.recoveries = stats.recoveries;
   report.p99_pump_seconds = stats.pump.p99_seconds;
+  report.detector_memory = std::move(detector_memory);
 
   if (options.verify_against_batch) {
     TSAD_ASSIGN_OR_RETURN(std::unique_ptr<AnomalyDetector> batch_detector,

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "common/series.h"
@@ -49,6 +50,10 @@ struct ReplayReport {
   std::uint64_t thaws = 0;
   std::uint64_t quarantines = 0;
   std::uint64_t recoveries = 0;
+  /// Per-detector-type live footprint, captured just before the
+  /// streams were finished (FinishStream frees detector state, so the
+  /// post-run stats would report 0 bytes).
+  std::map<std::string, DetectorTypeStats> detector_memory;
 };
 
 /// Replays `series` through a fresh engine. Returns an error on engine

@@ -1,0 +1,198 @@
+// Bounded-memory streaming MPX: an online matrix-profile kernel over a
+// ring buffer with prune-style eviction.
+//
+// The causal STAMPI left profile (streaming_profile.h) is exact but
+// O(n) memory and O(t) per point — it cannot survive the
+// million-stream serving envelope. This kernel trades unbounded
+// history for a hard O(buffer) memory bound:
+//
+//  * a ring buffer of the most recent `buffer_cap` points; when it
+//    fills, the oldest buffer_cap/4 points (and their subsequences)
+//    are pruned in one chunk, so appends stay amortized O(1);
+//  * MPX's diagonal formulation run incrementally: per arriving point,
+//    every retained diagonal (lag) advances its running covariance by
+//    the O(1) rank-2 ddf/ddg update, one new diagonal is seeded with
+//    an O(m) locally-centered dot product, and rolling muinvn window
+//    statistics come from running long-double prefix totals — the same
+//    accumulation order as the batch ComputeWindowStats;
+//  * the same error containment as mpx_kernel.cc: each diagonal
+//    re-seeds its covariance every kStreamingMpxReseed steps with the
+//    locally-centered dot, so recurrence drift is flushed on a fixed,
+//    restore-stable schedule;
+//  * an optional time-constraint band: pairs farther apart than `band`
+//    subsequences are never joined, which caps the diagonal count
+//    independently of the buffer (the FLOSS temporal constraint).
+//
+// The kernel maintains BOTH sides of the profile, with different
+// contracts under eviction:
+//
+//  * Right profile (nearest neighbor among LATER subsequences): arcs
+//    only point forward, and eviction drops the oldest data first, so
+//    if subsequence i is retained every candidate neighbor j > i is
+//    retained too. The streaming right profile over the retained
+//    suffix therefore matches a batch right self-join of that suffix
+//    (within the recurrence tolerance; flat entries exactly) — this is
+//    what tests/substrates/profile_equivalence.cc certifies, and what
+//    FLOSS's one-directional arc curve consumes.
+//  * Left profile (nearest EARLIER neighbor, as of arrival): finalized
+//    when the subsequence arrives, STAMPI-style. Its neighbor may
+//    later be evicted; the distance remains the historical truth but
+//    the index can point below first_subsequence(). Merged() combines
+//    both sides and equals the batch MPX self-join exactly when no
+//    eviction has occurred.
+//
+// Every buffer is reserved to its lifetime maximum at construction and
+// never reallocates (chunked pruning uses vector::erase, which keeps
+// capacity), so MemoryBytes() is CONSTANT from the first push to the
+// hundred-thousandth — the property the serving engine's per-stream
+// memory budget depends on. MemoryBytesBound() states the bound
+// without constructing a kernel.
+
+#ifndef TSAD_SUBSTRATES_STREAMING_MPX_H_
+#define TSAD_SUBSTRATES_STREAMING_MPX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wire.h"
+#include "substrates/matrix_profile.h"
+
+namespace tsad {
+
+/// Re-seed period of the incremental diagonal recurrence, in steps.
+/// Mirrors mpx_kernel.cc's kMpxRowBlock error containment; 512 keeps
+/// the O(m) seed cost under ~13% of the recurrence work at m = 64.
+constexpr std::size_t kStreamingMpxReseed = 512;
+
+struct StreamingMpxConfig {
+  /// Subsequence length; >= 2.
+  std::size_t m = 64;
+  /// Maximum retained points; >= 4 * m so the post-prune window always
+  /// keeps several subsequence lengths of context.
+  std::size_t buffer_cap = 4096;
+  /// Self-join exclusion zone; SIZE_MAX resolves to the batch
+  /// convention DefaultSelfJoinExclusion(m) = m / 2.
+  std::size_t exclusion = std::numeric_limits<std::size_t>::max();
+  /// Optional time-constraint band: subsequences more than `band`
+  /// apart are never joined. 0 = unconstrained; otherwise must exceed
+  /// the exclusion zone.
+  std::size_t band = 0;
+};
+
+class StreamingMpx {
+ public:
+  /// One profile entry. `neighbor` is a GLOBAL subsequence index (may
+  /// be below first_subsequence() for Merged() after eviction), or
+  /// kNoNeighbor with an infinite distance when no candidate exists.
+  struct Entry {
+    double distance = std::numeric_limits<double>::infinity();
+    std::size_t neighbor = kNoNeighbor;
+  };
+
+  /// Rejects invalid configurations (m < 2, buffer_cap < 4m, an
+  /// exclusion zone that leaves no joinable pair, band <= exclusion).
+  static Status Validate(const StreamingMpxConfig& config);
+
+  /// Asserts Validate(config).ok().
+  explicit StreamingMpx(const StreamingMpxConfig& config);
+
+  /// Appends the next point, pruning the oldest buffer_cap/4 points
+  /// first when the buffer is full.
+  void Push(double value);
+
+  // --- Shape. Subsequence/point indices are GLOBAL (0 = first point
+  // ever pushed); local array positions are global - first_*().
+  std::size_t points_seen() const { return seen_; }
+  std::size_t retained_points() const { return x_.size(); }
+  std::size_t first_point() const { return base_; }
+  std::size_t num_subsequences() const { return means_.size(); }
+  std::size_t first_subsequence() const { return base_; }
+  std::uint64_t evictions() const { return evictions_; }
+  const StreamingMpxConfig& config() const { return config_; }
+
+  /// Right-profile entry for the local-th retained subsequence, with
+  /// the SCAMP flat conventions patched in (flat-vs-flat pairs at
+  /// distance 0 with the lowest eligible flat neighbor, flat-vs-dynamic
+  /// at sqrt(2m)).
+  Entry Right(std::size_t local) const;
+
+  /// Merged (both sides) entry; equals the batch MPX self-join when no
+  /// eviction has occurred. After eviction the left component is the
+  /// as-of-arrival value and its neighbor may be evicted.
+  Entry Merged(std::size_t local) const;
+
+  bool IsFlatAt(std::size_t local) const { return inv_[local] == 0.0; }
+
+  /// Rolling moments of the local-th retained subsequence, exactly as
+  /// the kernel classified and normalized it (the equivalence harness
+  /// builds its naive reference from these so flat classification and
+  /// z-normalization cannot diverge from the kernel under test).
+  double MeanAt(std::size_t local) const { return means_[local]; }
+  double StdAt(std::size_t local) const { return stds_[local]; }
+
+  /// Bytes held by the kernel (object + every buffer at capacity).
+  /// CONSTANT over the kernel's lifetime: all buffers are reserved to
+  /// their maximum at construction and pruning never releases capacity.
+  std::size_t MemoryBytes() const;
+
+  /// The value MemoryBytes() reports for any kernel built from
+  /// `config`, computable without constructing one.
+  static std::size_t MemoryBytesBound(const StreamingMpxConfig& config);
+
+  /// Bit-exact state serialization (for serving snapshots). Restore
+  /// requires a kernel constructed with the same config and returns
+  /// InvalidArgument on mismatch; on success the kernel continues the
+  /// stream with bit-identical profile state.
+  void Serialize(ByteWriter* writer) const;
+  Status Deserialize(ByteReader* reader);
+
+ private:
+  void Prune();
+  // Locally-centered O(m) covariance of subsequence pair (i, j),
+  // global indices — the same seed mpx_kernel.cc uses per row block.
+  double CenteredDot(std::size_t i, std::size_t j) const;
+  // Number of tracked diagonals when `newest` is the newest
+  // subsequence: lags exclusion+1 .. min(newest - base_, band).
+  std::size_t LagCount(std::size_t newest) const;
+  void ReserveAll();
+
+  StreamingMpxConfig config_;  // exclusion resolved at construction
+  std::size_t chunk_ = 0;      // points pruned per eviction
+  std::size_t seen_ = 0;       // points pushed over the whole stream
+  std::size_t base_ = 0;       // global index of x_[0] (== evicted points)
+  std::uint64_t evictions_ = 0;
+
+  std::vector<double> x_;  // retained points [base_, seen_)
+
+  // Rolling window statistics: running prefix totals over the WHOLE
+  // stream (long double, same accumulation order as the batch
+  // ComputeWindowStats) plus a ring of the last m+1 prefix values so
+  // the newest window's sums come from one subtraction.
+  long double tot_sum_ = 0.0L;
+  long double tot_sq_ = 0.0L;
+  std::vector<long double> psum_ring_;  // m + 1 slots, indexed seen % (m+1)
+  std::vector<long double> psq_ring_;
+
+  // Per retained subsequence (local index aligned with x_).
+  std::vector<double> means_;
+  std::vector<double> stds_;
+  std::vector<double> inv_;  // muinvn; exactly 0 for flat subsequences
+  std::vector<double> ddf_;  // difference tracks (as of arrival)
+  std::vector<double> ddg_;
+  std::vector<double> right_corr_;  // best correlation with a LATER sub
+  std::vector<double> left_corr_;   // best with an EARLIER sub, at arrival
+  std::vector<std::size_t> right_idx_;  // global indices
+  std::vector<std::size_t> left_idx_;
+  std::vector<std::size_t> flat_;  // ascending global flat indices
+
+  // Running covariance frontier per diagonal: diag_cov_[k] is the
+  // covariance of the pair (newest - (exclusion+1+k), newest).
+  std::vector<double> diag_cov_;
+};
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_STREAMING_MPX_H_

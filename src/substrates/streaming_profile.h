@@ -72,12 +72,28 @@ class OnlineLeftProfile {
 
   /// Bytes held by the kernel's history and rolling-statistics buffers
   /// (at capacity). Grows O(n) with the stream — this is what makes the
-  /// serving engine's memory budget bite for profile-based detectors.
+  /// serving engine's memory budget bite for profile-based detectors
+  /// (contrast StreamingMpx, whose footprint is constant). Always
+  /// <= MemoryBytesBound(m, points()): the enforced upper bound.
   std::size_t MemoryBytes() const {
     return (x_.capacity() + means_.capacity() + stds_.capacity() +
             qt_.capacity()) *
                sizeof(double) +
            (sums_.capacity() + sq_.capacity()) * sizeof(long double);
+  }
+
+  /// Upper bound on MemoryBytes() after `points` pushes into a kernel
+  /// of subsequence length `m`. Every buffer is an append-only
+  /// std::vector, so its capacity is bounded by twice its size (the
+  /// libstdc++/libc++ geometric growth factor doubles at most):
+  /// 2 * (history + 3 per-subsequence doubles + 2 prefix-total
+  /// long-double arrays of points + 1). Documented AND enforced — the
+  /// substrate tests assert MemoryBytes() <= MemoryBytesBound() along
+  /// a growing stream, so serving capacity planning can trust it.
+  static std::size_t MemoryBytesBound(std::size_t m, std::size_t points) {
+    const std::size_t subs = points >= m ? points - m + 1 : 0;
+    return 2 * ((points + 3 * subs) * sizeof(double) +
+                2 * (points + 1) * sizeof(long double));
   }
 
  private:

@@ -55,6 +55,26 @@ if(found EQUAL -1)
   message(FATAL_ERROR "serve output missing verification line: ${out}")
 endif()
 
+# serve a bounded-memory floss fleet: --floss-buffer sets the default
+# ring capacity for specs that omit it, replay must still verify
+# byte-identical, and the stats block must break memory out by
+# detector type.
+execute_process(COMMAND ${TSAD_CLI} serve --replay ${WORK_DIR}/nyc_taxi.csv
+                        --streams 4 --detector floss:16 --floss-buffer 128
+                        --threads 4
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "floss serve failed with ${rc}: ${out}")
+endif()
+string(FIND "${out}" "byte-identical" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "floss serve missing verification line: ${out}")
+endif()
+string(FIND "${out}" "floss" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "floss serve missing per-type memory line: ${out}")
+endif()
+
 # leaderboard: the CI-sized board must emit the JSON report with the
 # rank-inversion section.
 execute_process(COMMAND ${TSAD_CLI} leaderboard --smoke

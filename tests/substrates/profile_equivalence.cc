@@ -1,7 +1,9 @@
 #include "profile_equivalence.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "substrates/mpx_kernel.h"
 #include "substrates/profile_internal.h"
 #include "substrates/sliding_window.h"
+#include "substrates/streaming_mpx.h"
 
 namespace tsad {
 namespace testing {
@@ -80,6 +83,159 @@ namespace testing {
       return ::testing::AssertionFailure()
              << "discord rank " << r << " differs: reference"
              << dump(ref_discords) << " vs mpx" << dump(mpx_discords);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult ExpectStreamingMpxEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t buffer_cap) {
+  StreamingMpxConfig config;
+  config.m = m;
+  config.buffer_cap = buffer_cap;
+  const Status valid = StreamingMpx::Validate(config);
+  if (!valid.ok()) {
+    return ::testing::AssertionFailure()
+           << "invalid streaming config: " << valid.message();
+  }
+  StreamingMpx kernel(config);
+  for (const double v : series) kernel.Push(v);
+
+  const std::size_t exclusion = kernel.config().exclusion;
+  const double two_m = 2.0 * static_cast<double>(m);
+  const double sq_tol = two_m * kMpxCorrTolerance;
+  const std::size_t subs = kernel.num_subsequences();
+  const std::size_t first = kernel.first_subsequence();
+
+  if (kernel.evictions() == 0) {
+    // Full-series ground truth: the batch MPX self-join.
+    const Result<MatrixProfile> batch = ComputeMatrixProfileMpx(series, m);
+    if (!batch.ok()) {
+      return ::testing::AssertionFailure()
+             << "batch kernel rejected the series: "
+             << batch.status().message();
+    }
+    if (subs != batch->size() || first != 0) {
+      return ::testing::AssertionFailure()
+             << "shape mismatch: streaming " << subs << " subsequences from "
+             << first << ", batch " << batch->size();
+    }
+    for (std::size_t i = 0; i < subs; ++i) {
+      const StreamingMpx::Entry entry = kernel.Merged(i);
+      const double ref_d = batch->distances[i];
+      if (kernel.IsFlatAt(i)) {
+        if (entry.distance != ref_d ||
+            (ref_d == 0.0 && entry.neighbor != batch->indices[i])) {
+          return ::testing::AssertionFailure()
+                 << "flat merged entry " << i << ": streaming d="
+                 << entry.distance << " j=" << entry.neighbor << ", batch d="
+                 << ref_d << " j=" << batch->indices[i];
+        }
+        continue;
+      }
+      const double err =
+          std::fabs(ref_d * ref_d - entry.distance * entry.distance);
+      if (!(err <= sq_tol)) {
+        return ::testing::AssertionFailure()
+               << "merged entry " << i << " out of tolerance: streaming d="
+               << entry.distance << " batch d=" << ref_d
+               << " squared-distance error " << err << " > " << sq_tol;
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  // Evicted: certify the right profile over the retained suffix against
+  // a naive reference. The kernel's own moments normalize both sides so
+  // flat classification is shared by construction; the reference
+  // correlation is a fresh centered dot per pair (no recurrence), which
+  // is exactly what the tolerance is budgeted for.
+  const std::size_t base_point = kernel.first_point();
+  std::vector<double> suffix(series.begin() + static_cast<std::ptrdiff_t>(
+                                                  base_point),
+                             series.end());
+  if (suffix.size() != kernel.retained_points()) {
+    return ::testing::AssertionFailure()
+           << "retained " << kernel.retained_points() << " points, expected "
+           << suffix.size();
+  }
+  for (std::size_t i = 0; i < subs; ++i) {
+    const StreamingMpx::Entry entry = kernel.Right(i);
+    if (kernel.IsFlatAt(i)) {
+      // Reference flat rule: lowest eligible later flat at distance 0,
+      // else sqrt(2m) against any eligible dynamic candidate.
+      std::size_t flat_nn = kNoNeighbor;
+      for (std::size_t j = i + exclusion + 1; j < subs; ++j) {
+        if (kernel.IsFlatAt(j)) {
+          flat_nn = first + j;
+          break;
+        }
+      }
+      if (flat_nn != kNoNeighbor) {
+        if (entry.distance != 0.0 || entry.neighbor != flat_nn) {
+          return ::testing::AssertionFailure()
+                 << "flat right entry " << i << ": streaming d="
+                 << entry.distance << " j=" << entry.neighbor
+                 << ", reference d=0 j=" << flat_nn;
+        }
+      } else if (i + exclusion + 1 < subs) {
+        if (entry.distance != std::sqrt(two_m)) {
+          return ::testing::AssertionFailure()
+                 << "flat right entry " << i << " without flat partner: d="
+                 << entry.distance << ", want sqrt(2m)=" << std::sqrt(two_m);
+        }
+      } else if (entry.neighbor != kNoNeighbor) {
+        return ::testing::AssertionFailure()
+               << "flat right entry " << i
+               << " has a neighbor but no candidate exists";
+      }
+      continue;
+    }
+    // Dynamic: best correlation over eligible later dynamic candidates
+    // (flat partners contribute corr 0, exactly as the kernel's
+    // inv == 0 arithmetic makes them).
+    double best = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (std::size_t j = i + exclusion + 1; j < subs; ++j) {
+      any = true;
+      double corr = 0.0;
+      if (!kernel.IsFlatAt(j)) {
+        const double mu_a = kernel.MeanAt(i);
+        const double mu_b = kernel.MeanAt(j);
+        double c = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+          c += (suffix[i + k] - mu_a) * (suffix[j + k] - mu_b);
+        }
+        const double dm = static_cast<double>(m);
+        corr = c / (kernel.StdAt(i) * std::sqrt(dm)) /
+               (kernel.StdAt(j) * std::sqrt(dm));
+      }
+      if (corr > best) best = corr;
+    }
+    if (!any) {
+      if (entry.neighbor != kNoNeighbor) {
+        return ::testing::AssertionFailure()
+               << "right entry " << i
+               << " has a neighbor but no candidate exists";
+      }
+      continue;
+    }
+    const double clamped = std::min(1.0, std::max(-1.0, best));
+    const double ref_sq = two_m * (1.0 - clamped);
+    const double err = std::fabs(ref_sq - entry.distance * entry.distance);
+    if (!(err <= sq_tol)) {
+      return ::testing::AssertionFailure()
+             << "right entry " << i << " out of tolerance: streaming d="
+             << entry.distance << " reference d^2=" << ref_sq
+             << " squared-distance error " << err << " > " << sq_tol;
+    }
+    if (entry.neighbor == kNoNeighbor ||
+        entry.neighbor - first <= i + exclusion ||
+        entry.neighbor - first >= subs) {
+      return ::testing::AssertionFailure()
+             << "right entry " << i << " neighbor " << entry.neighbor
+             << " outside the eligible retained range";
     }
   }
   return ::testing::AssertionSuccess();

@@ -63,6 +63,25 @@ inline constexpr double kMpxCorrTolerance = 1e-5;
     const std::vector<double>& series, std::size_t m,
     std::size_t discords = 3);
 
+/// Certifies the bounded-memory streaming kernel (StreamingMpx) fed
+/// the series point by point with ring capacity `buffer_cap`:
+///
+///  * No eviction (series fits the buffer): Merged() must agree with
+///    ComputeMatrixProfileMpx over the whole series — dynamic entries
+///    within the 2m * kMpxCorrTolerance squared-distance bound, flat
+///    entries (0 / sqrt(2m), same neighbor when 0) EXACTLY, since the
+///    streaming prefix-total ring replays ComputeWindowStats's
+///    accumulation order bit for bit.
+///  * After eviction: the eviction-invariant side is the RIGHT profile
+///    (arcs point forward; pruning drops the past), so Right() over
+///    the retained suffix must agree with a naive O(w^2 m) right
+///    self-join reference built from the kernel's own rolling moments
+///    — dynamic entries within tolerance, flat entries exactly
+///    (distance AND neighbor for flat-flat pairs).
+::testing::AssertionResult ExpectStreamingMpxEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t buffer_cap);
+
 }  // namespace testing
 }  // namespace tsad
 

@@ -1,0 +1,286 @@
+#include "substrates/streaming_mpx.h"
+
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "common/wire.h"
+#include "datasets/gait.h"
+#include "datasets/nasa.h"
+#include "datasets/numenta.h"
+#include "datasets/omni.h"
+#include "datasets/physio.h"
+#include "datasets/yahoo.h"
+#include "profile_equivalence.h"
+
+namespace tsad {
+namespace {
+
+using testing::ExpectStreamingMpxEquivalence;
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ParallelThreads()) {}
+  ~ThreadCountGuard() { SetParallelThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian();
+    v = level;
+  }
+  return x;
+}
+
+Series Truncated(const Series& x, std::size_t n) {
+  return Series(x.begin(),
+                x.begin() + static_cast<std::ptrdiff_t>(std::min(n, x.size())));
+}
+
+TEST(StreamingMpxTest, ValidateRejectsDegenerateConfigs) {
+  StreamingMpxConfig config;
+  config.m = 1;
+  EXPECT_FALSE(StreamingMpx::Validate(config).ok());
+
+  config = {};
+  config.m = 64;
+  config.buffer_cap = 255;  // < 4m
+  EXPECT_FALSE(StreamingMpx::Validate(config).ok());
+
+  config = {};
+  config.m = 16;
+  config.buffer_cap = 64;
+  config.exclusion = 40;  // post-prune window keeps 48 points -> 33 subs
+  EXPECT_FALSE(StreamingMpx::Validate(config).ok());
+
+  config = {};
+  config.m = 16;
+  config.buffer_cap = 128;
+  config.band = 8;  // <= default exclusion m/2 = 8
+  EXPECT_FALSE(StreamingMpx::Validate(config).ok());
+
+  config = {};
+  config.m = 16;
+  config.buffer_cap = 64;
+  EXPECT_TRUE(StreamingMpx::Validate(config).ok());
+}
+
+// The acceptance bound of the subsystem: a 4096-point ring buffer must
+// hold MemoryBytes() CONSTANT over >= 100k observed points — the
+// serving engine's per-stream budget depends on the footprint never
+// growing after construction.
+TEST(StreamingMpxTest, MemoryBytesConstantOver100kPoints) {
+  StreamingMpxConfig config;
+  config.m = 64;
+  config.buffer_cap = 4096;
+  StreamingMpx kernel(config);
+  const std::size_t at_construction = kernel.MemoryBytes();
+  EXPECT_EQ(at_construction, StreamingMpx::MemoryBytesBound(config));
+
+  Rng rng(7);
+  double level = 0.0;
+  for (std::size_t t = 0; t < 100'500; ++t) {
+    level += rng.Gaussian();
+    kernel.Push(level);
+    if (t % 4096 == 0 || t == 100'499) {
+      ASSERT_EQ(kernel.MemoryBytes(), at_construction)
+          << "footprint moved at point " << t << " (evictions="
+          << kernel.evictions() << ")";
+    }
+  }
+  EXPECT_GE(kernel.points_seen(), 100'000u);
+  EXPECT_GT(kernel.evictions(), 90u);
+  EXPECT_LE(kernel.retained_points(), config.buffer_cap);
+}
+
+TEST(StreamingMpxTest, MemoryBytesBoundMatchesWithBand) {
+  StreamingMpxConfig config;
+  config.m = 32;
+  config.buffer_cap = 1024;
+  config.band = 200;
+  StreamingMpx kernel(config);
+  EXPECT_EQ(kernel.MemoryBytes(), StreamingMpx::MemoryBytesBound(config));
+  for (std::size_t t = 0; t < 5000; ++t) {
+    kernel.Push(std::sin(static_cast<double>(t) * 0.1));
+  }
+  EXPECT_EQ(kernel.MemoryBytes(), StreamingMpx::MemoryBytesBound(config));
+}
+
+TEST(StreamingMpxTest, MergedMatchesBatchMpxWithoutEviction) {
+  ThreadCountGuard guard;
+  Series x = RandomWalk(1500, 42);
+  // Flat runs exercise the SCAMP special cases through the streaming
+  // flat list: distance-0 pairs across runs and sqrt(2m) entries.
+  for (std::size_t i = 200; i < 280; ++i) x[i] = 7.5;
+  for (std::size_t i = 900; i < 1000; ++i) x[i] = 1.0e6;
+  for (const std::size_t m : {16u, 32u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectStreamingMpxEquivalence(x, m, 2048))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingMpxTest, RightProfileMatchesSuffixReferenceAfterEviction) {
+  Series x = RandomWalk(3000, 43);
+  for (std::size_t i = 2400; i < 2460; ++i) x[i] = -4.0;  // flat in suffix
+  // cap 1024 -> evictions at 1024, 1792, 2560: the retained suffix has
+  // been through three prunes when the comparison runs.
+  EXPECT_TRUE(ExpectStreamingMpxEquivalence(x, 32, 1024));
+}
+
+TEST(StreamingMpxTest, SuffixEquivalenceOnEverySimulatorFamily) {
+  ThreadCountGuard guard;
+  struct Family {
+    const char* name;
+    Series values;
+    std::size_t m;
+  };
+  std::vector<Family> families;
+  {
+    YahooConfig config;
+    config.a1_count = 1;
+    config.a2_count = 1;
+    config.a3_count = 1;
+    config.a4_count = 1;
+    const YahooArchive yahoo = GenerateYahooArchive(config);
+    families.push_back({"yahoo_a1", yahoo.a1.series.at(0).values(), 24});
+    families.push_back({"yahoo_a4", yahoo.a4.series.at(0).values(), 24});
+  }
+  families.push_back(
+      {"numenta_taxi", Truncated(GenerateTaxiData().series.values(), 3000),
+       48});
+  families.push_back(
+      {"nasa", Truncated(GenerateNasaArchive().channels.series.at(0).values(),
+                         3000),
+       64});
+  {
+    OmniConfig config;
+    config.num_machines = 1;
+    const OmniArchive omni = GenerateOmniArchive(config);
+    const Result<LabeledSeries> dim = omni.machines.at(0).Dimension(0);
+    ASSERT_TRUE(dim.ok());
+    families.push_back({"omni", Truncated(dim->values(), 3000), 64});
+  }
+  families.push_back(
+      {"physio_ecg", Truncated(GenerateEcgWithPvc().values(), 3000), 64});
+  families.push_back(
+      {"gait", Truncated(GenerateGaitData().series.values(), 3000), 128});
+
+  // The ring is sized to force at least one eviction on every family;
+  // the batch/reference side of the harness runs at 1, 2 and hardware
+  // thread counts (the streaming kernel itself is single-threaded by
+  // design — one stream, one shard).
+  for (const Family& family : families) {
+    const std::size_t cap = 1024;
+    ASSERT_GT(family.values.size(), cap) << family.name;
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectStreamingMpxEquivalence(family.values, family.m, cap))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(StreamingMpxTest, BandConstrainsNeighborsToTheBand) {
+  StreamingMpxConfig config;
+  config.m = 16;
+  config.buffer_cap = 512;
+  config.band = 64;
+  StreamingMpx kernel(config);
+  Rng rng(5);
+  for (std::size_t t = 0; t < 2000; ++t) {
+    kernel.Push(std::sin(static_cast<double>(t) * 0.2) + 0.1 * rng.Gaussian());
+  }
+  const std::size_t first = kernel.first_subsequence();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < kernel.num_subsequences(); ++i) {
+    const StreamingMpx::Entry entry = kernel.Right(i);
+    if (entry.neighbor == kNoNeighbor) continue;
+    const std::size_t gap = entry.neighbor - (first + i);
+    EXPECT_GT(gap, kernel.config().exclusion) << "entry " << i;
+    EXPECT_LE(gap, config.band) << "entry " << i;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(StreamingMpxTest, SerializeRestoreContinuesBitIdentically) {
+  StreamingMpxConfig config;
+  config.m = 16;
+  config.buffer_cap = 64;  // chunk 16: evictions at 64, 80, 96, ...
+  const Series x = RandomWalk(400, 44);
+
+  StreamingMpx uninterrupted(config);
+  for (const double v : x) uninterrupted.Push(v);
+
+  // Cut at an eviction boundary (the hard case: the snapshot carries a
+  // freshly pruned diagonal frontier) and mid-buffer.
+  for (const std::size_t cut : {64u, 70u, 96u, 200u}) {
+    StreamingMpx writer_kernel(config);
+    for (std::size_t t = 0; t < cut; ++t) writer_kernel.Push(x[t]);
+    ByteWriter writer;
+    writer_kernel.Serialize(&writer);
+
+    StreamingMpx restored(config);
+    ByteReader reader(writer.str());
+    ASSERT_TRUE(restored.Deserialize(&reader).ok()) << "cut=" << cut;
+    for (std::size_t t = cut; t < x.size(); ++t) restored.Push(x[t]);
+
+    ASSERT_EQ(restored.num_subsequences(), uninterrupted.num_subsequences());
+    ASSERT_EQ(restored.first_subsequence(), uninterrupted.first_subsequence());
+    for (std::size_t i = 0; i < restored.num_subsequences(); ++i) {
+      const StreamingMpx::Entry a = restored.Merged(i);
+      const StreamingMpx::Entry b = uninterrupted.Merged(i);
+      // Bitwise: the restore contract is "the same bytes", so EXPECT_EQ
+      // on the doubles, not EXPECT_NEAR.
+      ASSERT_EQ(a.distance, b.distance) << "cut=" << cut << " entry " << i;
+      ASSERT_EQ(a.neighbor, b.neighbor) << "cut=" << cut << " entry " << i;
+    }
+    ASSERT_EQ(restored.MemoryBytes(), uninterrupted.MemoryBytes())
+        << "restored kernel lost the constant-footprint reserve";
+  }
+}
+
+TEST(StreamingMpxTest, DeserializeRejectsMismatchedConfig) {
+  StreamingMpxConfig config;
+  config.m = 16;
+  config.buffer_cap = 64;
+  StreamingMpx kernel(config);
+  for (std::size_t t = 0; t < 100; ++t) {
+    kernel.Push(static_cast<double>(t % 7));
+  }
+  ByteWriter writer;
+  kernel.Serialize(&writer);
+
+  StreamingMpxConfig other = config;
+  other.buffer_cap = 128;
+  StreamingMpx wrong(other);
+  ByteReader reader(writer.str());
+  const Status status = wrong.Deserialize(&reader);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsad

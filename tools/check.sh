@@ -42,6 +42,9 @@ trap 'rm -rf "${serve_work}"' EXIT
 "${repo_root}/build/tools/tsad" serve \
   --replay "${serve_work}/nyc_taxi.csv" \
   --streams 2 --detector streaming:m=64 --threads 2
+"${repo_root}/build/tools/tsad" serve \
+  --replay "${serve_work}/nyc_taxi.csv" \
+  --streams 4 --detector floss:16 --floss-buffer 128 --threads 4
 
 if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   run_pass "${repo_root}/build-sanitize" \
@@ -52,6 +55,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   # = the CLI and bench --smoke boards).
   echo "==> leaderboard smoke under ASan+UBSan (ctest -L leaderboard)"
   (cd "${repo_root}/build-sanitize" && ctest --output-on-failure -L leaderboard)
+
+  # Streaming-MPX + FLOSS suite under ASan+UBSan: the ring-buffer
+  # eviction, serialization and arc-curve paths are all pointer/index
+  # arithmetic over reused buffers — exactly what ASan is for.
+  echo "==> streaming MPX / FLOSS suite under ASan+UBSan (ctest -L floss)"
+  (cd "${repo_root}/build-sanitize" && ctest --output-on-failure -L floss)
 
   # TSan pass: the parallel layer, the serving engine, and the kernel
   # caches (the shared FFT plan cache plus SlidingDotPlan handed to
@@ -68,14 +77,21 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
     -DTSAD_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTSAD_BUILD_EXAMPLES=OFF -DTSAD_BUILD_TOOLS=OFF
   echo "==> building ${tsan_dir} (parallel_test serving_engine_test" \
-       "fft_test matrix_profile_test mpx_kernel_test bench_chaos_serving)"
+       "fft_test matrix_profile_test mpx_kernel_test streaming_mpx_test" \
+       "floss_test bench_chaos_serving)"
   cmake --build "${tsan_dir}" -j "${jobs}" \
     --target parallel_test serving_engine_test fft_test \
-             matrix_profile_test mpx_kernel_test bench_chaos_serving
+             matrix_profile_test mpx_kernel_test streaming_mpx_test \
+             floss_test bench_chaos_serving
   echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches" \
        "+ MPX diagonal kernel)"
   (cd "${tsan_dir}" && ctest --output-on-failure \
     -R 'Parallel|ShardedEngine|FftPlan|SlidingDotPlan|MatrixProfileTest|MpxKernel')
+  # The floss serving tests drive the engine's quarantine/recovery and
+  # per-type memory rollup from floss streams; run the whole label so
+  # the equivalence harness's thread sweep also executes under TSan.
+  echo "==> streaming MPX / FLOSS suite under TSan (ctest -L floss)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -L floss)
   # Chaos harness under the race detector: every survival path —
   # admission, shed, eviction/thaw, quarantine/recovery, failover — in
   # one multi-threaded run (ctest -L chaos = the same --smoke binary).

@@ -57,6 +57,7 @@
 
 #include "tsad.h"
 #include "common/parallel.h"
+#include "detectors/floss.h"
 #include "detectors/registry.h"
 
 namespace {
@@ -72,6 +73,7 @@ struct Args {
   std::string report;     // audit: optional markdown report path
   std::size_t threads = 0;  // parallel pool size; 0 = env/hardware
   std::string mp_kernel;    // matrix-profile kernel: auto|stomp|mpx
+  std::size_t floss_buffer = 0;  // floss ring-buffer default; 0 = keep 4096
   // serve:
   std::string replay;       // CSV to replay through the engine
   std::size_t streams = 4;  // stream fan-out
@@ -114,6 +116,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--mp-kernel" && has_value) {
       args.mp_kernel = argv[++i];
+    } else if (arg == "--floss-buffer" && has_value) {
+      args.floss_buffer = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--replay" && has_value) {
       args.replay = argv[++i];
     } else if (arg == "--streams" && has_value) {
@@ -177,7 +181,10 @@ int Usage() {
       "  --threads N   parallel pool size (default: TSAD_THREADS env,\n"
       "                then hardware concurrency; 1 = serial)\n"
       "  --mp-kernel K matrix-profile self-join kernel: auto (default,\n"
-      "                size-dispatched), stomp, or mpx\n");
+      "                size-dispatched), stomp, or mpx\n"
+      "  --floss-buffer N\n"
+      "                default ring-buffer capacity (points) for floss\n"
+      "                specs without an explicit :<buffer> (default 4096)\n");
   return 1;
 }
 
@@ -505,6 +512,15 @@ int CmdServe(const Args& args) {
         static_cast<unsigned long long>(report->quarantines),
         static_cast<unsigned long long>(report->recoveries));
   }
+  for (const auto& [type, mem] : report->detector_memory) {
+    const double per_stream =
+        mem.streams > 0 ? static_cast<double>(mem.bytes) /
+                              static_cast<double>(mem.streams)
+                        : 0.0;
+    std::printf("memory    : %s  %llu streams  %llu bytes  (%.0f B/stream)\n",
+                type.c_str(), static_cast<unsigned long long>(mem.streams),
+                static_cast<unsigned long long>(mem.bytes), per_stream);
+  }
   if (options.verify_against_batch) {
     std::printf("verify    : %s\n",
                 report->verified ? "byte-identical to batch Score()"
@@ -574,6 +590,9 @@ int CmdListDetectors() {
   for (const std::string& name : RegisteredDetectorNames()) {
     std::printf("%s\n", name.c_str());
   }
+  for (const std::string& prefix : RegisteredDetectorPrefixes()) {
+    std::printf("%s\n", prefix.c_str());
+  }
   return 0;
 }
 
@@ -596,6 +615,7 @@ int main(int argc, char** argv) {
     }
     SetMpKernelOverride(*kernel);
   }
+  if (args->floss_buffer > 0) SetDefaultFlossBufferCap(args->floss_buffer);
   if (command == "generate") return CmdGenerate(*args);
   if (command == "audit") return CmdAudit(*args);
   if (command == "triviality") return CmdTriviality(*args);
