@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/parallel.h"
 #include "substrates/matrix_profile.h"
 
@@ -51,6 +52,67 @@ inline void InitMpKernelFromArgs(int* argc, char** argv) {
   }
 }
 
+/// Applies a `--mp-isa T` argument (if present) as the process-wide
+/// SIMD-tier override for the matrix-profile kernels and strips it from
+/// argv (same values, "did you mean" rejection and unsupported-tier
+/// refusal as the tsad CLI flag). Also consumes TSAD_MP_ISA eagerly so
+/// an invalid environment value is a clean exit here, not a mid-bench
+/// abort. Exits on error — a bench silently timing the wrong tier would
+/// poison the perf record.
+inline void InitMpIsaFromArgs(int* argc, char** argv) {
+  const Status env = ApplySimdTierEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s\n", env.ToString().c_str());
+    std::exit(1);
+  }
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--mp-isa" && i + 1 < *argc) {
+      const Result<SimdTierRequest> request = ParseSimdTier(argv[i + 1]);
+      if (!request.ok()) {
+        std::fprintf(stderr, "%s\n", request.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (request->has_override) {
+        const Status status = SetSimdTierOverride(request->tier);
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          std::exit(1);
+        }
+      } else {
+        ClearSimdTierOverride();
+      }
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+  }
+}
+
+/// Applies a `--mp-precision P` argument (if present) as the
+/// process-wide matrix-profile precision override and strips it from
+/// argv; consumes TSAD_MP_PRECISION eagerly for the same clean-error
+/// reason as InitMpIsaFromArgs. Exits on an unknown precision name.
+inline void InitMpPrecisionFromArgs(int* argc, char** argv) {
+  const Status env = ApplyMpPrecisionEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s\n", env.ToString().c_str());
+    std::exit(1);
+  }
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--mp-precision" && i + 1 < *argc) {
+      const Result<MpPrecision> precision = ParseMpPrecision(argv[i + 1]);
+      if (!precision.ok()) {
+        std::fprintf(stderr, "%s\n", precision.status().ToString().c_str());
+        std::exit(1);
+      }
+      SetMpPrecisionOverride(*precision);
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return;
+    }
+  }
+}
+
 /// Consumes a bare `--<flag>` from argv, returning whether it was
 /// present. Used for `--smoke` (the `ctest -L perf_smoke` mode: tiny
 /// inputs, no JSON, no google-benchmark suites).
@@ -71,7 +133,8 @@ inline bool ConsumeFlag(int* argc, char** argv, const std::string& flag) {
 /// across PRs is tracked by archiving these from CI.
 inline void WriteBenchJson(
     const std::string& name,
-    const std::vector<std::pair<std::string, double>>& fields) {
+    const std::vector<std::pair<std::string, double>>& fields,
+    const std::vector<std::pair<std::string, std::string>>& text_fields = {}) {
   const char* dir = std::getenv("TSAD_BENCH_DIR");
   const std::string path =
       (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : std::string()) +
@@ -82,6 +145,9 @@ inline void WriteBenchJson(
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : text_fields) {
+    std::fprintf(f, ",\n  \"%s\": \"%s\"", key.c_str(), value.c_str());
+  }
   for (const auto& [key, value] : fields) {
     std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
   }

@@ -8,9 +8,13 @@
 // (plus both kernels at the resolved thread count when it exceeds 1)
 // and writes the results to BENCH_perf_matrix_profile.json — the
 // machine-readable record CI archives to track the caching layer's
-// win (kernel_speedup), the diagonal kernel's win (mpx_speedup), and
-// the parallel layer's scaling. Flags: --threads N, --mp-kernel K,
-// --smoke (tiny run for the perf_smoke ctest label; writes no JSON).
+// win (kernel_speedup), the diagonal kernel's win (mpx_speedup), the
+// SIMD dispatch layer's win (the per-ISA-tier sweep + the float32
+// precision tier), and the parallel layer's scaling. Flags:
+// --threads N, --mp-kernel K, --mp-isa T, --mp-precision P,
+// --smoke (tiny run for the perf_smoke ctest label; writes no JSON —
+// but still sweeps every supported ISA tier, so the smoke label
+// exercises each variant).
 
 #include <benchmark/benchmark.h>
 
@@ -19,6 +23,7 @@
 #include <limits>
 
 #include "bench_util.h"
+#include "common/cpu_features.h"
 #include "common/fft.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -132,6 +137,8 @@ double TimeStompMs(const tsad::Series& x, Fn&& compute) {
 int main(int argc, char** argv) {
   tsad::bench::InitThreadsFromArgs(&argc, argv);
   tsad::bench::InitMpKernelFromArgs(&argc, argv);
+  tsad::bench::InitMpIsaFromArgs(&argc, argv);
+  tsad::bench::InitMpPrecisionFromArgs(&argc, argv);
   const bool smoke = tsad::bench::ConsumeFlag(&argc, argv, "--smoke");
   const std::size_t threads = tsad::ParallelThreads();
   // Series size: 2^14 by default; TSAD_PERF_MP_N overrides (the
@@ -157,6 +164,12 @@ int main(int argc, char** argv) {
     options.kernel = tsad::MpKernel::kMpx;
     return tsad::ComputeMatrixProfile(s, 64, options);
   };
+  const auto mpx_f32 = [](const tsad::Series& s) {
+    tsad::MatrixProfileOptions options;
+    options.kernel = tsad::MpKernel::kMpx;
+    options.precision = tsad::MpPrecision::kFloat32;
+    return tsad::ComputeMatrixProfile(s, 64, options);
+  };
   const auto reference = [](const tsad::Series& s) {
     return tsad::ComputeMatrixProfileReference(s, 64);
   };
@@ -170,12 +183,19 @@ int main(int argc, char** argv) {
   const double serial_ms = TimeStompMs(x, stomp);
   const tsad::FftPlanCacheStats plan_stats = tsad::GetFftPlanCacheStats();
   const double mpx_ms = TimeStompMs(x, mpx);
+  const double mpx_f32_ms = TimeStompMs(x, mpx_f32);
 
-  std::printf("matrix profile n=%zu: reference %.1f ms, stomp serial %.1f ms "
-              "(kernel speedup %.2fx), mpx serial %.1f ms (mpx speedup "
+  const tsad::SimdTier active_tier = tsad::ActiveSimdTier();
+  const tsad::MpPrecision active_precision =
+      tsad::ResolveMpPrecision(tsad::MpPrecision::kAuto);
+  std::printf("matrix profile n=%zu [isa %s, precision %s]: reference %.1f "
+              "ms, stomp serial %.1f ms (kernel speedup %.2fx), mpx serial "
+              "%.1f ms (mpx speedup %.2fx), mpx float32 %.1f ms (f32 speedup "
               "%.2fx); fft plan cache %zu hits / %zu misses / %zu evictions\n",
-              n, reference_ms, serial_ms, reference_ms / serial_ms, mpx_ms,
-              serial_ms / mpx_ms, plan_stats.hits, plan_stats.misses,
+              n, tsad::SimdTierName(active_tier),
+              tsad::MpPrecisionName(active_precision), reference_ms, serial_ms,
+              reference_ms / serial_ms, mpx_ms, serial_ms / mpx_ms, mpx_f32_ms,
+              mpx_ms / mpx_f32_ms, plan_stats.hits, plan_stats.misses,
               plan_stats.evictions);
 
   std::vector<std::pair<std::string, double>> fields = {
@@ -185,9 +205,38 @@ int main(int argc, char** argv) {
       {"kernel_speedup", reference_ms / serial_ms},
       {"mpx_ms", mpx_ms},
       {"mpx_speedup", serial_ms / mpx_ms},
+      {"mpx_f32_ms", mpx_f32_ms},
+      {"mpx_f32_speedup", mpx_ms / mpx_f32_ms},
       {"fft_plan_hits", static_cast<double>(plan_stats.hits)},
       {"fft_plan_misses", static_cast<double>(plan_stats.misses)},
       {"fft_plan_evictions", static_cast<double>(plan_stats.evictions)}};
+  const std::vector<std::pair<std::string, std::string>> text_fields = {
+      {"mp_isa", tsad::SimdTierName(active_tier)},
+      {"mp_isa_detected", tsad::SimdTierName(tsad::DetectSimdTier())},
+      {"mp_precision", tsad::MpPrecisionName(active_precision)}};
+
+  // Per-ISA-tier sweep: force each tier the host supports and time the
+  // three dispatched kernels, so one JSON records the whole dispatch
+  // ladder (the gap between adjacent tiers is that tier's win). The
+  // active tier is restored afterwards for the parallel leg and the
+  // google-benchmark suites.
+  for (int t = 0; t <= static_cast<int>(tsad::DetectSimdTier()); ++t) {
+    const tsad::SimdTier tier = static_cast<tsad::SimdTier>(t);
+    if (!tsad::SetSimdTierOverride(tier).ok()) continue;
+    const std::string name = tsad::SimdTierName(tier);
+    const double tier_stomp_ms = TimeStompMs(x, stomp);
+    const double tier_mpx_ms = TimeStompMs(x, mpx);
+    const double tier_f32_ms = TimeStompMs(x, mpx_f32);
+    std::printf("  isa %-6s: stomp %.1f ms, mpx %.1f ms, mpx float32 %.1f "
+                "ms\n",
+                name.c_str(), tier_stomp_ms, tier_mpx_ms, tier_f32_ms);
+    fields.push_back({"stomp_" + name + "_ms", tier_stomp_ms});
+    fields.push_back({"mpx_" + name + "_ms", tier_mpx_ms});
+    fields.push_back({"mpx_f32_" + name + "_ms", tier_f32_ms});
+  }
+  if (!tsad::SetSimdTierOverride(active_tier).ok()) {
+    tsad::ClearSimdTierOverride();  // unreachable: active is supported
+  }
 
   // The parallel leg is only meaningful when the pool actually has
   // more than one thread. On a 1-core runner the old bench re-timed
@@ -212,7 +261,7 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) return 0;
-  tsad::bench::WriteBenchJson("perf_matrix_profile", fields);
+  tsad::bench::WriteBenchJson("perf_matrix_profile", fields, text_fields);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

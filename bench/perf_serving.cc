@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpu_features.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
@@ -211,6 +212,11 @@ tsad::ReplayReport BestReplay(const tsad::Series& series,
 
 int main(int argc, char** argv) {
   tsad::bench::InitThreadsFromArgs(&argc, argv);
+  // The streaming-discord adapter's lag advance runs through the
+  // dispatched MPX kernels, so the serving numbers depend on the ISA
+  // tier; accept the override flag and stamp the tier into the JSON.
+  tsad::bench::InitMpIsaFromArgs(&argc, argv);
+  tsad::bench::InitMpPrecisionFromArgs(&argc, argv);
   const bool smoke = tsad::bench::ConsumeFlag(&argc, argv, "--smoke");
   std::size_t threads = tsad::ParallelThreads();
   if (threads < 2) threads = 8;  // the point is the scaling comparison
@@ -291,6 +297,10 @@ int main(int argc, char** argv) {
         static_cast<double>(fleet.floss_bytes_per_stream)},
        {"floss_fleet_budget_bytes",
         static_cast<double>(fleet.budget_bytes)},
-       {"floss_fleet_peak_bytes", static_cast<double>(fleet.peak_bytes)}});
+       {"floss_fleet_peak_bytes", static_cast<double>(fleet.peak_bytes)}},
+      {{"mp_isa", tsad::SimdTierName(tsad::ActiveSimdTier())},
+       {"mp_isa_detected", tsad::SimdTierName(tsad::DetectSimdTier())},
+       {"mp_precision", tsad::MpPrecisionName(
+                            tsad::ResolveMpPrecision(tsad::MpPrecision::kAuto))}});
   return 0;
 }

@@ -1,0 +1,157 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/suggest.h"
+
+namespace tsad {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+SimdTier ProbeSimdTier() {
+  // __builtin_cpu_init is idempotent and makes the probe safe from any
+  // call context (including static initializers in other TUs).
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return SimdTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdTier::kSse2;
+  return SimdTier::kScalar;
+}
+#else
+SimdTier ProbeSimdTier() { return SimdTier::kScalar; }
+#endif
+
+// Override slot: -1 = none installed. Relaxed atomics suffice — the
+// override is installed during startup (CLI flag / env) before kernels
+// run, and a racing reader only ever sees a stale-but-valid tier.
+std::atomic<int> g_tier_override{-1};
+
+// Guards the one-shot lazy TSAD_MP_ISA application.
+std::once_flag g_env_once;
+std::atomic<bool> g_env_consumed{false};
+
+Status ApplyEnvLocked() {
+  // Marking consumed FIRST makes SetSimdTierOverride/Clear inside this
+  // function (and any later explicit call) authoritative.
+  g_env_consumed.store(true, std::memory_order_relaxed);
+  const char* env = std::getenv("TSAD_MP_ISA");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  const Result<SimdTierRequest> request = ParseSimdTier(env);
+  if (!request.ok()) {
+    return Status::InvalidArgument("TSAD_MP_ISA: " +
+                                   request.status().message());
+  }
+  if (!request->has_override) return Status::OK();  // "auto"
+  const Status status = SetSimdTierOverride(request->tier);
+  if (!status.ok()) {
+    return Status::InvalidArgument("TSAD_MP_ISA: " + status.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SimdTier DetectSimdTier() {
+  static const SimdTier tier = ProbeSimdTier();
+  return tier;
+}
+
+bool SimdTierSupported(SimdTier tier) {
+  return static_cast<int>(tier) <= static_cast<int>(DetectSimdTier());
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+Result<SimdTierRequest> ParseSimdTier(const std::string& name) {
+  static const std::vector<std::string> kNames = {"auto", "scalar", "sse2",
+                                                  "avx2", "avx512"};
+  if (name == "auto") return SimdTierRequest{false, SimdTier::kScalar};
+  if (name == "scalar") return SimdTierRequest{true, SimdTier::kScalar};
+  if (name == "sse2") return SimdTierRequest{true, SimdTier::kSse2};
+  if (name == "avx2") return SimdTierRequest{true, SimdTier::kAvx2};
+  if (name == "avx512") return SimdTierRequest{true, SimdTier::kAvx512};
+  std::string message = "unknown matrix-profile ISA tier '" + name +
+                        "'; known: auto scalar sse2 avx2 avx512";
+  const std::string suggestion = SuggestClosest(name, kNames);
+  if (!suggestion.empty()) {
+    message += "; did you mean '" + suggestion + "'?";
+  }
+  return Status::InvalidArgument(message);
+}
+
+Result<SimdTier> ResolveSimdTierRequest(SimdTier requested,
+                                        SimdTier detected) {
+  if (static_cast<int>(requested) <= static_cast<int>(detected)) {
+    return requested;
+  }
+  return Status::InvalidArgument(
+      std::string("ISA tier '") + SimdTierName(requested) +
+      "' is not supported on this host (detected '" +
+      SimdTierName(detected) +
+      "'); refusing to downgrade silently — pick a supported tier or "
+      "'auto'");
+}
+
+Status SetSimdTierOverride(SimdTier tier) {
+  const Result<SimdTier> resolved =
+      ResolveSimdTierRequest(tier, DetectSimdTier());
+  TSAD_RETURN_IF_ERROR(resolved.status());
+  g_env_consumed.store(true, std::memory_order_relaxed);
+  g_tier_override.store(static_cast<int>(*resolved),
+                        std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void ClearSimdTierOverride() {
+  g_env_consumed.store(true, std::memory_order_relaxed);
+  g_tier_override.store(-1, std::memory_order_relaxed);
+}
+
+SimdTier ActiveSimdTier() {
+  if (!g_env_consumed.load(std::memory_order_relaxed)) {
+    std::call_once(g_env_once, [] {
+      if (g_env_consumed.load(std::memory_order_relaxed)) return;
+      const Status status = ApplyEnvLocked();
+      if (!status.ok()) {
+        // The lazy path has no caller to hand a Status to; a wrong
+        // TSAD_MP_ISA silently ignored would run the wrong kernel for
+        // the whole process, so fail loudly (the CLI and benches call
+        // ApplySimdTierEnv first and turn this into a clean error).
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        std::abort();
+      }
+    });
+  }
+  const int override_tier = g_tier_override.load(std::memory_order_relaxed);
+  if (override_tier >= 0) return static_cast<SimdTier>(override_tier);
+  return DetectSimdTier();
+}
+
+Status ApplySimdTierEnv() {
+  if (g_env_consumed.load(std::memory_order_relaxed)) return Status::OK();
+  Status status = Status::OK();
+  std::call_once(g_env_once, [&status] {
+    if (g_env_consumed.load(std::memory_order_relaxed)) return;
+    status = ApplyEnvLocked();
+  });
+  return status;
+}
+
+}  // namespace tsad

@@ -1,0 +1,102 @@
+// Runtime CPU-feature detection and the ISA-tier override surface for
+// the matrix-profile kernel variants.
+//
+// The default build is portable: every translation unit except the
+// per-tier kernel TUs compiles for the baseline ISA, and the wide-SIMD
+// variants (compiled with per-TU -mavx2 / -mavx512f flags, unlike the
+// whole-binary opt-in TSAD_NATIVE) are only ever *executed* after this
+// module has probed CPUID and confirmed the host supports them. The
+// probe runs once; every later query is an atomic load.
+//
+// Tier selection, highest priority first:
+//  1. an explicit process-wide override (the --mp-isa CLI/bench flag,
+//     which lands in SetSimdTierOverride) — requesting a tier the host
+//     cannot run is an ERROR, never a silent downgrade;
+//  2. the TSAD_MP_ISA environment variable, applied lazily on first
+//     use (an invalid or unsupported value aborts loudly — the CLI and
+//     benches pre-validate it via ApplySimdTierEnv for a clean error
+//     instead);
+//  3. the detected tier: the widest of scalar/sse2/avx2/avx512 the
+//     host supports.
+
+#ifndef TSAD_COMMON_CPU_FEATURES_H_
+#define TSAD_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace tsad {
+
+/// The ISA tiers the matrix-profile kernels are compiled for, widest
+/// last. kScalar is plain portable C++ (no hand vectorization) and is
+/// supported on every host — it is the tier CI exercises even on
+/// machines without AVX, so the dispatch seam always has coverage.
+enum class SimdTier {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Number of tiers (for registry tables indexed by tier).
+inline constexpr int kNumSimdTiers = 4;
+
+/// The widest tier the host CPU supports, probed via CPUID once and
+/// cached. Non-x86 hosts report kScalar.
+SimdTier DetectSimdTier();
+
+/// True when the host can execute `tier`.
+bool SimdTierSupported(SimdTier tier);
+
+/// The canonical name of a tier ("scalar", "sse2", "avx2", "avx512").
+const char* SimdTierName(SimdTier tier);
+
+/// Parses "auto" / "scalar" / "sse2" / "avx2" / "avx512" (the --mp-isa
+/// values; "auto" clears the override and returns to detection). An
+/// unknown name is InvalidArgument with the registry-style "did you
+/// mean" suggestion. Parsing does NOT check host support — that is
+/// SetSimdTierOverride's job, so the two failure modes stay distinct.
+/// has_override is false for "auto", true otherwise.
+struct SimdTierRequest {
+  bool has_override = false;
+  SimdTier tier = SimdTier::kScalar;
+};
+Result<SimdTierRequest> ParseSimdTier(const std::string& name);
+
+/// Pure resolution rule behind SetSimdTierOverride, exported so tests
+/// can drive the unsupported-tier rejection deterministically on any
+/// host: a request at or below `detected` resolves to itself; one
+/// above it is InvalidArgument naming both tiers (loud, never a silent
+/// downgrade to what the host can do).
+Result<SimdTier> ResolveSimdTierRequest(SimdTier requested,
+                                        SimdTier detected);
+
+/// Installs a process-wide forced tier for every dispatched kernel
+/// (the --mp-isa flag and TSAD_MP_ISA env land here). Rejects tiers
+/// the host cannot execute (see ResolveSimdTierRequest). Also marks
+/// the environment variable as consumed, so an explicit override (or
+/// an explicit ClearSimdTierOverride) always beats TSAD_MP_ISA.
+Status SetSimdTierOverride(SimdTier tier);
+
+/// Returns to auto-detection ("--mp-isa auto"). Like
+/// SetSimdTierOverride, beats a pending TSAD_MP_ISA.
+void ClearSimdTierOverride();
+
+/// The tier every dispatched kernel call actually runs: the override
+/// if one is installed, else the TSAD_MP_ISA environment tier (applied
+/// once; an invalid or unsupported value aborts with a message — call
+/// ApplySimdTierEnv first for a recoverable error), else the detected
+/// tier.
+SimdTier ActiveSimdTier();
+
+/// Validates and applies TSAD_MP_ISA eagerly, returning the error the
+/// lazy path would abort with. The CLI and benches call this before
+/// any kernel runs so a bad environment produces a clean exit instead
+/// of an abort. OK (and a no-op) when the variable is unset or an
+/// override is already installed.
+Status ApplySimdTierEnv();
+
+}  // namespace tsad
+
+#endif  // TSAD_COMMON_CPU_FEATURES_H_

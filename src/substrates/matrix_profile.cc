@@ -7,10 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
+#include <mutex>
 
 #include "common/fft.h"
 #include "common/parallel.h"
@@ -18,6 +15,7 @@
 #include "common/suggest.h"
 #include "common/vector_ops.h"
 #include "robustness/deadline.h"
+#include "substrates/mp_kernels.h"
 #include "substrates/mpx_kernel.h"
 #include "substrates/profile_internal.h"
 
@@ -131,15 +129,19 @@ struct RowInvariants {
 
 // Fills dist[j] for j in [begin, end) with the distance of row
 // subsequence i against column subsequences of `side`, bit-identical
-// to calling ZNormPairDistance per entry. Flat columns are patched
-// after the branch-free main loop (their mathematically-computed
-// values, possibly garbage from a ~0 std, are overwritten before
-// anything reads them), which keeps the div/sqrt chain free of
-// branches.
+// to calling ZNormPairDistance per entry. The branch-free div/sqrt
+// chain runs through `fill` — the runtime-dispatched ISA variant the
+// caller hoisted from ActiveKernelVariant() — whose packed ops are
+// IEEE correctly rounded per lane, i.e. the EXACT doubles of the
+// shared scalar tail (mp_kernels.h documents the contract; the
+// equivalence tests assert it). Flat columns are patched after the
+// main loop (their mathematically-computed values, possibly garbage
+// from a ~0 std, are overwritten before anything reads them), which
+// keeps the dispatched chain free of branches.
 void FillRowDistances(const double* qt, const ScanSide& side,
                       const RowInvariants& row, double two_m,
                       double sqrt_two_m, std::size_t begin, std::size_t end,
-                      double* dist) {
+                      double* dist, StompFillFn fill) {
   if (row.flat_i) {
     // Flat row: every pair is a flat-vs-flat (0) or flat-vs-dynamic
     // (max distance) case; no arithmetic needed.
@@ -148,56 +150,17 @@ void FillRowDistances(const double* qt, const ScanSide& side,
     }
     return;
   }
-  const double* means = side.means;
-  const double* stds = side.stds;
-  const double m_mean_i = row.m_mean_i;
-  const double m_std_i = row.m_std_i;
-  std::size_t j = begin;
-#if defined(__SSE2__)
-  // Hand-vectorized two-lane body. GCC's auto-vectorizer declines this
-  // loop (the float clamps survive if-conversion only under value-
-  // changing flags we forbid), but every packed op below — subpd,
-  // mulpd, divpd, sqrtpd, minpd, maxpd — is IEEE correctly rounded per
-  // lane, i.e. produces the EXACT double of its scalar counterpart, so
-  // the profile stays bit-identical to the scalar tail/fallback (the
-  // equivalence tests assert this). Clamp semantics, including NaN
-  // propagation, mirror the scalar ternaries operand-for-operand:
-  //   maxpd(a, b) = a > b ? a : b   (NaN anywhere -> b)
-  //   minpd(a, b) = a < b ? a : b   (NaN anywhere -> b)
-  // so max(-1, corr) / min(1, corr) pass a NaN corr through, and
-  // max(v, 0) turns a NaN v into 0 — exactly what std::clamp followed
-  // by std::max(0.0, v) does in ZNormPairDistance.
-  {
-    const __m128d v_m_mean_i = _mm_set1_pd(m_mean_i);
-    const __m128d v_m_std_i = _mm_set1_pd(m_std_i);
-    const __m128d v_two_m = _mm_set1_pd(two_m);
-    const __m128d v_one = _mm_set1_pd(1.0);
-    const __m128d v_neg_one = _mm_set1_pd(-1.0);
-    const __m128d v_zero = _mm_setzero_pd();
-    for (; j + 2 <= end; j += 2) {
-      const __m128d num = _mm_sub_pd(_mm_loadu_pd(qt + j),
-                                     _mm_mul_pd(v_m_mean_i,
-                                                _mm_loadu_pd(means + j)));
-      const __m128d den = _mm_mul_pd(v_m_std_i, _mm_loadu_pd(stds + j));
-      __m128d corr = _mm_div_pd(num, den);
-      corr = _mm_max_pd(v_neg_one, corr);
-      corr = _mm_min_pd(v_one, corr);
-      const __m128d v = _mm_mul_pd(v_two_m, _mm_sub_pd(v_one, corr));
-      _mm_storeu_pd(dist + j, _mm_sqrt_pd(_mm_max_pd(v, v_zero)));
-    }
-  }
-#endif
-  for (; j < end; ++j) {
-    // Scalar tail (and the whole loop on non-SSE2 targets). Value
-    // ternaries, not std::clamp/std::max: identical semantics —
-    // including NaN pass-through on the clamps and NaN -> 0 on the
-    // floor — without the reference-returning forms.
-    double corr = (qt[j] - m_mean_i * means[j]) / (m_std_i * stds[j]);
-    corr = corr < -1.0 ? -1.0 : corr;
-    corr = corr > 1.0 ? 1.0 : corr;
-    const double v = two_m * (1.0 - corr);
-    dist[j] = std::sqrt(v > 0.0 ? v : 0.0);
-  }
+  StompFillArgs args;
+  args.qt = qt;
+  args.means = side.means;
+  args.stds = side.stds;
+  args.m_mean_i = row.m_mean_i;
+  args.m_std_i = row.m_std_i;
+  args.two_m = two_m;
+  args.begin = begin;
+  args.end = end;
+  args.dist = dist;
+  fill(args);
   if (!side.flat_indices.empty()) {
     auto it = std::lower_bound(side.flat_indices.begin(),
                                side.flat_indices.end(), begin);
@@ -306,6 +269,7 @@ Result<MatrixProfile> ComputeMatrixProfileStomp(
   const double two_m = 2.0 * dm;
   const double sqrt_two_m = std::sqrt(2.0 * dm);
   const double* series_data = series.data();
+  const StompFillFn fill = ActiveKernelVariant().stomp_fill;
 
   const Status status = RunStompRowBlocks(
       count, count,
@@ -337,10 +301,10 @@ Result<MatrixProfile> ComputeMatrixProfileStomp(
         const std::size_t ex_begin = i > exclusion ? i - exclusion : 0;
         const std::size_t ex_end = std::min(count, i + exclusion + 1);
         FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, 0,
-                         ex_begin, dist.data());
+                         ex_begin, dist.data(), fill);
         ArgMinSegment(dist.data(), 0, ex_begin, best, best_j);
         FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, ex_end,
-                         count, dist.data());
+                         count, dist.data(), fill);
         ArgMinSegment(dist.data(), ex_end, count, best, best_j);
         mp.distances[i] = best;
         mp.indices[i] = best_j;
@@ -402,6 +366,98 @@ Result<MpKernel> ParseMpKernel(const std::string& name) {
   return Status::InvalidArgument(message);
 }
 
+// Process-wide precision override (the --mp-precision flag), with the
+// same lazy one-shot TSAD_MP_PRECISION application as the ISA-tier
+// override in common/cpu_features.cc: an explicit Set (even to kAuto)
+// marks the environment consumed, the lazy path aborts loudly on an
+// invalid value, and ApplyMpPrecisionEnv gives the CLI/benches a
+// recoverable error instead.
+namespace {
+std::atomic<int> g_mp_precision_override{static_cast<int>(MpPrecision::kAuto)};
+std::once_flag g_mp_precision_env_once;
+std::atomic<bool> g_mp_precision_env_consumed{false};
+
+Status ApplyMpPrecisionEnvLocked() {
+  g_mp_precision_env_consumed.store(true, std::memory_order_relaxed);
+  const char* env = std::getenv("TSAD_MP_PRECISION");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  const Result<MpPrecision> parsed = ParseMpPrecision(env);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("TSAD_MP_PRECISION: " +
+                                   parsed.status().message());
+  }
+  g_mp_precision_override.store(static_cast<int>(*parsed),
+                                std::memory_order_relaxed);
+  return Status::OK();
+}
+}  // namespace
+
+void SetMpPrecisionOverride(MpPrecision precision) {
+  g_mp_precision_env_consumed.store(true, std::memory_order_relaxed);
+  g_mp_precision_override.store(static_cast<int>(precision),
+                                std::memory_order_relaxed);
+}
+
+MpPrecision GetMpPrecisionOverride() {
+  if (!g_mp_precision_env_consumed.load(std::memory_order_relaxed)) {
+    std::call_once(g_mp_precision_env_once, [] {
+      if (g_mp_precision_env_consumed.load(std::memory_order_relaxed)) return;
+      const Status status = ApplyMpPrecisionEnvLocked();
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        std::abort();
+      }
+    });
+  }
+  return static_cast<MpPrecision>(
+      g_mp_precision_override.load(std::memory_order_relaxed));
+}
+
+MpPrecision ResolveMpPrecision(MpPrecision requested) {
+  if (requested != MpPrecision::kAuto) return requested;
+  const MpPrecision override = GetMpPrecisionOverride();
+  if (override != MpPrecision::kAuto) return override;
+  return MpPrecision::kExact;
+}
+
+Status ApplyMpPrecisionEnv() {
+  if (g_mp_precision_env_consumed.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  Status status = Status::OK();
+  std::call_once(g_mp_precision_env_once, [&status] {
+    if (g_mp_precision_env_consumed.load(std::memory_order_relaxed)) return;
+    status = ApplyMpPrecisionEnvLocked();
+  });
+  return status;
+}
+
+Result<MpPrecision> ParseMpPrecision(const std::string& name) {
+  static const std::vector<std::string> kNames = {"auto", "exact", "float32"};
+  if (name == "auto") return MpPrecision::kAuto;
+  if (name == "exact") return MpPrecision::kExact;
+  if (name == "float32") return MpPrecision::kFloat32;
+  std::string message = "unknown matrix-profile precision '" + name +
+                        "'; known: auto exact float32";
+  const std::string suggestion = SuggestClosest(name, kNames);
+  if (!suggestion.empty()) {
+    message += "; did you mean '" + suggestion + "'?";
+  }
+  return Status::InvalidArgument(message);
+}
+
+const char* MpPrecisionName(MpPrecision precision) {
+  switch (precision) {
+    case MpPrecision::kAuto:
+      return "auto";
+    case MpPrecision::kExact:
+      return "exact";
+    case MpPrecision::kFloat32:
+      return "float32";
+  }
+  return "auto";
+}
+
 Result<MatrixProfile> ComputeMatrixProfile(
     const std::vector<double>& series, std::size_t m,
     const MatrixProfileOptions& options) {
@@ -409,6 +465,20 @@ Result<MatrixProfile> ComputeMatrixProfile(
   std::size_t count = 0;
   TSAD_RETURN_IF_ERROR(
       profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
+  const MpPrecision precision = ResolveMpPrecision(options.precision);
+  if (precision == MpPrecision::kFloat32) {
+    // Only MPX has a float tier. An EXPLICIT per-call STOMP request is
+    // a contradiction and fails loudly; kAuto (even with a process-
+    // wide stomp override) forces MPX — the precision tier names the
+    // numerics the caller wants, the kernel is the means.
+    if (options.kernel == MpKernel::kStomp) {
+      return Status::InvalidArgument(
+          "float32 precision requires the mpx kernel (STOMP has no float "
+          "tier); use --mp-kernel mpx or auto");
+    }
+    return ComputeMatrixProfileMpx(series, m, exclusion,
+                                   MpPrecision::kFloat32);
+  }
   if (ResolveMpKernel(options.kernel, count) == MpKernel::kMpx) {
     return ComputeMatrixProfileMpx(series, m, exclusion);
   }
@@ -530,6 +600,7 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
   const double two_m = 2.0 * dm;
   const double sqrt_two_m = std::sqrt(2.0 * dm);
   const double* series_data = series.data();
+  const StompFillFn fill = ActiveKernelVariant().stomp_fill;
 
   const Status status = RunStompRowBlocks(
       count, count,
@@ -556,7 +627,7 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
         // Eligible past neighbors: j + exclusion + 1 <= i.
         const std::size_t end = i - exclusion;
         FillRowDistances(qt_row.data(), side, row, two_m, sqrt_two_m, 0, end,
-                         dist.data());
+                         dist.data(), fill);
         ArgMinSegment(dist.data(), 0, end, best, best_j);
         mp.distances[i] = best;
         mp.indices[i] = best_j;
@@ -603,6 +674,7 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
   const double sqrt_two_m = std::sqrt(2.0 * dm);
   const double* query_data = query_series.data();
   const double* ref_data = reference_series.data();
+  const StompFillFn fill = ActiveKernelVariant().stomp_fill;
 
   const Status status = RunStompRowBlocks(
       nq, nr,
@@ -627,7 +699,7 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
         double best = std::numeric_limits<double>::infinity();
         std::size_t best_j = kNoNeighbor;
         FillRowDistances(qt_row.data(), ref_side, row, two_m, sqrt_two_m, 0,
-                         nr, dist.data());
+                         nr, dist.data(), fill);
         ArgMinSegment(dist.data(), 0, nr, best, best_j);
         mp.distances[i] = best;
         mp.indices[i] = best_j;

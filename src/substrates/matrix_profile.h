@@ -105,10 +105,42 @@ enum class MpKernel {
 /// tests pin it).
 inline constexpr std::size_t kMpxAutoMinSubsequences = 2048;
 
+// ---------------------------------------------------------------------------
+// Precision tier. The MPX diagonals can run their covariance
+// recurrence in float32 (the false.alarm.io observation: the whole UCR
+// kernel is viable in float on a microcontroller), roughly doubling
+// SIMD lane throughput:
+//
+//  * kExact — double recurrence; bit-identical across ISA tiers and
+//    thread counts, and the STOMP side stays bit-identical to the
+//    frozen reference.
+//  * kFloat32 — MPX-only float recurrence with double seeds re-taken
+//    every (shorter) row block, so rounding drift is contained per
+//    block. Certified by a TOLERANCE contract plus exact TopDiscords
+//    on the simulator families (tests/substrates/profile_equivalence.h)
+//    — NOT for adversarial inputs with extreme level shifts, where
+//    float's ~1e-7 relative error on a huge covariance dwarfs O(1)
+//    structure. Bit-identical across ISA tiers and thread counts
+//    WITHIN the tier.
+//
+// kAuto resolves to the process-wide override (the --mp-precision flag
+// / TSAD_MP_PRECISION env), else kExact. A float32 request with an
+// explicitly-requested STOMP kernel is InvalidArgument (STOMP has no
+// float tier); with kernel kAuto it forces MPX regardless of the size
+// rule or kernel override.
+// ---------------------------------------------------------------------------
+
+enum class MpPrecision {
+  kAuto = 0,
+  kExact = 1,
+  kFloat32 = 2,
+};
+
 /// Options for ComputeMatrixProfile. `exclusion` keeps the historical
 /// SIZE_MAX = "use DefaultSelfJoinExclusion(m)" convention.
 struct MatrixProfileOptions {
   MpKernel kernel = MpKernel::kAuto;
+  MpPrecision precision = MpPrecision::kAuto;
   std::size_t exclusion = std::numeric_limits<std::size_t>::max();
 };
 
@@ -131,6 +163,31 @@ Result<MpKernel> ParseMpKernel(const std::string& name);
 
 /// The canonical name of a kernel ("auto", "stomp", "mpx").
 const char* MpKernelName(MpKernel kernel);
+
+/// Process-wide precision override for kAuto callers (the
+/// --mp-precision flag lands here). kAuto clears the override.
+/// Explicit per-call options always beat the override. Setting any
+/// value (including kAuto) marks TSAD_MP_PRECISION as consumed, so an
+/// explicit flag beats the environment.
+void SetMpPrecisionOverride(MpPrecision precision);
+MpPrecision GetMpPrecisionOverride();
+
+/// The precision a profile actually runs: `requested` if explicit,
+/// else the process override (or TSAD_MP_PRECISION, applied lazily on
+/// first use; an invalid value aborts loudly — the CLI and benches
+/// call ApplyMpPrecisionEnv first for a clean error), else kExact.
+MpPrecision ResolveMpPrecision(MpPrecision requested);
+
+/// Eager TSAD_MP_PRECISION validation, mirroring ApplySimdTierEnv: OK
+/// and a no-op when unset or already consumed.
+Status ApplyMpPrecisionEnv();
+
+/// Parses "auto" / "exact" / "float32" (the --mp-precision values),
+/// with the registry-style "did you mean" rejection.
+Result<MpPrecision> ParseMpPrecision(const std::string& name);
+
+/// The canonical name of a precision tier ("auto", "exact", "float32").
+const char* MpPrecisionName(MpPrecision precision);
 
 /// Pairwise z-normalized distance between two length-m subsequences
 /// from their dot product `qt` and rolling means/stds (SCAMP flat-

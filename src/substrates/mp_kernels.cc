@@ -1,0 +1,132 @@
+// Baseline-ISA home of the kernel-variant registry and the shared
+// scalar building blocks (see mp_kernels.h for the bit-identity
+// contract that hinges on these being compiled exactly once, here).
+
+#include "substrates/mp_kernels.h"
+
+#include <cmath>
+
+namespace tsad {
+
+double MpxSeedCov(const double* series, const double* means, std::size_t a,
+                  std::size_t b, std::size_t m) {
+  const double mu_a = means[a];
+  const double mu_b = means[b];
+  double c = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    c += (series[a + k] - mu_a) * (series[b + k] - mu_b);
+  }
+  return c;
+}
+
+void FillRowDistancesTail(const StompFillArgs& a, std::size_t begin) {
+  const double* qt = a.qt;
+  const double* means = a.means;
+  const double* stds = a.stds;
+  const double m_mean_i = a.m_mean_i;
+  const double m_std_i = a.m_std_i;
+  const double two_m = a.two_m;
+  double* dist = a.dist;
+  for (std::size_t j = begin; j < a.end; ++j) {
+    // Value ternaries, not std::clamp/std::max: identical semantics —
+    // including NaN pass-through on the clamps and NaN -> 0 on the
+    // floor — without the reference-returning forms.
+    double corr = (qt[j] - m_mean_i * means[j]) / (m_std_i * stds[j]);
+    corr = corr < -1.0 ? -1.0 : corr;
+    corr = corr > 1.0 ? 1.0 : corr;
+    const double v = two_m * (1.0 - corr);
+    dist[j] = std::sqrt(v > 0.0 ? v : 0.0);
+  }
+}
+
+void MpxBlockScalarRange(const MpxBlockArgs& a, std::size_t d_begin,
+                         std::size_t d_end) {
+  for (std::size_t d = d_begin; d < d_end; ++d) {
+    const std::size_t len = a.count - d;  // offsets valid in [0, len)
+    if (a.r0 >= len) break;               // d ascending => len descending
+    const std::size_t end = a.r1 < len ? a.r1 : len;
+    double c = MpxSeedCov(a.series, a.means, a.r0, a.r0 + d, a.m);
+    const double seed_corr = c * a.inv[a.r0] * a.inv[a.r0 + d];
+    MpxUpdateBest(a.local_corr, a.local_index, seed_corr, a.r0, a.r0 + d);
+    MpxUpdateBest(a.local_corr, a.local_index, seed_corr, a.r0 + d, a.r0);
+    for (std::size_t o = a.r0 + 1; o < end; ++o) {
+      c += a.ddf[o] * a.ddg[o + d] + a.ddf[o + d] * a.ddg[o];
+      const double corr = c * a.inv[o] * a.inv[o + d];
+      MpxUpdateBest(a.local_corr, a.local_index, corr, o, o + d);
+      MpxUpdateBest(a.local_corr, a.local_index, corr, o + d, o);
+    }
+  }
+}
+
+void MpxBlockF32ScalarRange(const MpxBlockF32Args& a, std::size_t d_begin,
+                            std::size_t d_end) {
+  for (std::size_t d = d_begin; d < d_end; ++d) {
+    const std::size_t len = a.count - d;
+    if (a.r0 >= len) break;
+    const std::size_t end = a.r1 < len ? a.r1 : len;
+    // Double seed narrowed once per block; the recurrence runs in
+    // float and each correlation widens to double (exact) at update.
+    float c =
+        static_cast<float>(MpxSeedCov(a.series, a.means, a.r0, a.r0 + d, a.m));
+    const double seed_corr =
+        static_cast<double>(c * a.inv[a.r0] * a.inv[a.r0 + d]);
+    MpxUpdateBest(a.local_corr, a.local_index, seed_corr, a.r0, a.r0 + d);
+    MpxUpdateBest(a.local_corr, a.local_index, seed_corr, a.r0 + d, a.r0);
+    for (std::size_t o = a.r0 + 1; o < end; ++o) {
+      c += a.ddf[o] * a.ddg[o + d] + a.ddf[o + d] * a.ddg[o];
+      const double corr = static_cast<double>(c * a.inv[o] * a.inv[o + d]);
+      MpxUpdateBest(a.local_corr, a.local_index, corr, o, o + d);
+      MpxUpdateBest(a.local_corr, a.local_index, corr, o + d, o);
+    }
+  }
+}
+
+void MpxAdvanceLagsScalarRange(MpxAdvanceLagsArgs& a, std::size_t k_begin,
+                               std::size_t k_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const std::size_t lag = a.exclusion + 1 + k;
+    const std::size_t i = a.j - lag;
+    const std::size_t il = i - a.base;
+    double c;
+    if ((a.j + lag) % a.reseed == 0) {
+      c = MpxSeedCov(a.x, a.means, il, a.jl, a.m);
+    } else {
+      c = a.diag_cov[k] + a.ddf[il] * a.ddg[a.jl] + a.ddf[a.jl] * a.ddg[il];
+    }
+    a.diag_cov[k] = c;
+    const double corr = c * a.inv[il] * a.inv_j;
+    if (corr > a.right_corr[il]) {
+      a.right_corr[il] = corr;
+      a.right_idx[il] = a.j;
+    }
+    if (corr > a.best || (corr == a.best && i < a.best_i)) {
+      a.best = corr;
+      a.best_i = i;
+    }
+  }
+}
+
+const MpKernelVariant& KernelVariantFor(SimdTier tier) {
+  static const MpKernelVariant table[kNumSimdTiers] = {
+      mp_kernels_internal::ScalarVariant(),
+#if defined(TSAD_MP_KERNELS_X86)
+      mp_kernels_internal::Sse2Variant(),
+      mp_kernels_internal::Avx2Variant(),
+      mp_kernels_internal::Avx512Variant(),
+#else
+      // Non-x86: cpu_features never detects or admits a wider tier, so
+      // these slots are unreachable through ActiveSimdTier; mapping
+      // them to scalar keeps KernelVariantFor total anyway.
+      mp_kernels_internal::ScalarVariant(),
+      mp_kernels_internal::ScalarVariant(),
+      mp_kernels_internal::ScalarVariant(),
+#endif
+  };
+  return table[static_cast<int>(tier)];
+}
+
+const MpKernelVariant& ActiveKernelVariant() {
+  return KernelVariantFor(ActiveSimdTier());
+}
+
+}  // namespace tsad

@@ -1,0 +1,211 @@
+// Kernel-variant registry for the matrix-profile engines.
+//
+// The hot inner loops of both batch kernels and the streaming MPX
+// substrate are compiled once per ISA tier (scalar/SSE2/AVX2/AVX-512)
+// in dedicated translation units carrying per-TU -msse2/-mavx2/
+// -mavx512f flags, and selected at runtime through this registry via
+// common/cpu_features.h. The default build stays portable: baseline
+// TUs never emit wide-SIMD instructions, and a variant only runs after
+// CPUID confirms the host supports its tier.
+//
+// Bit-identity contract (exact tier): every variant of the same
+// operation produces bit-identical results to the scalar baseline on
+// non-NaN inputs, at every thread count. This holds because
+//  * all packed ops used (add/sub/mul/div/sqrt/min/max, blends) are
+//    IEEE correctly rounded per lane — the EXACT double of the scalar
+//    chain;
+//  * variant TUs compile with -ffp-contract=off, so no mul+add is
+//    fused into an FMA even where the ISA has one (AVX-512F does);
+//  * each diagonal's running covariance stays in one vector lane, and
+//    every O(m) covariance seed is computed by the ONE shared scalar
+//    helper below, compiled once in the baseline TU;
+//  * profile updates are order-independent lexicographic maxima
+//    (higher correlation wins, ties to the lower neighbor index), so
+//    visiting candidates in vector-group order instead of scalar order
+//    cannot change the winner.
+// The float32 MPX tier is likewise bit-identical ACROSS tiers (same
+// float ops per lane, widened to double exactly at update time); it
+// differs from the exact tier by design and is certified by a
+// tolerance contract instead (tests/substrates/profile_equivalence.h).
+
+#ifndef TSAD_SUBSTRATES_MP_KERNELS_H_
+#define TSAD_SUBSTRATES_MP_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/cpu_features.h"
+
+namespace tsad {
+
+/// Arguments of the hoisted STOMP row scan: fill dist[j] for j in
+/// [begin, end) with sqrt(max(0, 2m*(1 - clamp(corr)))) where
+/// corr = (qt[j] - m_mean_i*means[j]) / (m_std_i*stds[j]). The caller
+/// (matrix_profile.cc) owns the flat-row fast path and the flat-column
+/// patch; variants only run the branch-free arithmetic chain.
+struct StompFillArgs {
+  const double* qt = nullptr;
+  const double* means = nullptr;
+  const double* stds = nullptr;
+  double m_mean_i = 0.0;
+  double m_std_i = 0.0;
+  double two_m = 0.0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  double* dist = nullptr;
+};
+using StompFillFn = void (*)(const StompFillArgs&);
+
+/// One (row block, diagonal range) cell of the batch MPX traversal:
+/// for every diagonal d in [d_begin, d_end), seed the covariance of
+/// pair (r0, r0+d) with MpxSeedCov, then advance it through offsets
+/// o in (r0, min(r1, count-d)) by the rank-2 ddf/ddg recurrence,
+/// updating local_corr/local_index on both the row side (entry o,
+/// neighbor o+d) and the column side (entry o+d, neighbor o) with the
+/// lexicographic-max rule. Diagonals with r0 >= count-d are skipped.
+/// The caller owns the tile loop, row-block loop, deadline polls, and
+/// the cross-tile merge.
+struct MpxBlockArgs {
+  const double* series = nullptr;
+  const double* means = nullptr;
+  const double* ddf = nullptr;
+  const double* ddg = nullptr;
+  const double* inv = nullptr;
+  std::size_t m = 0;
+  std::size_t count = 0;
+  std::size_t r0 = 0;      // row-block start offset
+  std::size_t r1 = 0;      // row-block end bound (exclusive)
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  double* local_corr = nullptr;
+  std::size_t* local_index = nullptr;
+};
+using MpxBlockFn = void (*)(const MpxBlockArgs&);
+
+/// Float32 fast-path version of MpxBlockArgs: the ddf/ddg/inv tracks
+/// are float, the covariance recurrence runs in float, and each
+/// correlation is widened to double (exact) at update time. Seeds are
+/// still the shared double MpxSeedCov, cast to float once per block —
+/// with the caller's shorter float row block, drift stays within the
+/// certified tolerance contract.
+struct MpxBlockF32Args {
+  const double* series = nullptr;
+  const double* means = nullptr;
+  const float* ddf = nullptr;
+  const float* ddg = nullptr;
+  const float* inv = nullptr;
+  std::size_t m = 0;
+  std::size_t count = 0;
+  std::size_t r0 = 0;
+  std::size_t r1 = 0;
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  double* local_corr = nullptr;
+  std::size_t* local_index = nullptr;
+};
+using MpxBlockF32Fn = void (*)(const MpxBlockF32Args&);
+
+/// The streaming MPX per-push lag advance (StreamingMpx::Push's hot
+/// loop): for every tracked lag k in [0, nlags), with lag =
+/// exclusion+1+k, i = j-lag, il = i-base, advance diag_cov[k] by the
+/// rank-2 recurrence (or re-seed with MpxSeedCov when (j+lag) % reseed
+/// == 0), update the right profile of il on strict improvement, and
+/// race the pair for the new subsequence's left best (ties to the
+/// lower i). best/best_i are in/out. Opening the newly joinable lag
+/// stays with the caller.
+struct MpxAdvanceLagsArgs {
+  const double* x = nullptr;      // retained points, local-indexed
+  const double* means = nullptr;  // per retained subsequence
+  const double* ddf = nullptr;
+  const double* ddg = nullptr;
+  const double* inv = nullptr;
+  double* diag_cov = nullptr;     // [0, nlags)
+  double* right_corr = nullptr;   // local-indexed
+  std::size_t* right_idx = nullptr;
+  std::size_t m = 0;
+  std::size_t j = 0;    // global index of the new subsequence
+  std::size_t jl = 0;   // its local index
+  std::size_t base = 0; // global index of local 0
+  std::size_t exclusion = 0;
+  std::size_t nlags = 0;
+  std::size_t reseed = 0;  // kStreamingMpxReseed
+  double inv_j = 0.0;
+  double best = 0.0;          // in/out: left-best correlation
+  std::size_t best_i = 0;     // in/out: left-best global index
+};
+using MpxAdvanceLagsFn = void (*)(MpxAdvanceLagsArgs&);
+
+/// One ISA tier's implementations of the dispatched operations.
+struct MpKernelVariant {
+  SimdTier tier = SimdTier::kScalar;
+  StompFillFn stomp_fill = nullptr;
+  MpxBlockFn mpx_block = nullptr;
+  MpxBlockF32Fn mpx_block_f32 = nullptr;
+  MpxAdvanceLagsFn mpx_advance_lags = nullptr;
+};
+
+/// The variant for a specific tier. On non-x86 builds every tier maps
+/// to the scalar variant (cpu_features never detects or admits a wider
+/// tier there, so only forced-tier tests would even ask).
+const MpKernelVariant& KernelVariantFor(SimdTier tier);
+
+/// KernelVariantFor(ActiveSimdTier()) — what the kernels actually run.
+const MpKernelVariant& ActiveKernelVariant();
+
+// ---------------------------------------------------------------------------
+// Shared building blocks. These are compiled ONCE, in the baseline-ISA
+// mp_kernels.cc TU, and called from every variant: the scalar variant
+// IS these helpers, and the vector variants use them for covariance
+// seeds, loop tails, and partial vector groups — which is what makes
+// the exact tier bit-identical across tiers.
+// ---------------------------------------------------------------------------
+
+/// Locally-centered O(m) covariance of the subsequence pair (a, b):
+/// sum_k (series[a+k]-means[a]) * (series[b+k]-means[b]), accumulated
+/// left to right. The ONE seed every MPX path (batch exact, batch
+/// float32 before narrowing, streaming re-seed) uses.
+double MpxSeedCov(const double* series, const double* means, std::size_t a,
+                  std::size_t b, std::size_t m);
+
+/// The scalar STOMP fill over [begin, args.end) — the shared tail of
+/// every vector variant and the whole body of the scalar one (the
+/// single home of what used to be duplicated after matrix_profile.cc's
+/// inline SSE2 block).
+void FillRowDistancesTail(const StompFillArgs& args, std::size_t begin);
+
+/// Scalar MpxBlock over diagonals [d_begin, d_end) of args' row block.
+void MpxBlockScalarRange(const MpxBlockArgs& args, std::size_t d_begin,
+                         std::size_t d_end);
+
+/// Scalar float32 MpxBlock over diagonals [d_begin, d_end).
+void MpxBlockF32ScalarRange(const MpxBlockF32Args& args, std::size_t d_begin,
+                            std::size_t d_end);
+
+/// Scalar lag advance over lags [k_begin, k_end).
+void MpxAdvanceLagsScalarRange(MpxAdvanceLagsArgs& args, std::size_t k_begin,
+                               std::size_t k_end);
+
+/// The MPX profile update: lexicographic max (higher correlation wins,
+/// ties to the lower neighbor index). Header-inline — pure comparisons,
+/// no FP arithmetic, so every TU compiles it identically.
+inline void MpxUpdateBest(double* corr, std::size_t* index, double candidate,
+                          std::size_t row, std::size_t col) {
+  if (candidate > corr[row] ||
+      (candidate == corr[row] && col < index[row])) {
+    corr[row] = candidate;
+    index[row] = col;
+  }
+}
+
+namespace mp_kernels_internal {
+// Variant factories, each defined in its own per-TU-flags translation
+// unit. The SSE2/AVX2/AVX-512 ones exist only in x86 builds (the
+// registry references them under TSAD_MP_KERNELS_X86).
+MpKernelVariant ScalarVariant();
+MpKernelVariant Sse2Variant();
+MpKernelVariant Avx2Variant();
+MpKernelVariant Avx512Variant();
+}  // namespace mp_kernels_internal
+
+}  // namespace tsad
+
+#endif  // TSAD_SUBSTRATES_MP_KERNELS_H_

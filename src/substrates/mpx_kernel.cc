@@ -9,6 +9,7 @@
 
 #include "common/parallel.h"
 #include "robustness/deadline.h"
+#include "substrates/mp_kernels.h"
 #include "substrates/profile_internal.h"
 #include "substrates/sliding_window.h"
 
@@ -63,10 +64,12 @@ std::size_t LowestFlatOutsideExclusion(const std::vector<std::size_t>& flat,
 
 Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
                                               std::size_t m,
-                                              std::size_t exclusion) {
+                                              std::size_t exclusion,
+                                              MpPrecision precision) {
   std::size_t count = 0;
   TSAD_RETURN_IF_ERROR(
       profile_internal::ValidateSelfJoin(series.size(), m, &exclusion, &count));
+  const bool float32 = precision == MpPrecision::kFloat32;
 
   const WindowStats stats = ComputeWindowStats(series, m);
   const double dm = static_cast<double>(m);
@@ -101,6 +104,24 @@ Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
              (series[j - 1] - stats.means[j - 1]);
   }
 
+  // Float32 tier: the recurrence tracks narrowed once, up front (the
+  // narrowing is the tier's announced precision loss; every seed stays
+  // a double dot). The shorter float row block re-seeds 4x as often —
+  // see kMpxFloatRowBlock.
+  const bool use_f32 = float32;
+  std::vector<float> fddf, fddg, finv;
+  if (use_f32) {
+    fddf.resize(count);
+    fddg.resize(count);
+    finv.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      fddf[j] = static_cast<float>(ddf[j]);
+      fddg[j] = static_cast<float>(ddg[j]);
+      finv[j] = static_cast<float>(inv[j]);
+    }
+  }
+  const std::size_t row_block = use_f32 ? kMpxFloatRowBlock : kMpxRowBlock;
+
   // Shared best-so-far profile in correlation space, merged under
   // `merge_mutex` with a lexicographic max (higher correlation wins,
   // ties to the lower neighbor index — the same winner STOMP's serial
@@ -113,49 +134,73 @@ Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
   const std::size_t num_diags = count - min_diag;
   const std::size_t num_tiles = (num_diags + kMpxDiagTile - 1) / kMpxDiagTile;
 
-  const Status status = ParallelFor(0, num_tiles, [&](std::size_t tile)
-                                                      -> Status {
-    const std::size_t d_begin = min_diag + tile * kMpxDiagTile;
-    const std::size_t d_end = std::min(count, d_begin + kMpxDiagTile);
+  // The ISA tier is resolved once per profile; every tile of this call
+  // runs the same variant (mp_kernels.h), so a concurrent override
+  // change cannot mix tiers within one profile.
+  const MpKernelVariant& variant = ActiveKernelVariant();
 
+  // Tiles are interleaved across a small fixed set of workers, each
+  // owning ONE task-local profile for its whole tile share. Per-tile
+  // locals would cost two count-length allocations + fills + a
+  // count-length merge per 128 diagonals — with the dispatched SIMD
+  // kernels that bookkeeping, not the recurrence, dominates. The
+  // result is unchanged by the partition (or the thread count): every
+  // diagonal's chain still lives in exactly one worker, and both the
+  // local accumulation and the final merge are the order-independent
+  // lexicographic max. 4 shares per thread keeps the tail balanced.
+  const std::size_t workers = std::min(
+      num_tiles, std::max<std::size_t>(ParallelThreads(), 1) * 4);
+
+  const Status status = ParallelFor(0, workers, [&](std::size_t w) -> Status {
     std::vector<double> local_corr(count, kNegInf);
     std::vector<std::size_t> local_index(count, kNoNeighbor);
 
-    const auto update = [&](double corr, std::size_t row, std::size_t col) {
-      if (corr > local_corr[row] ||
-          (corr == local_corr[row] && col < local_index[row])) {
-        local_corr[row] = corr;
-        local_index[row] = col;
-      }
-    };
+    for (std::size_t tile = w; tile < num_tiles; tile += workers) {
+      const std::size_t d_begin = min_diag + tile * kMpxDiagTile;
+      const std::size_t d_end = std::min(count, d_begin + kMpxDiagTile);
 
-    // Cache-blocked traversal: offsets advance in row blocks; each
-    // diagonal is freshly seeded at the block's first offset (see the
-    // kMpxRowBlock comment) and advanced by the rank-2 recurrence
-    // within the block.
-    const std::size_t max_len = count - d_begin;  // longest diagonal here
-    for (std::size_t r0 = 0; r0 < max_len; r0 += kMpxRowBlock) {
-      TSAD_RETURN_IF_ERROR(CheckDeadline());
-      const std::size_t r1 = std::min(max_len, r0 + kMpxRowBlock);
-      for (std::size_t d = d_begin; d < d_end; ++d) {
-        const std::size_t len = count - d;  // offsets valid in [0, len)
-        if (r0 >= len) break;               // d ascending => len descending
-        const std::size_t end = std::min(r1, len);
-        // O(m) locally-centered seed: covariance of the pair (r0, r0+d).
-        const double mu_a = stats.means[r0];
-        const double mu_b = stats.means[r0 + d];
-        double c = 0.0;
-        for (std::size_t k = 0; k < m; ++k) {
-          c += (series[r0 + k] - mu_a) * (series[r0 + d + k] - mu_b);
-        }
-        const double seed_corr = c * inv[r0] * inv[r0 + d];
-        update(seed_corr, r0, r0 + d);
-        update(seed_corr, r0 + d, r0);
-        for (std::size_t o = r0 + 1; o < end; ++o) {
-          c += ddf[o] * ddg[o + d] + ddf[o + d] * ddg[o];
-          const double corr = c * inv[o] * inv[o + d];
-          update(corr, o, o + d);
-          update(corr, o + d, o);
+      // Cache-blocked traversal: offsets advance in row blocks; each
+      // diagonal is freshly seeded at the block's first offset (see
+      // the kMpxRowBlock comment) and advanced by the rank-2
+      // recurrence within the block — by the runtime-dispatched ISA
+      // variant, which carries a group of adjacent diagonals per
+      // vector set.
+      const std::size_t max_len = count - d_begin;  // longest diagonal
+      for (std::size_t r0 = 0; r0 < max_len; r0 += row_block) {
+        TSAD_RETURN_IF_ERROR(CheckDeadline());
+        const std::size_t r1 = std::min(max_len, r0 + row_block);
+        if (use_f32) {
+          MpxBlockF32Args args;
+          args.series = series.data();
+          args.means = stats.means.data();
+          args.ddf = fddf.data();
+          args.ddg = fddg.data();
+          args.inv = finv.data();
+          args.m = m;
+          args.count = count;
+          args.r0 = r0;
+          args.r1 = r1;
+          args.d_begin = d_begin;
+          args.d_end = d_end;
+          args.local_corr = local_corr.data();
+          args.local_index = local_index.data();
+          variant.mpx_block_f32(args);
+        } else {
+          MpxBlockArgs args;
+          args.series = series.data();
+          args.means = stats.means.data();
+          args.ddf = ddf.data();
+          args.ddg = ddg.data();
+          args.inv = inv.data();
+          args.m = m;
+          args.count = count;
+          args.r0 = r0;
+          args.r1 = r1;
+          args.d_begin = d_begin;
+          args.d_end = d_end;
+          args.local_corr = local_corr.data();
+          args.local_index = local_index.data();
+          variant.mpx_block(args);
         }
       }
     }

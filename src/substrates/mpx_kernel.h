@@ -67,9 +67,28 @@ namespace tsad {
 /// through ComputeMatrixProfile with MatrixProfileOptions{kernel=kMpx}
 /// or the kAuto size rule; exported directly for the equivalence tests
 /// and benches.
+///
+/// `precision` selects the diagonal recurrence's arithmetic tier and
+/// must be RESOLVED (kAuto here means kExact — the override/env
+/// resolution lives in ComputeMatrixProfile). kFloat32 runs the
+/// recurrence in float over float ddf/ddg/inv tracks with double seeds
+/// re-taken every kMpxFloatRowBlock rows (a quarter of the exact
+/// tier's block, bounding float drift); see the precision-tier block
+/// in matrix_profile.h for the certification contract. Both tiers run
+/// through the runtime ISA dispatch (common/cpu_features.h +
+/// substrates/mp_kernels.h) and are bit-identical across ISA tiers and
+/// thread counts within a tier.
 Result<MatrixProfile> ComputeMatrixProfileMpx(
     const std::vector<double>& series, std::size_t m,
-    std::size_t exclusion = std::numeric_limits<std::size_t>::max());
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max(),
+    MpPrecision precision = MpPrecision::kExact);
+
+/// Row-block (= re-seed) period of the float32 tier, deliberately a
+/// quarter of the exact tier's 1024: float eps is ~2^29 times double's,
+/// so drift must be flushed more often for the tolerance contract to
+/// hold with headroom (the seed overhead at m=64 is ~25% of the
+/// recurrence work, still far ahead of the 2x lane win).
+inline constexpr std::size_t kMpxFloatRowBlock = 256;
 
 }  // namespace tsad
 

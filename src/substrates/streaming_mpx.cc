@@ -5,6 +5,7 @@
 #include <cmath>
 #include <string>
 
+#include "substrates/mp_kernels.h"
 #include "substrates/profile_internal.h"
 
 namespace tsad {
@@ -235,30 +236,27 @@ void StreamingMpx::Push(double value) {
   // best of the new one (ties to the lower neighbor index, the batch
   // convention).
   const double inv_j = inv_[jl];
-  double best = kNegInf;
-  std::size_t best_i = kNoNeighbor;
   const std::size_t nlags = diag_cov_.size();
-  for (std::size_t k = 0; k < nlags; ++k) {
-    const std::size_t lag = config_.exclusion + 1 + k;
-    const std::size_t i = j - lag;
-    const std::size_t il = i - base_;
-    double c;
-    if ((j + lag) % kStreamingMpxReseed == 0) {
-      c = CenteredDot(i, j);
-    } else {
-      c = diag_cov_[k] + ddf_[il] * ddg_[jl] + ddf_[jl] * ddg_[il];
-    }
-    diag_cov_[k] = c;
-    const double corr = c * inv_[il] * inv_j;
-    if (corr > right_corr_[il]) {
-      right_corr_[il] = corr;
-      right_idx_[il] = j;
-    }
-    if (corr > best || (corr == best && i < best_i)) {
-      best = corr;
-      best_i = i;
-    }
-  }
+  MpxAdvanceLagsArgs args;
+  args.x = x_.data();
+  args.means = means_.data();
+  args.ddf = ddf_.data();
+  args.ddg = ddg_.data();
+  args.inv = inv_.data();
+  args.diag_cov = diag_cov_.data();
+  args.right_corr = right_corr_.data();
+  args.right_idx = right_idx_.data();
+  args.m = m;
+  args.j = j;
+  args.jl = jl;
+  args.base = base_;
+  args.exclusion = config_.exclusion;
+  args.nlags = nlags;
+  args.reseed = kStreamingMpxReseed;
+  args.inv_j = inv_j;
+  args.best = kNegInf;
+  args.best_i = kNoNeighbor;
+  ActiveKernelVariant().mpx_advance_lags(args);
   const std::size_t target = LagCount(j);
   assert(target <= nlags + 1);
   if (target > nlags) {
@@ -272,13 +270,13 @@ void StreamingMpx::Push(double value) {
       right_corr_[il] = corr;
       right_idx_[il] = j;
     }
-    if (corr > best || (corr == best && i < best_i)) {
-      best = corr;
-      best_i = i;
+    if (corr > args.best || (corr == args.best && i < args.best_i)) {
+      args.best = corr;
+      args.best_i = i;
     }
   }
-  left_corr_.push_back(best);
-  left_idx_.push_back(best_i);
+  left_corr_.push_back(args.best);
+  left_idx_.push_back(args.best_i);
 }
 
 StreamingMpx::Entry StreamingMpx::Right(std::size_t local) const {

@@ -1,0 +1,124 @@
+#include "common/cpu_features.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tsad {
+namespace {
+
+// Every tier-forcing test clears the override on scope exit; the test
+// binary runs without TSAD_MP_ISA, so clearing returns the process to
+// its original auto-detected state.
+class SimdTierOverrideGuard {
+ public:
+  ~SimdTierOverrideGuard() { ClearSimdTierOverride(); }
+};
+
+TEST(CpuFeaturesTest, DetectionIsSaneAndMonotone) {
+  const SimdTier detected = DetectSimdTier();
+  EXPECT_GE(static_cast<int>(detected), 0);
+  EXPECT_LT(static_cast<int>(detected), kNumSimdTiers);
+  // Support is downward-closed: every tier at or below the detected
+  // one runs, every tier above it does not.
+  for (int t = 0; t < kNumSimdTiers; ++t) {
+    const SimdTier tier = static_cast<SimdTier>(t);
+    EXPECT_EQ(SimdTierSupported(tier), t <= static_cast<int>(detected))
+        << SimdTierName(tier);
+  }
+  // Scalar must run everywhere — it is the tier CI exercises even on
+  // hosts without AVX.
+  EXPECT_TRUE(SimdTierSupported(SimdTier::kScalar));
+}
+
+TEST(CpuFeaturesTest, ParseRoundTripsCanonicalNames) {
+  for (int t = 0; t < kNumSimdTiers; ++t) {
+    const SimdTier tier = static_cast<SimdTier>(t);
+    const Result<SimdTierRequest> parsed = ParseSimdTier(SimdTierName(tier));
+    ASSERT_TRUE(parsed.ok()) << SimdTierName(tier);
+    EXPECT_TRUE(parsed->has_override);
+    EXPECT_EQ(parsed->tier, tier);
+  }
+  const Result<SimdTierRequest> auto_request = ParseSimdTier("auto");
+  ASSERT_TRUE(auto_request.ok());
+  EXPECT_FALSE(auto_request->has_override);
+}
+
+TEST(CpuFeaturesTest, ParseRejectsUnknownWithSuggestion) {
+  const Result<SimdTierRequest> typo = ParseSimdTier("av2");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("unknown matrix-profile ISA tier"),
+            std::string::npos)
+      << typo.status().message();
+  EXPECT_NE(typo.status().message().find("did you mean 'avx2'?"),
+            std::string::npos)
+      << typo.status().message();
+
+  const Result<SimdTierRequest> junk = ParseSimdTier("qqqqqqqq");
+  ASSERT_FALSE(junk.ok());
+  EXPECT_EQ(junk.status().message().find("did you mean"), std::string::npos)
+      << junk.status().message();
+}
+
+TEST(CpuFeaturesTest, ResolveRejectsTiersAboveDetected) {
+  // The pure rule, driven deterministically on any host: at or below
+  // detected resolves to itself; above is a loud error naming both
+  // tiers, never a silent downgrade.
+  for (int detected = 0; detected < kNumSimdTiers; ++detected) {
+    for (int requested = 0; requested < kNumSimdTiers; ++requested) {
+      const Result<SimdTier> resolved = ResolveSimdTierRequest(
+          static_cast<SimdTier>(requested), static_cast<SimdTier>(detected));
+      if (requested <= detected) {
+        ASSERT_TRUE(resolved.ok());
+        EXPECT_EQ(static_cast<int>(*resolved), requested);
+      } else {
+        ASSERT_FALSE(resolved.ok());
+        const std::string& message = resolved.status().message();
+        EXPECT_NE(
+            message.find(SimdTierName(static_cast<SimdTier>(requested))),
+            std::string::npos)
+            << message;
+        EXPECT_NE(message.find(SimdTierName(static_cast<SimdTier>(detected))),
+                  std::string::npos)
+            << message;
+      }
+    }
+  }
+}
+
+TEST(CpuFeaturesTest, OverrideForcesActiveTierAndClearRestoresDetection) {
+  SimdTierOverrideGuard guard;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+  const SimdTier detected = DetectSimdTier();
+  if (detected != SimdTier::kScalar) {
+    ASSERT_TRUE(SetSimdTierOverride(detected).ok());
+    EXPECT_EQ(ActiveSimdTier(), detected);
+  }
+  ClearSimdTierOverride();
+  EXPECT_EQ(ActiveSimdTier(), detected);
+}
+
+TEST(CpuFeaturesTest, SetOverrideRefusesUnsupportedTier) {
+  // Only drivable end to end on hosts below the top tier; the pure
+  // resolution rule above covers the rejection everywhere.
+  if (DetectSimdTier() == SimdTier::kAvx512) {
+    GTEST_SKIP() << "host supports every tier";
+  }
+  SimdTierOverrideGuard guard;
+  const SimdTier active_before = ActiveSimdTier();
+  EXPECT_FALSE(SetSimdTierOverride(SimdTier::kAvx512).ok());
+  EXPECT_EQ(ActiveSimdTier(), active_before);  // failed set is a no-op
+}
+
+TEST(CpuFeaturesTest, ApplyEnvIsNoOpWhenUnsetOrConsumed) {
+  // The test binary runs without TSAD_MP_ISA; eager application must
+  // be OK and leave detection in charge.
+  SimdTierOverrideGuard guard;
+  EXPECT_TRUE(ApplySimdTierEnv().ok());
+  ClearSimdTierOverride();
+  EXPECT_EQ(ActiveSimdTier(), DetectSimdTier());
+}
+
+}  // namespace
+}  // namespace tsad

@@ -10,12 +10,6 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
-#include "datasets/gait.h"
-#include "datasets/nasa.h"
-#include "datasets/numenta.h"
-#include "datasets/omni.h"
-#include "datasets/physio.h"
-#include "datasets/yahoo.h"
 #include "profile_equivalence.h"
 #include "robustness/sanitize.h"
 #include "substrates/matrix_profile.h"
@@ -63,11 +57,6 @@ Series RandomWalk(std::size_t n, uint64_t seed) {
     v = level;
   }
   return x;
-}
-
-Series Truncated(const Series& x, std::size_t n) {
-  return Series(x.begin(),
-                x.begin() + static_cast<std::ptrdiff_t>(std::min(n, x.size())));
 }
 
 TEST(MpxKernelTest, EquivalenceOnRandomWalkAtEveryThreadCount) {
@@ -120,46 +109,12 @@ TEST(MpxKernelTest, EquivalenceOnNanSanitizedInput) {
 
 TEST(MpxKernelTest, EquivalenceOnEverySimulatorFamily) {
   ThreadCountGuard guard;
-  // One representative series per simulator family, truncated so the
-  // O(n^2) reference stays test-sized. Window lengths follow what the
-  // detectors actually use on each family.
-  struct Family {
-    const char* name;
-    Series values;
-    std::size_t m;
-  };
-  std::vector<Family> families;
-  {
-    YahooConfig config;
-    config.a1_count = 1;
-    config.a2_count = 1;
-    config.a3_count = 1;
-    config.a4_count = 1;
-    const YahooArchive yahoo = GenerateYahooArchive(config);
-    families.push_back({"yahoo_a1", yahoo.a1.series.at(0).values(), 24});
-    families.push_back({"yahoo_a4", yahoo.a4.series.at(0).values(), 24});
-  }
-  families.push_back(
-      {"numenta_taxi", Truncated(GenerateTaxiData().series.values(), 4000),
-       48});
-  families.push_back(
-      {"nasa", Truncated(GenerateNasaArchive().channels.series.at(0).values(),
-                         4000),
-       64});
-  {
-    OmniConfig config;
-    config.num_machines = 1;
-    const OmniArchive omni = GenerateOmniArchive(config);
-    const Result<LabeledSeries> dim = omni.machines.at(0).Dimension(0);
-    ASSERT_TRUE(dim.ok());
-    families.push_back({"omni", Truncated(dim->values(), 3000), 64});
-  }
-  families.push_back(
-      {"physio_ecg", Truncated(GenerateEcgWithPvc().values(), 4000), 64});
-  families.push_back(
-      {"gait", Truncated(GenerateGaitData().series.values(), 4000), 128});
-
-  for (const Family& family : families) {
+  // The shared per-family builder (profile_equivalence.h) — the same
+  // set the float32 and SIMD-dispatch certifications sweep.
+  const std::vector<testing::ProfileTestFamily> families =
+      testing::SimulatorFamilies();
+  ASSERT_EQ(families.size(), 7u);
+  for (const testing::ProfileTestFamily& family : families) {
     for (const std::size_t threads : ThreadCountsToTest()) {
       SetParallelThreads(threads);
       EXPECT_TRUE(ExpectProfileEquivalence(family.values, family.m))
@@ -325,6 +280,140 @@ TEST(MpxKernelDispatchTest, ParseRejectsUnknownWithSuggestion) {
   ASSERT_FALSE(junk.ok());
   EXPECT_EQ(junk.status().message().find("did you mean"), std::string::npos)
       << junk.status().message();
+}
+
+// ---------------------------------------------------------------------------
+// Precision tier.
+
+// Restores the process-wide precision override on scope exit.
+class PrecisionOverrideGuard {
+ public:
+  PrecisionOverrideGuard() : saved_(GetMpPrecisionOverride()) {}
+  ~PrecisionOverrideGuard() { SetMpPrecisionOverride(saved_); }
+
+ private:
+  MpPrecision saved_;
+};
+
+TEST(MpxPrecisionTest, ParseAcceptsCanonicalNamesRoundTrip) {
+  for (const MpPrecision precision :
+       {MpPrecision::kAuto, MpPrecision::kExact, MpPrecision::kFloat32}) {
+    const Result<MpPrecision> parsed =
+        ParseMpPrecision(MpPrecisionName(precision));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, precision);
+  }
+}
+
+TEST(MpxPrecisionTest, ParseRejectsUnknownWithSuggestion) {
+  const Result<MpPrecision> typo = ParseMpPrecision("float23");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("unknown matrix-profile precision"),
+            std::string::npos)
+      << typo.status().message();
+  EXPECT_NE(typo.status().message().find("did you mean 'float32'?"),
+            std::string::npos)
+      << typo.status().message();
+
+  const Result<MpPrecision> junk = ParseMpPrecision("qqqqqqqq");
+  ASSERT_FALSE(junk.ok());
+  EXPECT_EQ(junk.status().message().find("did you mean"), std::string::npos)
+      << junk.status().message();
+}
+
+TEST(MpxPrecisionTest, ResolveHonorsOverrideForAutoCallersOnly) {
+  PrecisionOverrideGuard guard;
+  SetMpPrecisionOverride(MpPrecision::kAuto);
+  EXPECT_EQ(ResolveMpPrecision(MpPrecision::kAuto), MpPrecision::kExact);
+  SetMpPrecisionOverride(MpPrecision::kFloat32);
+  EXPECT_EQ(ResolveMpPrecision(MpPrecision::kAuto), MpPrecision::kFloat32);
+  // Explicit per-call requests beat the override in both directions.
+  EXPECT_EQ(ResolveMpPrecision(MpPrecision::kExact), MpPrecision::kExact);
+  SetMpPrecisionOverride(MpPrecision::kExact);
+  EXPECT_EQ(ResolveMpPrecision(MpPrecision::kFloat32), MpPrecision::kFloat32);
+}
+
+TEST(MpxPrecisionTest, Float32WithExplicitStompIsRejected) {
+  const Series x = RandomWalk(1200, 49);
+  MatrixProfileOptions options;
+  options.kernel = MpKernel::kStomp;
+  options.precision = MpPrecision::kFloat32;
+  const Result<MatrixProfile> profile = ComputeMatrixProfile(x, 64, options);
+  ASSERT_FALSE(profile.ok());
+  EXPECT_NE(profile.status().message().find("float32 precision requires"),
+            std::string::npos)
+      << profile.status().message();
+}
+
+TEST(MpxPrecisionTest, Float32ForcesMpxEvenBelowSizeThresholdOrOverride) {
+  // The float tier names the numerics; the kernel is the means. A
+  // small series (STOMP by the size rule) and even a process-wide
+  // stomp override must still route a float32 request to MPX.
+  KernelOverrideGuard guard;
+  const Series x = RandomWalk(900, 50);
+  const std::size_t m = 32;
+  const Result<MatrixProfile> direct = ComputeMatrixProfileMpx(
+      x, m, std::numeric_limits<std::size_t>::max(), MpPrecision::kFloat32);
+  ASSERT_TRUE(direct.ok());
+
+  MatrixProfileOptions options;
+  options.precision = MpPrecision::kFloat32;
+  for (const MpKernel forced : {MpKernel::kAuto, MpKernel::kStomp}) {
+    SetMpKernelOverride(forced);
+    const Result<MatrixProfile> dispatched =
+        ComputeMatrixProfile(x, m, options);
+    ASSERT_TRUE(dispatched.ok());
+    EXPECT_EQ(dispatched->distances, direct->distances);
+    EXPECT_EQ(dispatched->indices, direct->indices);
+  }
+}
+
+TEST(MpxPrecisionTest, Float32MeetsToleranceContractOnWalks) {
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(3000, 51);
+  for (const std::size_t m : {8u, 21u, 64u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(testing::ExpectFloat32ProfileEquivalence(x, m))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MpxPrecisionTest, Float32MeetsToleranceContractOnEverySimulatorFamily) {
+  ThreadCountGuard guard;
+  const std::vector<testing::ProfileTestFamily> families =
+      testing::SimulatorFamilies();
+  ASSERT_EQ(families.size(), 7u);
+  for (const testing::ProfileTestFamily& family : families) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(
+          testing::ExpectFloat32ProfileEquivalence(family.values, family.m))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MpxPrecisionTest, Float32BitIdenticalAcrossThreadCounts) {
+  // Within the tier the same reproducibility contract as exact: the
+  // merge is an order-independent lexicographic max, so thread count
+  // must not change a single bit.
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(3000, 52);
+  const std::size_t m = 32;
+  SetParallelThreads(1);
+  const Result<MatrixProfile> serial = ComputeMatrixProfileMpx(
+      x, m, std::numeric_limits<std::size_t>::max(), MpPrecision::kFloat32);
+  ASSERT_TRUE(serial.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<MatrixProfile> parallel = ComputeMatrixProfileMpx(
+        x, m, std::numeric_limits<std::size_t>::max(), MpPrecision::kFloat32);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->distances, serial->distances) << "threads=" << threads;
+    EXPECT_EQ(parallel->indices, serial->indices) << "threads=" << threads;
+  }
 }
 
 }  // namespace

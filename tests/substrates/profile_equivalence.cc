@@ -7,6 +7,12 @@
 #include <sstream>
 #include <vector>
 
+#include "datasets/gait.h"
+#include "datasets/nasa.h"
+#include "datasets/numenta.h"
+#include "datasets/omni.h"
+#include "datasets/physio.h"
+#include "datasets/yahoo.h"
 #include "substrates/matrix_profile.h"
 #include "substrates/mpx_kernel.h"
 #include "substrates/profile_internal.h"
@@ -15,6 +21,118 @@
 
 namespace tsad {
 namespace testing {
+
+namespace {
+
+std::vector<double> TruncatedTo(const std::vector<double>& x, std::size_t n) {
+  return std::vector<double>(
+      x.begin(), x.begin() + static_cast<std::ptrdiff_t>(std::min(n,
+                                                                  x.size())));
+}
+
+// The three-clause contract shared by the exact and float32 checks:
+// dynamic entries within 2m * corr_tol in squared-distance space, flat
+// entries exact, TopDiscords exact. `label` names the candidate kernel
+// in failure messages.
+::testing::AssertionResult CheckProfileContract(
+    const MatrixProfile& reference, const MatrixProfile& candidate,
+    const std::vector<double>& series, std::size_t m, double corr_tol,
+    std::size_t discords, const char* label) {
+  if (candidate.size() != reference.size() ||
+      candidate.subsequence_length != reference.subsequence_length) {
+    return ::testing::AssertionFailure()
+           << "profile shapes differ: " << label << " " << candidate.size()
+           << "/m=" << candidate.subsequence_length << " vs reference "
+           << reference.size() << "/m=" << reference.subsequence_length;
+  }
+
+  // Clause 1 + 2: per-entry distances. Flat entries (classified from
+  // the same rolling moments both kernels use) must match exactly,
+  // dynamic ones within the squared-distance tolerance.
+  const WindowStats stats = ComputeWindowStats(series, m);
+  const double sq_tol = 2.0 * static_cast<double>(m) * corr_tol;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double ref_d = reference.distances[i];
+    const double cand_d = candidate.distances[i];
+    if (profile_internal::IsFlat(stats.means[i], stats.stds[i])) {
+      if (cand_d != ref_d ||
+          (ref_d == 0.0 && candidate.indices[i] != reference.indices[i])) {
+        return ::testing::AssertionFailure()
+               << "flat entry " << i << " must match exactly: reference d="
+               << ref_d << " j=" << reference.indices[i] << ", " << label
+               << " d=" << cand_d << " j=" << candidate.indices[i];
+      }
+      continue;
+    }
+    const double err = std::fabs(ref_d * ref_d - cand_d * cand_d);
+    if (!(err <= sq_tol)) {  // negated: catches NaN too
+      return ::testing::AssertionFailure()
+             << "entry " << i << " out of tolerance: reference d=" << ref_d
+             << " " << label << " d=" << cand_d << " squared-distance error "
+             << err << " > " << sq_tol << " (= 2m * " << corr_tol << ")";
+    }
+  }
+
+  // Clause 3: discord positions and ordering, exactly.
+  const std::vector<Discord> ref_discords = TopDiscords(reference, discords);
+  const std::vector<Discord> cand_discords = TopDiscords(candidate, discords);
+  const auto dump = [](const std::vector<Discord>& ds) {
+    std::ostringstream out;
+    for (const Discord& d : ds) out << " " << d.position << "(" << d.distance
+                                    << ")";
+    return out.str();
+  };
+  if (ref_discords.size() != cand_discords.size()) {
+    return ::testing::AssertionFailure()
+           << "discord counts differ: reference" << dump(ref_discords)
+           << " vs " << label << dump(cand_discords);
+  }
+  for (std::size_t r = 0; r < ref_discords.size(); ++r) {
+    if (ref_discords[r].position != cand_discords[r].position) {
+      return ::testing::AssertionFailure()
+             << "discord rank " << r << " differs: reference"
+             << dump(ref_discords) << " vs " << label << dump(cand_discords);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace
+
+std::vector<ProfileTestFamily> SimulatorFamilies() {
+  std::vector<ProfileTestFamily> families;
+  {
+    YahooConfig config;
+    config.a1_count = 1;
+    config.a2_count = 1;
+    config.a3_count = 1;
+    config.a4_count = 1;
+    const YahooArchive yahoo = GenerateYahooArchive(config);
+    families.push_back({"yahoo_a1", yahoo.a1.series.at(0).values(), 24});
+    families.push_back({"yahoo_a4", yahoo.a4.series.at(0).values(), 24});
+  }
+  families.push_back(
+      {"numenta_taxi", TruncatedTo(GenerateTaxiData().series.values(), 4000),
+       48});
+  families.push_back(
+      {"nasa",
+       TruncatedTo(GenerateNasaArchive().channels.series.at(0).values(), 4000),
+       64});
+  {
+    OmniConfig config;
+    config.num_machines = 1;
+    const OmniArchive omni = GenerateOmniArchive(config);
+    const Result<LabeledSeries> dim = omni.machines.at(0).Dimension(0);
+    if (dim.ok()) {
+      families.push_back({"omni", TruncatedTo(dim->values(), 3000), 64});
+    }
+  }
+  families.push_back(
+      {"physio_ecg", TruncatedTo(GenerateEcgWithPvc().values(), 4000), 64});
+  families.push_back(
+      {"gait", TruncatedTo(GenerateGaitData().series.values(), 4000), 128});
+  return families;
+}
 
 ::testing::AssertionResult ExpectProfileEquivalence(
     const std::vector<double>& series, std::size_t m, std::size_t discords) {
@@ -28,64 +146,27 @@ namespace testing {
            << " mpx=" << mpx.status().message();
   }
   if (!reference.ok()) return ::testing::AssertionSuccess();
+  return CheckProfileContract(*reference, *mpx, series, m, kMpxCorrTolerance,
+                              discords, "mpx");
+}
 
-  if (mpx->size() != reference->size() ||
-      mpx->subsequence_length != reference->subsequence_length) {
+::testing::AssertionResult ExpectFloat32ProfileEquivalence(
+    const std::vector<double>& series, std::size_t m, std::size_t discords) {
+  const Result<MatrixProfile> reference =
+      ComputeMatrixProfileReference(series, m);
+  const Result<MatrixProfile> f32 =
+      ComputeMatrixProfileMpx(series, m, std::numeric_limits<std::size_t>::max(),
+                              MpPrecision::kFloat32);
+  if (reference.ok() != f32.ok()) {
     return ::testing::AssertionFailure()
-           << "profile shapes differ: mpx " << mpx->size() << "/m="
-           << mpx->subsequence_length << " vs reference " << reference->size()
-           << "/m=" << reference->subsequence_length;
+           << "kernels disagree on validity: reference="
+           << reference.status().message()
+           << " mpx/float32=" << f32.status().message();
   }
-
-  // Clause 1 + 2: per-entry distances. Flat entries (classified from
-  // the same rolling moments both kernels use) must match exactly,
-  // dynamic ones within the squared-distance tolerance.
-  const WindowStats stats = ComputeWindowStats(series, m);
-  const double sq_tol = 2.0 * static_cast<double>(m) * kMpxCorrTolerance;
-  for (std::size_t i = 0; i < reference->size(); ++i) {
-    const double ref_d = reference->distances[i];
-    const double mpx_d = mpx->distances[i];
-    if (profile_internal::IsFlat(stats.means[i], stats.stds[i])) {
-      if (mpx_d != ref_d ||
-          (ref_d == 0.0 && mpx->indices[i] != reference->indices[i])) {
-        return ::testing::AssertionFailure()
-               << "flat entry " << i << " must match exactly: reference d="
-               << ref_d << " j=" << reference->indices[i] << ", mpx d="
-               << mpx_d << " j=" << mpx->indices[i];
-      }
-      continue;
-    }
-    const double err = std::fabs(ref_d * ref_d - mpx_d * mpx_d);
-    if (!(err <= sq_tol)) {  // negated: catches NaN too
-      return ::testing::AssertionFailure()
-             << "entry " << i << " out of tolerance: reference d=" << ref_d
-             << " mpx d=" << mpx_d << " squared-distance error " << err
-             << " > " << sq_tol << " (= 2m * " << kMpxCorrTolerance << ")";
-    }
-  }
-
-  // Clause 3: discord positions and ordering, exactly.
-  const std::vector<Discord> ref_discords = TopDiscords(*reference, discords);
-  const std::vector<Discord> mpx_discords = TopDiscords(*mpx, discords);
-  const auto dump = [](const std::vector<Discord>& ds) {
-    std::ostringstream out;
-    for (const Discord& d : ds) out << " " << d.position << "(" << d.distance
-                                    << ")";
-    return out.str();
-  };
-  if (ref_discords.size() != mpx_discords.size()) {
-    return ::testing::AssertionFailure()
-           << "discord counts differ: reference" << dump(ref_discords)
-           << " vs mpx" << dump(mpx_discords);
-  }
-  for (std::size_t r = 0; r < ref_discords.size(); ++r) {
-    if (ref_discords[r].position != mpx_discords[r].position) {
-      return ::testing::AssertionFailure()
-             << "discord rank " << r << " differs: reference"
-             << dump(ref_discords) << " vs mpx" << dump(mpx_discords);
-    }
-  }
-  return ::testing::AssertionSuccess();
+  if (!reference.ok()) return ::testing::AssertionSuccess();
+  return CheckProfileContract(*reference, *f32, series, m,
+                              kMpxFloat32CorrTolerance, discords,
+                              "mpx/float32");
 }
 
 ::testing::AssertionResult ExpectStreamingMpxEquivalence(

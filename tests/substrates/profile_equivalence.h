@@ -54,6 +54,41 @@ namespace testing {
 /// failure messages is 2m * this.
 inline constexpr double kMpxCorrTolerance = 1e-5;
 
+/// Maximum tolerated correlation disagreement between the float32 MPX
+/// tier and the frozen double reference, on the WELL-CONDITIONED
+/// inputs the tier is certified for (the simulator families and
+/// O(1)-scale walks — NOT the adversarial level-shift series, where
+/// float's ~1e-7 relative error on a ~1e12 covariance dwarfs O(1)
+/// structure; matrix_profile.h documents the exclusion). Observed
+/// worst cases across the simulator families at m = 24..128 are a few
+/// 1e-6 — float eps ~1.2e-7 drifting over at most kMpxFloatRowBlock =
+/// 256 rank-2 updates between double re-seeds. 1e-4 gives ~50x
+/// headroom while still holding the squared-distance error an order
+/// of magnitude below anything that could move a discord.
+inline constexpr double kMpxFloat32CorrTolerance = 1e-4;
+
+/// One representative series per simulator family (yahoo A1/A4, taxi,
+/// nasa, omni, physio ECG, gait), truncated so O(n^2) references stay
+/// test-sized, with the window length the detectors actually use on
+/// that family. Shared by the kernel-equivalence and SIMD-dispatch
+/// suites so "certified across the simulator families" means the same
+/// set everywhere.
+struct ProfileTestFamily {
+  const char* name;
+  std::vector<double> values;
+  std::size_t m;
+};
+std::vector<ProfileTestFamily> SimulatorFamilies();
+
+/// Runs ComputeMatrixProfileMpx at float32 precision and checks the
+/// same three-clause contract as ExpectProfileEquivalence against the
+/// frozen reference, with the wider kMpxFloat32CorrTolerance bound on
+/// dynamic entries. Flat entries and TopDiscords stay EXACT — the
+/// float tier narrows numerics, not semantics.
+::testing::AssertionResult ExpectFloat32ProfileEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t discords = 3);
+
 /// Runs ComputeMatrixProfileMpx(series, m) at the CURRENT thread count
 /// and checks the three-clause contract above against the frozen
 /// reference (computed at the same thread count — it is bit-stable

@@ -1,0 +1,243 @@
+// SIMD-dispatch certification (`ctest -L simd`): every ISA tier the
+// host supports must produce, at every thread count,
+//
+//  * EXACT tier: bit-identical profiles across tiers — the variant TUs
+//    compile with -ffp-contract=off and keep each lane's operation
+//    chain in the scalar order, so vectorization changes WHICH lanes
+//    run together, never what any lane computes;
+//  * FLOAT32 tier: bit-identical profiles across tiers WITHIN the
+//    tier, plus the tolerance contract against the double reference;
+//  * STOMP: bit-identical to the frozen reference under every tier
+//    (the hoisted row scan is pure elementwise arithmetic);
+//  * streaming MPX: bit-identical ring state and profiles across
+//    tiers, before and after eviction.
+//
+// The scalar tier is the anchor: it runs on every host, so CI machines
+// without AVX still execute every assertion here (the per-tier loops
+// just collapse to one tier).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/cpu_features.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "profile_equivalence.h"
+#include "substrates/matrix_profile.h"
+#include "substrates/mpx_kernel.h"
+#include "substrates/streaming_mpx.h"
+
+namespace tsad {
+namespace {
+
+using testing::ExpectFloat32ProfileEquivalence;
+using testing::ExpectProfileEquivalence;
+
+// Restores auto-detection and the entry thread count on scope exit so
+// a forced tier cannot leak into later tests. The suite runs without
+// TSAD_MP_ISA, so clearing the override IS the original state.
+class DispatchGuard {
+ public:
+  DispatchGuard() : threads_(ParallelThreads()) {}
+  ~DispatchGuard() {
+    ClearSimdTierOverride();
+    SetParallelThreads(threads_);
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+std::vector<SimdTier> SupportedTiers() {
+  std::vector<SimdTier> tiers;
+  for (int t = 0; t <= static_cast<int>(DetectSimdTier()); ++t) {
+    tiers.push_back(static_cast<SimdTier>(t));
+  }
+  return tiers;
+}
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian();
+    v = level;
+  }
+  return x;
+}
+
+// A walk with exact flat runs (one at an extreme level), so the forced
+// tiers also exercise the inv == 0 lanes and the SCAMP special cases.
+Series WalkWithFlats(std::size_t n, uint64_t seed) {
+  Series x = RandomWalk(n, seed);
+  for (std::size_t i = n / 4; i < n / 4 + 60; ++i) x[i] = 7.5;
+  for (std::size_t i = n / 2; i < n / 2 + 80; ++i) x[i] = 1.0e6;
+  return x;
+}
+
+TEST(SimdDispatchTest, EveryTierMeetsTheEquivalenceContract) {
+  DispatchGuard guard;
+  // The kernel suite's certified adversarial construction (level-shift
+  // flats inside an O(1) walk, m = 16) — the tolerance budget is for
+  // the ACCUMULATION-ORDER gap between MPX and STOMP, and cross-tier
+  // bit-identity (below) guarantees the forced tiers add nothing to
+  // it, so the contract must hold tier for tier.
+  Series x = RandomWalk(1500, 42);
+  for (std::size_t i = 200; i < 280; ++i) x[i] = 7.5;
+  for (std::size_t i = 900; i < 1000; ++i) x[i] = 1.0e6;
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectProfileEquivalence(x, 16))
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ExactTierIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  const Series x = WalkWithFlats(3000, 61);
+  const std::size_t m = 32;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = ComputeMatrixProfileMpx(x, m);
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<MatrixProfile> forced = ComputeMatrixProfileMpx(x, m);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->distances, anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(forced->indices, anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, StompStaysBitIdenticalToReferenceUnderEveryTier) {
+  DispatchGuard guard;
+  const Series x = WalkWithFlats(1800, 62);
+  const std::size_t m = 48;
+  const Result<MatrixProfile> reference = ComputeMatrixProfileReference(x, m);
+  ASSERT_TRUE(reference.ok());
+  MatrixProfileOptions options;
+  options.kernel = MpKernel::kStomp;
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    const Result<MatrixProfile> stomp = ComputeMatrixProfile(x, m, options);
+    ASSERT_TRUE(stomp.ok());
+    EXPECT_EQ(stomp->distances, reference->distances) << SimdTierName(tier);
+    EXPECT_EQ(stomp->indices, reference->indices) << SimdTierName(tier);
+  }
+}
+
+TEST(SimdDispatchTest, Float32TierIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  const Series x = RandomWalk(3000, 63);
+  const std::size_t m = 32;
+  const auto float_profile = [&] {
+    return ComputeMatrixProfileMpx(
+        x, m, std::numeric_limits<std::size_t>::max(), MpPrecision::kFloat32);
+  };
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = float_profile();
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<MatrixProfile> forced = float_profile();
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->distances, anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(forced->indices, anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, Float32ContractHoldsOnFamiliesUnderEveryTier) {
+  DispatchGuard guard;
+  const std::vector<testing::ProfileTestFamily> families =
+      testing::SimulatorFamilies();
+  ASSERT_EQ(families.size(), 7u);
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const testing::ProfileTestFamily& family : families) {
+      EXPECT_TRUE(ExpectFloat32ProfileEquivalence(family.values, family.m))
+          << family.name << " tier=" << SimdTierName(tier);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, StreamingMpxIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  // Capacity forces eviction midway, so both the no-eviction merge and
+  // the post-eviction right profile cross the dispatched lag kernel.
+  const Series x = WalkWithFlats(2400, 64);
+  StreamingMpxConfig config;
+  config.m = 32;
+  config.buffer_cap = 1200;
+  ASSERT_TRUE(StreamingMpx::Validate(config).ok());
+
+  struct Snapshot {
+    std::vector<double> merged_d, right_d;
+    std::vector<std::size_t> merged_j, right_j;
+    std::size_t evictions = 0;
+  };
+  const auto run = [&] {
+    StreamingMpx kernel(config);
+    for (const double v : x) kernel.Push(v);
+    Snapshot snap;
+    snap.evictions = kernel.evictions();
+    for (std::size_t i = 0; i < kernel.num_subsequences(); ++i) {
+      const StreamingMpx::Entry merged = kernel.Merged(i);
+      const StreamingMpx::Entry right = kernel.Right(i);
+      snap.merged_d.push_back(merged.distance);
+      snap.merged_j.push_back(merged.neighbor);
+      snap.right_d.push_back(right.distance);
+      snap.right_j.push_back(right.neighbor);
+    }
+    return snap;
+  };
+
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  const Snapshot anchor = run();
+  EXPECT_GT(anchor.evictions, 0u);  // the eviction path really ran
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    const Snapshot forced = run();
+    EXPECT_EQ(forced.evictions, anchor.evictions) << SimdTierName(tier);
+    EXPECT_EQ(forced.merged_d, anchor.merged_d) << SimdTierName(tier);
+    EXPECT_EQ(forced.merged_j, anchor.merged_j) << SimdTierName(tier);
+    EXPECT_EQ(forced.right_d, anchor.right_d) << SimdTierName(tier);
+    EXPECT_EQ(forced.right_j, anchor.right_j) << SimdTierName(tier);
+  }
+}
+
+TEST(SimdDispatchTest, ActiveTierDefaultsToDetection) {
+  DispatchGuard guard;
+  ClearSimdTierOverride();
+  EXPECT_EQ(ActiveSimdTier(), DetectSimdTier());
+}
+
+}  // namespace
+}  // namespace tsad

@@ -62,6 +62,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "==> streaming MPX / FLOSS suite under ASan+UBSan (ctest -L floss)"
   (cd "${repo_root}/build-sanitize" && ctest --output-on-failure -L floss)
 
+  # SIMD dispatch suite under ASan+UBSan: every supported ISA tier's
+  # strip buffers, partial-group tails and unaligned track loads, plus
+  # the float32 tier, forced one tier at a time on the same build.
+  echo "==> SIMD dispatch suite under ASan+UBSan (ctest -L simd)"
+  (cd "${repo_root}/build-sanitize" && ctest --output-on-failure -L simd)
+
   # TSan pass: the parallel layer, the serving engine, and the kernel
   # caches (the shared FFT plan cache plus SlidingDotPlan handed to
   # concurrent STOMP block workers) are the thread-touching subsystems,
@@ -82,6 +88,7 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   cmake --build "${tsan_dir}" -j "${jobs}" \
     --target parallel_test serving_engine_test fft_test \
              matrix_profile_test mpx_kernel_test streaming_mpx_test \
+             simd_dispatch_test cpu_features_test \
              floss_test bench_chaos_serving
   echo "==> testing ${tsan_dir} (Parallel* + ShardedEngine* + kernel caches" \
        "+ MPX diagonal kernel)"
@@ -92,6 +99,12 @@ if [[ "${SKIP_SANITIZERS:-0}" != "1" ]]; then
   # the equivalence harness's thread sweep also executes under TSan.
   echo "==> streaming MPX / FLOSS suite under TSan (ctest -L floss)"
   (cd "${tsan_dir}" && ctest --output-on-failure -L floss)
+  # SIMD dispatch under TSan: the CPUID probe / override atomics and
+  # the per-worker tile partition race nobody should ever win — thread
+  # sweeps re-run the dispatched kernels at 1/2/hw threads. (The CLI
+  # simd tests are skipped here: tools are off in this tree.)
+  echo "==> SIMD dispatch suite under TSan (ctest -L simd)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -L simd)
   # Chaos harness under the race detector: every survival path —
   # admission, shed, eviction/thaw, quarantine/recovery, failover — in
   # one multi-threaded run (ctest -L chaos = the same --smoke binary).

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "tsad.h"
+#include "common/cpu_features.h"
 #include "common/parallel.h"
 #include "detectors/floss.h"
 #include "detectors/registry.h"
@@ -73,6 +74,8 @@ struct Args {
   std::string report;     // audit: optional markdown report path
   std::size_t threads = 0;  // parallel pool size; 0 = env/hardware
   std::string mp_kernel;    // matrix-profile kernel: auto|stomp|mpx
+  std::string mp_isa;       // forced SIMD tier: auto|scalar|sse2|avx2|avx512
+  std::string mp_precision;  // MPX precision tier: auto|exact|float32
   std::size_t floss_buffer = 0;  // floss ring-buffer default; 0 = keep 4096
   // serve:
   std::string replay;       // CSV to replay through the engine
@@ -116,6 +119,10 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.threads = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--mp-kernel" && has_value) {
       args.mp_kernel = argv[++i];
+    } else if (arg == "--mp-isa" && has_value) {
+      args.mp_isa = argv[++i];
+    } else if (arg == "--mp-precision" && has_value) {
+      args.mp_precision = argv[++i];
     } else if (arg == "--floss-buffer" && has_value) {
       args.floss_buffer = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--replay" && has_value) {
@@ -182,6 +189,15 @@ int Usage() {
       "                then hardware concurrency; 1 = serial)\n"
       "  --mp-kernel K matrix-profile self-join kernel: auto (default,\n"
       "                size-dispatched), stomp, or mpx\n"
+      "  --mp-isa T    force the matrix-profile SIMD tier: auto (default,\n"
+      "                detected via CPUID), scalar, sse2, avx2, or avx512;\n"
+      "                a tier the host cannot run is an error, never a\n"
+      "                silent downgrade (TSAD_MP_ISA env equivalent)\n"
+      "  --mp-precision P\n"
+      "                MPX numerics tier: auto (default), exact (double,\n"
+      "                bit-identical across ISA tiers), or float32 (MPX\n"
+      "                only; tolerance-certified, rejects --mp-kernel\n"
+      "                stomp) (TSAD_MP_PRECISION env equivalent)\n"
       "  --floss-buffer N\n"
       "                default ring-buffer capacity (points) for floss\n"
       "                specs without an explicit :<buffer> (default 4096)\n");
@@ -607,6 +623,15 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (args->threads > 0) SetParallelThreads(args->threads);
+  // Consume the TSAD_MP_ISA / TSAD_MP_PRECISION environment eagerly so
+  // an invalid value is a clean error here instead of an abort inside
+  // the first profile call. Explicit flags below still beat the env.
+  for (const Status& env : {ApplySimdTierEnv(), ApplyMpPrecisionEnv()}) {
+    if (!env.ok()) {
+      std::printf("%s\n", env.ToString().c_str());
+      return 1;
+    }
+  }
   if (!args->mp_kernel.empty()) {
     const Result<MpKernel> kernel = ParseMpKernel(args->mp_kernel);
     if (!kernel.ok()) {
@@ -614,6 +639,40 @@ int main(int argc, char** argv) {
       return Usage();
     }
     SetMpKernelOverride(*kernel);
+  }
+  if (!args->mp_isa.empty()) {
+    const Result<SimdTierRequest> request = ParseSimdTier(args->mp_isa);
+    if (!request.ok()) {
+      std::printf("%s\n", request.status().ToString().c_str());
+      return Usage();
+    }
+    if (request->has_override) {
+      const Status status = SetSimdTierOverride(request->tier);
+      if (!status.ok()) {
+        std::printf("%s\n", status.ToString().c_str());
+        return 1;  // valid name, unsupported host: not a usage error
+      }
+    } else {
+      ClearSimdTierOverride();
+    }
+  }
+  if (!args->mp_precision.empty()) {
+    const Result<MpPrecision> precision = ParseMpPrecision(args->mp_precision);
+    if (!precision.ok()) {
+      std::printf("%s\n", precision.status().ToString().c_str());
+      return Usage();
+    }
+    // The contradictory pairing is rejected up front with the same
+    // message the library would raise per profile call.
+    if (*precision == MpPrecision::kFloat32 && !args->mp_kernel.empty() &&
+        ParseMpKernel(args->mp_kernel).value_or(MpKernel::kAuto) ==
+            MpKernel::kStomp) {
+      std::printf(
+          "float32 precision requires the mpx kernel (STOMP has no float "
+          "tier); use --mp-kernel mpx or auto\n");
+      return 1;
+    }
+    SetMpPrecisionOverride(*precision);
   }
   if (args->floss_buffer > 0) SetDefaultFlossBufferCap(args->floss_buffer);
   if (command == "generate") return CmdGenerate(*args);
