@@ -10,7 +10,10 @@
 // machine-readable record CI archives to track the caching layer's
 // win (kernel_speedup), the diagonal kernel's win (mpx_speedup), the
 // SIMD dispatch layer's win (the per-ISA-tier sweep + the float32
-// precision tier), and the parallel layer's scaling. Flags:
+// precision tier), the join-shaped wins (ab_mpx_speedup /
+// left_mpx_speedup), the pan-profile engine's multi-length win
+// (merlin_pan_speedup vs the per-length recompute), and the parallel
+// layer's scaling. Flags:
 // --threads N, --mp-kernel K, --mp-isa T, --mp-precision P,
 // --smoke (tiny run for the perf_smoke ctest label; writes no JSON —
 // but still sweeps every supported ISA tier, so the smoke label
@@ -28,6 +31,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/series.h"
+#include "detectors/merlin.h"
 #include "substrates/matrix_profile.h"
 #include "substrates/sliding_window.h"
 
@@ -237,6 +241,75 @@ int main(int argc, char** argv) {
   if (!tsad::SetSimdTierOverride(active_tier).ok()) {
     tsad::ClearSimdTierOverride();  // unreachable: active is supported
   }
+
+  // Join and left-profile legs (single-threaded, still): the same
+  // STOMP-vs-MPX ratio as the self-join, measured on the two other
+  // profile shapes the dispatcher serves. The AB-join splits the walk
+  // in half (query vs reference — no exclusion zone); the left profile
+  // runs on the full series.
+  tsad::SetParallelThreads(1);
+  const tsad::Series query_half(
+      x.begin(), x.begin() + static_cast<std::ptrdiff_t>(x.size() / 2));
+  const tsad::Series ref_half(
+      x.begin() + static_cast<std::ptrdiff_t>(x.size() / 2), x.end());
+  const auto time_join = [&](tsad::MpKernel kernel) {
+    tsad::MatrixProfileOptions options;
+    options.kernel = kernel;
+    return TimeStompMs(x, [&](const tsad::Series&) {
+      return tsad::ComputeAbJoin(query_half, ref_half, 64, options);
+    });
+  };
+  const auto time_left = [&](tsad::MpKernel kernel) {
+    tsad::MatrixProfileOptions options;
+    options.kernel = kernel;
+    return TimeStompMs(x, [&](const tsad::Series& s) {
+      return tsad::ComputeLeftMatrixProfile(s, 64, options);
+    });
+  };
+  const double ab_stomp_ms = time_join(tsad::MpKernel::kStomp);
+  const double ab_mpx_ms = time_join(tsad::MpKernel::kMpx);
+  const double left_stomp_ms = time_left(tsad::MpKernel::kStomp);
+  const double left_mpx_ms = time_left(tsad::MpKernel::kMpx);
+  std::printf("ab-join n=%zu x %zu: stomp %.1f ms, mpx %.1f ms (speedup "
+              "%.2fx)\n",
+              query_half.size(), ref_half.size(), ab_stomp_ms, ab_mpx_ms,
+              ab_stomp_ms / ab_mpx_ms);
+  std::printf("left profile n=%zu: stomp %.1f ms, mpx %.1f ms (speedup "
+              "%.2fx)\n",
+              n, left_stomp_ms, left_mpx_ms, left_stomp_ms / left_mpx_ms);
+  fields.push_back({"ab_stomp_ms", ab_stomp_ms});
+  fields.push_back({"ab_mpx_ms", ab_mpx_ms});
+  fields.push_back({"ab_mpx_speedup", ab_stomp_ms / ab_mpx_ms});
+  fields.push_back({"left_stomp_ms", left_stomp_ms});
+  fields.push_back({"left_mpx_ms", left_mpx_ms});
+  fields.push_back({"left_mpx_speedup", left_stomp_ms / left_mpx_ms});
+
+  // MERLIN leg: the multi-length discord sweep through the shared-dot
+  // pan-profile engine versus the per-length full recompute, over the
+  // registry's default length range. Capped at 16384 points so the
+  // per-length baseline stays affordable at TSAD_PERF_MP_N=65536.
+  const std::size_t n_merlin = std::min<std::size_t>(n, 1 << 14);
+  const tsad::Series x_merlin(
+      x.begin(), x.begin() + static_cast<std::ptrdiff_t>(n_merlin));
+  const std::size_t merlin_min = smoke ? 24 : 48;
+  const std::size_t merlin_max = smoke ? 40 : 96;
+  const double merlin_per_length_ms =
+      TimeStompMs(x_merlin, [&](const tsad::Series& s) {
+        return tsad::MerlinSweepPerLength(s, merlin_min, merlin_max);
+      });
+  const double merlin_pan_ms =
+      TimeStompMs(x_merlin, [&](const tsad::Series& s) {
+        return tsad::MerlinSweep(s, merlin_min, merlin_max);
+      });
+  std::printf("merlin n=%zu m=[%zu, %zu]: per-length %.1f ms, pan %.1f ms "
+              "(speedup %.2fx)\n",
+              n_merlin, merlin_min, merlin_max, merlin_per_length_ms,
+              merlin_pan_ms, merlin_per_length_ms / merlin_pan_ms);
+  fields.push_back({"merlin_n", static_cast<double>(n_merlin)});
+  fields.push_back({"merlin_per_length_ms", merlin_per_length_ms});
+  fields.push_back({"merlin_pan_ms", merlin_pan_ms});
+  fields.push_back(
+      {"merlin_pan_speedup", merlin_per_length_ms / merlin_pan_ms});
 
   // The parallel leg is only meaningful when the pool actually has
   // more than one thread. On a 1-core runner the old bench re-timed

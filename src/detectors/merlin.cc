@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "common/vector_ops.h"
 #include "detectors/discord.h"
+#include "substrates/pan_profile.h"
 
 namespace tsad {
 
@@ -91,9 +92,15 @@ DragResult DragTopDiscord(const Series& series, std::size_t m, double r) {
   return result;
 }
 
-Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
-                                               std::size_t min_length,
-                                               std::size_t max_length) {
+namespace {
+
+// MERLIN's range contract, shared by the pan sweep and the per-length
+// baseline: min >= 4, a sane ordering, and enough subsequences at the
+// LARGEST length to make "discord" meaningful. Strictly tighter than
+// the pan engine's own validation, so the pan call below cannot fail
+// on the range.
+Status ValidateMerlinRange(const Series& series, std::size_t min_length,
+                           std::size_t max_length) {
   if (min_length < 4 || min_length > max_length) {
     return Status::InvalidArgument("bad MERLIN length range [" +
                                    std::to_string(min_length) + ", " +
@@ -104,56 +111,73 @@ Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
         "series too short for MERLIN at max_length " +
         std::to_string(max_length));
   }
+  return Status::OK();
+}
 
+}  // namespace
+
+Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
+                                               std::size_t min_length,
+                                               std::size_t max_length) {
+  TSAD_RETURN_IF_ERROR(ValidateMerlinRange(series, min_length, max_length));
+  // One shared-dot pan sweep over the whole range; every discord is
+  // exact (bound-pruned candidate scan + centered-covariance
+  // re-measurement — see substrates/pan_profile.h). Surfaces the same
+  // Internal("no discord found at length <m>") as the historical
+  // per-length fail-safe.
+  TSAD_ASSIGN_OR_RETURN(const std::vector<PanLengthDiscord> pan,
+                        PanLengthDiscords(series, min_length, max_length));
   std::vector<LengthDiscord> out;
-  std::vector<double> recent;  // recent discord distances for r seeding
-  double prev_distance = -1.0;
+  out.reserve(pan.size());
+  for (const PanLengthDiscord& d : pan) {
+    LengthDiscord ld;
+    ld.length = d.length;
+    ld.position = d.position;
+    ld.distance = d.distance;
+    ld.normalized = d.normalized;
+    out.push_back(ld);
+  }
+  return out;
+}
 
+Result<std::vector<LengthDiscord>> MerlinSweepPerLength(
+    const Series& series, std::size_t min_length, std::size_t max_length) {
+  TSAD_RETURN_IF_ERROR(ValidateMerlinRange(series, min_length, max_length));
+  std::vector<LengthDiscord> out;
+  out.reserve(max_length - min_length + 1);
   for (std::size_t m = min_length; m <= max_length; ++m) {
-    // Seed r per the MERLIN schedule: 2*sqrt(m) for the first length,
-    // then slightly below the previous length's discord distance, and
-    // once >= 5 lengths are done, mean - 2*std of the last five.
-    double r;
-    if (prev_distance < 0.0) {
-      r = 2.0 * std::sqrt(static_cast<double>(m));
-    } else if (recent.size() >= 5) {
-      std::vector<double> window(recent.end() - 5, recent.end());
-      r = Mean(window) - 2.0 * StdDev(window);
-      if (r <= 0.0) r = prev_distance * 0.99;
-    } else {
-      r = prev_distance * 0.99;
+    TSAD_ASSIGN_OR_RETURN(const MatrixProfile mp,
+                          ComputeMatrixProfile(series, m));
+    const std::vector<Discord> top = TopDiscords(mp, 1);
+    if (top.empty()) {
+      return Status::Internal("no discord found at length " +
+                              std::to_string(m));
     }
-
-    DragResult drag;
-    int attempts = 0;
-    for (; attempts < 100; ++attempts) {
-      drag = DragTopDiscord(series, m, r);
-      if (drag.found) break;
-      r *= (prev_distance < 0.0) ? 0.5 : 0.99;  // MERLIN's backoff
-      if (r < 1e-6) break;
-    }
-    if (!drag.found) {
-      // Fail-safe: exact discord via the matrix profile.
-      TSAD_ASSIGN_OR_RETURN(const MatrixProfile mp,
-                            ComputeMatrixProfile(series, m));
-      const std::vector<Discord> top = TopDiscords(mp, 1);
-      if (top.empty()) {
-        return Status::Internal("no discord found at length " +
-                                std::to_string(m));
-      }
-      drag.discord = top.front();
-      drag.found = true;
-    }
-
     LengthDiscord ld;
     ld.length = m;
-    ld.position = drag.discord.position;
-    ld.distance = drag.discord.distance;
-    ld.normalized = drag.discord.distance / std::sqrt(static_cast<double>(m));
+    ld.position = top.front().position;
+    ld.distance = top.front().distance;
+    // Resolve mutual-NN rounding-level ties the way the pan sweep does:
+    // the kernel computes the shared pair distance once per DIRECTION,
+    // and the two directions can round apart by ~1e-14, making a strict
+    // argmax pick whichever position the noise favored. The first
+    // (lowest) position within kPanTieCorrEps of the maximum wins — see
+    // substrates/pan_profile.h.
+    if (std::isfinite(ld.distance)) {
+      const double tie_sq =
+          2.0 * static_cast<double>(m) * kPanTieCorrEps;
+      const double best_sq = ld.distance * ld.distance;
+      for (std::size_t i = 0; i < ld.position; ++i) {
+        const double d = mp.distances[i];
+        if (std::isfinite(d) && d * d >= best_sq - tie_sq) {
+          ld.position = i;
+          ld.distance = d;
+          break;
+        }
+      }
+    }
+    ld.normalized = ld.distance / std::sqrt(static_cast<double>(m));
     out.push_back(ld);
-
-    prev_distance = drag.discord.distance;
-    recent.push_back(drag.discord.distance);
   }
   return out;
 }

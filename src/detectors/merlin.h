@@ -3,13 +3,16 @@
 // every subsequence length in a range, so the user does not have to
 // guess the window size.
 //
-// Built from the DRAG candidate-selection algorithm (Yankov, Keogh &
-// Rebbapragada, ICDM 2007 [20]):
-//   Phase 1 scans the series once keeping a set of candidate
-//   subsequences whose nearest neighbor might be at distance >= r;
-//   Phase 2 refines each candidate's true nearest-neighbor distance
-//   with a MASS distance profile. MERLIN then adapts r across lengths
-//   so each DRAG call succeeds quickly.
+// MerlinSweep runs on the pan-matrix-profile engine
+// (substrates/pan_profile.h): ONE multi-length diagonal sweep shares
+// the sliding dot products across every length of the range, and a
+// pruned refinement re-measures only the top candidates exactly —
+// instead of a full profile recompute per length. The classic DRAG
+// candidate-selection algorithm (Yankov, Keogh & Rebbapragada, ICDM
+// 2007 [20]) stays exported below as the standalone fixed-radius
+// discord search, and MerlinSweepPerLength keeps the per-length
+// recompute as the oracle/baseline the pan sweep is certified (and
+// benchmarked) against.
 
 #ifndef TSAD_DETECTORS_MERLIN_H_
 #define TSAD_DETECTORS_MERLIN_H_
@@ -39,12 +42,24 @@ struct DragResult {
 };
 DragResult DragTopDiscord(const Series& series, std::size_t m, double r);
 
-/// MERLIN sweep: top discord for every m in [min_length, max_length].
-/// Returns InvalidArgument on a bad range or a series too short for
-/// max_length.
+/// MERLIN sweep: top discord for every m in [min_length, max_length]
+/// (ties to the lowest position, m/2 trivial-match exclusion), computed
+/// by the shared-dot pan-profile engine in one pass. Returns
+/// InvalidArgument on a bad range or a series too short for max_length.
 Result<std::vector<LengthDiscord>> MerlinSweep(const Series& series,
                                                std::size_t min_length,
                                                std::size_t max_length);
+
+/// The pre-pan baseline: one full matrix profile + TopDiscords(mp, 1)
+/// per length, with mutual-NN rounding-level ties resolved to the
+/// lowest position by the shared kPanTieCorrEps contract (see
+/// substrates/pan_profile.h). Same validation, same output contract as
+/// MerlinSweep — the oracle its equivalence tests check against and
+/// the "before" leg of the MERLIN bench. Deliberately kept
+/// dispatcher-driven (ComputeMatrixProfile), so it benefits from
+/// --mp-kernel/--mp-isa.
+Result<std::vector<LengthDiscord>> MerlinSweepPerLength(
+    const Series& series, std::size_t min_length, std::size_t max_length);
 
 /// Detector adapter: the per-point score is the maximum
 /// length-normalized discord coverage across the swept lengths, making
@@ -57,6 +72,9 @@ class MerlinDetector : public AnomalyDetector {
   using AnomalyDetector::Score;
   Result<std::vector<double>> Score(const Series& series,
                                     std::size_t train_length) const override;
+
+  std::size_t min_length() const { return min_length_; }
+  std::size_t max_length() const { return max_length_; }
 
  private:
   std::size_t min_length_;

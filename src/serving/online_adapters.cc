@@ -9,6 +9,7 @@
 #include "robustness/sanitize.h"
 #include "detectors/cusum.h"
 #include "detectors/moving_zscore.h"
+#include "detectors/merlin.h"
 #include "detectors/registry.h"
 #include "detectors/streaming_discord.h"
 
@@ -493,6 +494,59 @@ Status OnlineFloss::Restore(std::string_view blob) {
 }
 
 // ---------------------------------------------------------------------------
+// OnlineMerlin
+
+OnlineMerlin::OnlineMerlin(std::string name, std::size_t min_length,
+                           std::size_t max_length)
+    : name_(std::move(name)),
+      min_length_(min_length),
+      max_length_(max_length) {}
+
+Status OnlineMerlin::Observe(double value, std::vector<ScoredPoint>* /*out*/) {
+  buffer_.push_back(value);
+  ++observed_;
+  return Status::OK();
+}
+
+Status OnlineMerlin::Flush(std::vector<ScoredPoint>* out) {
+  // The acausal step: run the batch detector over the buffered stream.
+  // Reusing MerlinDetector::Score (not a copy of its loop) makes the
+  // byte-identity contract structural — there is exactly one scoring
+  // path. A stream too short for max_length surfaces the batch error.
+  const MerlinDetector batch(min_length_, max_length_);
+  TSAD_ASSIGN_OR_RETURN(const std::vector<double> scores,
+                        batch.Score(buffer_, /*train_length=*/0));
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out->push_back({i, scores[i]});
+  }
+  return Status::OK();
+}
+
+Result<std::string> OnlineMerlin::Snapshot() const {
+  ByteWriter writer;
+  writer.PutString(name_);
+  writer.PutU64(observed_);
+  writer.PutDoubles(buffer_);
+  return writer.Take();
+}
+
+Status OnlineMerlin::Restore(std::string_view blob) {
+  ByteReader reader(blob);
+  TSAD_RETURN_IF_ERROR(CheckBlobName(&reader, name_));
+  std::uint64_t observed;
+  TSAD_RETURN_IF_ERROR(reader.GetU64(&observed));
+  std::vector<double> buffer;
+  TSAD_RETURN_IF_ERROR(reader.GetDoubles(&buffer));
+  TSAD_RETURN_IF_ERROR(reader.ExpectDone());
+  if (observed != buffer.size()) {
+    return Status::InvalidArgument("snapshot buffer mismatch for " + name_);
+  }
+  buffer_ = std::move(buffer);
+  observed_ = observed;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // OnlineSanitizer
 
 OnlineSanitizer::OnlineSanitizer(std::unique_ptr<OnlineDetector> inner,
@@ -553,7 +607,8 @@ Status OnlineSanitizer::Restore(std::string_view blob) {
 
 std::vector<std::string> OnlineCapableDetectorNames() {
   return {"zscore",   "cusum",     "ewma",      "pagehinkley",
-          "oneliner", "streaming", "resilient", "floss"};
+          "oneliner", "streaming", "resilient", "floss",
+          "merlin"};
 }
 
 namespace {
@@ -636,6 +691,10 @@ Result<std::unique_ptr<OnlineDetector>> MakeOnlineDetector(
   if (auto* f = dynamic_cast<const FlossDetector*>(batch.get())) {
     return std::unique_ptr<OnlineDetector>(
         std::make_unique<OnlineFloss>(std::move(online_name), f->params()));
+  }
+  if (auto* m = dynamic_cast<const MerlinDetector*>(batch.get())) {
+    return std::unique_ptr<OnlineDetector>(std::make_unique<OnlineMerlin>(
+        std::move(online_name), m->min_length(), m->max_length()));
   }
 
   std::string known;

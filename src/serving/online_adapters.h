@@ -259,6 +259,37 @@ class OnlineFloss : public OnlineDetector {
   FlossCore core_;
 };
 
+/// MERLIN multi-length discord scoring as a servable stream. MERLIN is
+/// acausal — every length's top discord needs the whole series — so
+/// this adapter buffers the stream and emits EVERYTHING at Flush():
+/// one pan-profile sweep (the same pan-backed MerlinSweep the batch
+/// detector runs) over the buffered points, byte-identical to batch by
+/// construction. The cost model is explicit: MemoryFootprint() grows
+/// linearly with the stream (the buffer is the state), so merlin
+/// streams are first in line for the engine's memory-budget eviction —
+/// which is fine, because a cold-evicted buffer thaws byte-exactly.
+class OnlineMerlin : public OnlineDetector {
+ public:
+  OnlineMerlin(std::string name, std::size_t min_length,
+               std::size_t max_length);
+
+  std::string_view name() const override { return name_; }
+  Status Observe(double value, std::vector<ScoredPoint>* out) override;
+  Status Flush(std::vector<ScoredPoint>* out) override;
+  Result<std::string> Snapshot() const override;
+  Status Restore(std::string_view blob) override;
+  std::size_t MemoryFootprint() const override {
+    return sizeof(*this) + name_.capacity() +
+           buffer_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::string name_;
+  std::size_t min_length_;
+  std::size_t max_length_;
+  std::vector<double> buffer_;  // the whole stream so far
+};
+
 /// The serving-path counterpart of the batch `resilient:` decorator:
 /// per-point input sanitization in front of any online adapter. Each
 /// arriving value that is non-finite or equals the missing-data

@@ -573,19 +573,14 @@ Result<MatrixProfile> ComputeMatrixProfileNaive(
   return mp;
 }
 
-Result<MatrixProfile> ComputeLeftMatrixProfile(
-    const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
-  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
-  const std::size_t count = NumSubsequences(series.size(), m);
-  if (count < 2) {
-    return Status::InvalidArgument(
-        "series too short: need at least 2 subsequences of length " +
-        std::to_string(m));
-  }
-  if (exclusion == std::numeric_limits<std::size_t>::max()) {
-    exclusion = DefaultSelfJoinExclusion(m);
-  }
+namespace {
 
+// The STOMP left profile (frozen row-recurrence kernel), reached
+// through the ComputeLeftMatrixProfile dispatcher below. Takes an
+// already-resolved exclusion zone and count.
+Result<MatrixProfile> ComputeLeftMatrixProfileStomp(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion,
+    std::size_t count) {
   const WindowStats stats = ComputeWindowStats(series, m);
   MatrixProfile mp;
   mp.subsequence_length = m;
@@ -636,18 +631,12 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
   return mp;
 }
 
-Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
-                                    const std::vector<double>& reference_series,
-                                    std::size_t m) {
-  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
-  const std::size_t nq = NumSubsequences(query_series.size(), m);
-  const std::size_t nr = NumSubsequences(reference_series.size(), m);
-  if (nq == 0 || nr == 0) {
-    return Status::InvalidArgument(
-        "AB-join needs at least one length-" + std::to_string(m) +
-        " subsequence on each side");
-  }
-
+// The STOMP AB-join (frozen row-recurrence kernel), reached through
+// the ComputeAbJoin dispatcher below. Takes already-validated counts.
+Result<MatrixProfile> ComputeAbJoinStomp(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    std::size_t nq, std::size_t nr) {
   const WindowStats query_stats = ComputeWindowStats(query_series, m);
   const WindowStats ref_stats = ComputeWindowStats(reference_series, m);
 
@@ -706,6 +695,70 @@ Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
       });
   if (!status.ok()) return status;
   return mp;
+}
+
+}  // namespace
+
+Result<MatrixProfile> ComputeLeftMatrixProfile(
+    const std::vector<double>& series, std::size_t m,
+    const MatrixProfileOptions& options) {
+  std::size_t exclusion = options.exclusion;
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(profile_internal::ValidateLeftProfile(
+      series.size(), m, &exclusion, &count));
+  const MpPrecision precision = ResolveMpPrecision(options.precision);
+  if (precision == MpPrecision::kFloat32) {
+    if (options.kernel == MpKernel::kStomp) {
+      return Status::InvalidArgument(
+          "float32 precision requires the mpx kernel (STOMP has no float "
+          "tier); use --mp-kernel mpx or auto");
+    }
+    return ComputeLeftMatrixProfileMpx(series, m, exclusion,
+                                       MpPrecision::kFloat32);
+  }
+  if (ResolveMpKernel(options.kernel, count) == MpKernel::kMpx) {
+    return ComputeLeftMatrixProfileMpx(series, m, exclusion);
+  }
+  return ComputeLeftMatrixProfileStomp(series, m, exclusion, count);
+}
+
+Result<MatrixProfile> ComputeLeftMatrixProfile(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion) {
+  MatrixProfileOptions options;
+  options.exclusion = exclusion;
+  return ComputeLeftMatrixProfile(series, m, options);
+}
+
+Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
+                                    const std::vector<double>& reference_series,
+                                    std::size_t m,
+                                    const MatrixProfileOptions& options) {
+  std::size_t nq = 0, nr = 0;
+  TSAD_RETURN_IF_ERROR(profile_internal::ValidateAbJoin(
+      query_series.size(), reference_series.size(), m, &nq, &nr));
+  const MpPrecision precision = ResolveMpPrecision(options.precision);
+  if (precision == MpPrecision::kFloat32) {
+    if (options.kernel == MpKernel::kStomp) {
+      return Status::InvalidArgument(
+          "float32 precision requires the mpx kernel (STOMP has no float "
+          "tier); use --mp-kernel mpx or auto");
+    }
+    return ComputeAbJoinMpx(query_series, reference_series, m,
+                            MpPrecision::kFloat32);
+  }
+  // Size rule on the SMALLER side: the diagonal formulation only wins
+  // when both sides are long enough to amortize its seeds and merges.
+  if (ResolveMpKernel(options.kernel, std::min(nq, nr)) == MpKernel::kMpx) {
+    return ComputeAbJoinMpx(query_series, reference_series, m);
+  }
+  return ComputeAbJoinStomp(query_series, reference_series, m, nq, nr);
+}
+
+Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
+                                    const std::vector<double>& reference_series,
+                                    std::size_t m) {
+  return ComputeAbJoin(query_series, reference_series, m,
+                       MatrixProfileOptions());
 }
 
 std::vector<Discord> TopDiscords(const MatrixProfile& profile, std::size_t k,

@@ -77,21 +77,23 @@ inline std::size_t DefaultDiscordExclusion(std::size_t m) { return m; }
 //
 //  * kStomp — the FFT-seeded row recurrence (PR 4's planned-FFT,
 //    hoisted-scan kernel). Bit-identical to the frozen
-//    ComputeMatrixProfileReference; the only kernel for AB-join and the
-//    left (causal) profile.
-//  * kMpx — the diagonal-traversal MPX kernel (substrates/mpx_kernel.h):
+//    ComputeMatrixProfileReference, for self-joins, AB-joins and the
+//    left (causal) profile alike.
+//  * kMpx — the diagonal-traversal MPX kernels (substrates/mpx_kernel.h):
 //    no FFT anywhere, O(1) running-covariance updates along each
-//    diagonal. Several-fold faster on CPU, but it accumulates in a
-//    different order than FFT+STOMP, so values agree only to a
-//    tolerance (distances within kMpxCorrTolerance in squared-distance
-//    space; discord indices exactly — see tests/substrates/
-//    profile_equivalence.h for the contract).
+//    diagonal, for all three join shapes (the AB-join and left profile
+//    run the cross-diagonal formulation). Several-fold faster on CPU,
+//    but it accumulates in a different order than FFT+STOMP, so values
+//    agree only to a tolerance (distances within kMpxCorrTolerance in
+//    squared-distance space; discord indices exactly — see
+//    tests/substrates/profile_equivalence.h for the contract).
 //
 // kAuto resolves per call: an explicit process-wide override (the
-// --mp-kernel CLI flag) wins, else series length decides — MPX for
-// self-joins with at least kMpxAutoMinSubsequences subsequences, STOMP
-// below (small profiles stay bit-stable with the historical kernel and
-// gain nothing from diagonal traversal).
+// --mp-kernel CLI flag) wins, else size decides — MPX when the join has
+// at least kMpxAutoMinSubsequences subsequences (for AB-joins, on the
+// SMALLER side: the diagonal win needs both sides long), STOMP below
+// (small profiles stay bit-stable with the historical kernel and gain
+// nothing from diagonal traversal).
 // ---------------------------------------------------------------------------
 
 enum class MpKernel {
@@ -259,6 +261,17 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
     const std::vector<double>& series, std::size_t m,
     std::size_t exclusion = std::numeric_limits<std::size_t>::max());
 
+/// Kernel-selecting overload of the left profile: dispatches to the
+/// STOMP or MPX left kernel per options.kernel, exactly like the
+/// self-join dispatcher (kAuto = override, then the size rule on the
+/// subsequence count; float32 forces MPX, and float32 with an EXPLICIT
+/// kStomp is InvalidArgument). The exclusion-arg overload above
+/// forwards here, so every left-profile call site participates in
+/// --mp-kernel / --mp-isa / --mp-precision dispatch.
+Result<MatrixProfile> ComputeLeftMatrixProfile(
+    const std::vector<double>& series, std::size_t m,
+    const MatrixProfileOptions& options);
+
 /// AB-join: for every length-m subsequence of `query_series`, the
 /// z-normalized distance to (and index of) its nearest neighbor among
 /// the subsequences of `reference_series`. No exclusion zone applies —
@@ -272,6 +285,20 @@ Result<MatrixProfile> ComputeLeftMatrixProfile(
 Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
                                     const std::vector<double>& reference_series,
                                     std::size_t m);
+
+/// Kernel-selecting overload of the AB-join: dispatches to the STOMP
+/// or MPX join kernel per options.kernel (kAuto = override, then the
+/// size rule on min(nq, nr); float32 forces MPX, and float32 with an
+/// EXPLICIT kStomp is InvalidArgument — STOMP has no float tier).
+/// options.exclusion is ignored: no exclusion zone exists for a join
+/// of two distinct series. The 3-argument overload above forwards
+/// here, so every join call site (semisup_discord, telemanom-style
+/// train/test joins, serving replay) participates in --mp-kernel /
+/// --mp-isa / --mp-precision dispatch.
+Result<MatrixProfile> ComputeAbJoin(const std::vector<double>& query_series,
+                                    const std::vector<double>& reference_series,
+                                    std::size_t m,
+                                    const MatrixProfileOptions& options);
 
 /// A discord: the subsequence whose nearest-neighbor distance is
 /// largest (i.e., the argmax of the matrix profile).

@@ -104,6 +104,71 @@ struct MpxBlockF32Args {
 };
 using MpxBlockF32Fn = void (*)(const MpxBlockF32Args&);
 
+/// One (row block, diagonal range) cell of a CROSS-join MPX traversal
+/// (AB-join or left profile): diagonal d pairs offset o of side A with
+/// offset o + d of side B, valid while o < count_a and o + d < count_b,
+/// i.e. o < min(count_a, count_b - d) — non-increasing in d, so the
+/// same break-on-short-diagonal walk as the self-join applies. The
+/// covariance recurrence is the rank-2 cross form
+///   c += ddf_a[o] * ddg_b[o + d] + ddf_b[o + d] * ddg_a[o],
+/// seeded per block by MpxSeedCovCross. Unlike the self-join, only ONE
+/// side's profile is updated: the `mpx_cross_a` variant updates entry o
+/// (neighbor o + d), `mpx_cross_b` updates entry o + d (neighbor o) —
+/// AB-joins run one sweep of each over the two diagonal half-spaces,
+/// the (causal) left profile runs only the b side. local_corr and
+/// local_index are indexed by the UPDATED side's offsets.
+struct MpxCrossBlockArgs {
+  const double* series_a = nullptr;
+  const double* means_a = nullptr;
+  const double* ddf_a = nullptr;
+  const double* ddg_a = nullptr;
+  const double* inv_a = nullptr;
+  std::size_t count_a = 0;
+  const double* series_b = nullptr;
+  const double* means_b = nullptr;
+  const double* ddf_b = nullptr;
+  const double* ddg_b = nullptr;
+  const double* inv_b = nullptr;
+  std::size_t count_b = 0;
+  std::size_t m = 0;
+  std::size_t r0 = 0;      // offset-block start (side-A index space)
+  std::size_t r1 = 0;      // offset-block end bound (exclusive)
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  double* local_corr = nullptr;
+  std::size_t* local_index = nullptr;
+};
+using MpxCrossBlockFn = void (*)(const MpxCrossBlockArgs&);
+
+/// Float32 cross-join block: float recurrence tracks on both sides,
+/// double series/means for the per-block seeds — the same containment
+/// scheme as MpxBlockF32Args. The cross float path intentionally has NO
+/// per-tier vector variants: it always runs the shared scalar ranges
+/// below (trivially bit-identical across ISA tiers), trading join-side
+/// float throughput for zero extra variant surface — joins are O(nq*nr)
+/// once per request, not the self-join's O(n^2) inner loop.
+struct MpxCrossBlockF32Args {
+  const double* series_a = nullptr;
+  const double* means_a = nullptr;
+  const float* ddf_a = nullptr;
+  const float* ddg_a = nullptr;
+  const float* inv_a = nullptr;
+  std::size_t count_a = 0;
+  const double* series_b = nullptr;
+  const double* means_b = nullptr;
+  const float* ddf_b = nullptr;
+  const float* ddg_b = nullptr;
+  const float* inv_b = nullptr;
+  std::size_t count_b = 0;
+  std::size_t m = 0;
+  std::size_t r0 = 0;
+  std::size_t r1 = 0;
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  double* local_corr = nullptr;
+  std::size_t* local_index = nullptr;
+};
+
 /// The streaming MPX per-push lag advance (StreamingMpx::Push's hot
 /// loop): for every tracked lag k in [0, nlags), with lag =
 /// exclusion+1+k, i = j-lag, il = i-base, advance diag_cov[k] by the
@@ -134,13 +199,69 @@ struct MpxAdvanceLagsArgs {
 };
 using MpxAdvanceLagsFn = void (*)(MpxAdvanceLagsArgs&);
 
+/// One length layer of a pan-profile block cell (PanBlockArgs): the
+/// per-length stat tracks plus this worker's local profile.
+/// `local_index` is nullptr in bound mode (plain per-entry max, no
+/// neighbor race).
+struct PanLayerArgs {
+  const double* means = nullptr;
+  const double* inv = nullptr;  // muinvn inverse norms, 0 = flat
+  double* local_corr = nullptr;
+  std::size_t* local_index = nullptr;  // nullptr: bound mode
+  std::size_t m = 0;
+  std::size_t count = 0;
+  std::size_t exclusion = 0;
+};
+
+/// One (diagonal, offset block, length chunk) cell of the pan-profile
+/// sweep (substrates/pan_profile.h): seed the chunk-base sliding dot at
+/// offset r0 and slide it across the block (PanSeedSlideBase — the ONE
+/// shared scalar chain), then per layer (m strictly ascending) advance
+/// every offset's dot through the length recurrence qt_{m+1} = qt_m +
+/// x[o+m] * x[o+d+m], recover the centered correlations into corr_buf,
+/// and race them into the layer's local profile — lexicographic in
+/// track mode, plain max in bound mode. Layers stop at the first
+/// inadmissible one (counts shrink and exclusions grow with m). The
+/// caller owns the tile/chunk/diagonal/block loops and deadline polls.
+struct PanBlockArgs {
+  const double* x = nullptr;  // raw series
+  const PanLayerArgs* layers = nullptr;  // one chunk, m strictly ascending
+  std::size_t num_layers = 0;
+  std::size_t d = 0;   // diagonal
+  std::size_t r0 = 0;  // block start offset
+  std::size_t r1 = 0;  // block end bound (exclusive)
+  double* qt_buf = nullptr;    // caller scratch, >= r1 - r0
+  double* corr_buf = nullptr;  // caller scratch, >= r1 - r0
+};
+using PanBlockFn = void (*)(const PanBlockArgs&);
+
+/// One exact refinement row of the pan discord sweep: locally-centered
+/// covariances of the query subsequence at `pos` against EVERY
+/// subsequence — out[j] = MpxSeedCov(series, means, pos, j, m), the
+/// O(n*m) direct form of a MASS row. Fully accurate (no uncentered
+/// cancellation, no FFT rounding) and vectorized across adjacent
+/// columns exactly like the kernels' group seeds.
+struct PanCovRowArgs {
+  const double* series = nullptr;
+  const double* means = nullptr;  // per-subsequence means at length m
+  std::size_t pos = 0;
+  std::size_t m = 0;
+  std::size_t count = 0;
+  double* out = nullptr;  // >= count
+};
+using PanCovRowFn = void (*)(const PanCovRowArgs&);
+
 /// One ISA tier's implementations of the dispatched operations.
 struct MpKernelVariant {
   SimdTier tier = SimdTier::kScalar;
   StompFillFn stomp_fill = nullptr;
   MpxBlockFn mpx_block = nullptr;
   MpxBlockF32Fn mpx_block_f32 = nullptr;
+  MpxCrossBlockFn mpx_cross_a = nullptr;  // update side A (entry o)
+  MpxCrossBlockFn mpx_cross_b = nullptr;  // update side B (entry o + d)
   MpxAdvanceLagsFn mpx_advance_lags = nullptr;
+  PanBlockFn pan_block = nullptr;
+  PanCovRowFn pan_cov_row = nullptr;
 };
 
 /// The variant for a specific tier. On non-x86 builds every tier maps
@@ -166,6 +287,14 @@ const MpKernelVariant& ActiveKernelVariant();
 double MpxSeedCov(const double* series, const double* means, std::size_t a,
                   std::size_t b, std::size_t m);
 
+/// Cross-series variant of MpxSeedCov: the locally-centered O(m)
+/// covariance of side-A subsequence `a` against side-B subsequence `b`,
+/// with the EXACT per-k operation chain of MpxSeedCov (so a cross seed
+/// over a == b sides reproduces the self-join seed bit for bit).
+double MpxSeedCovCross(const double* series_a, const double* means_a,
+                       const double* series_b, const double* means_b,
+                       std::size_t a, std::size_t b, std::size_t m);
+
 /// The scalar STOMP fill over [begin, args.end) — the shared tail of
 /// every vector variant and the whole body of the scalar one (the
 /// single home of what used to be duplicated after matrix_profile.cc's
@@ -180,9 +309,49 @@ void MpxBlockScalarRange(const MpxBlockArgs& args, std::size_t d_begin,
 void MpxBlockF32ScalarRange(const MpxBlockF32Args& args, std::size_t d_begin,
                             std::size_t d_end);
 
+/// Scalar cross-join block over diagonals [d_begin, d_end), updating
+/// side A (entry o, neighbor o + d).
+void MpxCrossBlockScalarRangeA(const MpxCrossBlockArgs& args,
+                               std::size_t d_begin, std::size_t d_end);
+
+/// Scalar cross-join block updating side B (entry o + d, neighbor o).
+void MpxCrossBlockScalarRangeB(const MpxCrossBlockArgs& args,
+                               std::size_t d_begin, std::size_t d_end);
+
+/// Scalar float32 cross-join blocks — the ONLY float cross
+/// implementations (every ISA tier runs these; see MpxCrossBlockF32Args).
+void MpxCrossBlockF32ScalarRangeA(const MpxCrossBlockF32Args& args,
+                                  std::size_t d_begin, std::size_t d_end);
+void MpxCrossBlockF32ScalarRangeB(const MpxCrossBlockF32Args& args,
+                                  std::size_t d_begin, std::size_t d_end);
+
 /// Scalar lag advance over lags [k_begin, k_end).
 void MpxAdvanceLagsScalarRange(MpxAdvanceLagsArgs& args, std::size_t k_begin,
                                std::size_t k_end);
+
+/// Seed args' chunk-base sliding dot at offset r0 (O(m) left-to-right
+/// uncentered product at m = layers[0].m) and slide it across the
+/// block: on return qt_buf[o - r0] = dot(x[o..o+m), x[o+d..o+d+m)) for
+/// every o in [r0, r1). Compiled once here and called by EVERY pan
+/// variant — the serial slide chain is the pan engine's bit-identity
+/// anchor, the role MpxSeedCov plays for the MPX kernels.
+void PanSeedSlideBase(const PanBlockArgs& args);
+
+/// The track-mode profile race from buffered correlations: for each
+/// offset o in [r0, end), lexicographic max on the row side (entry o,
+/// neighbor o + d) then the column side (entry o + d, neighbor o).
+/// Shared by the scalar variant and every vector variant — the race is
+/// branchy and rarely wins, so it stays scalar at every tier.
+void PanUpdateTrackRange(const PanLayerArgs& layer, const double* corr_buf,
+                         std::size_t r0, std::size_t end, std::size_t d);
+
+/// The whole scalar pan block cell: PanSeedSlideBase plus per-layer
+/// scalar advance / correlation-recovery / update loops.
+void PanBlockScalar(const PanBlockArgs& args);
+
+/// Scalar cov row over columns [j_begin, j_end) — a loop of MpxSeedCov.
+void PanCovRowScalarRange(const PanCovRowArgs& args, std::size_t j_begin,
+                          std::size_t j_end);
 
 /// The MPX profile update: lexicographic max (higher correlation wins,
 /// ties to the lower neighbor index). Header-inline — pure comparisons,

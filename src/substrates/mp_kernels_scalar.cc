@@ -21,8 +21,22 @@ void MpxBlockF32(const MpxBlockF32Args& args) {
   MpxBlockF32ScalarRange(args, args.d_begin, args.d_end);
 }
 
+void MpxCrossBlockA(const MpxCrossBlockArgs& args) {
+  MpxCrossBlockScalarRangeA(args, args.d_begin, args.d_end);
+}
+
+void MpxCrossBlockB(const MpxCrossBlockArgs& args) {
+  MpxCrossBlockScalarRangeB(args, args.d_begin, args.d_end);
+}
+
 void MpxAdvanceLags(MpxAdvanceLagsArgs& args) {
   MpxAdvanceLagsScalarRange(args, 0, args.nlags);
+}
+
+void PanBlock(const PanBlockArgs& args) { PanBlockScalar(args); }
+
+void PanCovRow(const PanCovRowArgs& args) {
+  PanCovRowScalarRange(args, 0, args.count);
 }
 
 }  // namespace
@@ -35,7 +49,11 @@ MpKernelVariant ScalarVariant() {
   v.stomp_fill = StompFill;
   v.mpx_block = MpxBlock;
   v.mpx_block_f32 = MpxBlockF32;
+  v.mpx_cross_a = MpxCrossBlockA;
+  v.mpx_cross_b = MpxCrossBlockB;
   v.mpx_advance_lags = MpxAdvanceLags;
+  v.pan_block = PanBlock;
+  v.pan_cov_row = PanCovRow;
   return v;
 }
 

@@ -60,6 +60,184 @@ std::size_t LowestFlatOutsideExclusion(const std::vector<std::size_t>& flat,
   return it == flat.end() ? kNoNeighbor : *it;
 }
 
+// Per-side precompute of the cross-join drivers: rolling stats, muinvn
+// inverse norms (0 for flats, which drop the SCAMP cases out of the
+// correlation race), the ddf/ddg difference tracks, and — float32 tier
+// only — their narrowed copies. The arithmetic matches the self-join
+// driver expression for expression, so a side built from the same
+// series carries bit-identical tracks.
+struct MpxSide {
+  WindowStats stats;
+  std::vector<double> inv;
+  std::vector<std::size_t> flat_indices;
+  std::vector<double> ddf, ddg;
+  std::vector<float> finv, fddf, fddg;
+};
+
+MpxSide BuildMpxSide(const std::vector<double>& series, std::size_t m,
+                     std::size_t count, bool float32) {
+  MpxSide s;
+  s.stats = ComputeWindowStats(series, m);
+  const double sqrt_m = std::sqrt(static_cast<double>(m));
+  s.inv.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (profile_internal::IsFlat(s.stats.means[i], s.stats.stds[i])) {
+      s.inv[i] = 0.0;
+      s.flat_indices.push_back(i);
+    } else {
+      s.inv[i] = 1.0 / (s.stats.stds[i] * sqrt_m);
+    }
+  }
+  s.ddf.assign(count, 0.0);
+  s.ddg.assign(count, 0.0);
+  for (std::size_t j = 1; j < count; ++j) {
+    s.ddf[j] = 0.5 * (series[j + m - 1] - series[j - 1]);
+    s.ddg[j] = (series[j + m - 1] - s.stats.means[j]) +
+               (series[j - 1] - s.stats.means[j - 1]);
+  }
+  if (float32) {
+    s.fddf.resize(count);
+    s.fddg.resize(count);
+    s.finv.resize(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      s.fddf[j] = static_cast<float>(s.ddf[j]);
+      s.fddg[j] = static_cast<float>(s.ddg[j]);
+      s.finv[j] = static_cast<float>(s.inv[j]);
+    }
+  }
+  return s;
+}
+
+// One diagonal half-space of a cross join: side A offsets o pair with
+// side B offsets o + d over d in [d_begin, d_end), updating the A side
+// (entry o) or the B side (entry o + d). The AB-join runs two sweeps
+// (the rectangle's two halves), the left profile one.
+struct CrossSweep {
+  const MpxSide* a = nullptr;
+  const std::vector<double>* series_a = nullptr;
+  std::size_t count_a = 0;
+  const MpxSide* b = nullptr;
+  const std::vector<double>* series_b = nullptr;
+  std::size_t count_b = 0;
+  std::size_t d_begin = 0;
+  std::size_t d_end = 0;
+  bool update_a = false;
+};
+
+// Shared driver loop of the cross-join kernels: the self-join's tile
+// partition (kMpxDiagTile diagonals per tile, tiles never straddling a
+// sweep), fixed row blocks with per-block covariance re-seeds, a small
+// fixed worker set striding the tile list with one task-local profile
+// each, and the order-independent lexicographic merge — so results are
+// identical at any thread count. The exact tier runs the dispatched
+// per-ISA variants; the float32 tier always runs the shared scalar
+// cross ranges (trivially identical across tiers; MpxCrossBlockF32Args
+// documents the trade).
+Status RunCrossSweeps(const std::vector<CrossSweep>& sweeps, std::size_t m,
+                      bool float32, std::size_t entries,
+                      std::vector<double>* best_corr,
+                      std::vector<std::size_t>* best_index) {
+  best_corr->assign(entries, kNegInf);
+  best_index->assign(entries, kNoNeighbor);
+
+  struct Tile {
+    std::size_t sweep = 0;
+    std::size_t d_begin = 0;
+    std::size_t d_end = 0;
+  };
+  std::vector<Tile> tiles;
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    for (std::size_t d = sweeps[s].d_begin; d < sweeps[s].d_end;
+         d += kMpxDiagTile) {
+      tiles.push_back({s, d, std::min(sweeps[s].d_end, d + kMpxDiagTile)});
+    }
+  }
+  if (tiles.empty()) return Status::OK();
+
+  std::mutex merge_mutex;
+  const MpKernelVariant& variant = ActiveKernelVariant();
+  const std::size_t row_block = float32 ? kMpxFloatRowBlock : kMpxRowBlock;
+  const std::size_t workers = std::min<std::size_t>(
+      tiles.size(), std::max<std::size_t>(ParallelThreads(), 1) * 4);
+
+  return ParallelFor(0, workers, [&](std::size_t w) -> Status {
+    std::vector<double> local_corr(entries, kNegInf);
+    std::vector<std::size_t> local_index(entries, kNoNeighbor);
+
+    for (std::size_t t = w; t < tiles.size(); t += workers) {
+      const Tile& tile = tiles[t];
+      const CrossSweep& sweep = sweeps[tile.sweep];
+      // Longest diagonal of the tile (d ascending shortens them).
+      const std::size_t max_len =
+          std::min(sweep.count_a, sweep.count_b - tile.d_begin);
+      for (std::size_t r0 = 0; r0 < max_len; r0 += row_block) {
+        TSAD_RETURN_IF_ERROR(CheckDeadline());
+        const std::size_t r1 = std::min(max_len, r0 + row_block);
+        if (float32) {
+          MpxCrossBlockF32Args args;
+          args.series_a = sweep.series_a->data();
+          args.means_a = sweep.a->stats.means.data();
+          args.ddf_a = sweep.a->fddf.data();
+          args.ddg_a = sweep.a->fddg.data();
+          args.inv_a = sweep.a->finv.data();
+          args.count_a = sweep.count_a;
+          args.series_b = sweep.series_b->data();
+          args.means_b = sweep.b->stats.means.data();
+          args.ddf_b = sweep.b->fddf.data();
+          args.ddg_b = sweep.b->fddg.data();
+          args.inv_b = sweep.b->finv.data();
+          args.count_b = sweep.count_b;
+          args.m = m;
+          args.r0 = r0;
+          args.r1 = r1;
+          args.d_begin = tile.d_begin;
+          args.d_end = tile.d_end;
+          args.local_corr = local_corr.data();
+          args.local_index = local_index.data();
+          if (sweep.update_a) {
+            MpxCrossBlockF32ScalarRangeA(args, args.d_begin, args.d_end);
+          } else {
+            MpxCrossBlockF32ScalarRangeB(args, args.d_begin, args.d_end);
+          }
+        } else {
+          MpxCrossBlockArgs args;
+          args.series_a = sweep.series_a->data();
+          args.means_a = sweep.a->stats.means.data();
+          args.ddf_a = sweep.a->ddf.data();
+          args.ddg_a = sweep.a->ddg.data();
+          args.inv_a = sweep.a->inv.data();
+          args.count_a = sweep.count_a;
+          args.series_b = sweep.series_b->data();
+          args.means_b = sweep.b->stats.means.data();
+          args.ddf_b = sweep.b->ddf.data();
+          args.ddg_b = sweep.b->ddg.data();
+          args.inv_b = sweep.b->inv.data();
+          args.count_b = sweep.count_b;
+          args.m = m;
+          args.r0 = r0;
+          args.r1 = r1;
+          args.d_begin = tile.d_begin;
+          args.d_end = tile.d_end;
+          args.local_corr = local_corr.data();
+          args.local_index = local_index.data();
+          (sweep.update_a ? variant.mpx_cross_a : variant.mpx_cross_b)(args);
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t i = 0; i < entries; ++i) {
+      if (local_corr[i] > (*best_corr)[i] ||
+          (local_corr[i] == (*best_corr)[i] &&
+           local_index[i] < (*best_index)[i])) {
+        (*best_corr)[i] = local_corr[i];
+        (*best_index)[i] = local_index[i];
+      }
+    }
+    return Status::OK();
+  });
+}
+
 }  // namespace
 
 Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
@@ -240,6 +418,124 @@ Result<MatrixProfile> ComputeMatrixProfileMpx(const std::vector<double>& series,
       continue;
     }
     if (best_index[i] == kNoNeighbor) continue;  // NaN-poisoned input
+    const double corr = std::clamp(best_corr[i], -1.0, 1.0);
+    const double v = two_m * (1.0 - corr);
+    profile.distances[i] = std::sqrt(v > 0.0 ? v : 0.0);
+    profile.indices[i] = best_index[i];
+  }
+  return profile;
+}
+
+Result<MatrixProfile> ComputeAbJoinMpx(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    MpPrecision precision) {
+  std::size_t nq = 0, nr = 0;
+  TSAD_RETURN_IF_ERROR(profile_internal::ValidateAbJoin(
+      query_series.size(), reference_series.size(), m, &nq, &nr));
+  const bool float32 = precision == MpPrecision::kFloat32;
+
+  const MpxSide qs = BuildMpxSide(query_series, m, nq, float32);
+  const MpxSide rs = BuildMpxSide(reference_series, m, nr, float32);
+
+  // The nq x nr rectangle as two diagonal half-spaces: sweep 1 covers
+  // reference index >= query index (d = j - i in [0, nr)) updating the
+  // query side as side A; sweep 2 covers the transposed strict half
+  // (d = i - j in [1, nq), A = reference) updating the query side as
+  // side B. Every (i, j) pair lands in exactly one sweep.
+  std::vector<CrossSweep> sweeps;
+  sweeps.push_back(
+      {&qs, &query_series, nq, &rs, &reference_series, nr, 0, nr, true});
+  if (nq > 1) {
+    sweeps.push_back(
+        {&rs, &reference_series, nr, &qs, &query_series, nq, 1, nq, false});
+  }
+
+  std::vector<double> best_corr;
+  std::vector<std::size_t> best_index;
+  TSAD_RETURN_IF_ERROR(
+      RunCrossSweeps(sweeps, m, float32, nq, &best_corr, &best_index));
+
+  // Correlation -> distance with the SCAMP flat cases patched in. A
+  // flat query subsequence sits at distance 0 from the LOWEST flat
+  // reference index (exactly the neighbor STOMP's serial lowest-index
+  // argmin picks), else at sqrt(2m) from whatever dynamic reference won
+  // the all-zero-correlation race (also index 0, since +/-0 ties break
+  // to the lower index).
+  const double two_m = 2.0 * static_cast<double>(m);
+  const double sqrt_two_m = std::sqrt(two_m);
+  MatrixProfile profile;
+  profile.subsequence_length = m;
+  profile.distances.assign(nq, std::numeric_limits<double>::infinity());
+  profile.indices.assign(nq, kNoNeighbor);
+  for (std::size_t i = 0; i < nq; ++i) {
+    if (qs.inv[i] == 0.0) {
+      if (!rs.flat_indices.empty()) {
+        profile.distances[i] = 0.0;
+        profile.indices[i] = rs.flat_indices.front();
+      } else if (best_index[i] != kNoNeighbor) {
+        profile.distances[i] = sqrt_two_m;
+        profile.indices[i] = best_index[i];
+      }
+      continue;
+    }
+    if (best_index[i] == kNoNeighbor) continue;  // NaN-poisoned input
+    const double corr = std::clamp(best_corr[i], -1.0, 1.0);
+    const double v = two_m * (1.0 - corr);
+    profile.distances[i] = std::sqrt(v > 0.0 ? v : 0.0);
+    profile.indices[i] = best_index[i];
+  }
+  return profile;
+}
+
+Result<MatrixProfile> ComputeLeftMatrixProfileMpx(
+    const std::vector<double>& series, std::size_t m, std::size_t exclusion,
+    MpPrecision precision) {
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(profile_internal::ValidateLeftProfile(
+      series.size(), m, &exclusion, &count));
+  const bool float32 = precision == MpPrecision::kFloat32;
+
+  const MpxSide side = BuildMpxSide(series, m, count, float32);
+
+  // One b-side sweep of the series against itself over the causal
+  // diagonals d > exclusion: pair (o, o + d) updates entry o + d with
+  // past neighbor o. Entries below exclusion + 1 never appear as o + d
+  // and keep the +inf / kNoNeighbor contract.
+  const std::size_t min_diag = exclusion + 1;
+  std::vector<CrossSweep> sweeps;
+  if (min_diag < count) {
+    sweeps.push_back(
+        {&side, &series, count, &side, &series, count, min_diag, count,
+         false});
+  }
+
+  std::vector<double> best_corr;
+  std::vector<std::size_t> best_index;
+  TSAD_RETURN_IF_ERROR(
+      RunCrossSweeps(sweeps, m, float32, count, &best_corr, &best_index));
+
+  const double two_m = 2.0 * static_cast<double>(m);
+  const double sqrt_two_m = std::sqrt(two_m);
+  MatrixProfile profile;
+  profile.subsequence_length = m;
+  profile.distances.assign(count, std::numeric_limits<double>::infinity());
+  profile.indices.assign(count, kNoNeighbor);
+  for (std::size_t i = min_diag; i < count; ++i) {
+    if (side.inv[i] == 0.0) {
+      // Lowest PAST flat (j + exclusion + 1 <= i), else sqrt(2m)
+      // against the dynamic winner of the zero-correlation race.
+      const std::vector<std::size_t>& flat = side.flat_indices;
+      if (!flat.empty() && flat.front() + min_diag <= i) {
+        profile.distances[i] = 0.0;
+        profile.indices[i] = flat.front();
+      } else if (best_index[i] != kNoNeighbor) {
+        profile.distances[i] = sqrt_two_m;
+        profile.indices[i] = best_index[i];
+      }
+      continue;
+    }
+    if (best_index[i] == kNoNeighbor) continue;
     const double corr = std::clamp(best_corr[i], -1.0, 1.0);
     const double v = two_m * (1.0 - corr);
     profile.distances[i] = std::sqrt(v > 0.0 ? v : 0.0);

@@ -1,4 +1,5 @@
-// MPX diagonal-traversal matrix-profile kernel (self-join).
+// MPX diagonal-traversal matrix-profile kernels (self-join, AB-join,
+// left profile).
 //
 // Where STOMP walks the distance matrix row by row — each row seeded by
 // an FFT sliding-dot pass, then advanced by an O(1) dot-product
@@ -44,10 +45,18 @@
 // through the covariance chain and poison whole diagonals (STOMP
 // poisons rows instead — neither kernel defines NaN results).
 //
-// Only the full self-join is implemented. AB-join and the left (causal)
-// profile stay on STOMP until MPX variants land (the diagonal
-// recurrence needs both triangle halves; the causal profile uses only
-// one and its merge semantics differ).
+// The AB-join and the left (causal) profile run the same diagonal
+// machinery over the CROSS covariance: diagonal d pairs offset o of
+// side A with offset o + d of side B under the rank-2 cross recurrence
+// (mp_kernels.h, MpxCrossBlockArgs), with one-sided profile updates.
+// The AB-join covers its full nq x nr rectangle as two sweeps over a
+// unified diagonal space — sweep 1 (reference index >= query index)
+// updates the A = query side, sweep 2 (the transposed half, A =
+// reference, B = query) updates the B = query side — and the left
+// profile is the single b-side sweep over d > exclusion of a series
+// joined with itself. Both inherit the tile partition, fixed row
+// blocks, per-worker local profiles, lexicographic merge, and
+// bit-identical-across-tiers/threads guarantees of the self-join.
 
 #ifndef TSAD_SUBSTRATES_MPX_KERNEL_H_
 #define TSAD_SUBSTRATES_MPX_KERNEL_H_
@@ -79,6 +88,28 @@ namespace tsad {
 /// substrates/mp_kernels.h) and are bit-identical across ISA tiers and
 /// thread counts within a tier.
 Result<MatrixProfile> ComputeMatrixProfileMpx(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t exclusion = std::numeric_limits<std::size_t>::max(),
+    MpPrecision precision = MpPrecision::kExact);
+
+/// MPX AB-join: same arguments, validation and flat-subsequence
+/// semantics as ComputeAbJoin (per query subsequence, the nearest
+/// neighbor among ALL reference subsequences; no exclusion zone).
+/// Usually reached through the ComputeAbJoin options overload; exported
+/// for the equivalence tests and benches. `precision` must be RESOLVED
+/// (kAuto here means kExact); the float32 tier runs the shared scalar
+/// cross ranges at every ISA tier (see MpxCrossBlockF32Args).
+Result<MatrixProfile> ComputeAbJoinMpx(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    MpPrecision precision = MpPrecision::kExact);
+
+/// MPX left (causal) matrix profile: same arguments, validation,
+/// exclusion and flat semantics as ComputeLeftMatrixProfile — for every
+/// subsequence the nearest neighbor strictly in the past (j <= i -
+/// exclusion - 1), entries without an eligible past neighbor staying
+/// +inf / kNoNeighbor. `precision` must be RESOLVED.
+Result<MatrixProfile> ComputeLeftMatrixProfileMpx(
     const std::vector<double>& series, std::size_t m,
     std::size_t exclusion = std::numeric_limits<std::size_t>::max(),
     MpPrecision precision = MpPrecision::kExact);

@@ -1,0 +1,453 @@
+#include "substrates/pan_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "robustness/deadline.h"
+#include "substrates/mp_kernels.h"
+#include "substrates/profile_internal.h"
+#include "substrates/sliding_window.h"
+
+namespace tsad {
+
+namespace {
+
+// Diagonals per ParallelFor work item — the determinism grain, exactly
+// like the MPX tile: a diagonal's sliding dot lives entirely inside one
+// tile, so per-pair values are independent of the tile->thread mapping.
+constexpr std::size_t kPanDiagTile = 128;
+
+// Offsets per cache block. Within a block the engine holds one running
+// dot per offset (qt_buf) plus the per-length mean/inv/profile slices;
+// the block boundary is also where each (chunk, diagonal) re-seeds its
+// dot with a direct O(m) product, containing slide/advance rounding
+// drift to one block (the same role kMpxRowBlock plays).
+constexpr std::size_t kPanRowBlock = 1024;
+
+// Lengths per chunk: the stats slices a block touches are
+// 2 sides * (means + inv + profile) * kPanRowBlock * 8 bytes ~= 48 KiB
+// per length, so 8 lengths (~384 KiB) stay cache-resident while the
+// chunk's diagonals stream through them. Each chunk seeds its own dot
+// at its first length instead of advancing from the previous chunk,
+// which keeps chunks independent (and the seed is amortized over the
+// block's offsets).
+constexpr std::size_t kPanLengthChunk = 8;
+
+// Conditioning budget of the discord pruning rule, in correlation
+// units: the uncentered-dot bound phase can misjudge a correlation by
+// up to ~1e-4 on inputs whose level dwarfs their structure (see the
+// header note), so refinement only stops once a bound falls this far
+// below best-so-far. On well-conditioned data the slack merely admits
+// a few extra exact rows.
+constexpr double kPanPruneCorrMargin = 1e-3;
+
+// The mutual-NN tie width kPanTieCorrEps lives in the header (shared
+// with MerlinSweepPerLength); it is far below the pruning margin, so
+// epsilon-tied candidates are never pruned before refinement sees them.
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Per-length precompute: rolling stats (the same ComputeWindowStats
+// moments every kernel classifies flats from), muinvn inverse norms
+// (0 for flats), exclusion and subsequence count.
+struct PanLayer {
+  std::size_t m = 0;
+  std::size_t count = 0;
+  std::size_t exclusion = 0;
+  WindowStats stats;
+  std::vector<double> inv;
+  std::vector<std::size_t> flat_indices;
+};
+
+std::vector<PanLayer> BuildLayers(const std::vector<double>& series,
+                                  const std::vector<std::size_t>& lengths) {
+  std::vector<PanLayer> layers(lengths.size());
+  for (std::size_t l = 0; l < lengths.size(); ++l) {
+    PanLayer& layer = layers[l];
+    layer.m = lengths[l];
+    layer.count = NumSubsequences(series.size(), layer.m);
+    layer.exclusion = DefaultSelfJoinExclusion(layer.m);
+    layer.stats = ComputeWindowStats(series, layer.m);
+    const double sqrt_m = std::sqrt(static_cast<double>(layer.m));
+    layer.inv.resize(layer.count);
+    for (std::size_t i = 0; i < layer.count; ++i) {
+      if (profile_internal::IsFlat(layer.stats.means[i],
+                                   layer.stats.stds[i])) {
+        layer.inv[i] = 0.0;
+        layer.flat_indices.push_back(i);
+      } else {
+        layer.inv[i] = 1.0 / (layer.stats.stds[i] * sqrt_m);
+      }
+    }
+  }
+  return layers;
+}
+
+// Same SCAMP tie-break helper as the MPX driver: lowest flat index
+// outside i's exclusion zone, or kNoNeighbor.
+std::size_t LowestFlatOutsideExclusion(const std::vector<std::size_t>& flat,
+                                       std::size_t i, std::size_t exclusion) {
+  if (flat.empty()) return kNoNeighbor;
+  if (i > exclusion && flat.front() < i - exclusion) return flat.front();
+  const auto it = std::upper_bound(flat.begin(), flat.end(), i + exclusion);
+  return it == flat.end() ? kNoNeighbor : *it;
+}
+
+// The shared multi-length diagonal sweep. Every `stride`-th admissible
+// diagonal is walked once per length chunk; for each (pair, length) the
+// centered correlation is recovered from the running uncentered dot and
+// raced into the per-length local profiles, which merge lexicographically
+// (track_indices) or by plain max (bound mode — the maximum over a
+// subset of candidates, i.e. a lower bound on the true best correlation
+// = an upper bound on the true NN distance). The per-cell inner loops
+// (chunk-base seed/slide, per-layer advance/correlation/update) run
+// through the runtime-dispatched kernel registry (mp_kernels.h), so
+// the sweep uses the same ISA tier — and carries the same cross-tier
+// bit-identity contract — as the per-length MPX kernels.
+Status SweepPan(const std::vector<double>& x,
+                const std::vector<PanLayer>& layers, std::size_t stride,
+                bool track_indices,
+                std::vector<std::vector<double>>* best_corr,
+                std::vector<std::vector<std::size_t>>* best_index) {
+  const std::size_t num_layers = layers.size();
+  best_corr->assign(num_layers, {});
+  if (track_indices) best_index->assign(num_layers, {});
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    (*best_corr)[l].assign(layers[l].count, kNegInf);
+    if (track_indices) {
+      (*best_index)[l].assign(layers[l].count, kNoNeighbor);
+    }
+  }
+
+  // Diagonal grid: every stride-th diagonal admissible for the SMALLEST
+  // length; larger lengths skip the prefix their exclusion zone covers.
+  const std::size_t count0 = layers.front().count;
+  const std::size_t d_min = layers.front().exclusion + 1;
+  if (d_min >= count0) return Status::OK();
+  const std::size_t num_diags = (count0 - d_min + stride - 1) / stride;
+  const std::size_t num_tiles = (num_diags + kPanDiagTile - 1) / kPanDiagTile;
+
+  std::mutex merge_mutex;
+  const std::size_t workers = std::min<std::size_t>(
+      num_tiles, std::max<std::size_t>(ParallelThreads(), 1) * 4);
+  const PanBlockFn pan_block = ActiveKernelVariant().pan_block;
+
+  return ParallelFor(0, workers, [&](std::size_t w) -> Status {
+    std::vector<std::vector<double>> local_corr(num_layers);
+    std::vector<std::vector<std::size_t>> local_index(num_layers);
+    std::vector<PanLayerArgs> views(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      local_corr[l].assign(layers[l].count, kNegInf);
+      if (track_indices) local_index[l].assign(layers[l].count, kNoNeighbor);
+      views[l].means = layers[l].stats.means.data();
+      views[l].inv = layers[l].inv.data();
+      views[l].local_corr = local_corr[l].data();
+      views[l].local_index = track_indices ? local_index[l].data() : nullptr;
+      views[l].m = layers[l].m;
+      views[l].count = layers[l].count;
+      views[l].exclusion = layers[l].exclusion;
+    }
+    std::vector<double> qt_buf(kPanRowBlock);
+    std::vector<double> corr_buf(kPanRowBlock);
+    PanBlockArgs args;
+    args.x = x.data();
+    args.qt_buf = qt_buf.data();
+    args.corr_buf = corr_buf.data();
+
+    for (std::size_t t = w; t < num_tiles; t += workers) {
+      const std::size_t di_begin = t * kPanDiagTile;
+      const std::size_t di_end = std::min(num_diags, di_begin + kPanDiagTile);
+      for (std::size_t chunk = 0; chunk < num_layers;
+           chunk += kPanLengthChunk) {
+        const std::size_t chunk_end =
+            std::min(num_layers, chunk + kPanLengthChunk);
+        const PanLayer& base = layers[chunk];
+        args.layers = views.data() + chunk;
+        args.num_layers = chunk_end - chunk;
+        for (std::size_t di = di_begin; di < di_end; ++di) {
+          const std::size_t d = d_min + di * stride;
+          // The chunk's base length is its most permissive: if even it
+          // rejects this diagonal, the whole chunk does.
+          if (base.exclusion >= d || base.count <= d) continue;
+          const std::size_t max_len = base.count - d;
+          args.d = d;
+          for (std::size_t r0 = 0; r0 < max_len; r0 += kPanRowBlock) {
+            TSAD_RETURN_IF_ERROR(CheckDeadline());
+            args.r0 = r0;
+            args.r1 = std::min(max_len, r0 + kPanRowBlock);
+            pan_block(args);
+          }
+        }
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      double* bc = (*best_corr)[l].data();
+      const double* lc = local_corr[l].data();
+      if (track_indices) {
+        std::size_t* bi = (*best_index)[l].data();
+        const std::size_t* li = local_index[l].data();
+        for (std::size_t i = 0; i < layers[l].count; ++i) {
+          if (lc[i] > bc[i] || (lc[i] == bc[i] && li[i] < bi[i])) {
+            bc[i] = lc[i];
+            bi[i] = li[i];
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < layers[l].count; ++i) {
+          if (lc[i] > bc[i]) bc[i] = lc[i];
+        }
+      }
+    }
+    return Status::OK();
+  });
+}
+
+Status ValidatePanRange(std::size_t n, const PanProfileConfig& config,
+                        std::vector<std::size_t>* lengths) {
+  if (config.step == 0) {
+    return Status::InvalidArgument("pan-profile step must be >= 1");
+  }
+  if (config.min_length < 2 || config.min_length > config.max_length) {
+    return Status::InvalidArgument(
+        "bad pan-profile length range [" + std::to_string(config.min_length) +
+        ", " + std::to_string(config.max_length) + "]");
+  }
+  // The largest length is the binding self-join constraint; every
+  // smaller one has more subsequences and a smaller exclusion zone.
+  std::size_t exclusion = std::numeric_limits<std::size_t>::max();
+  std::size_t count = 0;
+  TSAD_RETURN_IF_ERROR(profile_internal::ValidateSelfJoin(
+      n, config.max_length, &exclusion, &count));
+  lengths->clear();
+  for (std::size_t m = config.min_length; m <= config.max_length;
+       m += config.step) {
+    lengths->push_back(m);
+  }
+  return Status::OK();
+}
+
+// Exact NN distance of the subsequence at `pos` for `layer`, with the
+// m/2 trivial-match exclusion — the measurement DRAG's refinement phase
+// makes, but via one dispatched DIRECT row of locally-centered
+// covariances (mp_kernels.h pan_cov_row) instead of a MASS FFT pass:
+// the same real value with better conditioning (each dot is centered,
+// so nothing cancels), an order of magnitude cheaper at refinement's
+// one-query-many-rows access pattern, and SIMD-dispatched like the
+// sweep itself. Flat cases reproduce the SCAMP/PairDistance semantics
+// exactly: flat-flat pairs at 0, mixed pairs at sqrt(2m).
+double ExactNnDistance(const std::vector<double>& series, const PanLayer& layer,
+                       std::size_t pos, PanCovRowFn cov_row,
+                       std::vector<double>& scratch) {
+  const double two_m = 2.0 * static_cast<double>(layer.m);
+  const double sqrt_two_m = std::sqrt(two_m);
+  const double inf = std::numeric_limits<double>::infinity();
+  // No admissible partner at all (exclusion swallows the range) stays
+  // +inf, as the MASS-row scan reported it.
+  if (pos <= layer.exclusion && pos + layer.exclusion + 1 >= layer.count) {
+    return inf;
+  }
+  const double inv_pos = layer.inv[pos];
+  if (inv_pos == 0.0) {
+    // Flat query: 0 against another flat, sqrt(2m) against anything
+    // else — some admissible partner exists per the check above.
+    return LowestFlatOutsideExclusion(layer.flat_indices, pos,
+                                      layer.exclusion) != kNoNeighbor
+               ? 0.0
+               : sqrt_two_m;
+  }
+  scratch.resize(layer.count);
+  PanCovRowArgs args;
+  args.series = series.data();
+  args.means = layer.stats.means.data();
+  args.pos = pos;
+  args.m = layer.m;
+  args.count = layer.count;
+  args.out = scratch.data();
+  cov_row(args);
+  double best_corr = kNegInf;
+  bool flat_partner = false;
+  for (std::size_t j = 0; j < layer.count; ++j) {
+    const std::size_t gap = pos > j ? pos - j : j - pos;
+    if (gap <= layer.exclusion) continue;
+    if (layer.inv[j] == 0.0) {
+      flat_partner = true;
+      continue;
+    }
+    const double corr = scratch[j] * inv_pos * layer.inv[j];
+    if (corr > best_corr) best_corr = corr;
+  }
+  // Distance is monotone decreasing in correlation, so the minimum over
+  // dynamic partners is the distance of the best correlation; a flat
+  // partner competes at exactly sqrt(2m).
+  double best = flat_partner ? sqrt_two_m : inf;
+  if (best_corr != kNegInf) {
+    const double clamped = std::min(1.0, std::max(-1.0, best_corr));
+    const double v = two_m * (1.0 - clamped);
+    const double dynamic = std::sqrt(v > 0.0 ? v : 0.0);
+    if (dynamic < best) best = dynamic;
+  }
+  return best;
+}
+
+}  // namespace
+
+MatrixProfile PanProfile::Layer(std::size_t i) const {
+  MatrixProfile profile;
+  profile.distances = distances.at(i);
+  profile.indices = indices.at(i);
+  profile.subsequence_length = lengths.at(i);
+  return profile;
+}
+
+Result<PanProfile> ComputePanProfile(const std::vector<double>& series,
+                                     const PanProfileConfig& config) {
+  std::vector<std::size_t> lengths;
+  TSAD_RETURN_IF_ERROR(ValidatePanRange(series.size(), config, &lengths));
+  const std::vector<PanLayer> layers = BuildLayers(series, lengths);
+
+  std::vector<std::vector<double>> best_corr;
+  std::vector<std::vector<std::size_t>> best_index;
+  TSAD_RETURN_IF_ERROR(SweepPan(series, layers, /*stride=*/1,
+                                /*track_indices=*/true, &best_corr,
+                                &best_index));
+
+  PanProfile pan;
+  pan.lengths = lengths;
+  pan.distances.resize(layers.size());
+  pan.indices.resize(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const PanLayer& layer = layers[l];
+    const double two_m = 2.0 * static_cast<double>(layer.m);
+    const double sqrt_two_m = std::sqrt(two_m);
+    std::vector<double>& dist = pan.distances[l];
+    std::vector<std::size_t>& idx = pan.indices[l];
+    dist.assign(layer.count, std::numeric_limits<double>::infinity());
+    idx = std::move(best_index[l]);
+    for (std::size_t i = 0; i < layer.count; ++i) {
+      if (profile_internal::IsFlat(layer.stats.means[i],
+                                   layer.stats.stds[i])) {
+        // SCAMP special cases, identical to the per-length kernels:
+        // lowest eligible flat partner at exactly 0, else exactly
+        // sqrt(2m) (keeping whichever index won the +/-0 race).
+        const std::size_t nn = LowestFlatOutsideExclusion(
+            layer.flat_indices, i, layer.exclusion);
+        if (nn != kNoNeighbor) {
+          dist[i] = 0.0;
+          idx[i] = nn;
+        } else {
+          dist[i] = sqrt_two_m;
+        }
+        continue;
+      }
+      const double corr = best_corr[l][i];
+      if (corr == kNegInf) continue;  // unreachable: validated range
+      const double clamped = std::min(1.0, std::max(-1.0, corr));
+      const double v = two_m * (1.0 - clamped);
+      dist[i] = std::sqrt(v > 0.0 ? v : 0.0);
+    }
+  }
+  return pan;
+}
+
+Result<std::vector<PanLengthDiscord>> PanLengthDiscords(
+    const std::vector<double>& series, std::size_t min_length,
+    std::size_t max_length) {
+  PanProfileConfig config;
+  config.min_length = min_length;
+  config.max_length = max_length;
+  config.step = 1;
+  std::vector<std::size_t> lengths;
+  TSAD_RETURN_IF_ERROR(ValidatePanRange(series.size(), config, &lengths));
+  const std::vector<PanLayer> layers = BuildLayers(series, lengths);
+
+  // Phase 1: strided bound sweep. ub_corr[l][i] is a LOWER bound on
+  // entry i's best correlation at length l, i.e. an upper bound on its
+  // true NN distance (entries no sampled diagonal touches stay -inf =
+  // unbounded, and are refined first).
+  std::vector<std::vector<double>> ub_corr;
+  std::vector<std::vector<std::size_t>> unused;
+  TSAD_RETURN_IF_ERROR(SweepPan(series, layers, kPanDiscordStride,
+                                /*track_indices=*/false, &ub_corr, &unused));
+
+  std::vector<PanLengthDiscord> out;
+  out.reserve(layers.size());
+  std::size_t prev_pos = kNoNeighbor;
+  std::vector<std::size_t> order;
+  const PanCovRowFn cov_row = ActiveKernelVariant().pan_cov_row;
+  std::vector<double> row_scratch;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const PanLayer& layer = layers[l];
+    const double two_m = 2.0 * static_cast<double>(layer.m);
+    const std::vector<double>& corr = ub_corr[l];
+
+    // Refinement order: loosest bound (lowest corr) first, ties to the
+    // lower index. stable_sort keeps the index tie-break deterministic.
+    order.resize(layer.count);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&corr](std::size_t a, std::size_t b) {
+                       return corr[a] < corr[b];
+                     });
+
+    double best_sq = kNegInf;
+    double best_dist = 0.0;
+    std::size_t best_pos = kNoNeighbor;
+    const double margin_sq = two_m * kPanPruneCorrMargin;
+    const double tie_sq = two_m * kPanTieCorrEps;
+    const auto refine = [&](std::size_t pos) -> Status {
+      TSAD_RETURN_IF_ERROR(CheckDeadline());
+      const double d =
+          ExactNnDistance(series, layer, pos, cov_row, row_scratch);
+      if (!std::isfinite(d)) return Status::OK();
+      const double d_sq = d * d;
+      if (d_sq > best_sq + tie_sq ||
+          (d_sq > best_sq - tie_sq && pos < best_pos)) {
+        best_sq = d_sq;
+        best_dist = d;
+        best_pos = pos;
+      }
+      return Status::OK();
+    };
+    // Seed best-so-far with the previous length's discord: discords
+    // drift slowly across adjacent lengths, so this usually starts the
+    // scan one row from done.
+    if (prev_pos != kNoNeighbor && prev_pos < layer.count) {
+      TSAD_RETURN_IF_ERROR(refine(prev_pos));
+    }
+    for (const std::size_t i : order) {
+      if (i == prev_pos) continue;  // already refined as the seed
+      const double c = corr[i];
+      const double ub_sq =
+          c == kNegInf ? std::numeric_limits<double>::infinity()
+                       : two_m * (1.0 - std::min(1.0, c));
+      // Everything after i bounds even lower: p^2 <= ub^2 < best - margin
+      // can neither beat nor tie the best (the margin absorbs the bound
+      // phase's conditioning error), so the scan is done.
+      if (ub_sq < best_sq - margin_sq) break;
+      TSAD_RETURN_IF_ERROR(refine(i));
+    }
+    if (best_pos == kNoNeighbor) {
+      return Status::Internal("no discord found at length " +
+                              std::to_string(layer.m));
+    }
+    PanLengthDiscord d;
+    d.length = layer.m;
+    d.position = best_pos;
+    d.distance = best_dist;
+    d.normalized = best_dist / std::sqrt(static_cast<double>(layer.m));
+    out.push_back(d);
+    prev_pos = best_pos;
+  }
+  return out;
+}
+
+}  // namespace tsad

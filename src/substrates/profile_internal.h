@@ -56,6 +56,41 @@ inline Status ValidateSelfJoin(std::size_t n, std::size_t m,
   return Status::OK();
 }
 
+// Shared AB-join argument validation (no exclusion zone exists for a
+// join of two distinct series). On OK, *nq and *nr hold the
+// subsequence counts of the query and reference sides.
+inline Status ValidateAbJoin(std::size_t query_n, std::size_t reference_n,
+                             std::size_t m, std::size_t* nq, std::size_t* nr) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  *nq = NumSubsequences(query_n, m);
+  *nr = NumSubsequences(reference_n, m);
+  if (*nq == 0 || *nr == 0) {
+    return Status::InvalidArgument(
+        "AB-join needs at least one length-" + std::to_string(m) +
+        " subsequence on each side");
+  }
+  return Status::OK();
+}
+
+// Shared left-profile argument validation. Unlike the self-join, an
+// exclusion zone covering the whole series is NOT rejected: the left
+// profile's contract is that entries without an eligible past neighbor
+// simply stay +inf / kNoNeighbor.
+inline Status ValidateLeftProfile(std::size_t n, std::size_t m,
+                                  std::size_t* exclusion, std::size_t* count) {
+  if (m < 2) return Status::InvalidArgument("subsequence length must be >= 2");
+  *count = NumSubsequences(n, m);
+  if (*count < 2) {
+    return Status::InvalidArgument(
+        "series too short: need at least 2 subsequences of length " +
+        std::to_string(m));
+  }
+  if (*exclusion == std::numeric_limits<std::size_t>::max()) {
+    *exclusion = DefaultSelfJoinExclusion(m);
+  }
+  return Status::OK();
+}
+
 }  // namespace profile_internal
 }  // namespace tsad
 

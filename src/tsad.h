@@ -20,6 +20,7 @@
 
 #include "substrates/matrix_profile.h"     // IWYU pragma: export
 #include "substrates/motifs.h"             // IWYU pragma: export
+#include "substrates/pan_profile.h"        // IWYU pragma: export
 #include "substrates/sliding_window.h"     // IWYU pragma: export
 #include "substrates/streaming_profile.h"  // IWYU pragma: export
 

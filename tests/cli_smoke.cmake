@@ -75,6 +75,49 @@ if(found EQUAL -1)
   message(FATAL_ERROR "floss serve missing per-type memory line: ${out}")
 endif()
 
+# panprofile: dense range goes through MERLIN's pruned pan discord
+# sweep; must print the per-length table and the peak line.
+execute_process(COMMAND ${TSAD_CLI} panprofile ${WORK_DIR}/nyc_taxi.csv
+                        --min-length 48 --max-length 64
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "panprofile failed with ${rc}: ${out}")
+endif()
+string(FIND "${out}" "normalized" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "panprofile output missing table header: ${out}")
+endif()
+string(FIND "${out}" "peak   : length" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "panprofile output missing peak line: ${out}")
+endif()
+
+# panprofile strided grid: takes the full pan-profile path instead of
+# the pruned sweep; same output contract.
+execute_process(COMMAND ${TSAD_CLI} panprofile ${WORK_DIR}/nyc_taxi.csv
+                        --min-length 32 --max-length 64 --step 8
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "strided panprofile failed with ${rc}: ${out}")
+endif()
+string(FIND "${out}" "peak   : length" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "strided panprofile missing peak line: ${out}")
+endif()
+
+# Unknown panprofile flags must be rejected, not silently treated as
+# positional inputs.
+execute_process(COMMAND ${TSAD_CLI} panprofile ${WORK_DIR}/nyc_taxi.csv
+                        --min-len 48
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "panprofile accepted an unknown flag: ${out}")
+endif()
+string(FIND "${out}" "unknown flag '--min-len'" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "panprofile rejection missing flag name: ${out}")
+endif()
+
 # leaderboard: the CI-sized board must emit the JSON report with the
 # rank-inversion section.
 execute_process(COMMAND ${TSAD_CLI} leaderboard --smoke

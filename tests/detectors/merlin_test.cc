@@ -71,6 +71,34 @@ TEST(MerlinSweepTest, EveryLengthReportsTheAnomalyRegion) {
   EXPECT_GE(hits, 18u);
 }
 
+TEST(MerlinSweepTest, PanSweepMatchesPerLengthOracle) {
+  // The pan-profile-backed sweep must reproduce the per-length
+  // recompute's LengthDiscord output exactly: same length grid, same
+  // positions (ties to the lowest position at every length). Distances
+  // agree to MASS-vs-recurrence rounding; both sides derive
+  // `normalized` from their own distance.
+  const Series x = PeriodicWithDistortedCycle(1500, 700, 60, 6);
+  Result<std::vector<LengthDiscord>> pan = MerlinSweep(x, 36, 72);
+  Result<std::vector<LengthDiscord>> oracle = MerlinSweepPerLength(x, 36, 72);
+  ASSERT_TRUE(pan.ok()) << pan.status().ToString();
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_EQ(pan->size(), oracle->size());
+  for (std::size_t i = 0; i < pan->size(); ++i) {
+    SCOPED_TRACE("length " + std::to_string((*oracle)[i].length));
+    EXPECT_EQ((*pan)[i].length, (*oracle)[i].length);
+    EXPECT_EQ((*pan)[i].position, (*oracle)[i].position);
+    EXPECT_NEAR((*pan)[i].distance, (*oracle)[i].distance, 1e-6);
+    EXPECT_NEAR((*pan)[i].normalized, (*oracle)[i].normalized, 1e-6);
+  }
+}
+
+TEST(MerlinSweepTest, PerLengthBaselineRejectsBadRangesIdentically) {
+  const Series x(500, 1.0);
+  EXPECT_FALSE(MerlinSweepPerLength(x, 2, 10).ok());
+  EXPECT_FALSE(MerlinSweepPerLength(x, 60, 40).ok());
+  EXPECT_FALSE(MerlinSweepPerLength(x, 40, 400).ok());
+}
+
 TEST(MerlinSweepTest, RejectsBadRanges) {
   const Series x(500, 1.0);
   EXPECT_FALSE(MerlinSweep(x, 2, 10).ok());    // min too small

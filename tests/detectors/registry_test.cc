@@ -33,6 +33,43 @@ TEST(RegistryTest, ParametersAreApplied) {
   EXPECT_EQ(std::string((*m)->name()), "MERLIN[32..48]");
 }
 
+TEST(RegistryTest, MerlinPositionalSpecParses) {
+  // The positional grammar (merlin:<min>:<max>) mirrors floss's
+  // convention and is what the unknown-detector prefix list advertises.
+  Result<std::unique_ptr<AnomalyDetector>> m = MakeDetector("merlin:32:48");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(std::string((*m)->name()), "MERLIN[32..48]");
+
+  // Bare name keeps the registry defaults.
+  Result<std::unique_ptr<AnomalyDetector>> bare = MakeDetector("merlin");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(std::string((*bare)->name()), "MERLIN[48..96]");
+}
+
+TEST(RegistryTest, MerlinPositionalSpecErrorsEnumerateGrammar) {
+  // Every malformed positional spec names the grammar it wanted.
+  for (const char* spec :
+       {"merlin:48", "merlin:48:96:128", "merlin:abc:96", "merlin:48:xyz",
+        "merlin::96", "merlin:"}) {
+    const Status s = MakeDetector(spec).status();
+    ASSERT_FALSE(s.ok()) << spec;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << spec;
+    EXPECT_NE(s.message().find("merlin:<min>:<max>"), std::string::npos)
+        << spec << ": " << s.message();
+  }
+}
+
+TEST(RegistryTest, MerlinTypoGetsDidYouMean) {
+  const Status s = MakeDetector("merlon:32:48").status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("did you mean 'merlin'?"), std::string::npos)
+      << s.message();
+  // The prefix grammar is advertised alongside the flat names.
+  EXPECT_NE(s.message().find("merlin:<min>:<max>"), std::string::npos)
+      << s.message();
+}
+
 TEST(RegistryTest, UnknownNameIsNotFound) {
   Result<std::unique_ptr<AnomalyDetector>> d = MakeDetector("lstm");
   ASSERT_FALSE(d.ok());
@@ -136,6 +173,17 @@ TEST(SimplifyDetectorSpecTest, ParameterlessSpecsPassThrough) {
 TEST(SimplifyDetectorSpecTest, RecursesThroughResilientPrefix) {
   EXPECT_EQ(SimplifyDetectorSpec("resilient:discord:m=128"),
             "resilient:discord:m=64");
+}
+
+TEST(SimplifyDetectorSpecTest, MerlinPositionalHalvesBothEnds) {
+  // Same halving and floors as the key=value path, re-emitted in
+  // positional form; bare "merlin" simplifies from the defaults.
+  EXPECT_EQ(SimplifyDetectorSpec("merlin:64:128"), "merlin:32:64");
+  EXPECT_EQ(SimplifyDetectorSpec("merlin"), "merlin:24:48");
+  EXPECT_EQ(SimplifyDetectorSpec("merlin:8:16"), "merlin:8:16");
+  // Malformed specs pass through untouched (the resilient wrapper only
+  // simplifies specs that already constructed).
+  EXPECT_EQ(SimplifyDetectorSpec("merlin:48"), "merlin:48");
 }
 
 TEST(RegistryTest, OnelinerSpecBuildsConfiguredPredicate) {

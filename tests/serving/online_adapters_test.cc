@@ -70,6 +70,12 @@ std::vector<SpecCase> EquivalenceCases() {
       // and snapshot sweeps cross many eviction boundaries.
       {"floss:16:128", 0},
       {"floss:24", 0},
+      // MERLIN buffers the whole stream and scores at Flush; bit
+      // equality with the batch detector is by construction, but the
+      // snapshot sweep still has to prove the buffer thaws exactly.
+      // One case per spec grammar (positional and key=value).
+      {"merlin:24:40", 0},
+      {"merlin:min=16,max=24", 0},
   };
 }
 
@@ -141,6 +147,7 @@ TEST(OnlineAdapterEquivalenceTest, ShortStreamsMatchBatchFallbacks) {
     for (const SpecCase& c : EquivalenceCases()) {
       if (c.spec.rfind("streaming", 0) == 0) continue;  // needs m+1 points
       if (c.spec.rfind("floss", 0) == 0) continue;      // needs m+1 points
+      if (c.spec.rfind("merlin", 0) == 0) continue;     // needs 2*max subseqs
       SCOPED_TRACE(c.spec + " n=" + std::to_string(n));
       const std::vector<double> batch = BatchScores(c, x);
       auto online = MakeOnlineDetector(c.spec, c.train_length);

@@ -1,0 +1,344 @@
+// Certification of the MPX cross-join kernels (AB-join + left profile)
+// against the frozen STOMP kernels, via the shared profile-equivalence
+// harness: simulator families at every thread count, flat-region edge
+// cases, bit-identity across thread counts, float32 tier, dispatch and
+// rejection semantics. The cross-ISA-tier sweeps live in
+// simd_dispatch_test.cc with the rest of the SIMD certification.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "profile_equivalence.h"
+#include "substrates/matrix_profile.h"
+#include "substrates/mpx_kernel.h"
+
+namespace tsad {
+namespace {
+
+using testing::ExpectAbJoinEquivalence;
+using testing::ExpectFloat32AbJoinEquivalence;
+using testing::ExpectFloat32LeftProfileEquivalence;
+using testing::ExpectLeftProfileEquivalence;
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ParallelThreads()) {}
+  ~ThreadCountGuard() { SetParallelThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian();
+    v = level;
+  }
+  return x;
+}
+
+// Splits a family series into disjoint halves so the AB-join certifies
+// a genuinely asymmetric (query, reference) pair from the same
+// generator — the realistic shape of the semi-supervised join.
+void SplitHalves(const std::vector<double>& x, std::vector<double>* first,
+                 std::vector<double>* second) {
+  const std::size_t half = x.size() / 2;
+  first->assign(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(half));
+  second->assign(x.begin() + static_cast<std::ptrdiff_t>(half), x.end());
+}
+
+TEST(AbJoinMpxTest, EquivalenceOnEverySimulatorFamilyAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    std::vector<double> query, reference;
+    SplitHalves(family.values, &query, &reference);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectAbJoinEquivalence(query, reference, family.m))
+          << family.name << " threads=" << threads;
+      // And the transposed pair, so both sweep orders (nq < nr and
+      // nq > nr) see every family.
+      EXPECT_TRUE(ExpectAbJoinEquivalence(reference, query, family.m))
+          << family.name << " (transposed) threads=" << threads;
+    }
+  }
+}
+
+TEST(AbJoinMpxTest, EquivalenceOnFlatRegions) {
+  ThreadCountGuard guard;
+  // Flat runs on BOTH sides: flat query subsequences whose nearest flat
+  // lives in the reference (exact 0 at the LOWEST flat reference
+  // index), and dynamic queries bordered by flat reference columns
+  // (corr 0 contributions).
+  Series query = RandomWalk(900, 51);
+  Series reference = RandomWalk(1100, 52);
+  for (std::size_t i = 200; i < 260; ++i) query[i] = 3.25;
+  for (std::size_t i = 400; i < 480; ++i) reference[i] = 3.25;
+  for (std::size_t i = 700; i < 760; ++i) reference[i] = 1.0e6;
+  for (const std::size_t m : {16u, 17u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectAbJoinEquivalence(query, reference, m))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AbJoinMpxTest, FlatQueryWithoutFlatReferenceGetsSqrtTwoM) {
+  // The other SCAMP special case: a flat query subsequence whose
+  // candidates are ALL dynamic must land on exactly sqrt(2m).
+  Series query = RandomWalk(400, 53);
+  Series reference = RandomWalk(400, 54);
+  const std::size_t m = 24;
+  for (std::size_t i = 100; i < 140; ++i) query[i] = -2.0;
+  EXPECT_TRUE(ExpectAbJoinEquivalence(query, reference, m));
+  const Result<MatrixProfile> join = ComputeAbJoinMpx(query, reference, m);
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->distances[110], std::sqrt(2.0 * static_cast<double>(m)));
+}
+
+TEST(AbJoinMpxTest, BitIdenticalAcrossThreadCounts) {
+  // Tiles merge through a lexicographic max, so the MPX AB-join itself
+  // must be EXACTLY reproducible at any thread count.
+  ThreadCountGuard guard;
+  const Series query = RandomWalk(1400, 55);
+  const Series reference = RandomWalk(1700, 56);
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = ComputeAbJoinMpx(query, reference, 32);
+  ASSERT_TRUE(anchor.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<MatrixProfile> join = ComputeAbJoinMpx(query, reference, 32);
+    ASSERT_TRUE(join.ok());
+    for (std::size_t i = 0; i < anchor->size(); ++i) {
+      EXPECT_EQ(join->distances[i], anchor->distances[i])
+          << "i=" << i << " threads=" << threads;
+      EXPECT_EQ(join->indices[i], anchor->indices[i])
+          << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AbJoinMpxTest, Float32OnEverySimulatorFamily) {
+  ThreadCountGuard guard;
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    std::vector<double> query, reference;
+    SplitHalves(family.values, &query, &reference);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectFloat32AbJoinEquivalence(query, reference, family.m))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AbJoinMpxTest, SelfPairWithoutExclusionIsZero) {
+  // AB-join of a series with itself has no exclusion zone: every
+  // subsequence finds itself at distance exactly 0 (the seed term of
+  // its own diagonal), index i.
+  const Series x = RandomWalk(600, 57);
+  const Result<MatrixProfile> join = ComputeAbJoinMpx(x, x, 20);
+  ASSERT_TRUE(join.ok());
+  for (std::size_t i = 0; i < join->size(); ++i) {
+    ASSERT_NEAR(join->distances[i], 0.0, 1e-6) << "i=" << i;
+  }
+}
+
+TEST(AbJoinMpxTest, RejectsDegenerateInputsLikeStomp) {
+  EXPECT_FALSE(ComputeAbJoinMpx({1, 2, 3}, {1, 2, 3}, 1).ok());
+  EXPECT_FALSE(ComputeAbJoinMpx({1, 2}, {1, 2, 3, 4}, 3).ok());
+  EXPECT_FALSE(ComputeAbJoinMpx({1, 2, 3, 4}, {1, 2}, 3).ok());
+}
+
+TEST(LeftProfileMpxTest, EquivalenceOnEverySimulatorFamilyAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectLeftProfileEquivalence(family.values, family.m))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LeftProfileMpxTest, EquivalenceOnFlatRegions) {
+  ThreadCountGuard guard;
+  Series x = RandomWalk(1500, 61);
+  for (std::size_t i = 200; i < 280; ++i) x[i] = 7.5;
+  for (std::size_t i = 900; i < 1000; ++i) x[i] = 1.0e6;
+  for (const std::size_t m : {16u, 17u}) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectLeftProfileEquivalence(x, m))
+          << "m=" << m << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LeftProfileMpxTest, Float32OnEverySimulatorFamily) {
+  ThreadCountGuard guard;
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(
+          ExpectFloat32LeftProfileEquivalence(family.values, family.m))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LeftProfileMpxTest, BitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(2500, 62);
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = ComputeLeftMatrixProfileMpx(x, 32);
+  ASSERT_TRUE(anchor.ok());
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<MatrixProfile> left = ComputeLeftMatrixProfileMpx(x, 32);
+    ASSERT_TRUE(left.ok());
+    for (std::size_t i = 0; i < anchor->size(); ++i) {
+      EXPECT_EQ(left->distances[i], anchor->distances[i])
+          << "i=" << i << " threads=" << threads;
+      EXPECT_EQ(left->indices[i], anchor->indices[i])
+          << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(LeftProfileMpxTest, CausalityAndDominanceOverSelfJoin) {
+  // Structural invariants of ANY correct left profile: entries before
+  // the first admissible diagonal are +inf/kNoNeighbor, every neighbor
+  // points strictly into the past beyond the exclusion zone, and each
+  // left distance dominates the (two-sided) self-join distance.
+  const Series x = RandomWalk(1200, 63);
+  const std::size_t m = 24;
+  const std::size_t exclusion = m / 2;
+  const Result<MatrixProfile> left = ComputeLeftMatrixProfileMpx(x, m);
+  const Result<MatrixProfile> self = ComputeMatrixProfileMpx(x, m);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(self.ok());
+  for (std::size_t i = 0; i < left->size(); ++i) {
+    if (i <= exclusion) {
+      EXPECT_TRUE(std::isinf(left->distances[i])) << "i=" << i;
+      EXPECT_EQ(left->indices[i], kNoNeighbor) << "i=" << i;
+      continue;
+    }
+    ASSERT_NE(left->indices[i], kNoNeighbor) << "i=" << i;
+    EXPECT_LE(left->indices[i] + exclusion + 1, i) << "i=" << i;
+    EXPECT_GE(left->distances[i], self->distances[i] - 1e-9) << "i=" << i;
+  }
+}
+
+TEST(LeftProfileMpxTest, ExclusionCoveringEverythingYieldsAllInf) {
+  // An exclusion wide enough that no entry has an admissible past
+  // neighbor is NOT an error (matching the STOMP kernel): the result is
+  // simply the all-inf profile.
+  const Series x = RandomWalk(200, 64);
+  const std::size_t m = 16;
+  const Result<MatrixProfile> left =
+      ComputeLeftMatrixProfileMpx(x, m, /*exclusion=*/10000);
+  ASSERT_TRUE(left.ok());
+  for (std::size_t i = 0; i < left->size(); ++i) {
+    EXPECT_TRUE(std::isinf(left->distances[i])) << "i=" << i;
+    EXPECT_EQ(left->indices[i], kNoNeighbor) << "i=" << i;
+  }
+}
+
+TEST(LeftProfileMpxTest, RejectsDegenerateInputsLikeStomp) {
+  EXPECT_FALSE(ComputeLeftMatrixProfileMpx({1, 2, 3}, 1).ok());
+  EXPECT_FALSE(ComputeLeftMatrixProfileMpx({1, 2}, 3).ok());
+}
+
+TEST(JoinDispatchTest, Float32WithExplicitStompIsRejectedOnJoins) {
+  // The same pointed refusal the self-join gives: STOMP has no float
+  // tier, so the contradictory pairing fails up front on BOTH join
+  // shapes instead of silently computing in double.
+  const Series x = RandomWalk(300, 65);
+  MatrixProfileOptions options;
+  options.kernel = MpKernel::kStomp;
+  options.precision = MpPrecision::kFloat32;
+  const Result<MatrixProfile> ab = ComputeAbJoin(x, x, 16, options);
+  ASSERT_FALSE(ab.ok());
+  EXPECT_NE(ab.status().message().find(
+                "float32 precision requires the mpx kernel"),
+            std::string::npos)
+      << ab.status().message();
+  const Result<MatrixProfile> left = ComputeLeftMatrixProfile(x, 16, options);
+  ASSERT_FALSE(left.ok());
+  EXPECT_NE(left.status().message().find(
+                "float32 precision requires the mpx kernel"),
+            std::string::npos)
+      << left.status().message();
+}
+
+TEST(JoinDispatchTest, Float32ForcesMpxOnJoinsEvenBelowSizeThreshold) {
+  // float32 + auto kernel must route to MPX (the only kernel with a
+  // float tier) even when the size rule alone would pick STOMP. The
+  // result still meets the float tolerance contract.
+  const Series query = RandomWalk(400, 66);
+  const Series reference = RandomWalk(500, 67);
+  MatrixProfileOptions options;
+  options.precision = MpPrecision::kFloat32;
+  const Result<MatrixProfile> ab = ComputeAbJoin(query, reference, 24, options);
+  ASSERT_TRUE(ab.ok()) << ab.status().message();
+  const Result<MatrixProfile> direct =
+      ComputeAbJoinMpx(query, reference, 24, MpPrecision::kFloat32);
+  ASSERT_TRUE(direct.ok());
+  for (std::size_t i = 0; i < ab->size(); ++i) {
+    ASSERT_EQ(ab->distances[i], direct->distances[i]) << "i=" << i;
+  }
+  const Result<MatrixProfile> left =
+      ComputeLeftMatrixProfile(query, 24, options);
+  ASSERT_TRUE(left.ok()) << left.status().message();
+  const Result<MatrixProfile> left_direct = ComputeLeftMatrixProfileMpx(
+      query, 24, std::numeric_limits<std::size_t>::max(),
+      MpPrecision::kFloat32);
+  ASSERT_TRUE(left_direct.ok());
+  for (std::size_t i = 0; i < left->size(); ++i) {
+    ASSERT_EQ(left->distances[i], left_direct->distances[i]) << "i=" << i;
+  }
+}
+
+TEST(JoinDispatchTest, AutoDispatchedJoinMatchesExplicitKernel) {
+  // Above the auto threshold the options-less entry points route to
+  // MPX; the dispatched result must be IDENTICAL to calling the MPX
+  // driver directly (dispatch selects, it must not perturb).
+  const Series x = RandomWalk(2200, 68);
+  MatrixProfileOptions mpx_options;
+  mpx_options.kernel = MpKernel::kMpx;
+  const Result<MatrixProfile> dispatched =
+      ComputeLeftMatrixProfile(x, 16, mpx_options);
+  const Result<MatrixProfile> direct = ComputeLeftMatrixProfileMpx(x, 16);
+  ASSERT_TRUE(dispatched.ok());
+  ASSERT_TRUE(direct.ok());
+  for (std::size_t i = 0; i < dispatched->size(); ++i) {
+    ASSERT_EQ(dispatched->distances[i], direct->distances[i]) << "i=" << i;
+    ASSERT_EQ(dispatched->indices[i], direct->indices[i]) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsad

@@ -1,0 +1,220 @@
+// Certification of the pan-matrix-profile engine: every layer of the
+// multi-length sweep against the frozen per-length reference (via the
+// shared equivalence harness), the pruned discord mode against the
+// per-length ComputeMatrixProfile + TopDiscords oracle, bit-identity
+// across thread counts, and the validation surface.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/series.h"
+#include "profile_equivalence.h"
+#include "substrates/matrix_profile.h"
+#include "substrates/pan_profile.h"
+
+namespace tsad {
+namespace {
+
+using testing::ExpectPanProfileEquivalence;
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(ParallelThreads()) {}
+  ~ThreadCountGuard() { SetParallelThreads(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+std::vector<std::size_t> ThreadCountsToTest() {
+  std::vector<std::size_t> counts = {1, 2};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+Series RandomWalk(std::size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Series x(n);
+  double level = 0.0;
+  for (double& v : x) {
+    level += rng.Gaussian();
+    v = level;
+  }
+  return x;
+}
+
+// A walk with two flat runs at different levels, so every length of the
+// grid sees flat-flat, flat-dynamic and dynamic-flat races.
+Series WalkWithFlats(std::size_t n, uint64_t seed) {
+  Series x = RandomWalk(n, seed);
+  for (std::size_t i = n / 4; i < n / 4 + 160 && i < n; ++i) x[i] = 3.25;
+  for (std::size_t i = (2 * n) / 3; i < (2 * n) / 3 + 160 && i < n; ++i) {
+    x[i] = -7.5;
+  }
+  return x;
+}
+
+TEST(PanProfileTest, EveryLayerMatchesReferenceOnEveryFamily) {
+  ThreadCountGuard guard;
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      EXPECT_TRUE(ExpectPanProfileEquivalence(family.values, family.m - 8,
+                                              family.m + 8, 4))
+          << family.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PanProfileTest, FlatRegionsMatchReferenceAtEveryLength) {
+  ThreadCountGuard guard;
+  const Series x = WalkWithFlats(3000, 17);
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    EXPECT_TRUE(ExpectPanProfileEquivalence(x, 24, 72, 8))
+        << "threads=" << threads;
+  }
+}
+
+TEST(PanProfileTest, SingleLengthGridMatchesSelfJoin) {
+  const Series x = RandomWalk(2500, 5);
+  EXPECT_TRUE(ExpectPanProfileEquivalence(x, 64, 64, 1));
+}
+
+TEST(PanProfileTest, BitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const Series x = RandomWalk(6000, 42);
+  PanProfileConfig config;
+  config.min_length = 32;
+  config.max_length = 64;
+  config.step = 8;
+  SetParallelThreads(1);
+  const Result<PanProfile> anchor = ComputePanProfile(x, config);
+  ASSERT_TRUE(anchor.ok()) << anchor.status().message();
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<PanProfile> pan = ComputePanProfile(x, config);
+    ASSERT_TRUE(pan.ok()) << pan.status().message();
+    ASSERT_EQ(pan->lengths, anchor->lengths);
+    for (std::size_t l = 0; l < pan->num_lengths(); ++l) {
+      EXPECT_EQ(pan->distances[l], anchor->distances[l])
+          << "m=" << pan->lengths[l] << " threads=" << threads;
+      EXPECT_EQ(pan->indices[l], anchor->indices[l])
+          << "m=" << pan->lengths[l] << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PanProfileTest, GridAndLayerAccessors) {
+  const Series x = RandomWalk(1200, 9);
+  PanProfileConfig config;
+  config.min_length = 20;
+  config.max_length = 33;
+  config.step = 5;
+  const Result<PanProfile> pan = ComputePanProfile(x, config);
+  ASSERT_TRUE(pan.ok()) << pan.status().message();
+  // 20, 25, 30 — the grid stops before overshooting max_length.
+  const std::vector<std::size_t> want = {20, 25, 30};
+  EXPECT_EQ(pan->lengths, want);
+  for (std::size_t l = 0; l < pan->num_lengths(); ++l) {
+    const MatrixProfile layer = pan->Layer(l);
+    EXPECT_EQ(layer.subsequence_length, pan->lengths[l]);
+    EXPECT_EQ(layer.distances.size(), NumSubsequences(x.size(),
+                                                      pan->lengths[l]));
+    EXPECT_EQ(layer.distances, pan->distances[l]);
+    EXPECT_EQ(layer.indices, pan->indices[l]);
+  }
+}
+
+TEST(PanProfileTest, RejectsDegenerateRanges) {
+  const Series x = RandomWalk(500, 3);
+  PanProfileConfig config;
+  config.min_length = 32;
+  config.max_length = 64;
+  config.step = 0;
+  EXPECT_FALSE(ComputePanProfile(x, config).ok()) << "step 0";
+  config.step = 1;
+  config.min_length = 64;
+  config.max_length = 32;
+  EXPECT_FALSE(ComputePanProfile(x, config).ok()) << "inverted range";
+  config.min_length = 1;
+  config.max_length = 32;
+  EXPECT_FALSE(ComputePanProfile(x, config).ok()) << "min below 2";
+  config.min_length = 32;
+  config.max_length = 400;
+  EXPECT_FALSE(ComputePanProfile(x, config).ok()) << "max too long for n";
+  // The same series is valid at max_length alone — the rejection above
+  // is the max-length self-join constraint, not a pan quirk.
+  config.max_length = 64;
+  EXPECT_TRUE(ComputePanProfile(x, config).ok());
+}
+
+// The discord mode's oracle: per length, the position TopDiscords(
+// ComputeMatrixProfile(series, m), 1) reports, with the distance
+// re-measured exactly (the oracle's distance rides the kernel
+// recurrence, so it agrees to rounding, not bits).
+TEST(PanDiscordTest, MatchesPerLengthTopDiscordOnEveryFamily) {
+  for (const testing::ProfileTestFamily& family :
+       testing::SimulatorFamilies()) {
+    const Result<std::vector<PanLengthDiscord>> pan =
+        PanLengthDiscords(family.values, family.m - 4, family.m + 4);
+    ASSERT_TRUE(pan.ok()) << family.name << ": " << pan.status().message();
+    ASSERT_EQ(pan->size(), 9u) << family.name;
+    for (const PanLengthDiscord& d : *pan) {
+      const Result<MatrixProfile> mp =
+          ComputeMatrixProfile(family.values, d.length);
+      ASSERT_TRUE(mp.ok()) << family.name << " m=" << d.length;
+      const std::vector<Discord> top = TopDiscords(*mp, 1);
+      ASSERT_EQ(top.size(), 1u) << family.name << " m=" << d.length;
+      EXPECT_EQ(d.position, top[0].position)
+          << family.name << " m=" << d.length;
+      EXPECT_NEAR(d.distance, top[0].distance, 1e-6)
+          << family.name << " m=" << d.length;
+      EXPECT_DOUBLE_EQ(d.normalized,
+                       d.distance / std::sqrt(static_cast<double>(d.length)));
+    }
+  }
+}
+
+TEST(PanDiscordTest, BitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const Series x = WalkWithFlats(5000, 23);
+  SetParallelThreads(1);
+  const Result<std::vector<PanLengthDiscord>> anchor =
+      PanLengthDiscords(x, 48, 80);
+  ASSERT_TRUE(anchor.ok()) << anchor.status().message();
+  for (const std::size_t threads : ThreadCountsToTest()) {
+    SetParallelThreads(threads);
+    const Result<std::vector<PanLengthDiscord>> pan =
+        PanLengthDiscords(x, 48, 80);
+    ASSERT_TRUE(pan.ok()) << pan.status().message();
+    ASSERT_EQ(pan->size(), anchor->size());
+    for (std::size_t i = 0; i < pan->size(); ++i) {
+      EXPECT_EQ((*pan)[i].length, (*anchor)[i].length);
+      EXPECT_EQ((*pan)[i].position, (*anchor)[i].position)
+          << "m=" << (*pan)[i].length << " threads=" << threads;
+      EXPECT_EQ((*pan)[i].distance, (*anchor)[i].distance)
+          << "m=" << (*pan)[i].length << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PanDiscordTest, RejectsDegenerateRanges) {
+  const Series x = RandomWalk(500, 7);
+  EXPECT_FALSE(PanLengthDiscords(x, 64, 32).ok());
+  EXPECT_FALSE(PanLengthDiscords(x, 1, 32).ok());
+  EXPECT_FALSE(PanLengthDiscords(x, 32, 400).ok());
+  EXPECT_TRUE(PanLengthDiscords(x, 32, 64).ok());
+}
+
+}  // namespace
+}  // namespace tsad

@@ -15,6 +15,7 @@
 #include "datasets/yahoo.h"
 #include "substrates/matrix_profile.h"
 #include "substrates/mpx_kernel.h"
+#include "substrates/pan_profile.h"
 #include "substrates/profile_internal.h"
 #include "substrates/sliding_window.h"
 #include "substrates/streaming_mpx.h"
@@ -32,11 +33,14 @@ std::vector<double> TruncatedTo(const std::vector<double>& x, std::size_t n) {
 
 // The three-clause contract shared by the exact and float32 checks:
 // dynamic entries within 2m * corr_tol in squared-distance space, flat
-// entries exact, TopDiscords exact. `label` names the candidate kernel
-// in failure messages.
+// entries exact, TopDiscords exact. `entry_series` is the series the
+// profile ENTRIES index into (the query side of an AB-join, the series
+// itself for self-joins and left profiles) — flat classification uses
+// its rolling moments. `label` names the candidate kernel in failure
+// messages.
 ::testing::AssertionResult CheckProfileContract(
     const MatrixProfile& reference, const MatrixProfile& candidate,
-    const std::vector<double>& series, std::size_t m, double corr_tol,
+    const std::vector<double>& entry_series, std::size_t m, double corr_tol,
     std::size_t discords, const char* label) {
   if (candidate.size() != reference.size() ||
       candidate.subsequence_length != reference.subsequence_length) {
@@ -49,11 +53,24 @@ std::vector<double> TruncatedTo(const std::vector<double>& x, std::size_t n) {
   // Clause 1 + 2: per-entry distances. Flat entries (classified from
   // the same rolling moments both kernels use) must match exactly,
   // dynamic ones within the squared-distance tolerance.
-  const WindowStats stats = ComputeWindowStats(series, m);
+  const WindowStats stats = ComputeWindowStats(entry_series, m);
   const double sq_tol = 2.0 * static_cast<double>(m) * corr_tol;
   for (std::size_t i = 0; i < reference.size(); ++i) {
     const double ref_d = reference.distances[i];
     const double cand_d = candidate.distances[i];
+    if (std::isinf(ref_d) || std::isinf(cand_d)) {
+      // No-eligible-neighbor entries (left profiles before the first
+      // admissible diagonal) must be +inf/kNoNeighbor on BOTH sides —
+      // a kernel that invents or loses a neighbor is wrong regardless
+      // of tolerance.
+      if (cand_d != ref_d || candidate.indices[i] != reference.indices[i]) {
+        return ::testing::AssertionFailure()
+               << "entry " << i << " neighbor eligibility differs: reference d="
+               << ref_d << " j=" << reference.indices[i] << ", " << label
+               << " d=" << cand_d << " j=" << candidate.indices[i];
+      }
+      continue;
+    }
     if (profile_internal::IsFlat(stats.means[i], stats.stds[i])) {
       if (cand_d != ref_d ||
           (ref_d == 0.0 && candidate.indices[i] != reference.indices[i])) {
@@ -167,6 +184,122 @@ std::vector<ProfileTestFamily> SimulatorFamilies() {
   return CheckProfileContract(*reference, *f32, series, m,
                               kMpxFloat32CorrTolerance, discords,
                               "mpx/float32");
+}
+
+namespace {
+
+// Shared driver for the AB-join checks: the frozen STOMP join (forced
+// through the options dispatcher with kernel=kStomp) is the reference,
+// the MPX cross kernel at `precision` the candidate. Flat entries are
+// classified from the QUERY side — the side the profile indexes.
+::testing::AssertionResult CheckAbJoinAgainstStomp(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    MpPrecision precision, double corr_tol, std::size_t discords,
+    const char* label) {
+  MatrixProfileOptions stomp_options;
+  stomp_options.kernel = MpKernel::kStomp;
+  const Result<MatrixProfile> stomp =
+      ComputeAbJoin(query_series, reference_series, m, stomp_options);
+  const Result<MatrixProfile> mpx =
+      ComputeAbJoinMpx(query_series, reference_series, m, precision);
+  if (stomp.ok() != mpx.ok()) {
+    return ::testing::AssertionFailure()
+           << "kernels disagree on validity: stomp="
+           << stomp.status().message() << " " << label << "="
+           << mpx.status().message();
+  }
+  if (!stomp.ok()) return ::testing::AssertionSuccess();
+  return CheckProfileContract(*stomp, *mpx, query_series, m, corr_tol,
+                              discords, label);
+}
+
+// Shared driver for the left-profile checks, against the frozen STOMP
+// left kernel at the default exclusion.
+::testing::AssertionResult CheckLeftProfileAgainstStomp(
+    const std::vector<double>& series, std::size_t m, MpPrecision precision,
+    double corr_tol, std::size_t discords, const char* label) {
+  MatrixProfileOptions stomp_options;
+  stomp_options.kernel = MpKernel::kStomp;
+  const Result<MatrixProfile> stomp =
+      ComputeLeftMatrixProfile(series, m, stomp_options);
+  const Result<MatrixProfile> mpx = ComputeLeftMatrixProfileMpx(
+      series, m, std::numeric_limits<std::size_t>::max(), precision);
+  if (stomp.ok() != mpx.ok()) {
+    return ::testing::AssertionFailure()
+           << "kernels disagree on validity: stomp="
+           << stomp.status().message() << " " << label << "="
+           << mpx.status().message();
+  }
+  if (!stomp.ok()) return ::testing::AssertionSuccess();
+  return CheckProfileContract(*stomp, *mpx, series, m, corr_tol, discords,
+                              label);
+}
+
+}  // namespace
+
+::testing::AssertionResult ExpectAbJoinEquivalence(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    std::size_t discords) {
+  return CheckAbJoinAgainstStomp(query_series, reference_series, m,
+                                 MpPrecision::kExact, kMpxCorrTolerance,
+                                 discords, "mpx/ab");
+}
+
+::testing::AssertionResult ExpectFloat32AbJoinEquivalence(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    std::size_t discords) {
+  return CheckAbJoinAgainstStomp(query_series, reference_series, m,
+                                 MpPrecision::kFloat32,
+                                 kMpxFloat32CrossCorrTolerance, discords,
+                                 "mpx/ab/float32");
+}
+
+::testing::AssertionResult ExpectLeftProfileEquivalence(
+    const std::vector<double>& series, std::size_t m, std::size_t discords) {
+  return CheckLeftProfileAgainstStomp(series, m, MpPrecision::kExact,
+                                      kMpxCorrTolerance, discords, "mpx/left");
+}
+
+::testing::AssertionResult ExpectFloat32LeftProfileEquivalence(
+    const std::vector<double>& series, std::size_t m, std::size_t discords) {
+  return CheckLeftProfileAgainstStomp(series, m, MpPrecision::kFloat32,
+                                      kMpxFloat32CrossCorrTolerance, discords,
+                                      "mpx/left/float32");
+}
+
+::testing::AssertionResult ExpectPanProfileEquivalence(
+    const std::vector<double>& series, std::size_t min_length,
+    std::size_t max_length, std::size_t step, std::size_t discords) {
+  PanProfileConfig config;
+  config.min_length = min_length;
+  config.max_length = max_length;
+  config.step = step;
+  const Result<PanProfile> pan = ComputePanProfile(series, config);
+  if (!pan.ok()) {
+    return ::testing::AssertionFailure()
+           << "pan engine rejected the series: " << pan.status().message();
+  }
+  for (std::size_t l = 0; l < pan->num_lengths(); ++l) {
+    const std::size_t m = pan->lengths[l];
+    const Result<MatrixProfile> reference =
+        ComputeMatrixProfileReference(series, m);
+    if (!reference.ok()) {
+      return ::testing::AssertionFailure()
+             << "reference rejected m=" << m << " the pan engine accepted: "
+             << reference.status().message();
+    }
+    const ::testing::AssertionResult layer =
+        CheckProfileContract(*reference, pan->Layer(l), series, m,
+                             kMpxCorrTolerance, discords, "pan");
+    if (!layer) {
+      return ::testing::AssertionFailure()
+             << "pan layer m=" << m << ": " << layer.message();
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 ::testing::AssertionResult ExpectStreamingMpxEquivalence(

@@ -67,6 +67,20 @@ inline constexpr double kMpxCorrTolerance = 1e-5;
 /// of magnitude below anything that could move a discord.
 inline constexpr double kMpxFloat32CorrTolerance = 1e-4;
 
+/// Float32 bound for the CROSS kernels (AB-join, left profile). The
+/// per-pair drift is the same as the self-join tier (float rank-2
+/// recurrence, double re-seed every kMpxFloatRowBlock offsets), but the
+/// reported per-entry best sits in a harsher regime: a left profile
+/// maxes over only the admissible PAST candidates, so on spiky families
+/// (physio ECG) the winner can be a low-correlation pair carrying the
+/// full absolute drift of its block — unlike the self-join, where the
+/// max over thousands of near-1 candidates reports from the
+/// best-conditioned end of the distribution. Observed worst case across
+/// the families: ~1.3e-4 (physio_ecg left, m=64). 4e-4 gives ~3x
+/// headroom while the squared-distance slack stays an order of
+/// magnitude below anything that could move a discord.
+inline constexpr double kMpxFloat32CrossCorrTolerance = 4e-4;
+
 /// One representative series per simulator family (yahoo A1/A4, taxi,
 /// nasa, omni, physio ECG, gait), truncated so O(n^2) references stay
 /// test-sized, with the window length the detectors actually use on
@@ -97,6 +111,50 @@ std::vector<ProfileTestFamily> SimulatorFamilies();
 ::testing::AssertionResult ExpectProfileEquivalence(
     const std::vector<double>& series, std::size_t m,
     std::size_t discords = 3);
+
+/// Runs ComputeAbJoinMpx(query, reference, m) and checks the same
+/// three-clause contract against the frozen STOMP AB-join (forced via
+/// MatrixProfileOptions{kernel=kStomp}): dynamic entries within
+/// 2m * kMpxCorrTolerance squared distance, flat QUERY entries exact
+/// (distance and, at 0, the identical lowest flat reference index),
+/// TopDiscords positions/order exact.
+::testing::AssertionResult ExpectAbJoinEquivalence(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    std::size_t discords = 3);
+
+/// Float32 tier of the MPX AB-join against the same frozen STOMP
+/// reference, with the wider kMpxFloat32CrossCorrTolerance bound. Flat
+/// entries and TopDiscords stay EXACT.
+::testing::AssertionResult ExpectFloat32AbJoinEquivalence(
+    const std::vector<double>& query_series,
+    const std::vector<double>& reference_series, std::size_t m,
+    std::size_t discords = 3);
+
+/// Runs ComputeLeftMatrixProfileMpx(series, m) at the default exclusion
+/// and checks the contract against the frozen STOMP left kernel. Adds a
+/// fourth clause shared with the AB check: entries with NO eligible
+/// past neighbor (i <= exclusion) must be +inf/kNoNeighbor on both
+/// sides exactly.
+::testing::AssertionResult ExpectLeftProfileEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t discords = 3);
+
+/// Float32 tier of the MPX left profile against the frozen STOMP left
+/// kernel, with the wider kMpxFloat32CrossCorrTolerance bound.
+::testing::AssertionResult ExpectFloat32LeftProfileEquivalence(
+    const std::vector<double>& series, std::size_t m,
+    std::size_t discords = 3);
+
+/// Runs ComputePanProfile over [min_length, max_length] x step and
+/// checks EVERY layer against the frozen per-length reference under the
+/// standard three-clause contract (kMpxCorrTolerance — the pan engine's
+/// uncentered-dot recovery is certified to per-length accuracy on the
+/// well-conditioned inputs this harness feeds it; pan_profile.h
+/// documents the adversarial-level exclusion).
+::testing::AssertionResult ExpectPanProfileEquivalence(
+    const std::vector<double>& series, std::size_t min_length,
+    std::size_t max_length, std::size_t step, std::size_t discords = 3);
 
 /// Certifies the bounded-memory streaming kernel (StreamingMpx) fed
 /// the series point by point with ring capacity `buffer_cap`:

@@ -31,6 +31,7 @@
 #include "profile_equivalence.h"
 #include "substrates/matrix_profile.h"
 #include "substrates/mpx_kernel.h"
+#include "substrates/pan_profile.h"
 #include "substrates/streaming_mpx.h"
 
 namespace tsad {
@@ -188,6 +189,94 @@ TEST(SimdDispatchTest, Float32ContractHoldsOnFamiliesUnderEveryTier) {
   }
 }
 
+TEST(SimdDispatchTest, AbJoinIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  // Flats on BOTH sides so the forced tiers cross the inv == 0 lanes of
+  // the one-sided strip updates in each sweep direction.
+  const Series query = WalkWithFlats(1600, 65);
+  const Series reference = WalkWithFlats(2000, 66);
+  const std::size_t m = 32;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = ComputeAbJoinMpx(query, reference, m);
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<MatrixProfile> forced = ComputeAbJoinMpx(query, reference,
+                                                            m);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->distances, anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(forced->indices, anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, LeftProfileIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  const Series x = WalkWithFlats(2600, 67);
+  const std::size_t m = 32;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<MatrixProfile> anchor = ComputeLeftMatrixProfileMpx(x, m);
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<MatrixProfile> forced = ComputeLeftMatrixProfileMpx(x, m);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->distances, anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(forced->indices, anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, Float32CrossKernelsAreBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  // The float32 cross path runs the SHARED scalar ranges at every tier
+  // (no per-tier vector variants — see MpxCrossBlockF32Args), so
+  // cross-tier identity is trivially exact; this pins the promise.
+  const Series query = RandomWalk(1200, 68);
+  const Series reference = RandomWalk(1500, 69);
+  const std::size_t m = 32;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<MatrixProfile> ab_anchor =
+      ComputeAbJoinMpx(query, reference, m, MpPrecision::kFloat32);
+  const Result<MatrixProfile> left_anchor = ComputeLeftMatrixProfileMpx(
+      query, m, std::numeric_limits<std::size_t>::max(),
+      MpPrecision::kFloat32);
+  ASSERT_TRUE(ab_anchor.ok());
+  ASSERT_TRUE(left_anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<MatrixProfile> ab =
+          ComputeAbJoinMpx(query, reference, m, MpPrecision::kFloat32);
+      const Result<MatrixProfile> left = ComputeLeftMatrixProfileMpx(
+          query, m, std::numeric_limits<std::size_t>::max(),
+          MpPrecision::kFloat32);
+      ASSERT_TRUE(ab.ok());
+      ASSERT_TRUE(left.ok());
+      EXPECT_EQ(ab->distances, ab_anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(ab->indices, ab_anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(left->distances, left_anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(left->indices, left_anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
 TEST(SimdDispatchTest, StreamingMpxIsBitIdenticalAcrossIsaTiers) {
   DispatchGuard guard;
   // Capacity forces eviction midway, so both the no-eviction merge and
@@ -230,6 +319,65 @@ TEST(SimdDispatchTest, StreamingMpxIsBitIdenticalAcrossIsaTiers) {
     EXPECT_EQ(forced.merged_j, anchor.merged_j) << SimdTierName(tier);
     EXPECT_EQ(forced.right_d, anchor.right_d) << SimdTierName(tier);
     EXPECT_EQ(forced.right_j, anchor.right_j) << SimdTierName(tier);
+  }
+}
+
+TEST(SimdDispatchTest, PanProfileIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  // Flats at two levels so the forced tiers cross the inv == 0 lanes of
+  // the pan corr fill and the bound maxima at every layer.
+  const Series x = WalkWithFlats(2200, 70);
+  PanProfileConfig config;
+  config.min_length = 24;
+  config.max_length = 48;
+  config.step = 4;
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<PanProfile> anchor = ComputePanProfile(x, config);
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<PanProfile> forced = ComputePanProfile(x, config);
+      ASSERT_TRUE(forced.ok());
+      EXPECT_EQ(forced->distances, anchor->distances)
+          << SimdTierName(tier) << " threads=" << threads;
+      EXPECT_EQ(forced->indices, anchor->indices)
+          << SimdTierName(tier) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdDispatchTest, PanDiscordSweepIsBitIdenticalAcrossIsaTiers) {
+  DispatchGuard guard;
+  // Exercises both dispatched pan kernels: the strided bound sweep
+  // (pan_block, bound mode) and the centered-covariance refinement rows
+  // (pan_cov_row).
+  const Series x = WalkWithFlats(2200, 71);
+  const auto run = [&] { return PanLengthDiscords(x, 24, 48); };
+  ASSERT_TRUE(SetSimdTierOverride(SimdTier::kScalar).ok());
+  SetParallelThreads(1);
+  const Result<std::vector<PanLengthDiscord>> anchor = run();
+  ASSERT_TRUE(anchor.ok());
+  for (const SimdTier tier : SupportedTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(tier).ok()) << SimdTierName(tier);
+    for (const std::size_t threads : ThreadCountsToTest()) {
+      SetParallelThreads(threads);
+      const Result<std::vector<PanLengthDiscord>> forced = run();
+      ASSERT_TRUE(forced.ok());
+      ASSERT_EQ(forced->size(), anchor->size())
+          << SimdTierName(tier) << " threads=" << threads;
+      for (std::size_t i = 0; i < anchor->size(); ++i) {
+        EXPECT_EQ((*forced)[i].length, (*anchor)[i].length);
+        EXPECT_EQ((*forced)[i].position, (*anchor)[i].position)
+            << SimdTierName(tier) << " threads=" << threads
+            << " length=" << (*anchor)[i].length;
+        EXPECT_EQ((*forced)[i].distance, (*anchor)[i].distance)
+            << SimdTierName(tier) << " threads=" << threads
+            << " length=" << (*anchor)[i].length;
+      }
+    }
   }
 }
 

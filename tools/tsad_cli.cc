@@ -10,6 +10,12 @@
 //   tsad detect <file.csv> [--detector SPEC]
 //       Score a series and report the predicted anomaly location
 //       (default detector: discord:m=128).
+//   tsad panprofile <file.csv> [--min-length N] [--max-length N] [--step S]
+//       MERLIN-style pan-matrix-profile sweep: the top discord at every
+//       subsequence length of [min, max] (default 48..96) in one
+//       shared-dot pass, plus the length whose normalized discord
+//       distance peaks. --step > 1 sweeps a strided length grid via the
+//       full pan profile instead of the pruned discord path.
 //   tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]
 //       Run the fault x severity robustness matrix (NaN / -9999 missing
 //       markers, dropouts, stuck-at, spikes, clipping, quantization,
@@ -49,6 +55,7 @@
 //
 // CSV format: the library's own (see common/csv.h).
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -77,6 +84,10 @@ struct Args {
   std::string mp_isa;       // forced SIMD tier: auto|scalar|sse2|avx2|avx512
   std::string mp_precision;  // MPX precision tier: auto|exact|float32
   std::size_t floss_buffer = 0;  // floss ring-buffer default; 0 = keep 4096
+  // panprofile:
+  std::size_t min_length = 48;  // smallest swept subsequence length
+  std::size_t max_length = 96;  // largest swept subsequence length
+  std::size_t step = 1;         // length grid stride
   // serve:
   std::string replay;       // CSV to replay through the engine
   std::size_t streams = 4;  // stream fan-out
@@ -125,6 +136,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.mp_precision = argv[++i];
     } else if (arg == "--floss-buffer" && has_value) {
       args.floss_buffer = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--min-length" && has_value) {
+      args.min_length = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-length" && has_value) {
+      args.max_length = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--step" && has_value) {
+      args.step = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--replay" && has_value) {
       args.replay = argv[++i];
     } else if (arg == "--streams" && has_value) {
@@ -173,6 +190,8 @@ int Usage() {
       "  tsad audit <file.csv...> [--report FILE.md]\n"
       "  tsad triviality <file.csv...>\n"
       "  tsad detect <file.csv> [--detector SPEC]\n"
+      "  tsad panprofile <file.csv> [--min-length N] [--max-length N]\n"
+      "             [--step S]\n"
       "  tsad robustness [file.csv] [--detectors SPEC,SPEC,...] [--seed N]\n"
       "  tsad table1 [--seed N]\n"
       "  tsad serve --replay FILE.csv [--streams N] [--detector SPEC]\n"
@@ -355,6 +374,69 @@ int CmdDetect(const Args& args) {
                   outcome->correct ? "CORRECT" : "incorrect",
                   outcome->anomaly.begin, outcome->anomaly.end);
     }
+  }
+  return 0;
+}
+
+int CmdPanProfile(const Args& args) {
+  if (args.positional.size() != 1) return Usage();
+  Result<LabeledSeries> series = ReadSeriesCsv(args.positional[0]);
+  if (!series.ok()) {
+    std::printf("%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<LengthDiscord> rows;
+  if (args.step == 1) {
+    // The dense range goes through MERLIN's pruned pan discord sweep.
+    Result<std::vector<LengthDiscord>> sweep =
+        MerlinSweep(series->values(), args.min_length, args.max_length);
+    if (!sweep.ok()) {
+      std::printf("%s\n", sweep.status().ToString().c_str());
+      return 1;
+    }
+    rows = std::move(sweep.value());
+  } else {
+    // A strided grid has no pruned path; compute the full pan profile
+    // and read each layer's top discord off it.
+    PanProfileConfig config;
+    config.min_length = args.min_length;
+    config.max_length = args.max_length;
+    config.step = args.step;
+    Result<PanProfile> pan = ComputePanProfile(series->values(), config);
+    if (!pan.ok()) {
+      std::printf("%s\n", pan.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t l = 0; l < pan->num_lengths(); ++l) {
+      const std::vector<Discord> top = TopDiscords(pan->Layer(l), 1);
+      if (top.empty()) {
+        std::printf("no discord found at length %zu\n", pan->lengths[l]);
+        return 1;
+      }
+      LengthDiscord row;
+      row.length = pan->lengths[l];
+      row.position = top.front().position;
+      row.distance = top.front().distance;
+      row.normalized =
+          top.front().distance / std::sqrt(static_cast<double>(row.length));
+      rows.push_back(row);
+    }
+  }
+
+  std::printf("series : %s (%zu points)\n", series->name().c_str(),
+              series->length());
+  std::printf("%8s %10s %12s %12s\n", "length", "position", "distance",
+              "normalized");
+  const LengthDiscord* peak = nullptr;
+  for (const LengthDiscord& row : rows) {
+    std::printf("%8zu %10zu %12.4f %12.4f\n", row.length, row.position,
+                row.distance, row.normalized);
+    if (peak == nullptr || row.normalized > peak->normalized) peak = &row;
+  }
+  if (peak != nullptr) {
+    std::printf("peak   : length %zu at %zu (normalized %.4f)\n",
+                peak->length, peak->position, peak->normalized);
   }
   return 0;
 }
@@ -679,6 +761,7 @@ int main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(*args);
   if (command == "triviality") return CmdTriviality(*args);
   if (command == "detect") return CmdDetect(*args);
+  if (command == "panprofile") return CmdPanProfile(*args);
   if (command == "robustness") return CmdRobustness(*args);
   if (command == "table1") return CmdTable1(*args);
   if (command == "serve") return CmdServe(*args);
